@@ -1,0 +1,42 @@
+// Command icb-bench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	icb-bench -exp table2
+//	icb-bench -exp fig2 -budget 25000
+//	icb-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icb/internal/exper"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, all")
+		budget = flag.Int("budget", 2000, "execution budget per strategy for growth curves")
+		sample = flag.Int("sample", 0, "curve sampling stride (0 = budget/50)")
+		seed   = flag.Int64("seed", 1, "random-walk seed")
+		csvDir = flag.String("csv", "", "also write plot-ready CSV files into this directory (runs every experiment)")
+	)
+	flag.Parse()
+
+	cfg := exper.Config{Budget: *budget, Sample: *sample, Seed: *seed}
+	if *csvDir != "" {
+		if err := exper.WriteCSV(*csvDir, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "icb-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote CSV files to %s\n", *csvDir)
+		return
+	}
+	if err := exper.Run(*exp, os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "icb-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,200 @@
+// Command icb explores a benchmark program with a chosen search strategy
+// and reports coverage, statistics, and any bugs found — the model-checker
+// front end of the reproduction.
+//
+// Usage:
+//
+//	icb -prog wsq -bug steal-unlocked -strategy icb -bound 2
+//	icb -prog dryad -bug alert-window -strategy icb -bound 1 -trace
+//	icb -prog bluetooth -strategy dfs -execs 10000
+//	icb -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"icb/internal/baseline"
+	"icb/internal/core"
+	"icb/internal/exper"
+	"icb/internal/progs"
+	"icb/internal/sched"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "", "benchmark program: bluetooth, fsmodel, wsq, ape, dryad")
+		bugID    = flag.String("bug", "", "seeded bug variant (default: the correct version); see -list")
+		strategy = flag.String("strategy", "icb", "search strategy: icb, dfs, db:<N>, idfs, random, pct:<d>")
+		bound    = flag.Int("bound", -1, "preemption bound for icb (-1 = run to exhaustion)")
+		execs    = flag.Int("execs", 0, "execution budget (0 = unlimited)")
+		cache    = flag.Bool("cache", false, "enable the Algorithm 1 work-item table (state caching)")
+		noRaces  = flag.Bool("noraces", false, "disable the per-execution data-race detector")
+		goldi    = flag.Bool("goldilocks", false, "use the Goldilocks lockset race detector")
+		first    = flag.Bool("first", true, "stop at the first bug")
+		trace    = flag.Bool("trace", false, "replay and print the first bug's schedule")
+		minimize = flag.Bool("minimize", false, "shrink the first bug's schedule before reporting")
+		replay   = flag.String("replay", "", "skip searching; replay this schedule (e.g. \"t0 t1 t1 t0\")")
+		every    = flag.Bool("everyaccess", false, "scheduling points at every shared access (no sync-only reduction)")
+		list     = flag.Bool("list", false, "list benchmarks and bug variants")
+		seed     = flag.Int64("seed", 1, "seed for the random strategy")
+	)
+	flag.Parse()
+
+	if *list {
+		listBenchmarks()
+		return
+	}
+	b := findBenchmark(*progName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "icb: unknown program %q; use -list\n", *progName)
+		os.Exit(2)
+	}
+	prog := b.Correct
+	if *bugID != "" {
+		bug := b.FindBug(*bugID)
+		if bug == nil {
+			fmt.Fprintf(os.Stderr, "icb: %s has no bug variant %q; use -list\n", b.Name, *bugID)
+			os.Exit(2)
+		}
+		prog = bug.Program
+		fmt.Printf("checking %s with seeded bug %q (documented bound %d)\n", b.Name, bug.ID, bug.Bound)
+	} else {
+		fmt.Printf("checking %s (correct version)\n", b.Name)
+	}
+
+	if *replay != "" {
+		schedule, err := sched.ParseSchedule(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icb:", err)
+			os.Exit(2)
+		}
+		mode := sched.ModeSyncOnly
+		if *every {
+			mode = sched.ModeEveryAccess
+		}
+		out := sched.Run(prog,
+			&sched.ReplayController{Prefix: schedule, Tail: sched.FirstEnabled{}},
+			sched.Config{RecordTrace: *trace, Mode: mode})
+		if *trace {
+			for _, line := range out.TraceStrings() {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+		fmt.Printf("replay outcome: %s\n", out)
+		if out.Status.Buggy() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	strat, err := parseStrategy(*strategy, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icb:", err)
+		os.Exit(2)
+	}
+	opt := core.Options{
+		MaxPreemptions: *bound,
+		MaxExecutions:  *execs,
+		CheckRaces:     !*noRaces,
+		UseGoldilocks:  *goldi,
+		StopOnFirstBug: *first,
+		StateCache:     *cache,
+	}
+	if *every {
+		opt.Mode = sched.ModeEveryAccess
+	}
+
+	res := core.Explore(prog, strat, opt)
+	if bug := res.FirstBug(); bug != nil && *minimize {
+		min := core.MinimizeSchedule(prog, bug.Schedule, opt)
+		fmt.Printf("minimized schedule: %d -> %d decisions\n", len(bug.Schedule), len(min))
+		bug.Schedule = min
+	}
+	printResult(res)
+
+	if bug := res.FirstBug(); bug != nil && *trace {
+		fmt.Println("\nreplaying the bug schedule:")
+		out := sched.Run(prog,
+			&sched.ReplayController{Prefix: bug.Schedule, Tail: sched.FirstEnabled{}},
+			sched.Config{RecordTrace: true, Mode: opt.Mode})
+		for _, line := range out.TraceStrings() {
+			fmt.Printf("  %s\n", line)
+		}
+		fmt.Printf("replay outcome: %s\n", out)
+	}
+	if len(res.Bugs) > 0 {
+		os.Exit(1)
+	}
+}
+
+func listBenchmarks() {
+	for _, b := range exper.Benchmarks() {
+		fmt.Printf("%-22s threads=%d bugs:\n", b.Name, b.Threads)
+		for _, bug := range b.Bugs {
+			fmt.Printf("  -bug %-24s bound=%d kind=%s\n      %s\n", bug.ID, bug.Bound, bug.Kind, bug.Description)
+		}
+	}
+	fmt.Println("\n(the transaction manager is a ZML model; use the zingi command)")
+}
+
+func findBenchmark(name string) *progs.Benchmark {
+	aliases := map[string]int{
+		"bluetooth": 0, "fsmodel": 1, "wsq": 2, "ape": 3, "dryad": 4,
+	}
+	i, ok := aliases[strings.ToLower(name)]
+	if !ok {
+		return nil
+	}
+	return exper.Benchmarks()[i]
+}
+
+func parseStrategy(s string, seed int64) (core.Strategy, error) {
+	switch {
+	case s == "icb":
+		return core.ICB{}, nil
+	case s == "dfs":
+		return baseline.DFS{}, nil
+	case s == "idfs":
+		return baseline.IDFS{}, nil
+	case s == "random":
+		return baseline.Random{Seed: seed}, nil
+	case s == "pct":
+		return baseline.PCT{Depth: 2, Seed: seed}, nil
+	case strings.HasPrefix(s, "pct:"):
+		d, err := strconv.Atoi(s[4:])
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad pct depth %q", s)
+		}
+		return baseline.PCT{Depth: d, Seed: seed}, nil
+	case strings.HasPrefix(s, "db:"):
+		n, err := strconv.Atoi(s[3:])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad depth bound %q", s)
+		}
+		return baseline.DFS{Depth: n}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q (want icb, dfs, db:<N>, idfs, random, pct:<d>)", s)
+}
+
+func printResult(res core.Result) {
+	fmt.Printf("strategy=%s executions=%d states=%d classes=%d exhausted=%v\n",
+		res.Strategy, res.Executions, res.States, res.ExecutionClasses, res.Exhausted)
+	fmt.Printf("maxK=%d maxB=%d maxPreemptions=%d boundCompleted=%d\n",
+		res.MaxSteps, res.MaxBlocking, res.MaxPreemptions, res.BoundCompleted)
+	if len(res.Bugs) == 0 {
+		if res.BoundCompleted >= 0 {
+			fmt.Printf("no bugs: every execution with at most %d preemptions is correct\n", res.BoundCompleted)
+		} else {
+			fmt.Println("no bugs found")
+		}
+		return
+	}
+	for i := range res.Bugs {
+		fmt.Printf("BUG: %s\n", res.Bugs[i].String())
+		fmt.Printf("     schedule: %s\n", res.Bugs[i].Schedule)
+	}
+}

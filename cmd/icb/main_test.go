@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, tc := range []struct{ in, name string }{
+		{"icb", "icb"},
+		{"dfs", "dfs"},
+		{"db:25", "db:25"},
+		{"idfs", "idfs:20+20"},
+		{"random", "random"},
+	} {
+		s, err := parseStrategy(tc.in, 1)
+		if err != nil {
+			t.Fatalf("parseStrategy(%q): %v", tc.in, err)
+		}
+		if s.Name() != tc.name {
+			t.Fatalf("parseStrategy(%q).Name() = %q, want %q", tc.in, s.Name(), tc.name)
+		}
+	}
+	for _, bad := range []string{"", "db:", "db:x", "db:-1", "bfs"} {
+		if _, err := parseStrategy(bad, 1); err == nil {
+			t.Fatalf("parseStrategy(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestFindBenchmark(t *testing.T) {
+	for _, name := range []string{"bluetooth", "fsmodel", "wsq", "ape", "dryad", "WSQ"} {
+		if findBenchmark(name) == nil {
+			t.Fatalf("findBenchmark(%q) = nil", name)
+		}
+	}
+	if findBenchmark("nope") != nil {
+		t.Fatal("unknown benchmark resolved")
+	}
+}
+
+func TestBenchmarkBugIDsResolvable(t *testing.T) {
+	// Every -bug value printed by -list must resolve via FindBug.
+	for _, name := range []string{"bluetooth", "fsmodel", "wsq", "ape", "dryad"} {
+		b := findBenchmark(name)
+		for _, bug := range b.Bugs {
+			if b.FindBug(bug.ID) == nil {
+				t.Fatalf("%s: bug %q not resolvable", name, bug.ID)
+			}
+			if !strings.Contains(bug.Kind, " ") && bug.Kind != "deadlock" {
+				t.Fatalf("%s/%s: unexpected kind %q", name, bug.ID, bug.Kind)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command zingi compiles and model-checks ZML models with the
+// explicit-state checker — the ZING side of the reproduction.
+//
+// Usage:
+//
+//	zingi -src model.zml -strategy icb -bound 2
+//	zingi -model txnmgr:commit-window
+//	zingi -model txnmgr:correct -dump     # disassemble instead of checking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"icb/internal/progs/txnmgr"
+	"icb/internal/zing"
+	"icb/internal/zml"
+)
+
+func main() {
+	var (
+		src      = flag.String("src", "", "path to a .zml source file")
+		model    = flag.String("model", "", "built-in model, e.g. txnmgr:correct, txnmgr:commit-window")
+		strategy = flag.String("strategy", "icb", "search strategy: icb or dfs")
+		bound    = flag.Int("bound", -1, "preemption bound for icb (-1 = run to exhaustion)")
+		items    = flag.Int("items", 0, "work-item budget (0 = unlimited)")
+		first    = flag.Bool("first", true, "stop at the first bug")
+		dump     = flag.Bool("dump", false, "disassemble the compiled program instead of checking")
+		format   = flag.Bool("fmt", false, "pretty-print the model in canonical form instead of checking")
+	)
+	flag.Parse()
+
+	source, name, err := loadSource(*src, *model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zingi:", err)
+		os.Exit(2)
+	}
+	if *format {
+		out, err := zml.Format(source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zingi: %s: %v\n", name, err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+		return
+	}
+	prog, err := zml.Compile(source)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zingi: %s: %v\n", name, err)
+		os.Exit(2)
+	}
+	if *dump {
+		disassemble(prog)
+		return
+	}
+
+	opt := zing.Options{MaxPreemptions: *bound, MaxItems: *items, StopOnFirstBug: *first}
+	var res zing.Result
+	switch *strategy {
+	case "icb":
+		res = zing.CheckICB(prog, opt)
+	case "dfs":
+		res = zing.CheckDFS(prog, opt)
+	default:
+		fmt.Fprintf(os.Stderr, "zingi: unknown strategy %q (want icb or dfs)\n", *strategy)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: states=%d items=%d exhausted=%v boundCompleted=%d maxK=%d maxB=%d\n",
+		name, res.States, res.Items, res.Exhausted, res.BoundCompleted, res.MaxSteps, res.MaxBlocking)
+	if len(res.Bugs) == 0 {
+		fmt.Println("no bugs found")
+		return
+	}
+	for i := range res.Bugs {
+		fmt.Printf("BUG: %s\n", res.Bugs[i].String())
+		if path := res.Bugs[i].Path; len(path) > 0 {
+			fmt.Printf("     path: %s\n", zing.PathString(path))
+		}
+	}
+	os.Exit(1)
+}
+
+func loadSource(src, model string) (source, name string, err error) {
+	switch {
+	case src != "" && model != "":
+		return "", "", fmt.Errorf("-src and -model are mutually exclusive")
+	case src != "":
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return "", "", err
+		}
+		return string(data), src, nil
+	case strings.HasPrefix(model, "txnmgr:"):
+		want := strings.TrimPrefix(model, "txnmgr:")
+		for _, v := range []txnmgr.Variant{txnmgr.Correct, txnmgr.CommitWindow, txnmgr.DeleteWindow, txnmgr.CommitTwoWindows} {
+			if v.String() == want {
+				return txnmgr.Source(v), model, nil
+			}
+		}
+		return "", "", fmt.Errorf("unknown txnmgr variant %q", want)
+	case model != "":
+		if src, ok := zing.Models()[model]; ok {
+			return src, model, nil
+		}
+		names := []string{"txnmgr:correct", "txnmgr:commit-window", "txnmgr:delete-window", "txnmgr:commit-two-windows"}
+		for name := range zing.Models() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return "", "", fmt.Errorf("unknown model %q (have %s)", model, strings.Join(names, ", "))
+	}
+	return "", "", fmt.Errorf("need -src file.zml or -model name")
+}
+
+func disassemble(p *zml.Program) {
+	for _, g := range p.Globals {
+		fmt.Printf("global %s %s slots=[%d,%d)\n", g.Type, g.Name, g.Slot, g.Slot+g.Slots)
+	}
+	for _, pr := range p.Procs {
+		fmt.Printf("\nproc %s (params=%d, locals=%d):\n", pr.Name, pr.NumParams, pr.NumLocals)
+		for i, in := range pr.Code {
+			shared := " "
+			if in.Op.Shared() {
+				shared = "*"
+			}
+			fmt.Printf("  %3d %s %-12s %6d %6d   ; %s\n", i, shared, in.Op, in.A, in.B, in.Pos)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Dryad use-after-free: reproduce Figure 3 of the paper. A channel's
+// worker thread reports itself finished before calling AlertApplication;
+// one preemption right before EnterCriticalSection lets the main thread
+// return from Close() and delete the channel under the worker's feet. The
+// exposing trace has exactly one preempting context switch but several
+// nonpreempting ones — the kind of bug depth-first search drowns in.
+//
+// Run: go run ./examples/dryadchannel
+package main
+
+import (
+	"fmt"
+
+	"icb/internal/baseline"
+	"icb/internal/core"
+	"icb/internal/progs/dryad"
+	"icb/internal/sched"
+)
+
+func main() {
+	prog := dryad.Program(dryad.AlertWindow, dryad.Params{})
+
+	fmt.Println("searching executions in order of preemption count...")
+	res := core.Explore(prog, core.ICB{}, core.Options{
+		MaxPreemptions: 1,
+		CheckRaces:     true,
+		StopOnFirstBug: true,
+	})
+	bug := res.FirstBug()
+	if bug == nil {
+		fmt.Println("bug not found (unexpected)")
+		return
+	}
+	fmt.Printf("found after %d executions: %s\n", bug.Execution, bug.Message)
+	fmt.Printf("context switches: %d preempting, %d nonpreempting (the Figure 3 shape)\n",
+		bug.Preemptions, bug.ContextSwitches-bug.Preemptions)
+
+	fmt.Println("\nfull trace of the failing execution:")
+	out := sched.Run(prog,
+		&sched.ReplayController{Prefix: bug.Schedule, Tail: sched.FirstEnabled{}},
+		sched.Config{RecordTrace: true})
+	lines := out.TraceStrings()
+	prev := sched.NoTID
+	for i, ev := range out.Trace {
+		marker := "  "
+		if ev.TID != prev && prev != sched.NoTID {
+			marker = "->" // context switch
+		}
+		prev = ev.TID
+		fmt.Printf("%s %s\n", marker, lines[i])
+	}
+	fmt.Printf("\nreplay outcome: %s\n", out)
+
+	fmt.Println("\nfor contrast, depth-first search with the same execution budget:")
+	dfsBudget := bug.Execution
+	dres := core.Explore(prog, baseline.DFS{}, core.Options{
+		MaxExecutions:  dfsBudget,
+		CheckRaces:     true,
+		StopOnFirstBug: true,
+	})
+	if dres.FirstBug() == nil {
+		fmt.Printf("dfs found nothing in %d executions — the bound-ordered search wins\n", dfsBudget)
+	} else {
+		fmt.Printf("dfs found it too (%s)\n", dres.FirstBug().Message)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"icb"
+	"icb/icbtest"
+)
+
+func TestMSQueueBound2(t *testing.T) {
+	res := icbtest.Check(t, Scenario(2, 1), icbtest.Options{MaxPreemptions: 2})
+	if res.BoundCompleted != 2 {
+		t.Fatalf("bound 2 not completed: %d", res.BoundCompleted)
+	}
+}
+
+func TestMSQueueSingleProducerExhaustive(t *testing.T) {
+	res := icbtest.Check(t, Scenario(1, 2), icbtest.Options{})
+	icbtest.Exhausted(t, res)
+}
+
+func TestMSQueueSequential(t *testing.T) {
+	// FIFO order under the canonical schedule.
+	prog := func(t *icb.T) {
+		q := newMSQ(t, 4)
+		q.Enqueue(t, 10)
+		q.Enqueue(t, 20)
+		v, ok := q.Dequeue(t)
+		t.Assert(ok && v == 10, "got %d,%v want 10", v, ok)
+		q.Enqueue(t, 30)
+		v, ok = q.Dequeue(t)
+		t.Assert(ok && v == 20, "got %d,%v want 20", v, ok)
+		v, ok = q.Dequeue(t)
+		t.Assert(ok && v == 30, "got %d,%v want 30", v, ok)
+		_, ok = q.Dequeue(t)
+		t.Assert(!ok, "dequeue from empty succeeded")
+	}
+	out := icb.Run(prog, icb.FirstEnabled{}, icb.Config{})
+	if out.Status.Buggy() {
+		t.Fatalf("sequential check: %v", out)
+	}
+}

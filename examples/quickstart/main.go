@@ -1,0 +1,79 @@
+// Quickstart: model a tiny concurrent program and let iterative context
+// bounding find its bug with the fewest possible preemptions.
+//
+// The program is the classic check-then-act race: two tellers withdraw
+// from one account, each checking the balance before debiting. Stress
+// tests almost never catch it; the ICB checker finds it systematically and
+// reports a replayable schedule with exactly one preemption.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"icb/internal/conc"
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// account is the (buggy) shared object: balance is protected by a lock,
+// but withdraw releases it between the check and the debit.
+type account struct {
+	lock    *conc.Mutex
+	balance *conc.Int
+}
+
+func (a *account) withdraw(t *sched.T, amount int) bool {
+	a.lock.Lock(t)
+	enough := a.balance.Load(t) >= amount
+	a.lock.Unlock(t)
+	if !enough {
+		return false
+	}
+	// BUG: the balance may have changed since the check.
+	a.lock.Lock(t)
+	a.balance.Update(t, func(b int) int { return b - amount })
+	a.lock.Unlock(t)
+	return true
+}
+
+// program is the test driver: the model checker will run it under every
+// relevant schedule.
+func program(t *sched.T) {
+	acct := &account{
+		lock:    conc.NewMutex(t, "account.lock"),
+		balance: conc.NewInt(t, "account.balance", 100),
+	}
+	teller := func(t *sched.T) { acct.withdraw(t, 80) }
+	w1 := t.Go("teller1", teller)
+	w2 := t.Go("teller2", teller)
+	t.Join(w1)
+	t.Join(w2)
+	t.Assert(acct.balance.Load(t) >= 0, "account overdrawn: balance = %d", acct.balance.Load(t))
+}
+
+func main() {
+	fmt.Println("exploring all schedules in order of preemption count...")
+	res := core.Explore(program, core.ICB{}, core.Options{
+		MaxPreemptions: -1,
+		CheckRaces:     true,
+		StopOnFirstBug: true,
+	})
+
+	fmt.Printf("ran %d executions, visited %d states\n", res.Executions, res.States)
+	bug := res.FirstBug()
+	if bug == nil {
+		fmt.Println("no bug found — unexpected for this example!")
+		return
+	}
+	fmt.Printf("found: %s\n", bug.String())
+	fmt.Printf("this is the simplest possible failure: it needs exactly %d preemption(s)\n", bug.Preemptions)
+	fmt.Printf("replayable schedule: %s\n", bug.Schedule)
+
+	// Replay it deterministically — same schedule, same failure, every time.
+	out := sched.Run(program,
+		&sched.ReplayController{Prefix: bug.Schedule, Tail: sched.FirstEnabled{}},
+		sched.Config{})
+	fmt.Printf("replay: %s\n", out)
+}

@@ -1,0 +1,3 @@
+module icb
+
+go 1.23

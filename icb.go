@@ -1,0 +1,188 @@
+// Package icb is a systematic concurrency-testing library for Go: a
+// from-scratch reproduction of "Iterative Context Bounding for Systematic
+// Testing of Multithreaded Programs" (Musuvathi & Qadeer, PLDI 2007), the
+// CHESS/ZING paper.
+//
+// Programs under test are written against the library's modeled threading
+// and synchronization API (threads, mutexes, events, semaphores,
+// interlocked integers, condition variables, FIFO queues) instead of the
+// Go runtime's. The checker then executes the program under every relevant
+// schedule, in increasing order of preempting context switches — iterative
+// context bounding — so the first failure found is one with the fewest
+// possible preemptions, and completing bound c certifies that any
+// remaining bug needs at least c+1 preemptions.
+//
+// A minimal session:
+//
+//	prog := func(t *icb.T) {
+//		x := icb.NewAtomicInt(t, "x", 0)
+//		w := t.Go("writer", func(t *icb.T) { x.Store(t, 1); x.Store(t, 0) })
+//		t.Assert(x.Load(t) == 0, "observed transient value")
+//		t.Join(w)
+//	}
+//	res := icb.Explore(prog, icb.ICB(), icb.Options{MaxPreemptions: 2, CheckRaces: true})
+//	if bug := res.FirstBug(); bug != nil {
+//		fmt.Println(bug, "schedule:", bug.Schedule) // deterministic replay
+//	}
+//
+// Beyond the stateless checker, the module contains an explicit-state
+// checker for models written in a small modeling language (see the
+// internal zml and zing packages and the zingi command), the paper's six
+// benchmark programs with their seeded bugs, and a harness regenerating
+// every table and figure of the paper's evaluation (the icb-bench
+// command).
+package icb
+
+import (
+	"icb/internal/baseline"
+	"icb/internal/conc"
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// T is a modeled thread; program code performs all shared-state operations
+// through it.
+type T = sched.T
+
+// Program is the body of the main thread of a program under test.
+type Program = sched.Program
+
+// Outcome summarizes a single execution.
+type Outcome = sched.Outcome
+
+// Schedule is a replayable decision sequence.
+type Schedule = sched.Schedule
+
+// ReplayController replays a recorded schedule deterministically.
+type ReplayController = sched.ReplayController
+
+// FirstEnabled is the trivial nonpreemptive scheduler.
+type FirstEnabled = sched.FirstEnabled
+
+// Config parameterizes a single Run.
+type Config = sched.Config
+
+// Options configures an exploration; see core.Options for field docs.
+type Options = core.Options
+
+// Result summarizes an exploration.
+type Result = core.Result
+
+// Bug is one found defect with a replayable schedule.
+type Bug = core.Bug
+
+// Strategy is a search strategy over the scheduling tree.
+type Strategy = core.Strategy
+
+// Explore runs the given search strategy over the program.
+func Explore(prog Program, s Strategy, opt Options) Result {
+	return core.Explore(prog, s, opt)
+}
+
+// Run executes prog once under ctrl (useful for replaying bug schedules).
+func Run(prog Program, ctrl sched.Controller, cfg sched.Config) Outcome {
+	return sched.Run(prog, ctrl, cfg)
+}
+
+// ICB returns the iterative context-bounding strategy — the paper's
+// contribution and the recommended default.
+func ICB() Strategy { return core.ICB{} }
+
+// CSB returns pure context-switch bounding (every switch costs budget),
+// the ablation of ICB's preempting/nonpreempting distinction. Use ICB
+// unless you are measuring why the distinction matters.
+func CSB() Strategy { return core.CSB{} }
+
+// MinimizeSchedule shrinks a failing schedule while preserving the
+// failure; see core.MinimizeSchedule.
+func MinimizeSchedule(prog Program, schedule Schedule, opt Options) Schedule {
+	return core.MinimizeSchedule(prog, schedule, opt)
+}
+
+// ParseSchedule parses a schedule's String form ("t0 t2 d1 ...").
+func ParseSchedule(s string) (Schedule, error) { return sched.ParseSchedule(s) }
+
+// DFS returns unbounded depth-first search; depth > 0 truncates executions
+// (the paper's db:N baseline).
+func DFS(depth int) Strategy { return baseline.DFS{Depth: depth} }
+
+// IDFS returns iterative depth bounding starting at start and growing by
+// step.
+func IDFS(start, step int) Strategy { return baseline.IDFS{Start: start, Step: step} }
+
+// Random returns the uniform random-walk strategy.
+func Random(seed int64) Strategy { return baseline.Random{Seed: seed} }
+
+// PCT returns probabilistic concurrency testing with the given bug depth
+// (Burckhardt et al., ASPLOS 2010), the successor of iterative context
+// bounding for randomized testing. Complementary to ICB: per-execution
+// probabilistic guarantees instead of exhaustive bound guarantees.
+func PCT(depth int, seed int64) Strategy { return baseline.PCT{Depth: depth, Seed: seed} }
+
+// Shared-state primitives, re-exported from the modeled synchronization
+// library (package conc).
+
+// Var is a shared data variable of type V; accesses are race-checked.
+type Var[V any] = conc.Var[V]
+
+// Int is a shared data integer.
+type Int = conc.Int
+
+// AtomicInt is an interlocked integer; every operation is a single
+// synchronization access.
+type AtomicInt = conc.AtomicInt
+
+// Mutex is a non-reentrant lock.
+type Mutex = conc.Mutex
+
+// RWMutex is a reader-writer lock.
+type RWMutex = conc.RWMutex
+
+// Event models a Win32 manual- or auto-reset event.
+type Event = conc.Event
+
+// Semaphore is a counting semaphore.
+type Semaphore = conc.Semaphore
+
+// WaitGroup counts outstanding work.
+type WaitGroup = conc.WaitGroup
+
+// Cond is a condition variable with FIFO wakeup.
+type Cond = conc.Cond
+
+// Queue is a FIFO message queue.
+type Queue[V any] = conc.Queue[V]
+
+// NewVar allocates a shared data variable.
+func NewVar[V any](t *T, name string, init V) *Var[V] { return conc.NewVar(t, name, init) }
+
+// NewInt allocates a shared data integer.
+func NewInt(t *T, name string, init int) *Int { return conc.NewInt(t, name, init) }
+
+// NewAtomicInt allocates an interlocked integer.
+func NewAtomicInt(t *T, name string, init int64) *AtomicInt { return conc.NewAtomicInt(t, name, init) }
+
+// NewMutex allocates an unlocked mutex.
+func NewMutex(t *T, name string) *Mutex { return conc.NewMutex(t, name) }
+
+// NewRWMutex allocates an unlocked reader-writer lock.
+func NewRWMutex(t *T, name string) *RWMutex { return conc.NewRWMutex(t, name) }
+
+// NewEvent allocates an event; auto selects auto-reset semantics.
+func NewEvent(t *T, name string, auto, initial bool) *Event {
+	return conc.NewEvent(t, name, auto, initial)
+}
+
+// NewSemaphore allocates a semaphore with n permits.
+func NewSemaphore(t *T, name string, n int) *Semaphore { return conc.NewSemaphore(t, name, n) }
+
+// NewWaitGroup allocates a wait group with an initial count.
+func NewWaitGroup(t *T, name string, n int) *WaitGroup { return conc.NewWaitGroup(t, name, n) }
+
+// NewCond allocates a condition variable bound to m.
+func NewCond(t *T, name string, m *Mutex) *Cond { return conc.NewCond(t, name, m) }
+
+// NewQueue allocates a FIFO queue; capacity <= 0 means unbounded.
+func NewQueue[V any](t *T, name string, capacity int) *Queue[V] {
+	return conc.NewQueue[V](t, name, capacity)
+}

@@ -1,0 +1,113 @@
+package icb_test
+
+import (
+	"testing"
+
+	"icb"
+)
+
+// TestPublicAPIQuickstart exercises the library exactly as a downstream
+// user would: model a buggy program with the facade types only, explore
+// it, and replay the reported schedule.
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog := func(t *icb.T) {
+		m := icb.NewMutex(t, "m")
+		balance := icb.NewInt(t, "balance", 100)
+		withdraw := func(t *icb.T, amount int) {
+			m.Lock(t)
+			ok := balance.Load(t) >= amount
+			m.Unlock(t)
+			if ok {
+				m.Lock(t)
+				balance.Update(t, func(b int) int { return b - amount })
+				m.Unlock(t)
+			}
+		}
+		w1 := t.Go("w1", func(t *icb.T) { withdraw(t, 80) })
+		w2 := t.Go("w2", func(t *icb.T) { withdraw(t, 80) })
+		t.Join(w1)
+		t.Join(w2)
+		t.Assert(balance.Load(t) >= 0, "overdrawn: %d", balance.Load(t))
+	}
+
+	res := icb.Explore(prog, icb.ICB(), icb.Options{
+		MaxPreemptions: -1,
+		CheckRaces:     true,
+		StopOnFirstBug: true,
+	})
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("check-then-act bug not found")
+	}
+	if bug.Preemptions != 1 {
+		t.Fatalf("found with %d preemptions, want the minimal 1", bug.Preemptions)
+	}
+
+	out := icb.Run(prog, &icb.ReplayController{Prefix: bug.Schedule, Tail: icb.FirstEnabled{}}, icb.Config{})
+	if !out.Status.Buggy() {
+		t.Fatalf("replay did not reproduce: %v", out)
+	}
+}
+
+// TestPublicAPIPrimitives touches every re-exported primitive once under
+// the canonical schedule.
+func TestPublicAPIPrimitives(t *testing.T) {
+	prog := func(t *icb.T) {
+		mu := icb.NewMutex(t, "mu")
+		rw := icb.NewRWMutex(t, "rw")
+		ev := icb.NewEvent(t, "ev", false, false)
+		sem := icb.NewSemaphore(t, "sem", 1)
+		wg := icb.NewWaitGroup(t, "wg", 1)
+		cv := icb.NewCond(t, "cv", mu)
+		q := icb.NewQueue[string](t, "q", 2)
+		ai := icb.NewAtomicInt(t, "ai", 5)
+		v := icb.NewVar(t, "v", "hello")
+
+		w := t.Go("w", func(t *icb.T) {
+			ev.Wait(t)
+			q.Send(t, "ping")
+			mu.Lock(t)
+			cv.Signal(t)
+			mu.Unlock(t)
+			wg.Done(t)
+		})
+
+		rw.RLock(t)
+		rw.RUnlock(t)
+		sem.Acquire(t)
+		sem.Release(t, 1)
+		t.Assert(ai.Add(t, 2) == 7, "atomic add")
+		t.Assert(v.Load(t) == "hello", "var load")
+		ev.Set(t)
+		msg, ok := q.Recv(t)
+		t.Assert(ok && msg == "ping", "queue recv")
+		wg.Wait(t)
+		t.Join(w)
+	}
+	res := icb.Explore(prog, icb.ICB(), icb.Options{MaxPreemptions: 1, CheckRaces: true, StateCache: true})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("unexpected bug: %v", res.Bugs[0].String())
+	}
+}
+
+// TestStrategiesConstructible checks the strategy constructors.
+func TestStrategiesConstructible(t *testing.T) {
+	for _, s := range []icb.Strategy{icb.ICB(), icb.DFS(0), icb.DFS(10), icb.IDFS(5, 5), icb.Random(7)} {
+		if s.Name() == "" {
+			t.Fatal("unnamed strategy")
+		}
+	}
+}
+
+func TestPCTStrategyViaFacade(t *testing.T) {
+	prog := func(t *icb.T) {
+		a := icb.NewAtomicInt(t, "a", 0)
+		w := t.Go("w", func(t *icb.T) { a.Store(t, 1); a.Store(t, 0) })
+		t.Assert(a.Load(t) == 0, "transient")
+		t.Join(w)
+	}
+	res := icb.Explore(prog, icb.PCT(2, 9), icb.Options{MaxExecutions: 500, StopOnFirstBug: true})
+	if res.FirstBug() == nil {
+		t.Fatal("PCT missed the depth-2 bug")
+	}
+}

@@ -1,0 +1,93 @@
+// Package icbtest integrates the model checker with the standard testing
+// package: write the concurrent scenario against the icb API and let a
+// regular `go test` run systematically explore its schedules, in
+// increasing preemption order, failing the test with a minimized
+// replayable schedule when a bug is found.
+//
+//	func TestMyQueueConcurrency(t *testing.T) {
+//		icbtest.Check(t, func(t *icb.T) {
+//			q := NewMyQueue(t)
+//			w := t.Go("producer", func(t *icb.T) { q.Push(t, 1) })
+//			_, _ = q.Pop(t)
+//			t.Join(w)
+//		}, icbtest.Options{MaxPreemptions: 2})
+//	}
+package icbtest
+
+import (
+	"testing"
+
+	"icb"
+)
+
+// Options configures a Check; the zero value explores exhaustively with
+// race checking and the Algorithm 1 state cache.
+type Options struct {
+	// MaxPreemptions bounds the search; 0 means exhaustive (note: unlike
+	// icb.Options, where 0 means bound zero — tests almost never want
+	// that; pass Bound0 for it).
+	MaxPreemptions int
+	// Bound0 restricts the search to zero-preemption executions.
+	Bound0 bool
+	// MaxExecutions caps the number of executions (0 = unlimited).
+	MaxExecutions int
+	// NoRaces disables the happens-before race detector.
+	NoRaces bool
+	// NoMinimize reports the found schedule as-is.
+	NoMinimize bool
+}
+
+func (o Options) engineOptions() icb.Options {
+	bound := -1
+	if o.MaxPreemptions > 0 {
+		bound = o.MaxPreemptions
+	}
+	if o.Bound0 {
+		bound = 0
+	}
+	return icb.Options{
+		MaxPreemptions: bound,
+		MaxExecutions:  o.MaxExecutions,
+		CheckRaces:     !o.NoRaces,
+		StopOnFirstBug: true,
+		StateCache:     true,
+	}
+}
+
+// Check explores prog under iterative context bounding and fails the test
+// on the first bug, reporting a minimized replayable schedule. It returns
+// the exploration result for optional further assertions.
+func Check(t testing.TB, prog icb.Program, opt Options) icb.Result {
+	t.Helper()
+	eopt := opt.engineOptions()
+	res := icb.Explore(prog, icb.ICB(), eopt)
+	if bug := res.FirstBug(); bug != nil {
+		schedule := bug.Schedule
+		if !opt.NoMinimize {
+			schedule = icb.MinimizeSchedule(prog, schedule, eopt)
+		}
+		t.Errorf("icbtest: %s\n  preemptions: %d (minimal)\n  executions until found: %d\n  replay schedule: %s",
+			bug.String(), bug.Preemptions, bug.Execution, schedule)
+	}
+	return res
+}
+
+// Replay runs prog once under the given schedule (as printed by Check) and
+// returns the outcome; use it to debug a failure deterministically.
+func Replay(t testing.TB, prog icb.Program, schedule string) icb.Outcome {
+	t.Helper()
+	s, err := icb.ParseSchedule(schedule)
+	if err != nil {
+		t.Fatalf("icbtest: bad schedule: %v", err)
+	}
+	return icb.Run(prog, &icb.ReplayController{Prefix: s, Tail: icb.FirstEnabled{}}, icb.Config{RecordTrace: true})
+}
+
+// Exhausted asserts that the exploration completed its search space —
+// i.e. the verification verdict is unconditional, not budget-limited.
+func Exhausted(t testing.TB, res icb.Result) {
+	t.Helper()
+	if !res.Exhausted && res.BoundCompleted < 0 {
+		t.Errorf("icbtest: search was cut by a budget before completing any bound; the verdict is not a guarantee")
+	}
+}

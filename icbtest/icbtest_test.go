@@ -1,0 +1,92 @@
+package icbtest_test
+
+import (
+	"strings"
+	"testing"
+
+	"icb"
+	"icb/icbtest"
+)
+
+// buggyProg has the classic check-then-act window.
+func buggyProg(t *icb.T) {
+	a := icb.NewAtomicInt(t, "a", 0)
+	w := t.Go("w", func(t *icb.T) {
+		a.Store(t, 1)
+		a.Store(t, 0)
+	})
+	t.Assert(a.Load(t) == 0, "transient observed")
+	t.Join(w)
+}
+
+// safeProg is correct.
+func safeProg(t *icb.T) {
+	m := icb.NewMutex(t, "m")
+	x := icb.NewInt(t, "x", 0)
+	w := t.Go("w", func(t *icb.T) {
+		m.Lock(t)
+		x.Update(t, func(v int) int { return v + 1 })
+		m.Unlock(t)
+	})
+	m.Lock(t)
+	x.Update(t, func(v int) int { return v + 1 })
+	m.Unlock(t)
+	t.Join(w)
+	t.Assert(x.Load(t) == 2, "lost update")
+}
+
+// recordingT captures failures instead of failing the real test.
+type recordingT struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recordingT) Helper() {}
+func (r *recordingT) Errorf(format string, args ...any) {
+	r.failed = true
+	r.msg = format
+	_ = args
+	r.msg = strings.ReplaceAll(format, "%s", "") // keep the shape only
+}
+func (r *recordingT) Fatalf(format string, args ...any) { r.failed = true }
+
+func TestCheckFailsOnBuggyProgram(t *testing.T) {
+	rec := &recordingT{TB: t}
+	res := icbtest.Check(rec, buggyProg, icbtest.Options{})
+	if !rec.failed {
+		t.Fatal("Check did not fail on a buggy program")
+	}
+	if res.FirstBug() == nil {
+		t.Fatal("result lost the bug")
+	}
+}
+
+func TestCheckPassesOnSafeProgram(t *testing.T) {
+	res := icbtest.Check(t, safeProg, icbtest.Options{})
+	icbtest.Exhausted(t, res)
+	if res.Executions == 0 {
+		t.Fatal("no executions")
+	}
+}
+
+func TestBound0Option(t *testing.T) {
+	// The buggy program needs one preemption; a bound-0 check passes.
+	res := icbtest.Check(t, buggyProg, icbtest.Options{Bound0: true})
+	if res.BoundCompleted != 0 {
+		t.Fatalf("bound 0 not completed: %d", res.BoundCompleted)
+	}
+}
+
+func TestReplayHelper(t *testing.T) {
+	rec := &recordingT{TB: t}
+	res := icbtest.Check(rec, buggyProg, icbtest.Options{NoMinimize: true})
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("no bug")
+	}
+	out := icbtest.Replay(t, buggyProg, bug.Schedule.String())
+	if !out.Status.Buggy() {
+		t.Fatalf("replay did not fail: %v", out)
+	}
+}

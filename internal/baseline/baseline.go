@@ -1,0 +1,219 @@
+// Package baseline implements the search strategies the paper compares
+// iterative context bounding against (§4, Figures 2, 5 and 6):
+//
+//   - DFS: unbounded depth-first search over the scheduling tree;
+//   - DFS{Depth: N}: depth-bounded DFS (the paper's "db:N");
+//   - IDFS: iterative depth-bounding (depth-bounded DFS with an increasing
+//     bound);
+//   - Random: uniform random walk over the scheduling tree.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// DFS is (optionally depth-bounded) depth-first search. The zero value is
+// unbounded DFS.
+type DFS struct {
+	// Depth cuts every execution after this many steps; 0 means unbounded.
+	Depth int
+}
+
+// Name implements core.Strategy ("dfs" or "db:N").
+func (d DFS) Name() string {
+	if d.Depth > 0 {
+		return fmt.Sprintf("db:%d", d.Depth)
+	}
+	return "dfs"
+}
+
+// Explore implements core.Strategy.
+func (d DFS) Explore(e *core.Engine) {
+	exhausted, _ := runDFS(e, d.Depth)
+	if exhausted {
+		e.MarkExhausted()
+	}
+}
+
+// runDFS explores the scheduling tree truncated at depth (0 = unbounded).
+// It reports whether it drained its frontier, and whether any execution was
+// cut by the depth bound (if not, the truncated tree was the whole tree).
+func runDFS(e *core.Engine, depth int) (exhausted, anyCut bool) {
+	cache := e.Cache()
+	if depth > 0 {
+		// A truncated subtree must not register its root decisions as fully
+		// explored, so depth-bounded search runs uncached.
+		cache = nil
+	}
+	stack := []sched.Schedule{nil}
+	for len(stack) > 0 {
+		if e.Done() {
+			return false, anyCut
+		}
+		path := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ctrl := &dfsController{
+			path:  path,
+			depth: depth,
+			cache: cache,
+			onAlt: func(alt sched.Schedule) { stack = append(stack, alt) },
+		}
+		out, done := e.RunExecution(ctrl)
+		if out.Status == sched.StatusStopped && !ctrl.cacheCut {
+			anyCut = true
+		}
+		if done {
+			return false, anyCut
+		}
+	}
+	return true, anyCut
+}
+
+// dfsController replays a prefix, then picks the lowest-numbered enabled
+// thread while recording every sibling alternative, cutting the execution
+// at the depth bound.
+type dfsController struct {
+	path     sched.Schedule
+	pos      int
+	cur      sched.Schedule
+	depth    int
+	cache    *core.Cache
+	cacheCut bool
+	onAlt    func(sched.Schedule)
+}
+
+// PickThread implements sched.Controller.
+func (c *dfsController) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	if c.depth > 0 && info.Step >= c.depth {
+		return sched.NoTID, false
+	}
+	if c.pos < len(c.path) {
+		d := c.path[c.pos]
+		c.pos++
+		if d.Kind != sched.DecisionThread || !info.IsEnabled(d.Thread) {
+			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: fmt.Sprintf("enabled set %v", info.Enabled)})
+		}
+		c.cur = append(c.cur, d)
+		return d.Thread, true
+	}
+	pick := info.Enabled[0]
+	if c.cache != nil && !c.cache.TryTake(sched.ThreadDecision(pick)) {
+		c.cacheCut = true
+		return sched.NoTID, false
+	}
+	// Push siblings right-to-left so the leftmost subtree is explored next.
+	for i := len(info.Enabled) - 1; i >= 1; i-- {
+		if c.cache == nil || c.cache.TryTake(sched.ThreadDecision(info.Enabled[i])) {
+			c.onAlt(c.cur.Extend(sched.ThreadDecision(info.Enabled[i])))
+		}
+	}
+	c.cur = append(c.cur, sched.ThreadDecision(pick))
+	return pick, true
+}
+
+// PickData implements sched.Controller.
+func (c *dfsController) PickData(t sched.TID, n int) int {
+	if c.pos < len(c.path) {
+		d := c.path[c.pos]
+		c.pos++
+		if d.Kind != sched.DecisionData || d.Data < 0 || d.Data >= n {
+			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: fmt.Sprintf("a data choice over %d values", n)})
+		}
+		c.cur = append(c.cur, d)
+		return d.Data
+	}
+	if c.cache != nil {
+		c.cache.TryTake(sched.DataDecision(0))
+	}
+	for v := n - 1; v >= 1; v-- {
+		if c.cache == nil || c.cache.TryTake(sched.DataDecision(v)) {
+			c.onAlt(c.cur.Extend(sched.DataDecision(v)))
+		}
+	}
+	c.cur = append(c.cur, sched.DataDecision(0))
+	return 0
+}
+
+// IDFS is iterative depth-bounding: depth-bounded DFS re-run with the bound
+// increased by Step until the tree is fully covered or the budget runs out.
+type IDFS struct {
+	// Start is the initial depth bound (default 20).
+	Start int
+	// Step is the bound increment between rounds (default Start).
+	Step int
+}
+
+// Name implements core.Strategy.
+func (s IDFS) Name() string { return fmt.Sprintf("idfs:%d+%d", s.startDepth(), s.stepBy()) }
+
+func (s IDFS) startDepth() int {
+	if s.Start <= 0 {
+		return 20
+	}
+	return s.Start
+}
+
+func (s IDFS) stepBy() int {
+	if s.Step <= 0 {
+		return s.startDepth()
+	}
+	return s.Step
+}
+
+// Explore implements core.Strategy.
+func (s IDFS) Explore(e *core.Engine) {
+	for depth := s.startDepth(); !e.Done(); depth += s.stepBy() {
+		exhausted, anyCut := runDFS(e, depth)
+		if !exhausted {
+			return
+		}
+		if !anyCut {
+			// No execution was truncated: the bounded tree was the full
+			// tree, so the search is complete.
+			e.MarkExhausted()
+			return
+		}
+	}
+}
+
+// Random is a uniform random walk repeated until the execution budget runs
+// out: at every scheduling point an enabled thread is picked uniformly at
+// random. If Options.MaxExecutions is unset, DefaultExecutions is used.
+type Random struct {
+	// Seed makes the walk reproducible.
+	Seed int64
+}
+
+// DefaultExecutions bounds a Random search when no execution budget is set.
+const DefaultExecutions = 10000
+
+// Name implements core.Strategy.
+func (Random) Name() string { return "random" }
+
+// Explore implements core.Strategy.
+func (r Random) Explore(e *core.Engine) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	limit := e.Options().MaxExecutions
+	if limit <= 0 {
+		limit = DefaultExecutions
+	}
+	for i := 0; i < limit && !e.Done(); i++ {
+		if _, done := e.RunExecution(&randomController{rng: rng}); done {
+			return
+		}
+	}
+}
+
+type randomController struct{ rng *rand.Rand }
+
+// PickThread implements sched.Controller.
+func (c *randomController) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	return info.Enabled[c.rng.Intn(len(info.Enabled))], true
+}
+
+// PickData implements sched.Controller.
+func (c *randomController) PickData(_ sched.TID, n int) int { return c.rng.Intn(n) }

@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// PCT is probabilistic concurrency testing (Burckhardt, Kothari, Musuvathi
+// & Nagarakatte, ASPLOS 2010) — the successor line of work to the paper's
+// iterative context bounding, included here as an extension. Each
+// execution assigns the threads random priorities and runs the
+// highest-priority enabled thread; at Depth-1 random steps the running
+// thread's priority is demoted below everything else. For a bug of depth d
+// (d ordering constraints), one execution exposes it with probability at
+// least 1/(n·k^(d-1)).
+//
+// Unlike ICB, PCT gives a per-execution probabilistic guarantee instead of
+// an exhaustive bound guarantee; the two are complementary and the tests
+// compare their bug-finding budgets.
+type PCT struct {
+	// Depth is the bug depth d the schedule targets (default 2; depth 1
+	// needs no priority change points).
+	Depth int
+	// MaxSteps estimates k, the execution length from which change points
+	// are drawn (default 512).
+	MaxSteps int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// Name implements core.Strategy.
+func (PCT) Name() string { return "pct" }
+
+// Explore implements core.Strategy.
+func (p PCT) Explore(e *core.Engine) {
+	depth := p.Depth
+	if depth <= 0 {
+		depth = 2
+	}
+	k := p.MaxSteps
+	if k <= 0 {
+		k = 512
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	limit := e.Options().MaxExecutions
+	if limit <= 0 {
+		limit = DefaultExecutions
+	}
+	for i := 0; i < limit && !e.Done(); i++ {
+		ctrl := newPCTController(rng, depth, k)
+		if _, done := e.RunExecution(ctrl); done {
+			return
+		}
+	}
+}
+
+// pctController realizes one PCT schedule.
+type pctController struct {
+	rng *rand.Rand
+	// prio maps TID to priority; higher runs first. Each thread draws an
+	// independent random priority on first sight (ties broken by TID), so
+	// any relative ordering of the threads is possible — the random
+	// permutation of the PCT paper.
+	prio map[sched.TID]int
+	// changePoints are the steps at which the running thread is demoted.
+	changePoints map[int]bool
+	demoted      int // next demotion priority (below all initials)
+}
+
+// initialBand separates initial priorities (all >= initialBand) from the
+// demotion band below it.
+const initialBand = 1 << 10
+
+func newPCTController(rng *rand.Rand, depth, k int) *pctController {
+	c := &pctController{
+		rng:          rng,
+		prio:         make(map[sched.TID]int),
+		changePoints: make(map[int]bool),
+		demoted:      initialBand - 1,
+	}
+	for i := 0; i < depth-1; i++ {
+		c.changePoints[rng.Intn(k)] = true
+	}
+	return c
+}
+
+func (c *pctController) priority(t sched.TID) int {
+	if p, ok := c.prio[t]; ok {
+		return p
+	}
+	p := initialBand + c.rng.Intn(1<<20)
+	c.prio[t] = p
+	return p
+}
+
+// PickThread implements sched.Controller.
+func (c *pctController) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	if c.changePoints[info.Step] && info.Prev != sched.NoTID {
+		// Demote the running thread below everything seen so far.
+		c.demoted--
+		c.prio[info.Prev] = c.demoted
+	}
+	best := info.Enabled[0]
+	bestP := c.priority(best)
+	for _, t := range info.Enabled[1:] {
+		// Ties (possible but rare) resolve to the lower TID.
+		if p := c.priority(t); p > bestP {
+			best, bestP = t, p
+		}
+	}
+	return best, true
+}
+
+// PickData implements sched.Controller.
+func (c *pctController) PickData(_ sched.TID, n int) int { return c.rng.Intn(n) }

@@ -1,0 +1,80 @@
+package baseline_test
+
+import (
+	"strings"
+	"testing"
+
+	"icb/internal/baseline"
+	"icb/internal/conc"
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// window fails when w1 is preempted between its two stores — a depth-2
+// bug in PCT terms.
+func window(t *sched.T) {
+	a := conc.NewAtomicInt(t, "a", 0)
+	w := t.Go("w", func(t *sched.T) {
+		a.Store(t, 1)
+		a.Store(t, 0)
+	})
+	t.Assert(a.Load(t) == 0, "transient observed")
+	t.Join(w)
+}
+
+func TestPCTFindsDepth2Bug(t *testing.T) {
+	res := core.Explore(window, baseline.PCT{Depth: 2, MaxSteps: 16, Seed: 11},
+		core.Options{MaxExecutions: 500, StopOnFirstBug: true})
+	if res.FirstBug() == nil {
+		t.Fatal("PCT missed a depth-2 bug in 500 executions")
+	}
+}
+
+func TestPCTReproducible(t *testing.T) {
+	opt := core.Options{MaxExecutions: 100, StopOnFirstBug: true}
+	a := core.Explore(window, baseline.PCT{Depth: 2, MaxSteps: 16, Seed: 3}, opt)
+	b := core.Explore(window, baseline.PCT{Depth: 2, MaxSteps: 16, Seed: 3}, opt)
+	if (a.FirstBug() == nil) != (b.FirstBug() == nil) {
+		t.Fatal("same seed, different verdict")
+	}
+	if a.Executions != b.Executions || a.States != b.States {
+		t.Fatalf("same seed, different exploration: %d/%d vs %d/%d",
+			a.Executions, a.States, b.Executions, b.States)
+	}
+}
+
+func TestPCTRespectsBudget(t *testing.T) {
+	res := core.Explore(window, baseline.PCT{Depth: 1, MaxSteps: 16, Seed: 1},
+		core.Options{MaxExecutions: 7})
+	if res.Executions != 7 {
+		t.Fatalf("executions = %d, want 7", res.Executions)
+	}
+}
+
+func TestPCTDepth1IsPriorityRoundRobin(t *testing.T) {
+	// With no change points, each execution follows fixed priorities; the
+	// depth-2 window bug needs a demotion, so depth-1 PCT cannot hit the
+	// transient... unless priorities order the assert between the stores —
+	// impossible here because w runs its two stores back-to-back under a
+	// fixed priority. A small sanity check of the priority mechanism.
+	res := core.Explore(window, baseline.PCT{Depth: 1, MaxSteps: 16, Seed: 5},
+		core.Options{MaxExecutions: 300, StopOnFirstBug: true})
+	if res.FirstBug() != nil {
+		t.Fatalf("depth-1 PCT found a depth-2 bug: %v", res.FirstBug())
+	}
+}
+
+func TestSwimlaneRendering(t *testing.T) {
+	out := sched.Run(window, sched.FirstEnabled{}, sched.Config{RecordTrace: true})
+	s := sched.Swimlane(out)
+	for _, want := range []string{"t0:main", "t1:w", "switch", "outcome:", "write a"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("swimlane missing %q:\n%s", want, s)
+		}
+	}
+	// Without a trace, a hint is returned instead of garbage.
+	empty := sched.Swimlane(sched.Outcome{})
+	if !strings.Contains(empty, "RecordTrace") {
+		t.Fatalf("empty swimlane: %q", empty)
+	}
+}

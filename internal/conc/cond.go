@@ -1,0 +1,64 @@
+package conc
+
+import "icb/internal/sched"
+
+// Cond is a condition variable bound to a Mutex, with FIFO wakeup tickets:
+// Signal wakes the longest-waiting thread, Broadcast wakes all. Wait is the
+// usual three-phase operation (release, wait, reacquire), each phase its own
+// synchronization access, so the search explores the full set of wakeup
+// interleavings including spurious-looking races between Signal and new
+// waiters.
+type Cond struct {
+	id      sched.VarID
+	m       *Mutex
+	waiters []sched.TID
+	woken   []sched.TID
+}
+
+// NewCond allocates a condition variable bound to m.
+func NewCond(t *sched.T, name string, m *Mutex) *Cond {
+	return &Cond{id: t.NewVar(name, sched.ClassSync), m: m}
+}
+
+// ID returns the condition variable's identity.
+func (c *Cond) ID() sched.VarID { return c.id }
+
+func indexOf(ts []sched.TID, t sched.TID) int {
+	for i, u := range ts {
+		if u == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// Wait atomically releases the mutex and suspends the caller until woken by
+// Signal or Broadcast, then reacquires the mutex before returning. The
+// caller must hold the mutex.
+func (c *Cond) Wait(t *sched.T) {
+	if c.m.HeldBy() != t.ID() {
+		t.Fail("cond %q Wait without holding its mutex", t.Runtime().VarName(c.id))
+	}
+	c.waiters = append(c.waiters, t.ID())
+	c.m.Unlock(t)
+	t.Access(sched.Op{Kind: sched.OpWait, Var: c.id, Class: sched.ClassSync},
+		func() bool { return indexOf(c.woken, t.ID()) >= 0 })
+	c.woken = append(c.woken[:indexOf(c.woken, t.ID())], c.woken[indexOf(c.woken, t.ID())+1:]...)
+	c.m.Lock(t)
+}
+
+// Signal wakes the longest-waiting thread, if any.
+func (c *Cond) Signal(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpSignal, Var: c.id, Class: sched.ClassSync}, nil)
+	if len(c.waiters) > 0 {
+		c.woken = append(c.woken, c.waiters[0])
+		c.waiters = c.waiters[1:]
+	}
+}
+
+// Broadcast wakes every current waiter.
+func (c *Cond) Broadcast(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpSignal, Var: c.id, Class: sched.ClassSync}, nil)
+	c.woken = append(c.woken, c.waiters...)
+	c.waiters = c.waiters[:0]
+}

@@ -1,0 +1,124 @@
+package conc
+
+import "icb/internal/sched"
+
+// Event models a Win32 event object. A manual-reset event stays signaled
+// until Reset; an auto-reset event releases exactly one waiter per Set and
+// resets as that waiter proceeds.
+type Event struct {
+	id   sched.VarID
+	set  bool
+	auto bool
+}
+
+// NewEvent allocates an event. auto selects auto-reset semantics; initial
+// is the starting signal state.
+func NewEvent(t *sched.T, name string, auto, initial bool) *Event {
+	return &Event{id: t.NewVar(name, sched.ClassSync), set: initial, auto: auto}
+}
+
+// ID returns the event's variable identity.
+func (e *Event) ID() sched.VarID { return e.id }
+
+// Set signals the event.
+func (e *Event) Set(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpSignal, Var: e.id, Class: sched.ClassSync}, nil)
+	e.set = true
+}
+
+// Reset clears the signal.
+func (e *Event) Reset(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpWrite, Var: e.id, Class: sched.ClassSync}, nil)
+	e.set = false
+}
+
+// Wait blocks until the event is signaled. For auto-reset events the signal
+// is consumed atomically with the wakeup.
+func (e *Event) Wait(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpWait, Var: e.id, Class: sched.ClassSync},
+		func() bool { return e.set })
+	if e.auto {
+		e.set = false
+	}
+}
+
+// IsSet reads the signal state as one synchronization access.
+func (e *Event) IsSet(t *sched.T) bool {
+	t.Access(sched.Op{Kind: sched.OpRead, Var: e.id, Class: sched.ClassSync}, nil)
+	return e.set
+}
+
+// Semaphore is a counting semaphore.
+type Semaphore struct {
+	id sched.VarID
+	n  int
+}
+
+// NewSemaphore allocates a semaphore with n initial permits.
+func NewSemaphore(t *sched.T, name string, n int) *Semaphore {
+	return &Semaphore{id: t.NewVar(name, sched.ClassSync), n: n}
+}
+
+// ID returns the semaphore's variable identity.
+func (s *Semaphore) ID() sched.VarID { return s.id }
+
+// Acquire takes one permit, blocking while none is available.
+func (s *Semaphore) Acquire(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpAcquire, Var: s.id, Class: sched.ClassSync},
+		func() bool { return s.n > 0 })
+	s.n--
+}
+
+// TryAcquire attempts to take a permit without blocking.
+func (s *Semaphore) TryAcquire(t *sched.T) bool {
+	t.Access(sched.Op{Kind: sched.OpAcquire, Var: s.id, Class: sched.ClassSync}, nil)
+	if s.n <= 0 {
+		return false
+	}
+	s.n--
+	return true
+}
+
+// Release returns k permits.
+func (s *Semaphore) Release(t *sched.T, k int) {
+	t.Access(sched.Op{Kind: sched.OpSignal, Var: s.id, Class: sched.ClassSync}, nil)
+	s.n += k
+}
+
+// WaitGroup counts outstanding work, as sync.WaitGroup.
+type WaitGroup struct {
+	id sched.VarID
+	n  int
+}
+
+// NewWaitGroup allocates a wait group with an initial count.
+func NewWaitGroup(t *sched.T, name string, n int) *WaitGroup {
+	return &WaitGroup{id: t.NewVar(name, sched.ClassSync), n: n}
+}
+
+// ID returns the wait group's variable identity.
+func (w *WaitGroup) ID() sched.VarID { return w.id }
+
+// Add adjusts the counter by delta; a negative result fails the execution.
+func (w *WaitGroup) Add(t *sched.T, delta int) {
+	t.Access(sched.Op{Kind: sched.OpWrite, Var: w.id, Class: sched.ClassSync}, nil)
+	w.n += delta
+	if w.n < 0 {
+		t.Fail("waitgroup %q counter went negative", t.Runtime().VarName(w.id))
+	}
+}
+
+// Done decrements the counter.
+func (w *WaitGroup) Done(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpSignal, Var: w.id, Class: sched.ClassSync}, nil)
+	w.n--
+	if w.n < 0 {
+		t.Fail("waitgroup %q counter went negative", t.Runtime().VarName(w.id))
+	}
+}
+
+// Wait blocks until the counter reaches zero.
+func (w *WaitGroup) Wait(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpWait, Var: w.id, Class: sched.ClassSync},
+		func() bool { return w.n == 0 })
+}

@@ -1,0 +1,103 @@
+package conc
+
+import "icb/internal/sched"
+
+// Mutex is a non-reentrant mutual-exclusion lock (the model of a Win32
+// CRITICAL_SECTION as the paper's benchmarks use it). Lock is a blocking
+// synchronization access: a thread attempting to lock a held mutex is not
+// enabled, so being switched away from it is a nonpreempting context
+// switch.
+type Mutex struct {
+	id    sched.VarID
+	owner sched.TID
+}
+
+// NewMutex allocates an unlocked mutex.
+func NewMutex(t *sched.T, name string) *Mutex {
+	return &Mutex{id: t.NewVar(name, sched.ClassSync), owner: sched.NoTID}
+}
+
+// ID returns the lock's variable identity.
+func (m *Mutex) ID() sched.VarID { return m.id }
+
+// Lock acquires the mutex, blocking while it is held. Recursive locking
+// self-deadlocks (the model is non-reentrant).
+func (m *Mutex) Lock(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpAcquire, Var: m.id, Class: sched.ClassSync},
+		func() bool { return m.owner == sched.NoTID })
+	m.owner = t.ID()
+}
+
+// TryLock attempts to acquire the mutex without blocking; the attempt
+// itself is one synchronization access.
+func (m *Mutex) TryLock(t *sched.T) bool {
+	t.Access(sched.Op{Kind: sched.OpAcquire, Var: m.id, Class: sched.ClassSync}, nil)
+	if m.owner != sched.NoTID {
+		return false
+	}
+	m.owner = t.ID()
+	return true
+}
+
+// Unlock releases the mutex. Unlocking a mutex the caller does not hold
+// fails the execution (a program bug).
+func (m *Mutex) Unlock(t *sched.T) {
+	if m.owner != t.ID() {
+		t.Fail("unlock of mutex %q not held by t%d", t.Runtime().VarName(m.id), t.ID())
+	}
+	t.Access(sched.Op{Kind: sched.OpRelease, Var: m.id, Class: sched.ClassSync}, nil)
+	m.owner = sched.NoTID
+}
+
+// HeldBy reports the current owner without performing an access (for use in
+// assertions and guards only).
+func (m *Mutex) HeldBy() sched.TID { return m.owner }
+
+// RWMutex is a reader-writer lock with writer priority left to the search
+// (no queuing policy: any enabled acquirer may win, so all interleavings
+// are explored).
+type RWMutex struct {
+	id      sched.VarID
+	readers int
+	writer  sched.TID
+}
+
+// NewRWMutex allocates an unlocked reader-writer lock.
+func NewRWMutex(t *sched.T, name string) *RWMutex {
+	return &RWMutex{id: t.NewVar(name, sched.ClassSync), writer: sched.NoTID}
+}
+
+// ID returns the lock's variable identity.
+func (m *RWMutex) ID() sched.VarID { return m.id }
+
+// RLock acquires the lock in shared mode.
+func (m *RWMutex) RLock(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpAcquire, Var: m.id, Class: sched.ClassSync},
+		func() bool { return m.writer == sched.NoTID })
+	m.readers++
+}
+
+// RUnlock releases a shared hold.
+func (m *RWMutex) RUnlock(t *sched.T) {
+	if m.readers <= 0 {
+		t.Fail("RUnlock of rwmutex %q with no readers", t.Runtime().VarName(m.id))
+	}
+	t.Access(sched.Op{Kind: sched.OpRelease, Var: m.id, Class: sched.ClassSync}, nil)
+	m.readers--
+}
+
+// Lock acquires the lock exclusively.
+func (m *RWMutex) Lock(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpAcquire, Var: m.id, Class: sched.ClassSync},
+		func() bool { return m.writer == sched.NoTID && m.readers == 0 })
+	m.writer = t.ID()
+}
+
+// Unlock releases an exclusive hold.
+func (m *RWMutex) Unlock(t *sched.T) {
+	if m.writer != t.ID() {
+		t.Fail("unlock of rwmutex %q not held by t%d", t.Runtime().VarName(m.id), t.ID())
+	}
+	t.Access(sched.Op{Kind: sched.OpRelease, Var: m.id, Class: sched.ClassSync}, nil)
+	m.writer = sched.NoTID
+}

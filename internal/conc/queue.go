@@ -1,0 +1,69 @@
+package conc
+
+import "icb/internal/sched"
+
+// Queue is a FIFO message queue, the building block of the Dryad
+// shared-memory channel benchmark. A positive capacity makes Send blocking
+// when full; capacity 0 means unbounded.
+type Queue[V any] struct {
+	id     sched.VarID
+	cap    int
+	items  []V
+	closed bool
+}
+
+// NewQueue allocates a queue. capacity <= 0 means unbounded.
+func NewQueue[V any](t *sched.T, name string, capacity int) *Queue[V] {
+	return &Queue[V]{id: t.NewVar(name, sched.ClassSync), cap: capacity}
+}
+
+// ID returns the queue's variable identity.
+func (q *Queue[V]) ID() sched.VarID { return q.id }
+
+// Send enqueues v, blocking while a bounded queue is full. Sending on a
+// closed queue fails the execution.
+func (q *Queue[V]) Send(t *sched.T, v V) {
+	t.Access(sched.Op{Kind: sched.OpSignal, Var: q.id, Class: sched.ClassSync},
+		func() bool { return q.cap <= 0 || len(q.items) < q.cap || q.closed })
+	if q.closed {
+		t.Fail("send on closed queue %q", t.Runtime().VarName(q.id))
+	}
+	q.items = append(q.items, v)
+}
+
+// Recv dequeues the oldest item, blocking while the queue is empty and not
+// closed. ok is false when the queue is closed and drained.
+func (q *Queue[V]) Recv(t *sched.T) (v V, ok bool) {
+	t.Access(sched.Op{Kind: sched.OpWait, Var: q.id, Class: sched.ClassSync},
+		func() bool { return len(q.items) > 0 || q.closed })
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryRecv dequeues without blocking.
+func (q *Queue[V]) TryRecv(t *sched.T) (v V, ok bool) {
+	t.Access(sched.Op{Kind: sched.OpRead, Var: q.id, Class: sched.ClassSync}, nil)
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Close marks the queue closed; blocked receivers drain remaining items and
+// then observe ok=false.
+func (q *Queue[V]) Close(t *sched.T) {
+	t.Access(sched.Op{Kind: sched.OpSignal, Var: q.id, Class: sched.ClassSync}, nil)
+	q.closed = true
+}
+
+// Len reads the current length as one synchronization access.
+func (q *Queue[V]) Len(t *sched.T) int {
+	t.Access(sched.Op{Kind: sched.OpRead, Var: q.id, Class: sched.ClassSync}, nil)
+	return len(q.items)
+}

@@ -1,0 +1,109 @@
+// Package conc provides the modeled shared-memory and synchronization
+// primitives that programs under test use instead of the Go runtime's own:
+// data variables, mutexes, reader-writer locks, semaphores, events,
+// condition variables, wait groups, interlocked (atomic) integers, and FIFO
+// queues. Every operation is an explicit shared-variable access on the
+// deterministic scheduler (package sched): synchronization operations are
+// scheduling points; data accesses are recorded for the race detector.
+//
+// The split mirrors the paper's SyncVar/DataVar partition (§3.1): programs
+// are expected to protect Var accesses with the synchronization primitives,
+// and the checker verifies that expectation with a happens-before race
+// detector on every explored execution.
+package conc
+
+import "icb/internal/sched"
+
+// Var is a shared data variable holding a value of type V. Accesses are
+// data-class: they are race-checked and, in ModeSyncOnly, are not
+// scheduling points.
+type Var[V any] struct {
+	id sched.VarID
+	v  V
+}
+
+// NewVar allocates a data variable with an initial value.
+func NewVar[V any](t *sched.T, name string, init V) *Var[V] {
+	return &Var[V]{id: t.NewVar(name, sched.ClassData), v: init}
+}
+
+// ID returns the variable's identity, for race-report matching in tests.
+func (x *Var[V]) ID() sched.VarID { return x.id }
+
+// Load reads the variable.
+func (x *Var[V]) Load(t *sched.T) V {
+	t.Access(sched.Op{Kind: sched.OpRead, Var: x.id, Class: sched.ClassData}, nil)
+	return x.v
+}
+
+// Store writes the variable.
+func (x *Var[V]) Store(t *sched.T, v V) {
+	t.Access(sched.Op{Kind: sched.OpWrite, Var: x.id, Class: sched.ClassData}, nil)
+	x.v = v
+}
+
+// Update applies f to the current value and stores the result. It is two
+// accesses (a read then a write), not an atomic RMW; use AtomicInt for
+// interlocked semantics.
+func (x *Var[V]) Update(t *sched.T, f func(V) V) {
+	v := x.Load(t)
+	x.Store(t, f(v))
+}
+
+// Int is a shared data integer.
+type Int = Var[int]
+
+// NewInt allocates a data integer.
+func NewInt(t *sched.T, name string, init int) *Int { return NewVar(t, name, init) }
+
+// AtomicInt is an interlocked integer: every operation is a single
+// synchronization access, as CHESS treats Win32 Interlocked* operations.
+type AtomicInt struct {
+	id sched.VarID
+	v  int64
+}
+
+// NewAtomicInt allocates an interlocked integer.
+func NewAtomicInt(t *sched.T, name string, init int64) *AtomicInt {
+	return &AtomicInt{id: t.NewVar(name, sched.ClassSync), v: init}
+}
+
+// ID returns the variable's identity.
+func (x *AtomicInt) ID() sched.VarID { return x.id }
+
+// Load atomically reads the value.
+func (x *AtomicInt) Load(t *sched.T) int64 {
+	t.Access(sched.Op{Kind: sched.OpRead, Var: x.id, Class: sched.ClassSync}, nil)
+	return x.v
+}
+
+// Store atomically writes the value.
+func (x *AtomicInt) Store(t *sched.T, v int64) {
+	t.Access(sched.Op{Kind: sched.OpWrite, Var: x.id, Class: sched.ClassSync}, nil)
+	x.v = v
+}
+
+// Add atomically adds delta and returns the new value.
+func (x *AtomicInt) Add(t *sched.T, delta int64) int64 {
+	t.Access(sched.Op{Kind: sched.OpWrite, Var: x.id, Class: sched.ClassSync}, nil)
+	x.v += delta
+	return x.v
+}
+
+// CompareAndSwap atomically replaces old with new and reports success.
+func (x *AtomicInt) CompareAndSwap(t *sched.T, old, new int64) bool {
+	t.Access(sched.Op{Kind: sched.OpWrite, Var: x.id, Class: sched.ClassSync}, nil)
+	if x.v != old {
+		return false
+	}
+	x.v = new
+	return true
+}
+
+// Swap atomically stores new and returns the previous value.
+func (x *AtomicInt) Swap(t *sched.T, new int64) int64 {
+	t.Access(sched.Op{Kind: sched.OpWrite, Var: x.id, Class: sched.ClassSync}, nil)
+	old := x.v
+	x.v = new
+	return old
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"icb/internal/hb"
+	"icb/internal/sched"
+)
+
+// Cache is the work-item table of Algorithm 1 (§3, "State caching"): the
+// set of (state, decision) pairs whose exploration has been started or
+// enqueued. A state is identified by the canonical happens-before
+// fingerprint of the execution prefix (package hb), which is sound for
+// pruning because scheduling is the only nondeterminism in the model —
+// equal fingerprints imply equivalent executions, hence identical program
+// states and identical subtrees (up to 64-bit fingerprint collisions,
+// which we accept as the paper's checkers accept hash compaction).
+//
+// Strategies consult TryTake in two places, mirroring Algorithm 1 exactly:
+//
+//   - when about to take a decision beyond the replayed prefix: a failed
+//     TryTake means Search(w) already ran for this work item, so the
+//     execution is cut (the "if table.Contains(w) then return" guard);
+//   - when about to push an alternative: a failed TryTake means the same
+//     work item was already enqueued elsewhere, so the push is skipped.
+//
+// Decisions taken during replay are never checked: their work items were
+// registered when they were pushed.
+//
+// The table persists across bounds within one exploration, so a state
+// first reached at bound b is never re-expanded at a later bound — the
+// behavior of Algorithm 1's global table. (Exact per-bound execution
+// counts are only guaranteed without caching; the coverage experiments use
+// caching, the counting experiments do not.)
+type Cache struct {
+	fp    *hb.Fingerprinter
+	table map[cacheKey]struct{}
+	hits  int
+}
+
+type cacheKey struct {
+	state uint64
+	kind  sched.DecisionKind
+	val   int32
+}
+
+func newCache(fp *hb.Fingerprinter) *Cache {
+	return &Cache{fp: fp, table: make(map[cacheKey]struct{})}
+}
+
+// TryTake registers the work item (current state, d) and reports whether
+// it was new. A false result means the item's subtree is already explored
+// or enqueued.
+func (c *Cache) TryTake(d sched.Decision) bool {
+	k := cacheKey{state: c.fp.Fingerprint(), kind: d.Kind}
+	if d.Kind == sched.DecisionThread {
+		k.val = int32(d.Thread)
+	} else {
+		k.val = int32(d.Data)
+	}
+	if _, ok := c.table[k]; ok {
+		c.hits++
+		return false
+	}
+	c.table[k] = struct{}{}
+	return true
+}
+
+// Hits returns the number of pruned duplicates, for diagnostics.
+func (c *Cache) Hits() int { return c.hits }
+
+// Size returns the number of registered work items.
+func (c *Cache) Size() int { return len(c.table) }

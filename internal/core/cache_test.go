@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"testing"
+
+	"icb/internal/baseline"
+	"icb/internal/core"
+)
+
+func cachedOpts() core.Options {
+	return core.Options{MaxPreemptions: -1, CheckRaces: true, StateCache: true}
+}
+
+func TestCachedICBSameStatesFewerExecutions(t *testing.T) {
+	// The work-item table prunes redundant interleavings without losing
+	// states: state coverage must match the uncached exhaustive run.
+	plain := core.Explore(smallRacefree, core.ICB{}, icbOpts())
+	cached := core.Explore(smallRacefree, core.ICB{}, cachedOpts())
+	if !plain.Exhausted || !cached.Exhausted {
+		t.Fatalf("exhaustion: plain=%v cached=%v", plain.Exhausted, cached.Exhausted)
+	}
+	if cached.States != plain.States {
+		t.Fatalf("states: cached=%d plain=%d", cached.States, plain.States)
+	}
+	if cached.ExecutionClasses != plain.ExecutionClasses {
+		t.Fatalf("classes: cached=%d plain=%d", cached.ExecutionClasses, plain.ExecutionClasses)
+	}
+	if cached.Executions >= plain.Executions {
+		t.Fatalf("caching did not prune: cached=%d plain=%d", cached.Executions, plain.Executions)
+	}
+}
+
+func TestCachedICBStillFindsMinimalBugs(t *testing.T) {
+	opt := cachedOpts()
+	opt.StopOnFirstBug = true
+	res := core.Explore(needsOne, core.ICB{}, opt)
+	if b := res.FirstBug(); b == nil || b.Preemptions != 1 {
+		t.Fatalf("needsOne under cache: %v", res.Bugs)
+	}
+	res = core.Explore(needsTwo, core.ICB{}, opt)
+	if b := res.FirstBug(); b == nil || b.Preemptions != 2 {
+		t.Fatalf("needsTwo under cache: %v", res.Bugs)
+	}
+}
+
+func TestCachedDFSMatchesCachedICBStates(t *testing.T) {
+	icbRes := core.Explore(smallRacefree, core.ICB{}, cachedOpts())
+	dfsRes := core.Explore(smallRacefree, baseline.DFS{}, core.Options{CheckRaces: true, StateCache: true})
+	if !icbRes.Exhausted || !dfsRes.Exhausted {
+		t.Fatalf("exhaustion: icb=%v dfs=%v", icbRes.Exhausted, dfsRes.Exhausted)
+	}
+	if icbRes.States != dfsRes.States {
+		t.Fatalf("states: icb=%d dfs=%d", icbRes.States, dfsRes.States)
+	}
+}

@@ -1,0 +1,377 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"icb/internal/baseline"
+	"icb/internal/conc"
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// needsOne fails only when t1 is preempted between its two stores: the
+// minimal exposing execution has exactly 1 preemption.
+func needsOne(t *sched.T) {
+	a := conc.NewAtomicInt(t, "a", 0)
+	w1 := t.Go("w1", func(t *sched.T) {
+		a.Store(t, 1)
+		a.Store(t, 0)
+	})
+	w2 := t.Go("w2", func(t *sched.T) {
+		t.Assert(a.Load(t) == 0, "observed a=1 inside w1's window")
+	})
+	t.Join(w1)
+	t.Join(w2)
+}
+
+// needsTwo fails only when both w1 and w2 are preempted inside their
+// windows: minimum 2 preemptions.
+func needsTwo(t *sched.T) {
+	a := conc.NewAtomicInt(t, "a", 0)
+	b := conc.NewAtomicInt(t, "b", 0)
+	w1 := t.Go("w1", func(t *sched.T) { a.Store(t, 1); a.Store(t, 0) })
+	w2 := t.Go("w2", func(t *sched.T) { b.Store(t, 1); b.Store(t, 0) })
+	w3 := t.Go("w3", func(t *sched.T) {
+		t.Assert(!(a.Load(t) == 1 && b.Load(t) == 1), "both windows open")
+	})
+	t.Join(w1)
+	t.Join(w2)
+	t.Join(w3)
+}
+
+// yielders is a correct three-thread program whose scheduling tree branches
+// only at yields; it exercises free branching at thread exits.
+func yielders(t *sched.T) {
+	for i := 0; i < 2; i++ {
+		t.Go("y", func(t *sched.T) { t.Yield(); t.Yield() })
+	}
+}
+
+// smallRacefree is a correct program used for exhaustive-count comparisons.
+func smallRacefree(t *sched.T) {
+	m := conc.NewMutex(t, "m")
+	x := conc.NewInt(t, "x", 0)
+	var ws []*sched.T
+	for i := 0; i < 2; i++ {
+		ws = append(ws, t.Go("w", func(t *sched.T) {
+			m.Lock(t)
+			x.Update(t, func(v int) int { return v + 1 })
+			m.Unlock(t)
+			m.Lock(t)
+			x.Update(t, func(v int) int { return v * 2 })
+			m.Unlock(t)
+		}))
+	}
+	for _, w := range ws {
+		t.Join(w)
+	}
+}
+
+func icbOpts() core.Options {
+	return core.Options{MaxPreemptions: -1, CheckRaces: true}
+}
+
+func TestICBFindsMinimalPreemptionBug(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prog sched.Program
+		want int
+	}{
+		{"needsOne", needsOne, 1},
+		{"needsTwo", needsTwo, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := icbOpts()
+			opt.StopOnFirstBug = true
+			res := core.Explore(tc.prog, core.ICB{}, opt)
+			bug := res.FirstBug()
+			if bug == nil {
+				t.Fatal("no bug found")
+			}
+			if bug.Kind != core.BugAssert {
+				t.Fatalf("bug kind = %v: %s", bug.Kind, bug.Message)
+			}
+			if bug.Preemptions != tc.want {
+				t.Fatalf("bug found with %d preemptions, want %d", bug.Preemptions, tc.want)
+			}
+		})
+	}
+}
+
+func TestICBBoundGuarantee(t *testing.T) {
+	// With a bound below the bug's requirement, ICB completes that bound
+	// with no bugs — the coverage guarantee of §1.
+	opt := icbOpts()
+	opt.MaxPreemptions = 1
+	res := core.Explore(needsTwo, core.ICB{}, opt)
+	if len(res.Bugs) != 0 {
+		t.Fatalf("bound-1 search found bugs: %v", res.Bugs)
+	}
+	if res.BoundCompleted != 1 {
+		t.Fatalf("BoundCompleted = %d, want 1", res.BoundCompleted)
+	}
+
+	opt.MaxPreemptions = 2
+	res = core.Explore(needsTwo, core.ICB{}, opt)
+	if len(res.Bugs) == 0 {
+		t.Fatal("bound-2 search missed the 2-preemption bug")
+	}
+}
+
+func TestICBBugReplay(t *testing.T) {
+	opt := icbOpts()
+	opt.StopOnFirstBug = true
+	res := core.Explore(needsOne, core.ICB{}, opt)
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("no bug")
+	}
+	out := sched.Run(needsOne,
+		&sched.ReplayController{Prefix: bug.Schedule, Tail: sched.FirstEnabled{}},
+		sched.Config{})
+	if out.Status != sched.StatusAssertFailed {
+		t.Fatalf("replayed schedule gave %v, want assertion failure", out)
+	}
+	if out.Preemptions != bug.Preemptions {
+		t.Fatalf("replay preemptions = %d, want %d", out.Preemptions, bug.Preemptions)
+	}
+}
+
+func TestICBMatchesDFSOnExhaustion(t *testing.T) {
+	// Both strategies enumerate every execution exactly once, so on
+	// exhaustive runs the execution counts and state counts must coincide.
+	for _, tc := range []struct {
+		name string
+		prog sched.Program
+	}{
+		{"smallRacefree", smallRacefree},
+		{"needsOne", needsOne},
+		{"yielders", yielders},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			icbRes := core.Explore(tc.prog, core.ICB{}, icbOpts())
+			dfsRes := core.Explore(tc.prog, baseline.DFS{}, core.Options{CheckRaces: true})
+			if !icbRes.Exhausted || !dfsRes.Exhausted {
+				t.Fatalf("exhaustion: icb=%v dfs=%v", icbRes.Exhausted, dfsRes.Exhausted)
+			}
+			if icbRes.Executions != dfsRes.Executions {
+				t.Fatalf("executions: icb=%d dfs=%d", icbRes.Executions, dfsRes.Executions)
+			}
+			if icbRes.States != dfsRes.States {
+				t.Fatalf("states: icb=%d dfs=%d", icbRes.States, dfsRes.States)
+			}
+			if icbRes.ExecutionClasses != dfsRes.ExecutionClasses {
+				t.Fatalf("classes: icb=%d dfs=%d", icbRes.ExecutionClasses, dfsRes.ExecutionClasses)
+			}
+		})
+	}
+}
+
+func TestICBDeterministic(t *testing.T) {
+	a := core.Explore(smallRacefree, core.ICB{}, icbOpts())
+	b := core.Explore(smallRacefree, core.ICB{}, icbOpts())
+	if a.Executions != b.Executions || a.States != b.States ||
+		a.MaxSteps != b.MaxSteps || a.MaxPreemptions != b.MaxPreemptions ||
+		len(a.BoundCurve) != len(b.BoundCurve) {
+		t.Fatalf("nondeterministic exploration:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestICBBoundCurveMonotone(t *testing.T) {
+	res := core.Explore(smallRacefree, core.ICB{}, icbOpts())
+	if len(res.BoundCurve) == 0 {
+		t.Fatal("no bound curve")
+	}
+	for i := 1; i < len(res.BoundCurve); i++ {
+		prev, cur := res.BoundCurve[i-1], res.BoundCurve[i]
+		if cur.Bound != prev.Bound+1 {
+			t.Fatalf("bounds not consecutive: %v", res.BoundCurve)
+		}
+		if cur.States < prev.States || cur.Executions < prev.Executions {
+			t.Fatalf("coverage not monotone: %v", res.BoundCurve)
+		}
+	}
+	last := res.BoundCurve[len(res.BoundCurve)-1]
+	if last.States != res.States || last.Executions != res.Executions {
+		t.Fatalf("final bound sample %v does not match totals %d/%d", last, res.States, res.Executions)
+	}
+}
+
+// binomial returns C(n, k) as float64 (exact enough for the small programs
+// the theorem is checked on).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+func factorial(n int) float64 {
+	r := 1.0
+	for i := 2; i <= n; i++ {
+		r *= float64(i)
+	}
+	return r
+}
+
+func TestTheorem1Bound(t *testing.T) {
+	// Theorem 1: a program with n threads, each executing at most k steps
+	// of which at most b are potentially blocking, has at most
+	// C(nk, c)·(nb+c)! executions with c preemptions. We verify the
+	// empirical per-bound execution counts of exhaustive ICB runs against
+	// the bound. b is the observed per-thread maximum plus one for the
+	// fictitious termination action (§2).
+	for _, tc := range []struct {
+		name string
+		prog sched.Program
+	}{
+		{"smallRacefree", smallRacefree},
+		{"yielders", yielders},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := core.Explore(tc.prog, core.ICB{}, core.Options{MaxPreemptions: -1})
+			if !res.Exhausted {
+				t.Fatal("search not exhausted")
+			}
+			n := 0
+			// Thread count is constant across executions; recover it by
+			// running once.
+			out := sched.Run(tc.prog, sched.FirstEnabled{}, sched.Config{})
+			n = out.Threads
+			nk := res.MaxSteps // ≥ total steps of any execution
+			b := res.MaxBlocking + 1
+			prevExecs := 0
+			for _, bc := range res.BoundCurve {
+				execsAtBound := bc.Executions - prevExecs
+				prevExecs = bc.Executions
+				bound := binomial(nk, bc.Bound) * factorial(n*b+bc.Bound)
+				if float64(execsAtBound) > bound {
+					t.Fatalf("bound %d: %d executions exceed theorem bound %g (n=%d nk=%d b=%d)",
+						bc.Bound, execsAtBound, bound, n, nk, b)
+				}
+				if math.IsInf(bound, 1) {
+					t.Fatalf("theorem bound overflowed")
+				}
+			}
+		})
+	}
+}
+
+func TestDepthBoundedDFSSubset(t *testing.T) {
+	full := core.Explore(smallRacefree, baseline.DFS{}, core.Options{})
+	cut := core.Explore(smallRacefree, baseline.DFS{Depth: 10}, core.Options{})
+	if cut.States > full.States {
+		t.Fatalf("depth-bounded coverage %d exceeds full %d", cut.States, full.States)
+	}
+	if cut.States == full.States {
+		t.Fatalf("depth bound 10 should truncate this program (full=%d)", full.States)
+	}
+}
+
+func TestIDFSCompletes(t *testing.T) {
+	res := core.Explore(smallRacefree, baseline.IDFS{Start: 5, Step: 5}, core.Options{})
+	if !res.Exhausted {
+		t.Fatal("IDFS did not complete")
+	}
+	full := core.Explore(smallRacefree, baseline.DFS{}, core.Options{})
+	if res.States != full.States {
+		t.Fatalf("IDFS states %d != DFS states %d", res.States, full.States)
+	}
+}
+
+func TestRandomFindsEasyBug(t *testing.T) {
+	opt := core.Options{MaxExecutions: 2000, StopOnFirstBug: true}
+	res := core.Explore(needsOne, baseline.Random{Seed: 42}, opt)
+	if res.FirstBug() == nil {
+		t.Fatal("random search missed an easy bug in 2000 executions")
+	}
+}
+
+func TestRaceReportedAsBug(t *testing.T) {
+	racy := func(t *sched.T) {
+		x := conc.NewInt(t, "x", 0)
+		a := t.Go("a", func(t *sched.T) { x.Store(t, 1) })
+		b := t.Go("b", func(t *sched.T) { x.Store(t, 2) })
+		t.Join(a)
+		t.Join(b)
+	}
+	for _, gl := range []bool{false, true} {
+		opt := icbOpts()
+		opt.UseGoldilocks = gl
+		opt.StopOnFirstBug = true
+		res := core.Explore(racy, core.ICB{}, opt)
+		bug := res.FirstBug()
+		if bug == nil || bug.Kind != core.BugRace {
+			t.Fatalf("goldilocks=%v: expected race bug, got %v", gl, res.Bugs)
+		}
+		if bug.Preemptions != 0 {
+			t.Fatalf("race needs 0 preemptions, found with %d", bug.Preemptions)
+		}
+	}
+}
+
+func TestDeadlockFoundByICB(t *testing.T) {
+	dl := func(t *sched.T) {
+		a := conc.NewMutex(t, "a")
+		b := conc.NewMutex(t, "b")
+		w1 := t.Go("w1", func(t *sched.T) { a.Lock(t); b.Lock(t); b.Unlock(t); a.Unlock(t) })
+		w2 := t.Go("w2", func(t *sched.T) { b.Lock(t); a.Lock(t); a.Unlock(t); b.Unlock(t) })
+		t.Join(w1)
+		t.Join(w2)
+	}
+	opt := icbOpts()
+	opt.StopOnFirstBug = true
+	res := core.Explore(dl, core.ICB{}, opt)
+	bug := res.FirstBug()
+	if bug == nil || bug.Kind != core.BugDeadlock {
+		t.Fatalf("expected deadlock, got %v", res.Bugs)
+	}
+	// The inversion deadlock needs one preemption (between w1's two
+	// acquisitions).
+	if bug.Preemptions != 1 {
+		t.Fatalf("deadlock preemptions = %d, want 1", bug.Preemptions)
+	}
+}
+
+func TestEveryAccessModeFindsDataBugWithoutRaceChecker(t *testing.T) {
+	// In ModeEveryAccess the scheduler preempts at data accesses too, so a
+	// read-modify-write lost update is observable directly.
+	lost := func(t *sched.T) {
+		x := conc.NewInt(t, "x", 0)
+		var ws []*sched.T
+		for i := 0; i < 2; i++ {
+			ws = append(ws, t.Go("w", func(t *sched.T) {
+				x.Update(t, func(v int) int { return v + 1 })
+			}))
+		}
+		for _, w := range ws {
+			t.Join(w)
+		}
+		t.Assert(x.Load(t) == 2, "lost update: x=%d", x.Load(t))
+	}
+	opt := core.Options{MaxPreemptions: -1, Mode: sched.ModeEveryAccess, StopOnFirstBug: true}
+	res := core.Explore(lost, core.ICB{}, opt)
+	bug := res.FirstBug()
+	if bug == nil || bug.Kind != core.BugAssert {
+		t.Fatalf("expected lost update, got %v", res.Bugs)
+	}
+	if bug.Preemptions != 1 {
+		t.Fatalf("lost update needs 1 preemption, found with %d", bug.Preemptions)
+	}
+}
+
+func TestMaxExecutionsBudget(t *testing.T) {
+	opt := core.Options{MaxPreemptions: -1, MaxExecutions: 7}
+	res := core.Explore(smallRacefree, core.ICB{}, opt)
+	if res.Executions != 7 {
+		t.Fatalf("executions = %d, want 7", res.Executions)
+	}
+	if res.Exhausted {
+		t.Fatal("budget-cut search must not claim exhaustion")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"icb/internal/hb"
+	"icb/internal/race"
+	"icb/internal/sched"
+)
+
+// raceDetector is the common surface of the two detectors in package race.
+type raceDetector interface {
+	sched.Observer
+	Reset()
+	Racy() bool
+	Reports() []race.Report
+}
+
+// Engine runs executions of one program on behalf of a search strategy and
+// accumulates coverage, statistics and bugs. Strategies call RunExecution
+// with a controller of their own and must stop when it reports done=true.
+type Engine struct {
+	prog sched.Program
+	opt  Options
+
+	states  *hb.StateSet
+	classes *hb.StateSet
+	fp      *hb.Fingerprinter
+	det     raceDetector
+
+	cache *Cache
+
+	res     Result
+	bugSeen map[bugKey]int // index into res.Bugs, for deduplication
+	done    bool
+}
+
+// bugKey identifies a defect for deduplication across executions.
+type bugKey struct {
+	kind BugKind
+	msg  string
+}
+
+// NewEngine prepares an engine for prog under opt.
+func NewEngine(prog sched.Program, opt Options) *Engine {
+	e := &Engine{
+		prog:    prog,
+		opt:     opt,
+		states:  hb.NewStateSet(),
+		classes: hb.NewStateSet(),
+	}
+	e.fp = hb.NewFingerprinter(func(s uint64) { e.states.Add(s) })
+	if opt.StateCache {
+		e.cache = newCache(e.fp)
+	}
+	if opt.CheckRaces {
+		if opt.UseGoldilocks {
+			e.det = race.NewGoldilocks()
+		} else {
+			e.det = race.NewDetector()
+		}
+	}
+	e.res.BoundCompleted = -1
+	return e
+}
+
+// Strategy is a search strategy: ICB (this package) or one of the
+// baselines (package baseline). Explore drives the engine until either the
+// strategy's frontier is exhausted (set Result.Exhausted via MarkExhausted)
+// or the engine reports done.
+type Strategy interface {
+	// Name identifies the strategy in results and experiment tables.
+	Name() string
+	// Explore runs the search.
+	Explore(e *Engine)
+}
+
+// Explore runs strategy s on prog and returns the accumulated result.
+func Explore(prog sched.Program, s Strategy, opt Options) Result {
+	e := NewEngine(prog, opt)
+	s.Explore(e)
+	e.res.Strategy = s.Name()
+	e.res.States = e.states.Len()
+	e.res.ExecutionClasses = e.classes.Len()
+	return e.res
+}
+
+// Done reports whether the strategy must stop (budget exhausted or a bug
+// found under StopOnFirstBug).
+func (e *Engine) Done() bool { return e.done }
+
+// MarkExhausted records that the strategy fully explored its search space.
+func (e *Engine) MarkExhausted() { e.res.Exhausted = true }
+
+// SetBoundCompleted records the highest fully-explored preemption bound and
+// appends a per-bound coverage sample.
+func (e *Engine) SetBoundCompleted(bound int) {
+	e.res.BoundCompleted = bound
+	e.res.BoundCurve = append(e.res.BoundCurve, BoundCoverage{
+		Bound:      bound,
+		States:     e.states.Len(),
+		Executions: e.res.Executions,
+	})
+}
+
+// States returns the current number of distinct visited states.
+func (e *Engine) States() int { return e.states.Len() }
+
+// Executions returns the number of executions run so far.
+func (e *Engine) Executions() int { return e.res.Executions }
+
+// Options returns the exploration options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Cache returns the work-item table, or nil when caching is disabled.
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// RunExecution runs one execution of the program under ctrl, records its
+// coverage and statistics, files any bug, and returns the outcome. done
+// reports that the strategy must stop.
+func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bool) {
+	if e.done {
+		return sched.Outcome{Status: sched.StatusStopped}, true
+	}
+	e.fp.Reset()
+	obs := []sched.Observer{e.fp}
+	if e.det != nil {
+		e.det.Reset()
+		obs = append(obs, e.det)
+	}
+	out = sched.Run(e.prog, ctrl, sched.Config{
+		Mode:      e.opt.Mode,
+		MaxSteps:  e.opt.MaxSteps,
+		Observers: obs,
+	})
+	e.res.Executions++
+	if out.Status != sched.StatusStopped {
+		// Cut executions (cache hits, depth bounds) are prefixes of
+		// executions counted elsewhere; only completed runs define
+		// partial-order execution classes.
+		e.classes.Add(e.fp.Fingerprint())
+	}
+
+	if out.Steps > e.res.MaxSteps {
+		e.res.MaxSteps = out.Steps
+	}
+	if out.Blocking > e.res.MaxBlocking {
+		e.res.MaxBlocking = out.Blocking
+	}
+	if out.Preemptions > e.res.MaxPreemptions {
+		e.res.MaxPreemptions = out.Preemptions
+	}
+
+	if e.opt.SampleEvery <= 1 || e.res.Executions%e.opt.SampleEvery == 0 {
+		e.res.Curve = append(e.res.Curve, CoveragePoint{
+			Executions: e.res.Executions,
+			States:     e.states.Len(),
+		})
+	}
+
+	e.recordBugs(out)
+
+	if out.Status == sched.StatusReplayDiverged {
+		// Nondeterminism outside the scheduler invalidates the whole
+		// search; surface it loudly.
+		panic(fmt.Sprintf("core: %s", out.Message))
+	}
+
+	if e.opt.MaxExecutions > 0 && e.res.Executions >= e.opt.MaxExecutions {
+		e.done = true
+	}
+	return out, e.done
+}
+
+// recordBugs files bugs for a completed execution. A defect already seen
+// (same kind and message) only bumps its count: an exhaustive search of a
+// buggy program encounters the same failure along many interleavings and
+// must not accumulate one report per execution.
+func (e *Engine) recordBugs(out sched.Outcome) {
+	file := func(kind BugKind, msg string) {
+		if e.bugSeen == nil {
+			e.bugSeen = make(map[bugKey]int)
+		}
+		k := bugKey{kind: kind, msg: msg}
+		if i, seen := e.bugSeen[k]; seen {
+			e.res.Bugs[i].Count++
+			if e.opt.StopOnFirstBug {
+				e.done = true
+			}
+			return
+		}
+		e.bugSeen[k] = len(e.res.Bugs)
+		e.res.Bugs = append(e.res.Bugs, Bug{
+			Kind:            kind,
+			Message:         msg,
+			Preemptions:     out.Preemptions,
+			ContextSwitches: out.ContextSwitches,
+			Steps:           out.Steps,
+			Execution:       e.res.Executions,
+			Schedule:        out.Decisions.Clone(),
+			Count:           1,
+		})
+		if e.opt.StopOnFirstBug {
+			e.done = true
+		}
+	}
+	switch out.Status {
+	case sched.StatusDeadlock:
+		file(BugDeadlock, out.Message)
+	case sched.StatusAssertFailed:
+		file(BugAssert, out.Message)
+	case sched.StatusPanic:
+		file(BugPanic, out.Message)
+	case sched.StatusStepLimit:
+		file(BugLivelock, out.Message)
+	}
+	if e.det != nil && e.det.Racy() {
+		file(BugRace, e.det.Reports()[0].String())
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"icb/internal/sched"
+)
+
+// ICB is the iterative context-bounding strategy of Algorithm 1: it
+// explores every execution with c preemptions before any execution with
+// c+1 preemptions. Work items are replay schedules; the recursive Search of
+// the paper becomes an explicit local stack (its recursion along the
+// running thread is the execution itself; its branching at blocking points
+// is the stack).
+//
+// Guarantees (paper §1, §3):
+//   - the first bug found is exposed by an execution with the minimum
+//     number of preemptions over the whole program;
+//   - when bound c completes, every execution with at most c preemptions
+//     has been explored, so any remaining bug needs ≥ c+1 preemptions.
+type ICB struct{}
+
+// Name implements Strategy.
+func (ICB) Name() string { return "icb" }
+
+// Explore implements Strategy.
+func (ICB) Explore(e *Engine) {
+	maxBound := e.Options().MaxPreemptions
+
+	// workQueue holds the schedules to explore within the current bound;
+	// nextWork holds the schedules that require one more preemption.
+	workQueue := []sched.Schedule{nil}
+	var nextWork []sched.Schedule
+	currBound := 0
+
+	for {
+		// Drain the current bound. Each popped schedule seeds a
+		// no-new-preemption depth-first exploration (the Search procedure).
+		for head := 0; head < len(workQueue); head++ {
+			if e.Done() {
+				return
+			}
+			searchNoPreempt(e, workQueue[head], currBound, &nextWork)
+		}
+		if e.Done() {
+			return
+		}
+		e.SetBoundCompleted(currBound)
+		if len(nextWork) == 0 {
+			e.MarkExhausted()
+			return
+		}
+		if maxBound >= 0 && currBound >= maxBound {
+			return
+		}
+		currBound++
+		workQueue = nextWork
+		nextWork = nil
+	}
+}
+
+// searchNoPreempt explores all executions reachable from the given replay
+// schedule without introducing further preemptions, pushing the executions
+// that would need one more preemption onto next.
+func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.Schedule) {
+	stack := []sched.Schedule{start}
+	for len(stack) > 0 {
+		path := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ctrl := &icbController{
+			path:      path,
+			cache:     e.Cache(),
+			onPreempt: func(alt sched.Schedule) { *next = append(*next, alt) },
+			onLocal:   func(alt sched.Schedule) { stack = append(stack, alt) },
+		}
+		out, done := e.RunExecution(ctrl)
+		if done {
+			return
+		}
+		if out.Status == sched.StatusStopped {
+			// Cut by the work-item cache: the subtree was already explored.
+			continue
+		}
+		if out.Preemptions != bound {
+			panic(fmt.Sprintf("icb: execution at bound %d had %d preemptions (schedule %v)",
+				bound, out.Preemptions, out.Decisions))
+		}
+	}
+}
+
+// icbController replays a schedule prefix and then follows the
+// no-new-preemption policy: continue the running thread while it is
+// enabled (recording the preempting alternatives), branch freely when it
+// blocks or exits (recording the local alternatives).
+type icbController struct {
+	path  sched.Schedule
+	pos   int
+	cur   sched.Schedule
+	cache *Cache
+
+	onPreempt func(sched.Schedule)
+	onLocal   func(sched.Schedule)
+}
+
+// take registers the decision about to be taken; a false result cuts the
+// execution (the Algorithm 1 table guard).
+func (c *icbController) take(d sched.Decision) bool {
+	return c.cache == nil || c.cache.TryTake(d)
+}
+
+// push reports whether an alternative should be enqueued (skipping
+// duplicates already registered in the table).
+func (c *icbController) push(d sched.Decision) bool {
+	return c.cache == nil || c.cache.TryTake(d)
+}
+
+// PickThread implements sched.Controller.
+func (c *icbController) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	if c.pos < len(c.path) {
+		d := c.path[c.pos]
+		c.pos++
+		if d.Kind != sched.DecisionThread {
+			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: "a scheduling point"})
+		}
+		if !info.IsEnabled(d.Thread) {
+			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: fmt.Sprintf("enabled set %v", info.Enabled)})
+		}
+		c.cur = append(c.cur, d)
+		return d.Thread, true
+	}
+	if info.PrevEnabled {
+		// Lines 26–32 of Algorithm 1: the running thread continues;
+		// scheduling any other enabled thread costs a preemption and is
+		// deferred to the next bound.
+		if !c.take(sched.ThreadDecision(info.Prev)) {
+			return sched.NoTID, false
+		}
+		for _, u := range info.Enabled {
+			if u != info.Prev && c.push(sched.ThreadDecision(u)) {
+				c.onPreempt(c.cur.Extend(sched.ThreadDecision(u)))
+			}
+		}
+		c.cur = append(c.cur, sched.ThreadDecision(info.Prev))
+		return info.Prev, true
+	}
+	// Lines 33–37: the running thread yielded (blocked or exited); all
+	// enabled threads are explored within the current bound.
+	pick := info.Enabled[0]
+	if !c.take(sched.ThreadDecision(pick)) {
+		return sched.NoTID, false
+	}
+	for _, u := range info.Enabled[1:] {
+		if c.push(sched.ThreadDecision(u)) {
+			c.onLocal(c.cur.Extend(sched.ThreadDecision(u)))
+		}
+	}
+	c.cur = append(c.cur, sched.ThreadDecision(pick))
+	return pick, true
+}
+
+// PickData implements sched.Controller: data choices branch within the
+// current bound (they are not context switches).
+func (c *icbController) PickData(t sched.TID, n int) int {
+	if c.pos < len(c.path) {
+		d := c.path[c.pos]
+		c.pos++
+		if d.Kind != sched.DecisionData || d.Data < 0 || d.Data >= n {
+			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: fmt.Sprintf("a data choice over %d values", n)})
+		}
+		c.cur = append(c.cur, d)
+		return d.Data
+	}
+	// A choose point in the extension phase always follows a freshly taken
+	// thread decision, so registering value 0 cannot fail; register it so
+	// other paths reaching an equivalent state are cut at their preceding
+	// thread pick.
+	c.take(sched.DataDecision(0))
+	for v := 1; v < n; v++ {
+		if c.push(sched.DataDecision(v)) {
+			c.onLocal(c.cur.Extend(sched.DataDecision(v)))
+		}
+	}
+	c.cur = append(c.cur, sched.DataDecision(0))
+	return 0
+}

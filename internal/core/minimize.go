@@ -1,0 +1,67 @@
+package core
+
+import (
+	"icb/internal/sched"
+)
+
+// MinimizeSchedule shrinks a failing schedule while preserving its
+// failure: it drops unnecessary trailing decisions (letting the
+// nonpreemptive FirstEnabled tail finish the execution) and tries to cut
+// the schedule at earlier context switches. The result replays to a buggy
+// outcome and is never longer than the input.
+//
+// ICB already guarantees the minimal number of *preemptions*; minimization
+// further shortens the prescriptive part of the repro, which is what a
+// human reads. The exploration options are honored for Mode/MaxSteps so
+// the minimized schedule replays under the same semantics it was found
+// under.
+func MinimizeSchedule(prog sched.Program, schedule sched.Schedule, opt Options) sched.Schedule {
+	fails := func(s sched.Schedule) bool {
+		out := sched.Run(prog,
+			&sched.ReplayController{Prefix: s, Tail: sched.FirstEnabled{}},
+			sched.Config{Mode: opt.Mode, MaxSteps: opt.MaxSteps})
+		return out.Status.Buggy()
+	}
+	if !fails(schedule) {
+		// The schedule does not reproduce under FirstEnabled completion
+		// (e.g. the failure needs specific data choices later on); return
+		// it unchanged.
+		return schedule
+	}
+
+	best := schedule.Clone()
+
+	// Phase 1: shortest failing prefix, by binary search refined with a
+	// linear walk (failure is usually monotone in prefix length, but the
+	// final answer is verified, not assumed).
+	lo, hi := 0, len(best)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fails(best[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for lo <= len(best) && !fails(best[:lo]) {
+		lo++
+	}
+	if lo <= len(best) {
+		best = best[:lo].Clone()
+	}
+
+	// Phase 2: try cutting at each context switch, earliest first — a
+	// shorter prescriptive prefix whose free-running tail still fails is a
+	// simpler repro.
+	for i := 1; i < len(best); i++ {
+		prev, cur := best[i-1], best[i]
+		if prev.Kind != sched.DecisionThread || cur.Kind != sched.DecisionThread || prev.Thread == cur.Thread {
+			continue
+		}
+		if fails(best[:i]) {
+			best = best[:i].Clone()
+			break
+		}
+	}
+	return best
+}

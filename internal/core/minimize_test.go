@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+func TestMinimizeScheduleShrinksAndStillFails(t *testing.T) {
+	opt := icbOpts()
+	opt.StopOnFirstBug = true
+	res := core.Explore(needsOne, core.ICB{}, opt)
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("no bug")
+	}
+	minimized := core.MinimizeSchedule(needsOne, bug.Schedule, opt)
+	if len(minimized) > len(bug.Schedule) {
+		t.Fatalf("minimized schedule longer: %d > %d", len(minimized), len(bug.Schedule))
+	}
+	out := sched.Run(needsOne,
+		&sched.ReplayController{Prefix: minimized, Tail: sched.FirstEnabled{}},
+		sched.Config{})
+	if !out.Status.Buggy() {
+		t.Fatalf("minimized schedule does not fail: %v", out)
+	}
+	// A strictly prescriptive suffix should have been dropped: the bug
+	// happens mid-execution, the joins and final steps are free-running.
+	if len(minimized) >= len(bug.Schedule) && len(bug.Schedule) > 4 {
+		t.Fatalf("nothing shrunk: %d vs %d", len(minimized), len(bug.Schedule))
+	}
+}
+
+func TestMinimizeScheduleOnNonReproducingInput(t *testing.T) {
+	// A schedule whose FirstEnabled completion passes is returned as-is.
+	out := sched.Run(needsOne, sched.FirstEnabled{}, sched.Config{})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("canonical run should pass: %v", out)
+	}
+	got := core.MinimizeSchedule(needsOne, out.Decisions, core.Options{})
+	if len(got) != len(out.Decisions) {
+		t.Fatalf("non-failing schedule was modified")
+	}
+}
+
+func TestMinimizedPreemptionsNotWorse(t *testing.T) {
+	for _, prog := range []sched.Program{needsOne, needsTwo} {
+		opt := icbOpts()
+		opt.StopOnFirstBug = true
+		res := core.Explore(prog, core.ICB{}, opt)
+		bug := res.FirstBug()
+		if bug == nil {
+			t.Fatal("no bug")
+		}
+		minimized := core.MinimizeSchedule(prog, bug.Schedule, opt)
+		out := sched.Run(prog,
+			&sched.ReplayController{Prefix: minimized, Tail: sched.FirstEnabled{}},
+			sched.Config{})
+		if out.Preemptions > bug.Preemptions {
+			t.Fatalf("minimization increased preemptions: %d > %d", out.Preemptions, bug.Preemptions)
+		}
+	}
+}
+
+func TestCSBNeedsMoreBoundThanICB(t *testing.T) {
+	// The ablation of the paper's core design decision: for a bug needing 1
+	// preemption but several context switches, pure context-switch bounding
+	// must raise its bound far higher before finding it.
+	icbOpt := core.Options{MaxPreemptions: 1, StopOnFirstBug: true}
+	icbRes := core.Explore(needsOne, core.ICB{}, icbOpt)
+	ib := icbRes.FirstBug()
+	if ib == nil || ib.Preemptions != 1 {
+		t.Fatalf("icb baseline: %v", icbRes.Bugs)
+	}
+
+	csbFound := -1
+	for bound := 0; bound <= 12; bound++ {
+		res := core.Explore(needsOne, core.CSB{}, core.Options{MaxPreemptions: bound, StopOnFirstBug: true})
+		if b := res.FirstBug(); b != nil {
+			csbFound = b.ContextSwitches
+			break
+		}
+	}
+	if csbFound == -1 {
+		t.Fatal("csb never found the bug")
+	}
+	if csbFound <= ib.Preemptions {
+		t.Fatalf("csb bound %d not worse than icb preemption bound %d", csbFound, ib.Preemptions)
+	}
+	t.Logf("icb: preemption bound %d; csb: switch bound %d", ib.Preemptions, csbFound)
+}
+
+func TestCSBBound0IsMainOnly(t *testing.T) {
+	// At switch bound 0 only the main thread's solo prefix is explorable —
+	// the §2 contrast with preemption bounding, whose bound 0 completes the
+	// whole program.
+	res := core.Explore(smallRacefree, core.CSB{}, core.Options{MaxPreemptions: 0})
+	if res.BoundCompleted != 0 {
+		t.Fatalf("bound 0 not completed: %d", res.BoundCompleted)
+	}
+	icbRes := core.Explore(smallRacefree, core.ICB{}, core.Options{MaxPreemptions: 0})
+	if res.States >= icbRes.States {
+		t.Fatalf("csb bound-0 states %d >= icb bound-0 states %d", res.States, icbRes.States)
+	}
+}
+
+func TestCSBExhaustsEventually(t *testing.T) {
+	res := core.Explore(yielders, core.CSB{}, core.Options{MaxPreemptions: -1})
+	if !res.Exhausted {
+		t.Fatal("csb did not exhaust")
+	}
+	icbRes := core.Explore(yielders, core.ICB{}, core.Options{MaxPreemptions: -1})
+	// Same state space, different enumeration order.
+	if res.States != icbRes.States {
+		t.Fatalf("csb states %d != icb states %d", res.States, icbRes.States)
+	}
+}

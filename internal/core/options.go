@@ -1,0 +1,195 @@
+// Package core implements the paper's primary contribution: the iterative
+// context bounding (ICB) search algorithm (Algorithm 1), together with the
+// stateless exploration engine it runs on. The engine executes the program
+// under test repeatedly — each execution driven by a replayable decision
+// schedule — and feeds every execution through the happens-before
+// fingerprinter (coverage) and a data-race detector (soundness of the
+// sync-only reduction, §3.1).
+//
+// Work items hold replay schedules instead of checkpointed states, the
+// standard stateless realization of Algorithm 1: re-executing a schedule
+// prefix from the initial state reconstructs exactly the state a stateful
+// checker would have stored, because scheduling is the only source of
+// nondeterminism in the model.
+package core
+
+import (
+	"icb/internal/sched"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// MaxPreemptions bounds the ICB search: bounds 0..MaxPreemptions are
+	// explored in order. Negative means unbounded (run until the frontier
+	// is exhausted). Ignored by non-ICB strategies.
+	MaxPreemptions int
+	// MaxExecutions caps the total number of executions (0 = unlimited).
+	MaxExecutions int
+	// MaxSteps bounds each individual execution (0 = sched default).
+	MaxSteps int
+	// Mode selects scheduling-point placement (default: ModeSyncOnly, the
+	// §3.1 reduction; requires CheckRaces for soundness).
+	Mode sched.Mode
+	// CheckRaces runs a happens-before race detector on every execution and
+	// reports races as bugs.
+	CheckRaces bool
+	// UseGoldilocks selects the Goldilocks lockset detector instead of the
+	// vector-clock detector when CheckRaces is set.
+	UseGoldilocks bool
+	// StopOnFirstBug halts the search at the first bug. Under ICB the first
+	// bug found is one with the minimum number of preemptions among all
+	// bugs in the program.
+	StopOnFirstBug bool
+	// SampleEvery controls how often a coverage-curve point is recorded (in
+	// executions); 0 means every execution.
+	SampleEvery int
+	// StateCache enables the work-item table of Algorithm 1 (see Cache):
+	// subtrees rooted at already-visited (state, decision) pairs are pruned.
+	// Indispensable for exhaustive coverage runs; leave off when exact
+	// per-bound execution counts are needed (Theorem 1 validation).
+	StateCache bool
+}
+
+// BugKind classifies a found bug.
+type BugKind uint8
+
+const (
+	// BugDeadlock: no thread enabled while some are alive.
+	BugDeadlock BugKind = iota
+	// BugAssert: a modeled assertion failed.
+	BugAssert
+	// BugPanic: the program panicked.
+	BugPanic
+	// BugRace: the race detector reported a data race.
+	BugRace
+	// BugLivelock: an execution exceeded the step bound, impossible for a
+	// terminating program.
+	BugLivelock
+)
+
+var bugKindNames = [...]string{
+	BugDeadlock: "deadlock",
+	BugAssert:   "assertion failure",
+	BugPanic:    "panic",
+	BugRace:     "data race",
+	BugLivelock: "livelock",
+}
+
+// String returns a human-readable kind.
+func (k BugKind) String() string {
+	if int(k) < len(bugKindNames) {
+		return bugKindNames[k]
+	}
+	return "bug"
+}
+
+// Bug is one found defect with everything needed to reproduce it.
+type Bug struct {
+	// Kind classifies the bug.
+	Kind BugKind
+	// Message is the assertion/panic/deadlock/race description.
+	Message string
+	// Preemptions is the number of preempting context switches in the
+	// exposing execution. Under ICB this is minimal over all ways to expose
+	// bugs in the program explored so far.
+	Preemptions int
+	// ContextSwitches is the total number of context switches (the Dryad
+	// bug of Fig. 3 takes 1 preemption but 6 nonpreempting switches).
+	ContextSwitches int
+	// Steps is the length of the exposing execution.
+	Steps int
+	// Execution is the 1-based index of the exposing execution.
+	Execution int
+	// Schedule replays the exposing execution exactly.
+	Schedule sched.Schedule
+	// Count is the number of executions that exposed this same defect
+	// (same kind and message); only the first one's schedule is kept.
+	Count int
+}
+
+// String renders a one-line bug summary.
+func (b *Bug) String() string {
+	return b.Kind.String() + " (preemptions=" + itoa(b.Preemptions) +
+		", execution " + itoa(b.Execution) + "): " + b.Message
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// CoveragePoint is one sample of the coverage growth curve (Figures 2, 5
+// and 6): after Executions executions, States distinct states had been
+// visited.
+type CoveragePoint struct {
+	Executions int
+	States     int
+}
+
+// BoundCoverage records cumulative coverage at the completion of one
+// preemption bound (Figures 1 and 4).
+type BoundCoverage struct {
+	// Bound is the completed preemption bound.
+	Bound int
+	// States is the cumulative number of distinct states visited by all
+	// executions with at most Bound preemptions.
+	States int
+	// Executions is the cumulative execution count.
+	Executions int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Strategy is the name of the search strategy used.
+	Strategy string
+	// Executions is the number of executions run.
+	Executions int
+	// Bugs lists the found bugs in discovery order.
+	Bugs []Bug
+	// States is the number of distinct visited states (happens-before
+	// prefix fingerprints, §4.3).
+	States int
+	// ExecutionClasses is the number of distinct complete-execution
+	// fingerprints (partial-order equivalence classes of executions).
+	ExecutionClasses int
+	// MaxSteps, MaxBlocking, MaxPreemptions are the K, B, c maxima of
+	// Table 1 over all executions.
+	MaxSteps       int
+	MaxBlocking    int
+	MaxPreemptions int
+	// BoundCompleted is the highest preemption bound fully explored: the
+	// coverage guarantee "any remaining bug needs at least BoundCompleted+1
+	// preemptions". -1 if no bound was completed. Only ICB sets this.
+	BoundCompleted int
+	// Exhausted reports that the search space was fully explored.
+	Exhausted bool
+	// Curve is the coverage growth curve (cumulative states per execution).
+	Curve []CoveragePoint
+	// BoundCurve is the per-bound cumulative coverage (ICB only).
+	BoundCurve []BoundCoverage
+}
+
+// FirstBug returns the first found bug, or nil.
+func (r *Result) FirstBug() *Bug {
+	if len(r.Bugs) == 0 {
+		return nil
+	}
+	return &r.Bugs[0]
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icb/internal/baseline"
+	"icb/internal/conc"
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// genSmallProgram builds a deterministic random terminating program small
+// enough for exhaustive search (two worker threads, two to three short
+// operations each).
+func genSmallProgram(seed int64) sched.Program {
+	return func(t *sched.T) {
+		rng := rand.New(rand.NewSource(seed))
+		m := conc.NewMutex(t, "m")
+		a := conc.NewAtomicInt(t, "a", 0)
+		plans := make([][]int, 2)
+		for i := range plans {
+			for j := 0; j < 2+rng.Intn(2); j++ {
+				plans[i] = append(plans[i], rng.Intn(4))
+			}
+		}
+		var ws []*sched.T
+		for i := 0; i < 2; i++ {
+			plan := plans[i]
+			ws = append(ws, t.Go("w", func(t *sched.T) {
+				for _, op := range plan {
+					switch op {
+					case 0:
+						m.Lock(t)
+						m.Unlock(t)
+					case 1:
+						a.Add(t, 1)
+					case 2:
+						t.Yield()
+					case 3:
+						a.Store(t, a.Load(t)*2)
+					}
+				}
+			}))
+		}
+		for _, w := range ws {
+			t.Join(w)
+		}
+	}
+}
+
+// TestICBEqualsDFSQuick: on random small programs, exhaustive ICB and
+// exhaustive DFS enumerate exactly the same executions and states — ICB is
+// a reordering of the search, not a reduction of it.
+func TestICBEqualsDFSQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		prog := genSmallProgram(seed % 4096)
+		icbRes := core.Explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1})
+		dfsRes := core.Explore(prog, baseline.DFS{}, core.Options{})
+		if !icbRes.Exhausted || !dfsRes.Exhausted {
+			return false
+		}
+		return icbRes.Executions == dfsRes.Executions &&
+			icbRes.States == dfsRes.States &&
+			icbRes.ExecutionClasses == dfsRes.ExecutionClasses
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedCoverageEqualsUncachedQuick: the Algorithm 1 work-item table
+// prunes executions but never states.
+func TestCachedCoverageEqualsUncachedQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		prog := genSmallProgram(seed % 4096)
+		plain := core.Explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1})
+		cached := core.Explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1, StateCache: true})
+		return plain.Exhausted && cached.Exhausted &&
+			plain.States == cached.States &&
+			cached.Executions <= plain.Executions
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundMonotonicityQuick: raising the preemption bound never reduces
+// coverage, and bound-b coverage equals the cumulative coverage ICB
+// reports at its bound-b checkpoint.
+func TestBoundMonotonicityQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		prog := genSmallProgram(seed % 4096)
+		full := core.Explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1})
+		prev := 0
+		for b := 0; b <= min(2, len(full.BoundCurve)-1); b++ {
+			res := core.Explore(prog, core.ICB{}, core.Options{MaxPreemptions: b})
+			if res.States < prev {
+				return false
+			}
+			prev = res.States
+			if res.States != full.BoundCurve[b].States {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

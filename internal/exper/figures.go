@@ -1,0 +1,205 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"icb/internal/baseline"
+	"icb/internal/core"
+	"icb/internal/progs/wsq"
+	"icb/internal/sched"
+	"icb/internal/zing"
+)
+
+// BoundPercent is one point of a coverage-vs-bound graph: the percentage
+// of the full state space covered by executions with at most Bound
+// preemptions.
+type BoundPercent struct {
+	Bound   int
+	Percent float64
+	States  int
+}
+
+// boundSweep runs an exhaustive cached ICB search and converts its
+// per-bound coverage into percentages of the final (full) state count.
+func boundSweep(prog sched.Program) ([]BoundPercent, error) {
+	res := explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1, StateCache: true})
+	if !res.Exhausted {
+		return nil, fmt.Errorf("state space not exhausted")
+	}
+	if len(res.Bugs) != 0 {
+		return nil, fmt.Errorf("unexpected bug during coverage sweep: %s", res.Bugs[0].String())
+	}
+	var out []BoundPercent
+	for _, bc := range res.BoundCurve {
+		out = append(out, BoundPercent{
+			Bound:   bc.Bound,
+			Percent: 100 * float64(bc.States) / float64(res.States),
+			States:  bc.States,
+		})
+	}
+	return out, nil
+}
+
+// Fig1Data computes Figure 1: % state space covered per context bound for
+// the work-stealing queue.
+func Fig1Data() ([]BoundPercent, error) {
+	return boundSweep(wsq.Program(wsq.Correct, wsq.Params{}))
+}
+
+// Fig1 renders Figure 1.
+func Fig1(w io.Writer, _ Config) error {
+	points, err := Fig1Data()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 1: Coverage graph (work-stealing queue).")
+	fmt.Fprintf(w, "%-14s %10s %12s\n", "Context bound", "% covered", "states")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-14d %10.1f %12d\n", p.Bound, p.Percent, p.States)
+	}
+	return nil
+}
+
+// Fig2Data computes Figure 2: coverage growth on the work-stealing queue
+// under icb, dfs, random, db:40 and db:20.
+func Fig2Data(cfg Config) []series {
+	cfg.fill()
+	prog := wsq.Program(wsq.Correct, wsq.Params{})
+	return growthCurves(prog, cfg, []core.Strategy{
+		core.ICB{},
+		baseline.DFS{},
+		baseline.Random{Seed: cfg.Seed},
+		baseline.DFS{Depth: 40},
+		baseline.DFS{Depth: 20},
+	})
+}
+
+// Fig2 renders Figure 2.
+func Fig2(w io.Writer, cfg Config) error {
+	cfg.fill()
+	ss := Fig2Data(cfg)
+	renderSeries(w, fmt.Sprintf("Figure 2: Coverage growth, work-stealing queue (%d executions/strategy).", cfg.Budget),
+		"# executions", ss)
+	return nil
+}
+
+// Fig4Series is one program's coverage-vs-bound curve of Figure 4.
+type Fig4Series struct {
+	Name   string
+	Points []BoundPercent
+}
+
+// Fig4Data computes Figure 4 for the four completely-searchable programs:
+// the file-system model, Bluetooth and the work-stealing queue via the
+// stateless engine, and the transaction manager via the explicit-state
+// checker (as in the paper).
+func Fig4Data() ([]Fig4Series, error) {
+	var out []Fig4Series
+	for _, b := range Benchmarks() {
+		switch b.Name {
+		case "File System Model", "Bluetooth", "Work Stealing Queue":
+			points, err := boundSweep(b.Correct)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			out = append(out, Fig4Series{Name: b.Name, Points: points})
+		}
+	}
+	zres, err := zingICB(zing.Options{MaxPreemptions: -1})
+	if err != nil {
+		return nil, err
+	}
+	if !zres.Exhausted {
+		return nil, fmt.Errorf("transaction manager: not exhausted")
+	}
+	var points []BoundPercent
+	for _, bc := range zres.BoundCurve {
+		points = append(points, BoundPercent{
+			Bound:   bc.Bound,
+			Percent: 100 * float64(bc.States) / float64(zres.States),
+			States:  bc.States,
+		})
+	}
+	out = append(out, Fig4Series{Name: "Transaction Manager", Points: points})
+	return out, nil
+}
+
+// Fig4 renders Figure 4.
+func Fig4(w io.Writer, _ Config) error {
+	data, err := Fig4Data()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 4: % of entire state space covered by executions with bounded preemptions.")
+	fmt.Fprintf(w, "%-14s", "Context bound")
+	for _, s := range data {
+		fmt.Fprintf(w, "%22s", s.Name)
+	}
+	fmt.Fprintln(w)
+	maxLen := 0
+	for _, s := range data {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(w, "%-14d", i)
+		for _, s := range data {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, "%21.1f%%", s.Points[i].Percent)
+			} else {
+				fmt.Fprintf(w, "%21.1f%%", 100.0)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig5Data computes Figure 5: coverage growth for APE under icb, dfs and
+// three depth-bounded configurations. The paper's idfs-{100,150,200} sit at
+// roughly 0.4–0.8 of APE's maximum execution length (K=247 there); our APE
+// model has K≈76, so the bounds scale to {30,45,60}.
+func Fig5Data(cfg Config) []series {
+	cfg.fill()
+	prog := Benchmarks()[3].Correct // APE
+	return growthCurves(prog, cfg, []core.Strategy{
+		core.ICB{},
+		baseline.DFS{},
+		baseline.DFS{Depth: 30},
+		baseline.DFS{Depth: 45},
+		baseline.DFS{Depth: 60},
+	})
+}
+
+// Fig5 renders Figure 5.
+func Fig5(w io.Writer, cfg Config) error {
+	cfg.fill()
+	renderSeries(w, fmt.Sprintf("Figure 5: Coverage growth for APE (%d executions/strategy).", cfg.Budget),
+		"# executions", Fig5Data(cfg))
+	return nil
+}
+
+// Fig6Data computes Figure 6: coverage growth for Dryad. The paper's
+// idfs-{75,100,125} scale (against its K=273) to {20,30,45} for our model
+// (K≈68).
+func Fig6Data(cfg Config) []series {
+	cfg.fill()
+	prog := Benchmarks()[4].Correct // Dryad
+	return growthCurves(prog, cfg, []core.Strategy{
+		core.ICB{},
+		baseline.DFS{},
+		baseline.DFS{Depth: 20},
+		baseline.DFS{Depth: 30},
+		baseline.DFS{Depth: 45},
+	})
+}
+
+// Fig6 renders Figure 6.
+func Fig6(w io.Writer, cfg Config) error {
+	cfg.fill()
+	renderSeries(w, fmt.Sprintf("Figure 6: Coverage growth for Dryad channels (%d executions/strategy).", cfg.Budget),
+		"# executions", Fig6Data(cfg))
+	return nil
+}

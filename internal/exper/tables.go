@@ -1,0 +1,172 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"icb/internal/baseline"
+	"icb/internal/core"
+	"icb/internal/progs/txnmgr"
+	"icb/internal/zing"
+)
+
+// Table1Row is one row of Table 1: benchmark characteristics. K, B and c
+// are the maxima observed over the experiment's executions: total steps,
+// potentially-blocking operations per thread, and preemptions.
+type Table1Row struct {
+	Name    string
+	LOC     int
+	Threads int
+	MaxK    int
+	MaxB    int
+	MaxC    int
+}
+
+// Table1Data measures the characteristics of every benchmark. For the
+// stateless programs, K and B come from a bounded ICB sweep and c from a
+// random-walk sample (which drives the preemption count far beyond what
+// ICB's ordered search would visit, matching the paper's "maximum values
+// seen during our experiments").
+func Table1Data(cfg Config) ([]Table1Row, error) {
+	cfg.fill()
+	var rows []Table1Row
+	for _, b := range Benchmarks() {
+		icbRes := explore(b.Correct, core.ICB{}, core.Options{
+			MaxPreemptions: 2,
+			StateCache:     true,
+		})
+		rndRes := explore(b.Correct, baseline.Random{Seed: cfg.Seed + 1}, core.Options{
+			MaxExecutions: cfg.Budget,
+		})
+		row := Table1Row{
+			Name:    b.Name,
+			LOC:     b.LOC,
+			Threads: b.Threads,
+			MaxK:    max(icbRes.MaxSteps, rndRes.MaxSteps),
+			MaxB:    max(icbRes.MaxBlocking, rndRes.MaxBlocking),
+			MaxC:    max(icbRes.MaxPreemptions, rndRes.MaxPreemptions),
+		}
+		rows = append(rows, row)
+	}
+	zres, err := zingICB(zing.Options{MaxPreemptions: -1})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table1Row{
+		Name:    "Transaction Manager",
+		LOC:     len(splitLines(txnmgr.Source(txnmgr.Correct))),
+		Threads: 3,
+		MaxK:    zres.MaxSteps,
+		MaxB:    zres.MaxBlocking,
+		MaxC:    zres.MaxPreemptions,
+	})
+	return rows, nil
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+// Table1 renders Table 1.
+func Table1(w io.Writer, cfg Config) error {
+	rows, err := Table1Data(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 1: Characteristics of the benchmarks (this reproduction's models).")
+	fmt.Fprintln(w, "K = max total steps, B = max blocking ops per thread, c = max preemptions observed.")
+	fmt.Fprintf(w, "%-22s %6s %8s %6s %6s %6s\n", "Program", "LOC", "Threads", "MaxK", "MaxB", "Maxc")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %6d %8d %6d %6d %6d\n", r.Name, r.LOC, r.Threads, r.MaxK, r.MaxB, r.MaxC)
+	}
+	return nil
+}
+
+// Table2Row is one row of Table 2: how many of a benchmark's bugs are
+// exposed at exactly c preemptions, c in 0..3.
+type Table2Row struct {
+	Name    string
+	Total   int
+	AtBound [4]int
+	Known   bool
+}
+
+// Table2Data runs ICB on every seeded bug variant and buckets the bugs by
+// the preemption count of the exposing execution. The paper's claim — each
+// of the 14 bugs exposed with at most 3 (the unknown ones with at most 2)
+// preemptions — is re-established from scratch here, not copied from the
+// variants' documentation.
+func Table2Data() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, b := range Benchmarks() {
+		if len(b.Bugs) == 0 || b.Name == "File System Model" {
+			// The file-system model is absent from Table 2 (its seeded
+			// variant is our own harness check, not a paper bug).
+			continue
+		}
+		row := Table2Row{Name: b.Name, Known: b.KnownBugs}
+		for i := range b.Bugs {
+			res := explore(b.Bugs[i].Program, core.ICB{}, core.Options{
+				MaxPreemptions: 3,
+				StopOnFirstBug: true,
+			})
+			bug := res.FirstBug()
+			if bug == nil {
+				return nil, fmt.Errorf("%s/%s: bug not found within bound 3", b.Name, b.Bugs[i].ID)
+			}
+			row.Total++
+			row.AtBound[bug.Preemptions]++
+		}
+		rows = append(rows, row)
+	}
+
+	// Transaction manager (explicit-state checker).
+	tm := Table2Row{Name: "Transaction Manager", Known: true}
+	for _, bug := range txnmgr.Bugs() {
+		p, err := txnmgr.Compile(bug.Variant)
+		if err != nil {
+			return nil, err
+		}
+		res := zing.CheckICB(p, zing.Options{MaxPreemptions: 3, StopOnFirstBug: true})
+		fb := res.FirstBug()
+		if fb == nil {
+			return nil, fmt.Errorf("txnmgr/%s: bug not found within bound 3", bug.ID)
+		}
+		tm.Total++
+		tm.AtBound[fb.Preemptions]++
+	}
+
+	// Paper order: Bluetooth, WSQ, Transaction Manager, APE, Dryad.
+	ordered := []Table2Row{rows[0], rows[1], tm, rows[2], rows[3]}
+	return ordered, nil
+}
+
+// Table2 renders Table 2.
+func Table2(w io.Writer, _ Config) error {
+	rows, err := Table2Data()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 2: Bugs exposed in executions with exactly c preemptions.")
+	fmt.Fprintf(w, "%-22s %5s   %3s %3s %3s %3s\n", "Program", "Bugs", "0", "1", "2", "3")
+	total := 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %5d   %3d %3d %3d %3d\n",
+			r.Name, r.Total, r.AtBound[0], r.AtBound[1], r.AtBound[2], r.AtBound[3])
+		total += r.Total
+	}
+	fmt.Fprintf(w, "Total bugs: %d (the paper's Table 2 rows also sum to 16 although its caption says 14;\n"+
+		"the 9 previously-unknown bugs are in APE and Dryad, each at <= 2 preemptions)\n", total)
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package hb computes canonical happens-before fingerprints of executions.
+//
+// The paper's stateless checker (CHESS) cannot snapshot native program
+// state, so it uses the happens-before relation of an execution as the
+// representation of the state reached (§4.3). This package implements that
+// representation: a 64-bit fingerprint of the execution's HB relation that
+// is invariant under reordering of independent steps, so two equivalent
+// executions (in the Mazurkiewicz-trace sense of §3.1) get the same
+// fingerprint, and counting distinct fingerprints counts partial-order
+// distinct behaviors.
+//
+// The encoding: each committed event contributes a record
+//
+//	(tid, per-thread index, op kind, variable, class, predecessor)
+//
+// where the predecessor is the (tid, index) of the previous access to the
+// same synchronization variable (the immediate cross-thread HB edge), or
+// none for data accesses, whose cross-thread order is not part of HB. The
+// multiset of records is order-invariant for equivalent executions — the
+// per-thread sequences and the per-sync-var access orders fully determine
+// it — so the XOR of the records' hashes is a canonical set hash, and the
+// running XOR after each step is a canonical fingerprint of the state
+// reached by that prefix.
+package hb
+
+import "icb/internal/sched"
+
+// Fingerprinter is a sched.Observer that maintains the canonical
+// fingerprint of the execution prefix seen so far.
+type Fingerprinter struct {
+	// lastSync[v] is the (tid, index) of the last access to sync var v.
+	lastSync []pred
+	cur      uint64
+	steps    int
+	// OnState, if non-nil, is invoked with the fingerprint after every step;
+	// exploration engines feed these into a StateSet to count visited
+	// states.
+	OnState func(state uint64)
+}
+
+type pred struct {
+	tid sched.TID
+	idx int
+}
+
+var noPred = pred{tid: -2, idx: -1}
+
+// NewFingerprinter returns a fresh fingerprinter for one execution.
+func NewFingerprinter(onState func(uint64)) *Fingerprinter {
+	return &Fingerprinter{OnState: onState}
+}
+
+// Reset prepares the fingerprinter for a new execution.
+func (f *Fingerprinter) Reset() {
+	f.lastSync = f.lastSync[:0]
+	f.cur = 0
+	f.steps = 0
+}
+
+// OnEvent implements sched.Observer.
+func (f *Fingerprinter) OnEvent(ev sched.Event) {
+	p := noPred
+	if ev.Op.Class == sched.ClassSync {
+		for int(ev.Op.Var) >= len(f.lastSync) {
+			f.lastSync = append(f.lastSync, noPred)
+		}
+		p = f.lastSync[ev.Op.Var]
+		f.lastSync[ev.Op.Var] = pred{tid: ev.TID, idx: ev.Index}
+	}
+	f.cur ^= recordHash(ev, p)
+	f.steps++
+	if f.OnState != nil {
+		f.OnState(f.Fingerprint())
+	}
+}
+
+// Fingerprint returns the canonical fingerprint of the prefix seen so far.
+// The step count is mixed in so that the empty XOR contributions of
+// different-length prefixes cannot collide trivially.
+func (f *Fingerprinter) Fingerprint() uint64 {
+	return mix64(f.cur ^ (uint64(f.steps) * 0x9e3779b97f4a7c15))
+}
+
+// Steps returns the number of events observed.
+func (f *Fingerprinter) Steps() int { return f.steps }
+
+// recordHash hashes one canonical event record.
+func recordHash(ev sched.Event, p pred) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for _, w := range [...]uint64{
+		uint64(ev.TID),
+		uint64(ev.Index),
+		uint64(ev.Op.Kind),
+		uint64(uint32(ev.Op.Var)),
+		uint64(ev.Op.Class),
+		uint64(uint32(p.tid)) + 3,
+		uint64(uint32(p.idx)) + 7,
+	} {
+		h ^= w
+		h *= 1099511628211 // FNV-64 prime
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche mix.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash64 exposes the mixer for other packages that build fingerprints
+// (e.g. the explicit-state checker's state hasher).
+func Hash64(x uint64) uint64 { return mix64(x) }
+
+// Combine folds y into a running hash x (order-dependent).
+func Combine(x, y uint64) uint64 {
+	return mix64(x*1099511628211 ^ y)
+}
+
+// StateSet is a set of 64-bit state fingerprints with insertion counting,
+// used as the coverage accumulator of the exploration engines.
+type StateSet struct {
+	m map[uint64]struct{}
+}
+
+// NewStateSet returns an empty set.
+func NewStateSet() *StateSet { return &StateSet{m: make(map[uint64]struct{})} }
+
+// Add inserts s and reports whether it was new.
+func (ss *StateSet) Add(s uint64) bool {
+	if _, ok := ss.m[s]; ok {
+		return false
+	}
+	ss.m[s] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (ss *StateSet) Has(s uint64) bool {
+	_, ok := ss.m[s]
+	return ok
+}
+
+// Len returns the number of distinct states.
+func (ss *StateSet) Len() int { return len(ss.m) }

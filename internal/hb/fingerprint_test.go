@@ -1,0 +1,200 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icb/internal/sched"
+)
+
+// randomEvents builds a well-formed event sequence: per-thread indexes are
+// contiguous and global steps sequential.
+func randomEvents(rng *rand.Rand, n, threads, vars int) []sched.Event {
+	idx := make([]int, threads)
+	evs := make([]sched.Event, n)
+	for i := range evs {
+		tid := rng.Intn(threads)
+		class := sched.ClassSync
+		if rng.Intn(3) == 0 {
+			class = sched.ClassData
+		}
+		evs[i] = sched.Event{
+			TID:   sched.TID(tid),
+			Index: idx[tid],
+			Step:  i,
+			Op: sched.Op{
+				Kind:  sched.OpKind(rng.Intn(int(sched.OpExit) + 1)),
+				Var:   sched.VarID(rng.Intn(vars)),
+				Class: class,
+			},
+		}
+		idx[tid]++
+	}
+	return evs
+}
+
+func fingerprintOf(evs []sched.Event) uint64 {
+	f := NewFingerprinter(nil)
+	for _, ev := range evs {
+		f.OnEvent(ev)
+	}
+	return f.Fingerprint()
+}
+
+// independent reports whether two adjacent events commute under the HB
+// definition: different threads and not both accesses of the same sync
+// variable.
+func independent(a, b sched.Event) bool {
+	if a.TID == b.TID {
+		return false
+	}
+	if a.Op.Class == sched.ClassSync && b.Op.Class == sched.ClassSync && a.Op.Var == b.Op.Var {
+		return false
+	}
+	return true
+}
+
+// swapAdjacent returns a copy of evs with positions i and i+1 exchanged,
+// re-normalizing the global step numbers (per-thread indexes are
+// unaffected because the events are by different threads).
+func swapAdjacent(evs []sched.Event, i int) []sched.Event {
+	out := append([]sched.Event(nil), evs...)
+	out[i], out[i+1] = out[i+1], out[i]
+	out[i].Step = i
+	out[i+1].Step = i + 1
+	return out
+}
+
+// TestFingerprintInvariantUnderIndependentSwap is the defining property of
+// the canonical fingerprint: exchanging adjacent independent events (an
+// equivalent interleaving) leaves it unchanged.
+func TestFingerprintInvariantUnderIndependentSwap(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		evs := randomEvents(rng, 30, 3, 4)
+		base := fingerprintOf(evs)
+		for i := 0; i+1 < len(evs); i++ {
+			if !independent(evs[i], evs[i+1]) {
+				continue
+			}
+			if fingerprintOf(swapAdjacent(evs, i)) != base {
+				t.Logf("seed %d: swap at %d changed the fingerprint", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintSensitiveToDependentSwap: exchanging adjacent accesses of
+// the same sync variable by different threads is a different happens-before
+// relation and must (modulo engineered collisions) change the fingerprint.
+func TestFingerprintSensitiveToDependentSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 500 && checked < 100; trial++ {
+		evs := randomEvents(rng, 30, 3, 3)
+		base := fingerprintOf(evs)
+		for i := 0; i+1 < len(evs); i++ {
+			a, b := evs[i], evs[i+1]
+			if a.TID == b.TID || a.Op.Class != sched.ClassSync || b.Op.Class != sched.ClassSync || a.Op.Var != b.Op.Var {
+				continue
+			}
+			if fingerprintOf(swapAdjacent(evs, i)) == base {
+				t.Fatalf("trial %d: dependent swap at %d did not change the fingerprint", trial, i)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no dependent adjacent pairs generated")
+	}
+}
+
+// TestFingerprintPrefixDistinct: distinct prefixes of one execution have
+// distinct per-step fingerprints (they are different states).
+func TestFingerprintPrefixDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	evs := randomEvents(rng, 200, 4, 5)
+	seen := map[uint64]int{}
+	f := NewFingerprinter(nil)
+	for i, ev := range evs {
+		f.OnEvent(ev)
+		fp := f.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("prefixes %d and %d collide", j, i)
+		}
+		seen[fp] = i
+	}
+}
+
+// TestFingerprintResetIsFresh: Reset must restore the initial state.
+func TestFingerprintResetIsFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	evs := randomEvents(rng, 20, 2, 3)
+	a := fingerprintOf(evs)
+	f := NewFingerprinter(nil)
+	for _, ev := range evs {
+		f.OnEvent(ev)
+	}
+	f.Reset()
+	for _, ev := range evs {
+		f.OnEvent(ev)
+	}
+	if f.Fingerprint() != a {
+		t.Fatal("fingerprint differs after Reset")
+	}
+}
+
+// TestOnStateCallback: the callback fires once per event with the current
+// fingerprint.
+func TestOnStateCallback(t *testing.T) {
+	var got []uint64
+	f := NewFingerprinter(func(s uint64) { got = append(got, s) })
+	rng := rand.New(rand.NewSource(5))
+	evs := randomEvents(rng, 10, 2, 2)
+	for _, ev := range evs {
+		f.OnEvent(ev)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("callbacks = %d, want %d", len(got), len(evs))
+	}
+	if got[len(got)-1] != f.Fingerprint() {
+		t.Fatal("last callback disagrees with Fingerprint()")
+	}
+}
+
+func TestStateSet(t *testing.T) {
+	ss := NewStateSet()
+	if !ss.Add(1) || ss.Add(1) {
+		t.Fatal("Add semantics")
+	}
+	if !ss.Has(1) || ss.Has(2) {
+		t.Fatal("Has semantics")
+	}
+	if ss.Len() != 1 {
+		t.Fatal("Len semantics")
+	}
+}
+
+// TestMixAvalanche: Hash64 must not map small inputs to small outputs
+// (quick sanity on the mixer used everywhere).
+func TestMixAvalanche(t *testing.T) {
+	prop := func(x uint64) bool {
+		h1, h2 := Hash64(x), Hash64(x^1)
+		diff := h1 ^ h2
+		bits := 0
+		for diff != 0 {
+			bits += int(diff & 1)
+			diff >>= 1
+		}
+		return bits >= 8 // flipping one input bit flips many output bits
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

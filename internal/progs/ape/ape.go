@@ -1,0 +1,303 @@
+// Package ape models APE, the Asynchronous Processing Environment of the
+// paper's §4.1: "a set of data structures and functions that provide
+// logical structure and debugging support to asynchronous multithreaded
+// code", used inside the Windows operating system. The paper's driver —
+// written by APE's implementor — has a main thread that initializes APE's
+// data structures, creates two worker threads that exercise the interface,
+// and waits for them to finish. The paper found 4 previously unknown bugs:
+// two exposed with 0 preemptions, one with 1, and one with 2 (Table 2).
+//
+// The reconstruction keeps that API shape: an environment with an activity
+// registry, a global current-activity pointer used by the debugging
+// support, work posting/draining, and completion accounting. The four
+// seeded defects reproduce the paper's bound spectrum:
+//
+//   - a miscounted shutdown handoff (ordering bug, bound 0);
+//   - a lost wakeup from signaling an auto-reset event once for two
+//     waiters (bound 0, deadlock);
+//   - a completion counter updated across a lock release (bound 1);
+//   - a corrupted current-activity debug pointer, needing both workers
+//     suspended inside their activity windows (bound 2).
+package ape
+
+import (
+	"fmt"
+
+	"icb/internal/conc"
+	"icb/internal/progs"
+	"icb/internal/sched"
+)
+
+// Variant selects which seeded defect the library carries.
+type Variant int
+
+const (
+	// Correct is the repaired environment.
+	Correct Variant = iota
+	// ShutdownMiscount: the environment's shutdown gate counts one worker
+	// instead of two, so teardown runs while the second worker is still
+	// exercising the interface. Pure ordering: 0 preemptions.
+	ShutdownMiscount
+	// LostWakeup: workers wait for the start signal on an auto-reset event
+	// that main sets only once; one worker sleeps forever. 0 preemptions,
+	// deadlock.
+	LostWakeup
+	// CompletionWindow: the completed-work counter is read and written in
+	// separate critical sections; an interleaved completion is lost. 1
+	// preemption.
+	CompletionWindow
+	// ActivityPointer: the global current-activity debug pointer is set and
+	// validated without holding the activity lock across the region; both
+	// workers must be suspended inside their windows. 2 preemptions.
+	ActivityPointer
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case ShutdownMiscount:
+		return "shutdown-miscount"
+	case LostWakeup:
+		return "lost-wakeup"
+	case CompletionWindow:
+		return "completion-window"
+	case ActivityPointer:
+		return "activity-pointer"
+	}
+	return "variant?"
+}
+
+// env is the APE environment.
+type env struct {
+	v Variant
+
+	lock        *conc.Mutex
+	initialized *conc.Var[bool]
+	activities  []*conc.Var[string] // registry slots
+	nextSlot    *conc.Var[int]
+
+	current *conc.AtomicInt // current-activity debug pointer (activity id)
+
+	posted    *conc.Var[int] // work items posted
+	completed *conc.Var[int] // work items completed
+
+	startManual *conc.Event // start gate (manual-reset in the correct version)
+	startAuto   *conc.Event // start gate (auto-reset in the LostWakeup version)
+	done        *conc.WaitGroup
+	tornDown    *conc.Var[bool]
+}
+
+const workerCount = 2
+
+// initEnv is the main thread's APE initialization.
+func initEnv(t *sched.T, v Variant, rounds int) *env {
+	e := &env{
+		v:           v,
+		lock:        conc.NewMutex(t, "ape.lock"),
+		initialized: conc.NewVar(t, "ape.initialized", false),
+		nextSlot:    conc.NewVar(t, "ape.nextSlot", 0),
+		current:     conc.NewAtomicInt(t, "ape.currentActivity", -1),
+		posted:      conc.NewVar(t, "ape.posted", 0),
+		completed:   conc.NewVar(t, "ape.completed", 0),
+		startManual: conc.NewEvent(t, "ape.start", false, false),
+		startAuto:   conc.NewEvent(t, "ape.startAuto", true, false),
+		tornDown:    conc.NewVar(t, "ape.tornDown", false),
+	}
+	gate := workerCount
+	if v == ShutdownMiscount {
+		// BUG: the shutdown gate accounts for only one worker.
+		gate = 1
+	}
+	e.done = conc.NewWaitGroup(t, "ape.done", gate)
+	for i := 0; i < workerCount*rounds; i++ {
+		e.activities = append(e.activities, conc.NewVar(t, fmt.Sprintf("ape.activity[%d]", i), ""))
+	}
+	e.initialized.Store(t, true)
+	return e
+}
+
+// start releases the workers through the start gate.
+func (e *env) start(t *sched.T) {
+	if e.v == LostWakeup {
+		// BUG: one Set of an auto-reset event wakes exactly one of the two
+		// waiting workers.
+		e.startAuto.Set(t)
+		return
+	}
+	e.startManual.Set(t)
+}
+
+// awaitStart blocks a worker until the environment is released.
+func (e *env) awaitStart(t *sched.T) {
+	if e.v == LostWakeup {
+		e.startAuto.Wait(t)
+		return
+	}
+	e.startManual.Wait(t)
+}
+
+// beginActivity registers an activity in the registry and returns its id.
+func (e *env) beginActivity(t *sched.T, name string) int {
+	e.lock.Lock(t)
+	t.Assert(e.initialized.Load(t), "APE used before initialization")
+	t.Assert(!e.tornDown.Load(t), "beginActivity after teardown")
+	id := e.nextSlot.Load(t)
+	e.nextSlot.Store(t, id+1)
+	e.activities[id].Store(t, name)
+	e.lock.Unlock(t)
+	return id
+}
+
+// enter makes the activity current and validates the debugging pointer —
+// the "logical structure" support. In the correct version the lock is held
+// across the set-validate region; the ActivityPointer variant publishes
+// and validates without it.
+func (e *env) enter(t *sched.T, id int) {
+	if e.v == ActivityPointer {
+		// BUG: the save/publish/validate/restore region runs without the
+		// lock. A nested usurpation self-heals (the restore puts the outer
+		// value back), so corrupting the pointer needs the two workers'
+		// regions to genuinely interleave: each must be suspended inside
+		// its window — two preemptions.
+		prev := e.current.Load(t)
+		e.current.Store(t, int64(id))
+		e.workStep(t)
+		got := e.current.Load(t)
+		t.Assert(got == int64(id), "current-activity pointer corrupted: have %d, want %d", got, id)
+		e.current.Store(t, prev)
+		return
+	}
+	e.lock.Lock(t)
+	prev := e.current.Load(t)
+	e.current.Store(t, int64(id))
+	e.workStep(t)
+	got := e.current.Load(t)
+	t.Assert(got == int64(id), "current-activity pointer corrupted: have %d, want %d", got, id)
+	e.current.Store(t, prev)
+	e.lock.Unlock(t)
+}
+
+// workStep models the body of an asynchronous operation: one
+// synchronization access on the environment.
+func (e *env) workStep(t *sched.T) {
+	e.current.Load(t)
+}
+
+// postWork accounts one posted item.
+func (e *env) postWork(t *sched.T) {
+	e.lock.Lock(t)
+	e.posted.Update(t, func(n int) int { return n + 1 })
+	e.lock.Unlock(t)
+}
+
+// completeWork accounts one completed item.
+func (e *env) completeWork(t *sched.T) {
+	if e.v == CompletionWindow {
+		// BUG: the counter's read and write are in separate critical
+		// sections; a completion between them is lost.
+		e.lock.Lock(t)
+		n := e.completed.Load(t)
+		e.lock.Unlock(t)
+		e.lock.Lock(t)
+		e.completed.Store(t, n+1)
+		e.lock.Unlock(t)
+		return
+	}
+	e.lock.Lock(t)
+	e.completed.Update(t, func(n int) int { return n + 1 })
+	e.lock.Unlock(t)
+}
+
+// endActivity clears the registry slot.
+func (e *env) endActivity(t *sched.T, id int) {
+	e.lock.Lock(t)
+	t.Assert(!e.tornDown.Load(t), "endActivity after teardown")
+	e.activities[id].Store(t, "")
+	e.lock.Unlock(t)
+}
+
+// teardown frees the environment after the workers are (supposedly) done.
+func (e *env) teardown(t *sched.T) {
+	e.lock.Lock(t)
+	e.tornDown.Store(t, true)
+	e.lock.Unlock(t)
+}
+
+// worker exercises the APE interface: register an activity, enter it, post
+// and complete work, unregister.
+func (e *env) worker(t *sched.T, name string, rounds int) {
+	e.awaitStart(t)
+	for r := 0; r < rounds; r++ {
+		id := e.beginActivity(t, name)
+		e.enter(t, id)
+		e.postWork(t)
+		e.completeWork(t)
+		e.endActivity(t, id)
+	}
+	e.done.Done(t)
+}
+
+// Params sizes the driver.
+type Params struct {
+	// Rounds is the number of begin/enter/post/complete/end rounds per
+	// worker (default 1).
+	Rounds int
+}
+
+func (p *Params) fill() {
+	if p.Rounds <= 0 {
+		p.Rounds = 1
+	}
+}
+
+// Program builds the paper's driver: main initializes APE, creates two
+// workers, releases them, waits, and tears the environment down, then
+// checks the accounting invariants.
+func Program(v Variant, p Params) sched.Program {
+	p.fill()
+	return func(t *sched.T) {
+		e := initEnv(t, v, p.Rounds)
+		w1 := t.Go("worker1", func(t *sched.T) { e.worker(t, "scan", p.Rounds) })
+		w2 := t.Go("worker2", func(t *sched.T) { e.worker(t, "flush", p.Rounds) })
+		e.start(t)
+		e.done.Wait(t)
+		e.teardown(t)
+		t.Join(w1)
+		t.Join(w2)
+		want := workerCount * p.Rounds
+		t.Assert(e.posted.Load(t) == want, "posted %d of %d", e.posted.Load(t), want)
+		t.Assert(e.completed.Load(t) == want, "completed %d of %d", e.completed.Load(t), want)
+	}
+}
+
+// Benchmark returns the APE row of Tables 1 and 2: four previously unknown
+// bugs at bounds 0, 0, 1 and 2.
+func Benchmark() *progs.Benchmark {
+	mk := func(v Variant, bound int, kind, desc string) progs.BugInfo {
+		return progs.BugInfo{
+			ID:          v.String(),
+			Description: desc,
+			Bound:       bound,
+			Kind:        kind,
+			Program:     Program(v, Params{}),
+		}
+	}
+	return &progs.Benchmark{
+		Name:    "APE",
+		LOC:     302,
+		Threads: 3,
+		Correct: Program(Correct, Params{}),
+		Bugs: []progs.BugInfo{
+			mk(ShutdownMiscount, 0, "assertion failure",
+				"the shutdown gate counts one worker instead of two; teardown runs while the second worker still uses the interface"),
+			mk(LostWakeup, 0, "deadlock",
+				"the start gate is an auto-reset event set once; the second waiting worker sleeps forever"),
+			mk(CompletionWindow, 1, "assertion failure",
+				"the completed-work counter is read and written in separate critical sections; an interleaved completion is lost"),
+			mk(ActivityPointer, 2, "assertion failure",
+				"the current-activity debug pointer is published and validated without the lock; corrupting it needs both workers inside their windows"),
+		},
+	}
+}

@@ -1,0 +1,57 @@
+package ape
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/progs/progtest"
+	"icb/internal/sched"
+)
+
+func TestBugsAtDocumentedBounds(t *testing.T) {
+	progtest.AssertBenchmark(t, Benchmark())
+}
+
+func TestCorrectVariantExhaustive(t *testing.T) {
+	res := progtest.AssertCorrect(t, Benchmark().Correct, -1)
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
+}
+
+func TestThreadCount(t *testing.T) {
+	b := Benchmark()
+	if got := progtest.ThreadCount(b.Correct); got != b.Threads {
+		t.Fatalf("threads = %d, want %d", got, b.Threads)
+	}
+}
+
+func TestTwoRoundsStillCorrectAtBoundOne(t *testing.T) {
+	prog := Program(Correct, Params{Rounds: 2})
+	opt := core.Options{MaxPreemptions: 1, CheckRaces: true, StateCache: true}
+	res := core.Explore(prog, core.ICB{}, opt)
+	if len(res.Bugs) != 0 {
+		t.Fatalf("unexpected bug: %v", res.Bugs[0].String())
+	}
+	if res.BoundCompleted != 1 {
+		t.Fatalf("bound not completed: %d", res.BoundCompleted)
+	}
+}
+
+func TestAccountingSingleThreaded(t *testing.T) {
+	out := sched.Run(Program(Correct, Params{Rounds: 3}), sched.FirstEnabled{}, sched.Config{})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status: %v", out)
+	}
+}
+
+func TestActivityPointerBugNeedsInterleavedWindows(t *testing.T) {
+	// The save/restore discipline makes a nested usurpation self-heal: a
+	// complete bound-1 search finds nothing, which is exactly why the
+	// paper's hardest APE bug needed 2 preemptions.
+	opt := core.Options{MaxPreemptions: 1, CheckRaces: true}
+	res := core.Explore(Program(ActivityPointer, Params{}), core.ICB{}, opt)
+	if len(res.Bugs) != 0 {
+		t.Fatalf("activity-pointer fired below bound 2: %v", res.Bugs[0].String())
+	}
+}

@@ -1,0 +1,137 @@
+// Package bluetooth models the sample Bluetooth Plug-and-Play driver of
+// the paper (§4.1), the classic stopping-driver example of Qadeer & Wu
+// (KISS, PLDI 2004). The driver tracks in-flight I/O with a pending
+// counter; stopping the driver must wait until all I/O has drained.
+//
+// The seeded bug is the original one: a worker checks the stopping flag
+// and is preempted before incrementing the pending-I/O counter; the
+// stopper then drains, completes the stop, and frees driver state; the
+// resumed worker touches the stopped driver. One preemption exposes it
+// (Table 2: 1 bug at bound 1).
+package bluetooth
+
+import (
+	"icb/internal/conc"
+	"icb/internal/progs"
+	"icb/internal/sched"
+)
+
+// extension is the driver's device extension.
+type extension struct {
+	pendingIO     *conc.AtomicInt // in-flight I/O count, starts at 1 (the driver's own reference)
+	stoppingFlag  *conc.Var[bool] // set when a stop has been requested
+	stoppingEvent *conc.Event     // signaled when pendingIO drains to zero
+	stopped       *conc.Var[bool] // set after the stop completes; I/O beyond this point is a bug
+	stateLock     *conc.Mutex     // protects stoppingFlag/stopped
+}
+
+func newExtension(t *sched.T) *extension {
+	return &extension{
+		pendingIO:     conc.NewAtomicInt(t, "bt.pendingIo", 1),
+		stoppingFlag:  conc.NewVar(t, "bt.stoppingFlag", false),
+		stoppingEvent: conc.NewEvent(t, "bt.stoppingEvent", false, false),
+		stopped:       conc.NewVar(t, "bt.stopped", false),
+		stateLock:     conc.NewMutex(t, "bt.stateLock"),
+	}
+}
+
+// ioIncrement registers a new I/O against the driver. In the buggy variant
+// the stopping flag is checked before the counter is incremented, leaving
+// a preemption window between check and increment. The correct variant
+// increments first and re-checks afterwards (the published fix).
+func (e *extension) ioIncrement(t *sched.T, buggy bool) bool {
+	if buggy {
+		e.stateLock.Lock(t)
+		stopping := e.stoppingFlag.Load(t)
+		e.stateLock.Unlock(t)
+		if stopping {
+			return false
+		}
+		// BUG: preempting here lets the stopper drain and complete.
+		e.pendingIO.Add(t, 1)
+		return true
+	}
+	e.pendingIO.Add(t, 1)
+	e.stateLock.Lock(t)
+	stopping := e.stoppingFlag.Load(t)
+	e.stateLock.Unlock(t)
+	if stopping {
+		e.ioDecrement(t)
+		return false
+	}
+	return true
+}
+
+// ioDecrement completes one I/O; the last completion signals the stopper.
+func (e *extension) ioDecrement(t *sched.T) {
+	if e.pendingIO.Add(t, -1) == 0 {
+		e.stoppingEvent.Set(t)
+	}
+}
+
+// worker models BCSP_PnpAdd: a dispatch routine racing with the stop.
+func (e *extension) worker(t *sched.T, buggy bool) {
+	if !e.ioIncrement(t, buggy) {
+		return
+	}
+	// Perform the I/O: the driver must still be live here.
+	e.stateLock.Lock(t)
+	isStopped := e.stopped.Load(t)
+	e.stateLock.Unlock(t)
+	t.Assert(!isStopped, "worker touched the driver after PnP stop completed")
+	e.ioDecrement(t)
+}
+
+// stopper models BCSP_PnpStop: request the stop, drop the driver's own
+// reference, wait for in-flight I/O to drain, and mark the driver stopped.
+func (e *extension) stopper(t *sched.T) {
+	e.stateLock.Lock(t)
+	e.stoppingFlag.Store(t, true)
+	e.stateLock.Unlock(t)
+	e.ioDecrement(t)
+	e.stoppingEvent.Wait(t)
+	e.stateLock.Lock(t)
+	e.stopped.Store(t, true)
+	e.stateLock.Unlock(t)
+}
+
+// program builds the three-thread driver of the paper: the main thread
+// acts as the stopper while two workers submit I/O. The stop is issued
+// only after the workers have started ("the driver being stopped when
+// worker threads are performing operations", §4.1), which is what lets a
+// single preemption — inside a worker's check/increment window — expose
+// the bug.
+func program(buggy bool) sched.Program {
+	return func(t *sched.T) {
+		e := newExtension(t)
+		started := conc.NewEvent(t, "bt.workersStarted", false, false)
+		work := func(t *sched.T) {
+			started.Set(t)
+			e.worker(t, buggy)
+		}
+		w1 := t.Go("worker1", work)
+		w2 := t.Go("worker2", work)
+		started.Wait(t)
+		e.stopper(t)
+		t.Join(w1)
+		t.Join(w2)
+	}
+}
+
+// Benchmark returns the Bluetooth row of Table 1/2.
+func Benchmark() *progs.Benchmark {
+	return &progs.Benchmark{
+		Name:      "Bluetooth",
+		LOC:       136,
+		Threads:   3,
+		Correct:   program(false),
+		KnownBugs: true,
+		Bugs: []progs.BugInfo{{
+			ID:          "stop-window",
+			Description: "worker checks stoppingFlag, is preempted before registering its I/O; the stop drains and completes; the worker then touches the stopped driver",
+			Bound:       1,
+			Kind:        "assertion failure",
+			Program:     program(true),
+		}},
+	}
+}

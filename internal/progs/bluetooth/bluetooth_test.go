@@ -1,0 +1,35 @@
+package bluetooth
+
+import (
+	"testing"
+
+	"icb/internal/progs/progtest"
+	"icb/internal/sched"
+)
+
+func TestBugAtDocumentedBound(t *testing.T) {
+	progtest.AssertBenchmark(t, Benchmark())
+}
+
+func TestCorrectVariantExhaustive(t *testing.T) {
+	res := progtest.AssertCorrect(t, Benchmark().Correct, -1)
+	if res.Executions == 0 || res.States == 0 {
+		t.Fatalf("empty exploration: %+v", res)
+	}
+}
+
+func TestThreadCount(t *testing.T) {
+	b := Benchmark()
+	if got := progtest.ThreadCount(b.Correct); got != b.Threads {
+		t.Fatalf("threads = %d, want %d", got, b.Threads)
+	}
+}
+
+func TestCorrectTerminatesOnEverySchedule(t *testing.T) {
+	// The stopper must never wait forever: exhaustive search found no
+	// deadlocks, and the canonical execution terminates.
+	out := sched.Run(Benchmark().Correct, sched.FirstEnabled{}, sched.Config{})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status: %v", out)
+	}
+}

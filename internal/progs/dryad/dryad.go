@@ -1,0 +1,311 @@
+// Package dryad models the shared-memory channel library of Dryad (Isard
+// et al.), the largest benchmark of the paper (§4.1). A channel reader
+// owns worker threads that process items from a work queue; closing the
+// channel sends each worker a STOP item, and deleting the channel frees
+// its state. The paper found 5 previously unknown bugs here: one exposed
+// with 0 preemptions and four with 1 (Table 2), including the
+// use-after-free of Figure 3, whose trace needs 1 preempting and 6
+// nonpreempting context switches.
+//
+// The reconstruction keeps the protocol shape: a five-thread driver (main,
+// a producer, two channel workers, and a stats monitor), a close/delete
+// lifecycle, a drain handoff, and a critical section (m_baseCS) guarding
+// channel state. "Freeing" the channel sets a freed flag held in a
+// synchronization cell (the allocator's metadata, not program data — so
+// the data-race detector does not see the crash coming, just as a real
+// deallocation is invisible until the access faults); any later touch of
+// channel state asserts against it, modeling the crash.
+package dryad
+
+import (
+	"icb/internal/conc"
+	"icb/internal/progs"
+	"icb/internal/sched"
+)
+
+// Variant selects which seeded defect the library carries.
+type Variant int
+
+const (
+	// Correct is the repaired protocol.
+	Correct Variant = iota
+	// CloseNoWait: Close returns without waiting for the workers to drain;
+	// deleting the channel then races with normal item processing. Exposed
+	// with 0 preemptions.
+	CloseNoWait
+	// AlertWindow is the Figure 3 bug: a stopping worker reports itself
+	// finished before calling AlertApplication, so Close can return — and
+	// the channel be deleted — while the worker is about to enter m_baseCS.
+	AlertWindow
+	// StatsLostUpdate: the per-item statistics update releases statsCS
+	// between reading and writing the counter; an interleaved update by the
+	// other worker is lost.
+	StatsLostUpdate
+	// HandoffLostDecrement: the last-worker-out handoff reads and writes
+	// the active-worker count non-atomically; a lost decrement means the
+	// drained event is never signaled and Close deadlocks.
+	HandoffLostDecrement
+	// LockInversion: the stats monitor takes statsCS then m_baseCS while a
+	// worker takes m_baseCS then statsCS.
+	LockInversion
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case CloseNoWait:
+		return "close-no-wait"
+	case AlertWindow:
+		return "alert-window"
+	case StatsLostUpdate:
+		return "stats-lost-update"
+	case HandoffLostDecrement:
+		return "handoff-lost-decrement"
+	case LockInversion:
+		return "lock-inversion"
+	}
+	return "variant?"
+}
+
+// item is a work-queue entry; Stop tells a worker to shut down.
+type item struct {
+	Stop    bool
+	Payload int
+}
+
+// channel is the RChannelReaderImpl model.
+type channel struct {
+	v Variant
+
+	queue   *conc.Queue[item]
+	baseCS  *conc.Mutex // m_baseCS of Figure 3
+	statsCS *conc.Mutex
+
+	freed     *conc.AtomicInt // nonzero once deleted (allocator state)
+	processed *conc.Var[int]  // items processed, guarded by baseCS
+	alerts    *conc.Var[int]  // application alerts delivered, guarded by baseCS
+	statItems *conc.Var[int]  // monitor-visible counter, guarded by statsCS
+
+	active  *conc.AtomicInt // workers not yet drained
+	drained *conc.Event     // set by the last worker out
+	workers []*sched.T
+}
+
+const workerCount = 2
+
+// newChannel allocates the channel and spawns its worker threads, as the
+// RChannelReaderImpl constructor does.
+func newChannel(t *sched.T, v Variant) *channel {
+	c := &channel{
+		v:         v,
+		queue:     conc.NewQueue[item](t, "dryad.queue", 0),
+		baseCS:    conc.NewMutex(t, "dryad.m_baseCS"),
+		statsCS:   conc.NewMutex(t, "dryad.statsCS"),
+		freed:     conc.NewAtomicInt(t, "dryad.freed", 0),
+		processed: conc.NewVar(t, "dryad.processed", 0),
+		alerts:    conc.NewVar(t, "dryad.alerts", 0),
+		statItems: conc.NewVar(t, "dryad.statItems", 0),
+		active:    conc.NewAtomicInt(t, "dryad.activeWorkers", workerCount),
+		drained:   conc.NewEvent(t, "dryad.drained", false, false),
+	}
+	for i := 0; i < workerCount; i++ {
+		c.workers = append(c.workers, t.Go("worker", c.workerLoop))
+	}
+	return c
+}
+
+// touch models dereferencing channel state: fatal after delete.
+func (c *channel) touch(t *sched.T, what string) {
+	t.Assert(c.freed.Load(t) == 0, "use after free: %s on deleted channel", what)
+}
+
+// alertApplication is the function of Figure 3. The preemption window of
+// the bug is right before the critical-section entry.
+func (c *channel) alertApplication(t *sched.T) {
+	c.baseCS.Lock(t)
+	c.touch(t, "AlertApplication")
+	c.alerts.Update(t, func(n int) int { return n + 1 })
+	c.baseCS.Unlock(t)
+}
+
+// workerDone is the last-worker-out handoff.
+func (c *channel) workerDone(t *sched.T) {
+	if c.v == HandoffLostDecrement {
+		// BUG: non-atomic read-modify-write of the active-worker count.
+		n := c.active.Load(t)
+		c.active.Store(t, n-1)
+		if n-1 == 0 {
+			c.drained.Set(t)
+		}
+		return
+	}
+	if c.active.Add(t, -1) == 0 {
+		c.drained.Set(t)
+	}
+}
+
+// workerLoop processes items until it receives a STOP.
+func (c *channel) workerLoop(t *sched.T) {
+	for {
+		it, ok := c.queue.Recv(t)
+		if !ok {
+			return
+		}
+		if it.Stop {
+			if c.v == AlertWindow {
+				// BUG (Figure 3): the worker reports itself done before
+				// alerting the application, so Close stops waiting while
+				// this worker still holds a reference to the channel.
+				c.workerDone(t)
+				c.alertApplication(t)
+			} else {
+				c.alertApplication(t)
+				c.workerDone(t)
+			}
+			return
+		}
+		c.process(t, it)
+	}
+}
+
+// process handles one data item under the base critical section, then
+// publishes it to the monitor's statistics.
+func (c *channel) process(t *sched.T, it item) {
+	c.baseCS.Lock(t)
+	c.touch(t, "ProcessItem")
+	c.processed.Update(t, func(n int) int { return n + 1 })
+	if c.v == LockInversion {
+		// BUG: nested acquisition opposite to the monitor's order.
+		c.statsCS.Lock(t)
+		c.statItems.Update(t, func(n int) int { return n + 1 })
+		c.statsCS.Unlock(t)
+		c.baseCS.Unlock(t)
+		return
+	}
+	c.baseCS.Unlock(t)
+	if c.v == StatsLostUpdate {
+		// BUG: the read and the write of the counter sit in separate
+		// critical sections; an update between them is lost.
+		c.statsCS.Lock(t)
+		n := c.statItems.Load(t)
+		c.statsCS.Unlock(t)
+		c.statsCS.Lock(t)
+		c.statItems.Store(t, n+1)
+		c.statsCS.Unlock(t)
+		return
+	}
+	c.statsCS.Lock(t)
+	c.statItems.Update(t, func(n int) int { return n + 1 })
+	c.statsCS.Unlock(t)
+}
+
+// readStats is the monitor's snapshot.
+func (c *channel) readStats(t *sched.T) int {
+	if c.v == LockInversion {
+		c.statsCS.Lock(t)
+		c.baseCS.Lock(t)
+		n := c.statItems.Load(t)
+		c.baseCS.Unlock(t)
+		c.statsCS.Unlock(t)
+		return n
+	}
+	c.statsCS.Lock(t)
+	n := c.statItems.Load(t)
+	c.statsCS.Unlock(t)
+	return n
+}
+
+// close sends STOP to every worker and (except in CloseNoWait) waits for
+// the drain handoff.
+func (c *channel) close(t *sched.T) {
+	for i := 0; i < workerCount; i++ {
+		c.queue.Send(t, item{Stop: true})
+	}
+	if c.v == CloseNoWait {
+		// BUG: no drain wait at all ("wrong assumption that channel.Close()
+		// waits for worker threads to be finished", Figure 3).
+		return
+	}
+	c.drained.Wait(t)
+}
+
+// delete frees the channel. Any later touch of its state asserts.
+func (c *channel) delete(t *sched.T) {
+	c.freed.Store(t, 1)
+}
+
+// Params sizes the driver.
+type Params struct {
+	// Items is the number of data items the producer sends (default 2).
+	Items int
+}
+
+func (p *Params) fill() {
+	if p.Items <= 0 {
+		p.Items = 2
+	}
+}
+
+// Program builds the five-thread driver: main creates the channel (which
+// spawns two workers), a producer feeds it, a monitor polls statistics,
+// and main closes and deletes the channel — the TestChannel flow of
+// Figure 3 — then checks the channel's final accounting.
+func Program(v Variant, p Params) sched.Program {
+	p.fill()
+	return func(t *sched.T) {
+		c := newChannel(t, v)
+		producer := t.Go("producer", func(t *sched.T) {
+			for i := 0; i < p.Items; i++ {
+				c.queue.Send(t, item{Payload: i})
+			}
+		})
+		monitor := t.Go("monitor", func(t *sched.T) {
+			n := c.readStats(t)
+			t.Assert(n >= 0 && n <= p.Items, "stats out of range: %d", n)
+		})
+		t.Join(producer)
+		c.close(t)
+		c.delete(t)
+		t.Join(monitor)
+		for _, w := range c.workers {
+			t.Join(w)
+		}
+		t.Assert(c.processed.Load(t) == p.Items, "processed %d of %d items", c.processed.Load(t), p.Items)
+		t.Assert(c.alerts.Load(t) == workerCount, "delivered %d of %d alerts", c.alerts.Load(t), workerCount)
+		t.Assert(c.statItems.Load(t) == p.Items, "stats counted %d of %d items", c.statItems.Load(t), p.Items)
+	}
+}
+
+// Benchmark returns the Dryad row of Tables 1 and 2: five previously
+// unknown bugs, one at bound 0 and four at bound 1.
+func Benchmark() *progs.Benchmark {
+	mk := func(v Variant, bound int, kind, desc string) progs.BugInfo {
+		return progs.BugInfo{
+			ID:          v.String(),
+			Description: desc,
+			Bound:       bound,
+			Kind:        kind,
+			Program:     Program(v, Params{}),
+		}
+	}
+	return &progs.Benchmark{
+		Name:    "Dryad Channels",
+		LOC:     310,
+		Threads: 5,
+		Correct: Program(Correct, Params{}),
+		Bugs: []progs.BugInfo{
+			mk(CloseNoWait, 0, "assertion failure",
+				"Close does not wait for the workers to drain; delete races with normal processing"),
+			mk(AlertWindow, 1, "assertion failure",
+				"Figure 3: worker reports completion before AlertApplication; a preemption before EnterCriticalSection lets main delete the channel"),
+			mk(StatsLostUpdate, 1, "assertion failure",
+				"the stats counter's read and write sit in separate critical sections; an interleaved update is lost"),
+			mk(HandoffLostDecrement, 1, "deadlock",
+				"non-atomic decrement of the active-worker count loses a handoff; the drained event is never set"),
+			mk(LockInversion, 1, "deadlock",
+				"worker takes m_baseCS then statsCS while the monitor takes statsCS then m_baseCS"),
+		},
+	}
+}

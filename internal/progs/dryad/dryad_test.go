@@ -1,0 +1,84 @@
+package dryad
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/progs/progtest"
+	"icb/internal/sched"
+)
+
+func TestBugsAtDocumentedBounds(t *testing.T) {
+	progtest.AssertBenchmark(t, Benchmark())
+}
+
+func TestCorrectVariantBounded(t *testing.T) {
+	// The full Dryad state space is out of reach (as in the paper); verify
+	// the correct variant through bound 2 with the work-item cache.
+	res := progtest.AssertCorrect(t, Benchmark().Correct, 2)
+	if res.Executions == 0 {
+		t.Fatal("no executions")
+	}
+}
+
+func TestThreadCount(t *testing.T) {
+	b := Benchmark()
+	if got := progtest.ThreadCount(b.Correct); got != b.Threads {
+		t.Fatalf("threads = %d, want %d", got, b.Threads)
+	}
+}
+
+func TestFigure3TraceShape(t *testing.T) {
+	// The paper reports the Figure 3 bug trace as 1 preempting plus 6
+	// nonpreempting context switches. Check the preemption count exactly
+	// and the nonpreempting count's order of magnitude.
+	opt := core.Options{MaxPreemptions: 1, CheckRaces: true, StopOnFirstBug: true}
+	res := core.Explore(Program(AlertWindow, Params{}), core.ICB{}, opt)
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("Figure 3 bug not found")
+	}
+	if bug.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", bug.Preemptions)
+	}
+	nonpreempting := bug.ContextSwitches - bug.Preemptions
+	if nonpreempting < 4 {
+		t.Fatalf("nonpreempting switches = %d; the Figure 3 trace shape needs several", nonpreempting)
+	}
+}
+
+func TestFigure3Replay(t *testing.T) {
+	opt := core.Options{MaxPreemptions: 1, CheckRaces: true, StopOnFirstBug: true}
+	res := core.Explore(Program(AlertWindow, Params{}), core.ICB{}, opt)
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("bug not found")
+	}
+	out := sched.Run(Program(AlertWindow, Params{}),
+		&sched.ReplayController{Prefix: bug.Schedule, Tail: sched.FirstEnabled{}},
+		sched.Config{})
+	if out.Status != sched.StatusAssertFailed {
+		t.Fatalf("replay gave %v", out)
+	}
+}
+
+func TestChannelProcessesAllItemsSingleThreaded(t *testing.T) {
+	// Functional check under the canonical schedule: all items processed,
+	// all alerts delivered, accounting consistent.
+	out := sched.Run(Program(Correct, Params{Items: 3}), sched.FirstEnabled{}, sched.Config{})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status: %v", out)
+	}
+}
+
+func TestMoreItemsStillCorrectAtBoundOne(t *testing.T) {
+	prog := Program(Correct, Params{Items: 3})
+	opt := core.Options{MaxPreemptions: 1, CheckRaces: true, StateCache: true}
+	res := core.Explore(prog, core.ICB{}, opt)
+	if len(res.Bugs) != 0 {
+		t.Fatalf("unexpected bug: %v", res.Bugs[0].String())
+	}
+	if res.BoundCompleted != 1 {
+		t.Fatalf("bound not completed: %d", res.BoundCompleted)
+	}
+}

@@ -1,0 +1,154 @@
+// Package fsmodel is the simplified file-system model of the paper's §4.1,
+// derived from Figure 7 of Flanagan & Godefroid, "Dynamic partial-order
+// reduction for model checking software" (POPL 2005): processes create
+// files, allocating inodes and disk blocks, with each inode and block
+// protected by its own lock.
+//
+// The model is correct (the paper uses it only for the coverage experiment
+// of Figure 4, where 4 preemptions suffice to cover its entire state
+// space); we additionally seed one variant whose block allocation forgets
+// the block lock, giving a 1-preemption double allocation for Table 2-style
+// validation of the harness itself.
+package fsmodel
+
+import (
+	"fmt"
+
+	"icb/internal/conc"
+	"icb/internal/progs"
+	"icb/internal/sched"
+)
+
+// Params sizes the model. The paper's original uses 32 inodes and 64
+// blocks with up to 26 threads; the checker-friendly driver scales down,
+// keeping the contention structure (two processes per inode, overlapping
+// block ranges).
+type Params struct {
+	// Inodes is the number of inodes (default 2).
+	Inodes int
+	// Blocks is the number of disk blocks (default 4).
+	Blocks int
+	// Procs is the number of file-creating processes (default 3).
+	Procs int
+}
+
+func (p *Params) fill() {
+	if p.Inodes <= 0 {
+		p.Inodes = 2
+	}
+	if p.Blocks <= 0 {
+		// Two blocks make the two inodes' allocation ranges overlap
+		// (i*2 mod 2 == 0 for both), the contention the model is about.
+		p.Blocks = 2
+	}
+	if p.Procs <= 0 {
+		p.Procs = 3
+	}
+}
+
+type fs struct {
+	p        Params
+	lockI    []*conc.Mutex
+	lockB    []*conc.Mutex
+	inode    []*conc.Int // 0 = free, otherwise allocated block+1
+	busy     []*conc.Var[bool]
+	lockless bool // seeded bug: skip block locks
+}
+
+func newFS(t *sched.T, p Params, lockless bool) *fs {
+	f := &fs{p: p, lockless: lockless}
+	for i := 0; i < p.Inodes; i++ {
+		f.lockI = append(f.lockI, conc.NewMutex(t, fmt.Sprintf("locki[%d]", i)))
+		f.inode = append(f.inode, conc.NewInt(t, fmt.Sprintf("inode[%d]", i), 0))
+	}
+	for b := 0; b < p.Blocks; b++ {
+		f.lockB = append(f.lockB, conc.NewMutex(t, fmt.Sprintf("lockb[%d]", b)))
+		f.busy = append(f.busy, conc.NewVar(t, fmt.Sprintf("busy[%d]", b), false))
+	}
+	return f
+}
+
+// create allocates an inode and a backing block for process pid, the loop
+// of the original Figure 7.
+func (f *fs) create(t *sched.T, pid int) {
+	i := pid % f.p.Inodes
+	f.lockI[i].Lock(t)
+	if f.inode[i].Load(t) == 0 {
+		b := (i * 2) % f.p.Blocks
+		for tries := 0; ; tries++ {
+			t.Assert(tries < f.p.Blocks, "no free blocks for inode %d", i)
+			if !f.lockless {
+				f.lockB[b].Lock(t)
+			}
+			if !f.busy[b].Load(t) {
+				f.busy[b].Store(t, true)
+				f.inode[i].Store(t, b+1)
+				if !f.lockless {
+					f.lockB[b].Unlock(t)
+				}
+				break
+			}
+			if !f.lockless {
+				f.lockB[b].Unlock(t)
+			}
+			b = (b + 1) % f.p.Blocks
+		}
+	}
+	f.lockI[i].Unlock(t)
+}
+
+// check verifies the allocation invariant: no block is referenced by two
+// inodes.
+func (f *fs) check(t *sched.T) {
+	owner := make([]int, f.p.Blocks)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i := 0; i < f.p.Inodes; i++ {
+		b := f.inode[i].Load(t)
+		if b == 0 {
+			continue
+		}
+		t.Assert(f.busy[b-1].Load(t), "inode %d references free block %d", i, b-1)
+		t.Assert(owner[b-1] == -1, "block %d allocated to inodes %d and %d", b-1, owner[b-1], i)
+		owner[b-1] = i
+	}
+}
+
+// Program builds the driver: Procs processes concurrently create files,
+// then the main thread checks the allocation invariant.
+func Program(p Params, lockless bool) sched.Program {
+	p.fill()
+	return func(t *sched.T) {
+		f := newFS(t, p, lockless)
+		var ws []*sched.T
+		for pid := 0; pid < p.Procs; pid++ {
+			ws = append(ws, t.Go(fmt.Sprintf("proc%d", pid), func(t *sched.T) {
+				f.create(t, pid)
+			}))
+		}
+		for _, w := range ws {
+			t.Join(w)
+		}
+		f.check(t)
+	}
+}
+
+// Benchmark returns the file-system-model row of Table 1. The paper found
+// no bugs in it (it is absent from Table 2); the lockless variant is our
+// own harness-validation defect.
+func Benchmark() *progs.Benchmark {
+	return &progs.Benchmark{
+		Name:    "File System Model",
+		LOC:     153,
+		Threads: 4,
+		Correct: Program(Params{}, false),
+		Bugs: []progs.BugInfo{{
+			ID:          "lockless-alloc",
+			Description: "block allocation skips the per-block lock: two processes can claim the same block (double allocation), exposed by the race detector",
+			Bound:       0,
+			Kind:        "data race",
+			Program:     Program(Params{}, true),
+		}},
+	}
+}

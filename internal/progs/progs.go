@@ -1,0 +1,55 @@
+// Package progs defines the common shape of the paper's benchmark
+// programs (§4.1, Table 1). Each benchmark lives in its own subpackage and
+// provides a correct version (used for the coverage experiments of Figures
+// 1, 2 and 4–6) plus a set of seeded bug variants (used for Table 2), each
+// annotated with the preemption bound at which the paper's checker exposed
+// it.
+package progs
+
+import "icb/internal/sched"
+
+// BugInfo describes one seeded bug variant of a benchmark.
+type BugInfo struct {
+	// ID is the variant selector within the benchmark, e.g. "stop-window".
+	ID string
+	// Description says what the defect is.
+	Description string
+	// Bound is the number of preemptions needed to expose the bug (the "c"
+	// column of Table 2 that the reproduction must match).
+	Bound int
+	// Kind is the expected bug classification when found.
+	Kind string
+	// Program is the buggy variant.
+	Program sched.Program
+}
+
+// Benchmark is one row of Table 1: a program, its driver characteristics,
+// and its bug variants.
+type Benchmark struct {
+	// Name matches the paper's benchmark name.
+	Name string
+	// LOC is the size of our reimplementation (the paper's LOC column
+	// describes the original artifacts and is not comparable).
+	LOC int
+	// Threads is the number of threads the test driver allocates (including
+	// the driver thread), the "Max Num Threads" column.
+	Threads int
+	// Correct is the bug-free version used for coverage experiments.
+	Correct sched.Program
+	// Bugs are the seeded defect variants, in Table 2 order.
+	Bugs []BugInfo
+	// KnownBugs reports whether the paper counts this benchmark's bugs as
+	// previously known (Bluetooth, WSQ, transaction manager) or previously
+	// unknown (APE, Dryad).
+	KnownBugs bool
+}
+
+// FindBug returns the bug variant with the given ID, or nil.
+func (b *Benchmark) FindBug(id string) *BugInfo {
+	for i := range b.Bugs {
+		if b.Bugs[i].ID == id {
+			return &b.Bugs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package progtest provides shared assertions for benchmark tests: that a
+// seeded bug is exposed at exactly its documented preemption bound, and
+// that a correct variant survives exhaustive (or bounded) search.
+package progtest
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/progs"
+	"icb/internal/sched"
+)
+
+// AssertBugBound checks that ICB exposes the bug at exactly bug.Bound
+// preemptions: a complete search at bound-1 finds nothing, and a search at
+// bound finds a bug of the documented kind.
+func AssertBugBound(t *testing.T, bug *progs.BugInfo) {
+	t.Helper()
+	if bug.Bound > 0 {
+		opt := core.Options{MaxPreemptions: bug.Bound - 1, CheckRaces: true}
+		res := core.Explore(bug.Program, core.ICB{}, opt)
+		if len(res.Bugs) != 0 {
+			t.Fatalf("bug %q found below its bound %d: %v", bug.ID, bug.Bound, res.Bugs[0].String())
+		}
+		if res.BoundCompleted != bug.Bound-1 {
+			t.Fatalf("bug %q: bound %d not completed (got %d)", bug.ID, bug.Bound-1, res.BoundCompleted)
+		}
+	}
+	opt := core.Options{MaxPreemptions: bug.Bound, CheckRaces: true, StopOnFirstBug: true}
+	res := core.Explore(bug.Program, core.ICB{}, opt)
+	b := res.FirstBug()
+	if b == nil {
+		t.Fatalf("bug %q not found at bound %d", bug.ID, bug.Bound)
+	}
+	if b.Preemptions != bug.Bound {
+		t.Fatalf("bug %q found with %d preemptions, documented bound %d", bug.ID, b.Preemptions, bug.Bound)
+	}
+	if got := b.Kind.String(); got != bug.Kind {
+		t.Fatalf("bug %q kind = %q (%s), want %q", bug.ID, got, b.Message, bug.Kind)
+	}
+}
+
+// AssertCorrect checks that the correct variant has no bug in any execution
+// with at most maxBound preemptions (use a negative bound for exhaustive
+// search) and that the search completed.
+func AssertCorrect(t *testing.T, prog sched.Program, maxBound int) core.Result {
+	t.Helper()
+	// Exhaustive correctness runs use the Algorithm 1 work-item table; an
+	// uncached path enumeration is astronomically larger (§3, state
+	// caching) while visiting the same states.
+	opt := core.Options{MaxPreemptions: maxBound, CheckRaces: true, StateCache: true}
+	res := core.Explore(prog, core.ICB{}, opt)
+	if len(res.Bugs) != 0 {
+		t.Fatalf("correct variant has a bug: %v (schedule %v)", res.Bugs[0].String(), res.Bugs[0].Schedule)
+	}
+	if maxBound >= 0 && res.BoundCompleted != maxBound {
+		t.Fatalf("bound %d not completed (got %d)", maxBound, res.BoundCompleted)
+	}
+	if maxBound < 0 && !res.Exhausted {
+		t.Fatal("exhaustive search did not finish")
+	}
+	return res
+}
+
+// AssertBenchmark validates every documented bug bound of a benchmark.
+func AssertBenchmark(t *testing.T, b *progs.Benchmark) {
+	t.Helper()
+	for i := range b.Bugs {
+		bug := &b.Bugs[i]
+		t.Run(bug.ID, func(t *testing.T) { AssertBugBound(t, bug) })
+	}
+}
+
+// ThreadCount runs the program once and returns the number of threads its
+// driver allocates (the Table 1 column).
+func ThreadCount(prog sched.Program) int {
+	out := sched.Run(prog, sched.FirstEnabled{}, sched.Config{})
+	return out.Threads
+}

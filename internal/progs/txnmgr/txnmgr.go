@@ -1,0 +1,264 @@
+// Package txnmgr is the transaction-manager benchmark of the paper (§4.1):
+// a component of a web-services authoring system whose in-flight
+// transactions live in a hashtable protected by fine-grained (per-slot)
+// locking. One thread performs create/commit/delete operations on
+// transactions while a timer thread flushes timed-out transactions from
+// the table. In the paper this benchmark "is a ZING model constructed
+// semi-automatically from the C# implementation"; accordingly, ours is a
+// ZML model (package zml) checked by the explicit-state checker (package
+// zing). Table 2 reports three known bugs: two exposed at preemption
+// bound 2 and one at bound 3.
+//
+// Transaction lifecycle per slot: 0 = free, 1 = active, 2 = committing,
+// 3 = flushing/deleting. The seeded defects are two-phase lock protocols
+// that publish an intermediate state and re-acquire the slot lock assuming
+// nothing moved — the check-then-act shape the paper's transaction bugs
+// have. Their minimal exposing interleavings suspend both the mutator and
+// the timer inside their windows (2 preemptions), and for the third bug an
+// additional incursion into a second window (3 preemptions).
+package txnmgr
+
+import (
+	"fmt"
+
+	"icb/internal/zml"
+)
+
+// Variant selects the seeded defect.
+type Variant int
+
+const (
+	// Correct holds the slot lock across each whole transition.
+	Correct Variant = iota
+	// CommitWindow: commit checks the slot under the lock, releases it,
+	// and re-acquires to publish "committing"; the timer's two-phase flush
+	// interleaves and its second phase finds the slot no longer in the
+	// state it published. Bound 2.
+	CommitWindow
+	// DeleteWindow: the same two-phase defect in delete vs flush. Bound 2.
+	DeleteWindow
+	// CommitTwoWindows: commit has two windows (check→prepare→finalize);
+	// corrupting the finalize invariant needs the timer inside the flush
+	// window plus a second incursion. Bound 3.
+	CommitTwoWindows
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case CommitWindow:
+		return "commit-window"
+	case DeleteWindow:
+		return "delete-window"
+	case CommitTwoWindows:
+		return "commit-two-windows"
+	}
+	return "variant?"
+}
+
+// Source returns the ZML source of the model for a variant.
+func Source(v Variant) string {
+	// commit: transition slot 0 from active to committing to free.
+	commit := `
+proc commit() {
+	acquire(slotlock[0]);
+	if (state[0] == 1) {
+		state[0] = 2;
+		state[0] = 0;
+		done = done + 1;
+	}
+	release(slotlock[0]);
+}`
+	// delete: transition slot 1 from active to free.
+	del := `
+proc delete() {
+	acquire(slotlock[1]);
+	if (state[1] == 1) {
+		state[1] = 3;
+		state[1] = 0;
+		done = done + 1;
+	}
+	release(slotlock[1]);
+}`
+	// flush: the timer frees timed-out active transactions, two-phase:
+	// mark 3 (flushing), then free, asserting its mark survived.
+	flush := `
+proc flushslot(int i) {
+	acquire(slotlock[i]);
+	if (state[i] == 1 && timedout[i] == 1) {
+		state[i] = 3;
+		release(slotlock[i]);
+		acquire(slotlock[i]);
+		assert(state[i] == 3);
+		state[i] = 0;
+		flushed = flushed + 1;
+	}
+	release(slotlock[i]);
+}`
+
+	switch v {
+	case CommitWindow:
+		// BUG: commit drops the slot lock after its check; on re-acquire it
+		// treats a concurrent "flushing" mark as still-committable ("the
+		// flush will retry later"), overwriting the timer's mark inside the
+		// timer's window. The timer's second phase asserts its mark
+		// survived.
+		commit = `
+proc commit() {
+	acquire(slotlock[0]);
+	if (state[0] == 1) {
+		release(slotlock[0]);
+		acquire(slotlock[0]);
+		if (state[0] == 1 || state[0] == 3) {
+			state[0] = 2;
+			state[0] = 0;
+			done = done + 1;
+		}
+	}
+	release(slotlock[0]);
+}`
+	case DeleteWindow:
+		// BUG: the same window in delete vs flush.
+		del = `
+proc delete() {
+	acquire(slotlock[1]);
+	if (state[1] == 1) {
+		release(slotlock[1]);
+		acquire(slotlock[1]);
+		if (state[1] == 1 || state[1] == 3) {
+			state[1] = 3;
+			state[1] = 0;
+			done = done + 1;
+		}
+	}
+	release(slotlock[1]);
+}`
+	case CommitTwoWindows:
+		// BUG: commit has two windows — publish "committing", then
+		// finalize in a third critical section asserting nothing moved —
+		// and the flush's cleanup phase claims any in-transition slot.
+		// Corrupting the finalize needs the timer's mark inside the first
+		// window and its cleanup inside the second: three preemptions.
+		commit = `
+proc commit() {
+	acquire(slotlock[0]);
+	if (state[0] == 1) {
+		release(slotlock[0]);
+		acquire(slotlock[0]);
+		if (state[0] == 1 || state[0] == 3) {
+			state[0] = 2;
+			release(slotlock[0]);
+			acquire(slotlock[0]);
+			assert(state[0] == 2);
+			state[0] = 0;
+			done = done + 1;
+		}
+	}
+	release(slotlock[0]);
+}`
+		flush = `
+proc flushslot(int i) {
+	acquire(slotlock[i]);
+	if (state[i] == 1 && timedout[i] == 1) {
+		state[i] = 3;
+		release(slotlock[i]);
+		acquire(slotlock[i]);
+		if (state[i] == 2 || state[i] == 3) {
+			state[i] = 0;
+			flushed = flushed + 1;
+		}
+	}
+	release(slotlock[i]);
+}`
+	}
+
+	return fmt.Sprintf(`
+// Transaction manager: 2 slots, per-slot locks, a mutator and a timer.
+global int state[2];     // 0 free, 1 active, 2 committing, 3 flushing
+global int timedout[2];
+global mutex slotlock[2];
+global int done;
+global int flushed;
+global int mutatorDone;
+global int timerDone;
+
+%s
+%s
+%s
+
+proc mutator() {
+	// Create both transactions, mark them timed out (the harness models
+	// the clock by setting the flag), then commit one and delete the
+	// other.
+	acquire(slotlock[0]);
+	state[0] = 1;
+	timedout[0] = 1;
+	release(slotlock[0]);
+	acquire(slotlock[1]);
+	state[1] = 1;
+	timedout[1] = 1;
+	release(slotlock[1]);
+	call commit();
+	call delete();
+	mutatorDone = 1;
+}
+
+proc timer() {
+	call flushslot(0);
+	call flushslot(1);
+	timerDone = 1;
+}
+
+proc main() {
+	spawn mutator();
+	spawn timer();
+	wait(mutatorDone == 1 && timerDone == 1);
+	// Both threads are done: every transaction must have left the table,
+	// and exactly once — by its operation or by the flush, not both.
+	atomic {
+		assert(state[0] == 0);
+		assert(state[1] == 0);
+		assert(done + flushed == 2);
+	}
+}
+`, commit, del, flush)
+}
+
+// Compile compiles the variant's model.
+func Compile(v Variant) (*zml.Program, error) {
+	return zml.Compile(Source(v))
+}
+
+// BugInfo describes one seeded bug of the ZML benchmark.
+type BugInfo struct {
+	ID          string
+	Description string
+	Bound       int
+	Variant     Variant
+}
+
+// Bugs returns the Table 2 rows of the transaction manager.
+func Bugs() []BugInfo {
+	return []BugInfo{
+		{
+			ID:          CommitWindow.String(),
+			Description: "commit rechecks nothing after re-acquiring the slot lock; the timer's two-phase flush finds its 'flushing' mark overwritten",
+			Bound:       2,
+			Variant:     CommitWindow,
+		},
+		{
+			ID:          DeleteWindow.String(),
+			Description: "the same check-then-act window in delete vs flush",
+			Bound:       2,
+			Variant:     DeleteWindow,
+		},
+		{
+			ID:          CommitTwoWindows.String(),
+			Description: "commit publishes 'committing' and finalizes in separate critical sections; corrupting the finalize needs a second incursion",
+			Bound:       3,
+			Variant:     CommitTwoWindows,
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package txnmgr
+
+import (
+	"testing"
+
+	"icb/internal/zing"
+	"icb/internal/zml"
+)
+
+func compileVariant(t *testing.T, v Variant) *zml.Program {
+	t.Helper()
+	p, err := Compile(v)
+	if err != nil {
+		t.Fatalf("compile %s: %v", v, err)
+	}
+	return p
+}
+
+func TestCorrectVariantExhaustive(t *testing.T) {
+	res := zing.CheckICB(compileVariant(t, Correct), zing.Options{MaxPreemptions: -1})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("correct model has bugs: %v", res.Bugs[0].String())
+	}
+	if !res.Exhausted {
+		t.Fatal("search not exhausted")
+	}
+	if res.States < 100 {
+		t.Fatalf("suspiciously small state space: %d", res.States)
+	}
+}
+
+func TestBugsAtDocumentedBounds(t *testing.T) {
+	for _, bug := range Bugs() {
+		t.Run(bug.ID, func(t *testing.T) {
+			p := compileVariant(t, bug.Variant)
+
+			// Complete search one bound below: clean.
+			below := zing.CheckICB(p, zing.Options{MaxPreemptions: bug.Bound - 1})
+			if len(below.Bugs) != 0 {
+				t.Fatalf("bug %q found below its bound %d: %v", bug.ID, bug.Bound, below.Bugs[0].String())
+			}
+			if below.BoundCompleted != bug.Bound-1 {
+				t.Fatalf("bound %d not completed", bug.Bound-1)
+			}
+
+			// At the bound: found, with exactly that preemption count.
+			at := zing.CheckICB(p, zing.Options{MaxPreemptions: bug.Bound, StopOnFirstBug: true})
+			b := at.FirstBug()
+			if b == nil {
+				t.Fatalf("bug %q not found at bound %d", bug.ID, bug.Bound)
+			}
+			if b.Preemptions != bug.Bound {
+				t.Fatalf("bug %q found with %d preemptions, want %d", bug.ID, b.Preemptions, bug.Bound)
+			}
+		})
+	}
+}
+
+func TestDFSAlsoFindsTheBugs(t *testing.T) {
+	for _, bug := range Bugs() {
+		res := zing.CheckDFS(compileVariant(t, bug.Variant), zing.Options{StopOnFirstBug: true})
+		if res.FirstBug() == nil {
+			t.Fatalf("DFS missed bug %q", bug.ID)
+		}
+	}
+}
+
+func TestSourcesCompile(t *testing.T) {
+	for _, v := range []Variant{Correct, CommitWindow, DeleteWindow, CommitTwoWindows} {
+		if _, err := Compile(v); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+}
+
+func TestStateSpaceSizesDiffer(t *testing.T) {
+	// Sanity: the buggy variants genuinely change the model (distinct
+	// state-space sizes or bug sets), not just labels.
+	correct := zing.CheckICB(compileVariant(t, Correct), zing.Options{MaxPreemptions: -1})
+	for _, bug := range Bugs() {
+		res := zing.CheckICB(compileVariant(t, bug.Variant), zing.Options{MaxPreemptions: -1})
+		if len(res.Bugs) == 0 {
+			t.Fatalf("%s: exhaustive search found no bug", bug.ID)
+		}
+		_ = correct
+	}
+}

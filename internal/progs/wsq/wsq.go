@@ -1,0 +1,310 @@
+// Package wsq implements the work-stealing queue benchmark of the paper
+// (§2.1, §4.1): Daan Leijen's C# implementation of the Cilk THE
+// work-stealing deque (Frigo, Leiserson & Randall, PLDI 1998) on a bounded
+// circular buffer, accessed without blocking by two threads — a victim
+// that pushes and pops at the tail, and a thief that steals from the head.
+//
+// The implementor gave the paper's authors three subtly buggy variations;
+// Table 2 reports one exposed at preemption bound 1 and two at bound 2. We
+// reconstruct that spectrum: the correct queue, plus three variants whose
+// minimal exposing executions (verified by the checker itself in the
+// package tests) need exactly 1, 2 and 2 preemptions.
+package wsq
+
+import (
+	"fmt"
+
+	"icb/internal/conc"
+	"icb/internal/progs"
+	"icb/internal/sched"
+)
+
+// Variant selects the queue implementation.
+type Variant int
+
+const (
+	// Correct is the faithful THE protocol: pop reserves the tail before
+	// examining the head, steals reserve the head under the lock, and the
+	// one-element conflict is arbitrated under the lock.
+	Correct Variant = iota
+	// PopUnreservedRead reads the head and takes the element before
+	// reserving the tail: a thief draining the queue inside that window
+	// makes the victim take an already-stolen element (1 preemption).
+	PopUnreservedRead
+	// StealUnlocked performs the whole steal — head read, tail check,
+	// element read, head commit — without the lock. Atomically it is
+	// equivalent to a locked steal, so exposing it needs the thief parked
+	// inside its read/commit window while the victim pops the same element:
+	// entering and leaving the thief's window are two preemptions.
+	StealUnlocked
+	// StealLateCommit publishes the head reservation after reading the
+	// element, with the read outside the reservation window. Exposing the
+	// resulting double take needs both threads parked mid-operation (2
+	// preemptions).
+	StealLateCommit
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case PopUnreservedRead:
+		return "pop-unreserved-read"
+	case StealUnlocked:
+		return "steal-unlocked"
+	case StealLateCommit:
+		return "steal-late-commit"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// queue is the bounded circular work-stealing deque. head and tail grow
+// monotonically; live elements occupy indexes [head, tail).
+type queue struct {
+	head  *conc.AtomicInt
+	tail  *conc.AtomicInt
+	lock  *conc.Mutex
+	elems []*conc.Var[int]
+	mask  int64
+	v     Variant
+}
+
+func newQueue(t *sched.T, size int, v Variant) *queue {
+	q := &queue{
+		head: conc.NewAtomicInt(t, "wsq.head", 0),
+		tail: conc.NewAtomicInt(t, "wsq.tail", 0),
+		lock: conc.NewMutex(t, "wsq.lock"),
+		mask: int64(size - 1),
+		v:    v,
+	}
+	for i := 0; i < size; i++ {
+		q.elems = append(q.elems, conc.NewVar(t, fmt.Sprintf("wsq.elems[%d]", i), 0))
+	}
+	return q
+}
+
+// Push appends an item at the tail (victim only). The fast path leaves one
+// slot of slack so a concurrently reserved steal can never be overwritten;
+// the slow path re-reads the head under the lock.
+func (q *queue) Push(t *sched.T, v int) bool {
+	tl := q.tail.Load(t)
+	hd := q.head.Load(t)
+	if tl-hd < q.mask {
+		q.elems[tl&q.mask].Store(t, v)
+		q.tail.Store(t, tl+1)
+		return true
+	}
+	q.lock.Lock(t)
+	hd = q.head.Load(t)
+	ok := tl-hd < q.mask+1
+	if ok {
+		q.elems[tl&q.mask].Store(t, v)
+		q.tail.Store(t, tl+1)
+	}
+	q.lock.Unlock(t)
+	return ok
+}
+
+// Pop removes the most recently pushed item (victim only).
+func (q *queue) Pop(t *sched.T) (int, bool) {
+	if q.v == PopUnreservedRead {
+		// BUG: examines the head and takes the element before reserving the
+		// tail. A thief that empties the queue between the check and the
+		// reservation has already stolen the element the victim takes.
+		tl := q.tail.Load(t)
+		hd := q.head.Load(t)
+		if hd >= tl {
+			return 0, false
+		}
+		v := q.elems[(tl-1)&q.mask].Load(t)
+		q.tail.Store(t, tl-1)
+		return v, true
+	}
+
+	// Reserve the candidate element by publishing the decremented tail
+	// before looking at the head (the T of the THE protocol).
+	tl := q.tail.Add(t, -1)
+	hd := q.head.Load(t)
+	if hd <= tl {
+		return q.elems[tl&q.mask].Load(t), true
+	}
+
+	// Conflict: a steal may have reserved the same element. Arbitrate
+	// under the lock.
+	q.lock.Lock(t)
+	hd = q.head.Load(t)
+	if hd <= tl {
+		v := q.elems[tl&q.mask].Load(t)
+		q.lock.Unlock(t)
+		return v, true
+	}
+	q.tail.Store(t, tl+1)
+	q.lock.Unlock(t)
+	return 0, false
+}
+
+// Steal removes the oldest item (thief only; the lock serializes thieves
+// and arbitrates against a conflicting pop).
+func (q *queue) Steal(t *sched.T) (int, bool) {
+	if q.v == StealUnlocked {
+		// BUG: no lock at all; the read-check-take sequence can interleave
+		// with a conflicting pop.
+		hd := q.head.Load(t)
+		tl := q.tail.Load(t)
+		if hd >= tl {
+			return 0, false
+		}
+		v := q.elems[hd&q.mask].Load(t)
+		q.head.Store(t, hd+1)
+		return v, true
+	}
+	if q.v == StealLateCommit {
+		// BUG: reads the element and only afterwards publishes the head
+		// reservation, leaving a window in which a pop of the same element
+		// succeeds.
+		q.lock.Lock(t)
+		hd := q.head.Load(t)
+		tl := q.tail.Load(t)
+		if hd >= tl {
+			q.lock.Unlock(t)
+			return 0, false
+		}
+		v := q.elems[hd&q.mask].Load(t)
+		q.head.Store(t, hd+1)
+		q.lock.Unlock(t)
+		return v, true
+	}
+
+	q.lock.Lock(t)
+	hd := q.head.Load(t)
+	q.head.Store(t, hd+1) // reserve before examining the tail
+	tl := q.tail.Load(t)
+	if hd < tl {
+		v := q.elems[hd&q.mask].Load(t)
+		q.lock.Unlock(t)
+		return v, true
+	}
+	q.head.Store(t, hd) // nothing to steal: roll back
+	q.lock.Unlock(t)
+	return 0, false
+}
+
+// Params sizes the driver.
+type Params struct {
+	// Items is the number of work items the victim pushes (default 3).
+	Items int
+	// Size is the circular buffer capacity, a power of two (default 4).
+	Size int
+	// Steals is the number of steal attempts the thief makes (default
+	// Items).
+	Steals int
+}
+
+func (p *Params) fill() {
+	if p.Items <= 0 {
+		p.Items = 3
+	}
+	if p.Size <= 0 {
+		p.Size = 4
+	}
+	if p.Steals <= 0 {
+		p.Steals = p.Items
+	}
+}
+
+// Program builds the two-thread driver of §2.1: the victim pushes Items
+// work items interleaved with pops; the thief makes Steals steal attempts.
+// At the end the driver asserts that every item was taken exactly once
+// (either popped, stolen, or still in the queue).
+func Program(v Variant, p Params) sched.Program {
+	p.fill()
+	return func(t *sched.T) {
+		q := newQueue(t, p.Size, v)
+		stolen := conc.NewVar[[]int](t, "wsq.stolen", nil)
+
+		thief := t.Go("thief", func(t *sched.T) {
+			var got []int
+			for i := 0; i < p.Steals; i++ {
+				if v, ok := q.Steal(t); ok {
+					got = append(got, v)
+				}
+			}
+			stolen.Store(t, got)
+		})
+
+		var taken []int
+		pushed := make([]bool, p.Items+1)
+		for i := 1; i <= p.Items; i++ {
+			pushed[i] = q.Push(t, i)
+			if i%2 == 0 {
+				if v, ok := q.Pop(t); ok {
+					taken = append(taken, v)
+				}
+			}
+		}
+		for {
+			v, ok := q.Pop(t)
+			if !ok {
+				break
+			}
+			taken = append(taken, v)
+		}
+		t.Join(thief)
+
+		// Drain anything the thief left behind (single-threaded now).
+		for {
+			v, ok := q.Pop(t)
+			if !ok {
+				break
+			}
+			taken = append(taken, v)
+		}
+
+		seen := make([]int, p.Items+1)
+		for _, v := range append(taken, stolen.Load(t)...) {
+			t.Assert(v >= 1 && v <= p.Items, "took garbage item %d", v)
+			t.Assert(pushed[v], "took item %d whose push failed", v)
+			seen[v]++
+			t.Assert(seen[v] == 1, "item %d taken twice", v)
+		}
+		for i := 1; i <= p.Items; i++ {
+			t.Assert(!pushed[i] || seen[i] == 1, "item %d lost", i)
+		}
+	}
+}
+
+// Benchmark returns the work-stealing-queue row of Tables 1 and 2: three
+// seeded bugs, one at bound 1 and two at bound 2.
+func Benchmark() *progs.Benchmark {
+	return &progs.Benchmark{
+		Name:      "Work Stealing Queue",
+		LOC:       309,
+		Threads:   2,
+		Correct:   Program(Correct, Params{}),
+		KnownBugs: true,
+		Bugs: []progs.BugInfo{
+			{
+				ID:          PopUnreservedRead.String(),
+				Description: "pop takes the tail element before reserving it; a thief draining the queue in the window double-takes the element",
+				Bound:       1,
+				Kind:        "assertion failure",
+				Program:     Program(PopUnreservedRead, Params{}),
+			},
+			{
+				ID:          StealUnlocked.String(),
+				Description: "the steal's read-check-take sequence is not protected by the lock; a conflicting pop inside the thief's window double-takes the element",
+				Bound:       2,
+				Kind:        "assertion failure",
+				Program:     Program(StealUnlocked, Params{}),
+			},
+			{
+				ID:          StealLateCommit.String(),
+				Description: "steal reads the element before publishing its head reservation; a conflicting pop in the window takes the same element",
+				Bound:       2,
+				Kind:        "assertion failure",
+				Program:     Program(StealLateCommit, Params{}),
+			},
+		},
+	}
+}

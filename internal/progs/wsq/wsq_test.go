@@ -1,0 +1,94 @@
+package wsq
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/progs/progtest"
+	"icb/internal/sched"
+)
+
+func TestBugsAtDocumentedBounds(t *testing.T) {
+	progtest.AssertBenchmark(t, Benchmark())
+}
+
+func TestCorrectVariantExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search of the work-stealing queue takes ~30s")
+	}
+	res := progtest.AssertCorrect(t, Benchmark().Correct, -1)
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
+}
+
+func TestThreadCount(t *testing.T) {
+	b := Benchmark()
+	if got := progtest.ThreadCount(b.Correct); got != b.Threads {
+		t.Fatalf("threads = %d, want %d", got, b.Threads)
+	}
+}
+
+func TestQueueSingleThreadedFIFOLIFOSemantics(t *testing.T) {
+	// Functional check of the deque without concurrency: pops are LIFO,
+	// steals are FIFO.
+	out := sched.Run(func(t *sched.T) {
+		q := newQueue(t, 4, Correct)
+		for i := 1; i <= 3; i++ {
+			t.Assert(q.Push(t, i), "push %d failed", i)
+		}
+		v, ok := q.Pop(t)
+		t.Assert(ok && v == 3, "pop got %d,%v want 3", v, ok)
+		v, ok = q.Steal(t)
+		t.Assert(ok && v == 1, "steal got %d,%v want 1", v, ok)
+		v, ok = q.Pop(t)
+		t.Assert(ok && v == 2, "pop got %d,%v want 2", v, ok)
+		_, ok = q.Pop(t)
+		t.Assert(!ok, "pop of empty queue succeeded")
+		_, ok = q.Steal(t)
+		t.Assert(!ok, "steal of empty queue succeeded")
+	}, sched.FirstEnabled{}, sched.Config{})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status: %v", out)
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	out := sched.Run(func(t *sched.T) {
+		q := newQueue(t, 2, Correct)
+		for round := 0; round < 3; round++ {
+			t.Assert(q.Push(t, 10+round), "push failed")
+			v, ok := q.Pop(t)
+			t.Assert(ok && v == 10+round, "round %d: got %d,%v", round, v, ok)
+		}
+	}, sched.FirstEnabled{}, sched.Config{})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status: %v", out)
+	}
+}
+
+func TestPushRespectsCapacity(t *testing.T) {
+	out := sched.Run(func(t *sched.T) {
+		q := newQueue(t, 2, Correct)
+		t.Assert(q.Push(t, 1), "first push failed")
+		t.Assert(q.Push(t, 2), "second push failed")
+		t.Assert(!q.Push(t, 3), "push into full queue succeeded")
+	}, sched.FirstEnabled{}, sched.Config{})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status: %v", out)
+	}
+}
+
+func TestCorrectLargerDriverBounded(t *testing.T) {
+	// More items than the buffer holds (slow paths + wrap-around) stays
+	// correct through bound 2.
+	prog := Program(Correct, Params{Items: 5, Size: 2, Steals: 3})
+	opt := core.Options{MaxPreemptions: 2, CheckRaces: true, StateCache: true}
+	res := core.Explore(prog, core.ICB{}, opt)
+	if len(res.Bugs) != 0 {
+		t.Fatalf("bugs in correct queue: %v", res.Bugs[0].String())
+	}
+	if res.BoundCompleted != 2 {
+		t.Fatalf("bound not completed: %d", res.BoundCompleted)
+	}
+}

@@ -1,0 +1,137 @@
+package race
+
+import (
+	"fmt"
+
+	"icb/internal/sched"
+)
+
+// Access identifies one end of a race: thread TID's Index-th step, which
+// was a write or a read.
+type Access struct {
+	TID   sched.TID
+	Index int
+	Write bool
+}
+
+// String renders e.g. "t1[4]w".
+func (a Access) String() string {
+	rw := "r"
+	if a.Write {
+		rw = "w"
+	}
+	return fmt.Sprintf("t%d[%d]%s", a.TID, a.Index, rw)
+}
+
+// Report describes one detected data race on Var between Prev and Cur
+// (Cur is the later access in execution order).
+type Report struct {
+	Var  sched.VarID
+	Prev Access
+	Cur  Access
+}
+
+// String renders the race for bug reports.
+func (r Report) String() string {
+	return fmt.Sprintf("data race on data#%d between %s and %s", r.Var, r.Prev, r.Cur)
+}
+
+// Detector is the vector-clock happens-before race detector. It observes
+// the event stream of one execution and accumulates race reports.
+type Detector struct {
+	threads []VC      // per-thread clock
+	syncVC  []VC      // per sync var: clock of its last access
+	data    []*shadow // per data var: last-write epoch and read clocks
+
+	reports []Report
+}
+
+type shadow struct {
+	lastWrite   Access
+	lastWriteVC VC
+	hasWrite    bool
+	// reads[t] is the clock of thread t's last read, with the access that
+	// produced it (for reporting).
+	readClock []uint32
+	readAt    []Access
+}
+
+// NewDetector returns a fresh detector for one execution.
+func NewDetector() *Detector { return &Detector{} }
+
+// Reset prepares the detector for a new execution.
+func (d *Detector) Reset() {
+	d.threads = d.threads[:0]
+	d.syncVC = d.syncVC[:0]
+	d.data = d.data[:0]
+	d.reports = nil
+}
+
+// Reports returns the races detected so far, in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// Racy reports whether any race was detected.
+func (d *Detector) Racy() bool { return len(d.reports) > 0 }
+
+func (d *Detector) threadVC(t sched.TID) *VC {
+	for int(t) >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	return &d.threads[t]
+}
+
+// OnEvent implements sched.Observer.
+func (d *Detector) OnEvent(ev sched.Event) {
+	t := int(ev.TID)
+	cv := d.threadVC(ev.TID)
+	cv.Tick(t)
+
+	if ev.Op.Class == sched.ClassSync {
+		// All accesses to the same sync variable are pairwise dependent, so
+		// the variable carries the clock of its last access and every access
+		// both joins it and replaces it.
+		for int(ev.Op.Var) >= len(d.syncVC) {
+			d.syncVC = append(d.syncVC, nil)
+		}
+		cv.Join(d.syncVC[ev.Op.Var])
+		d.syncVC[ev.Op.Var] = cv.Clone()
+		return
+	}
+
+	// Data access: check against the shadow state.
+	for int(ev.Op.Var) >= len(d.data) {
+		d.data = append(d.data, &shadow{})
+	}
+	sh := d.data[ev.Op.Var]
+	cur := Access{TID: ev.TID, Index: ev.Index, Write: ev.Op.Kind.IsWrite()}
+
+	if cur.Write {
+		if sh.hasWrite && !sh.lastWriteVC.LessEq(*cv) {
+			d.report(ev.Op.Var, sh.lastWrite, cur)
+		}
+		for u, c := range sh.readClock {
+			if c > 0 && u != t && c > cv.Get(u) {
+				d.report(ev.Op.Var, sh.readAt[u], cur)
+			}
+		}
+		sh.lastWrite = cur
+		sh.lastWriteVC = cv.Clone()
+		sh.hasWrite = true
+		return
+	}
+
+	// Read: races only with the last write.
+	if sh.hasWrite && !sh.lastWriteVC.LessEq(*cv) {
+		d.report(ev.Op.Var, sh.lastWrite, cur)
+	}
+	for t >= len(sh.readClock) {
+		sh.readClock = append(sh.readClock, 0)
+		sh.readAt = append(sh.readAt, Access{})
+	}
+	sh.readClock[t] = cv.Get(t)
+	sh.readAt[t] = cur
+}
+
+func (d *Detector) report(v sched.VarID, prev, cur Access) {
+	d.reports = append(d.reports, Report{Var: v, Prev: prev, Cur: cur})
+}

@@ -1,0 +1,101 @@
+package race_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icb/internal/race"
+)
+
+// genVC builds a small random clock.
+func genVC(rng *rand.Rand) race.VC {
+	var v race.VC
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		v.Set(i, uint32(rng.Intn(8)))
+	}
+	return v
+}
+
+// TestVCJoinIsLeastUpperBound: the join of two clocks is an upper bound of
+// both and below any other upper bound.
+func TestVCJoinIsLeastUpperBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := genVC(rng), genVC(rng)
+		j := a.Clone()
+		j.Join(b)
+		if !a.LessEq(j) || !b.LessEq(j) {
+			return false
+		}
+		// Any pointwise upper bound u of a and b satisfies j <= u.
+		u := a.Clone()
+		u.Join(b)
+		for i := 0; i < 5; i++ {
+			u.Set(i, u.Get(i)+uint32(rng.Intn(3)))
+		}
+		return j.LessEq(u)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVCLessEqPartialOrder: reflexive, antisymmetric (up to padding with
+// zeros), transitive.
+func TestVCLessEqPartialOrder(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := genVC(rng), genVC(rng), genVC(rng)
+		if !a.LessEq(a) {
+			return false
+		}
+		if a.LessEq(b) && b.LessEq(c) && !a.LessEq(c) {
+			return false
+		}
+		if a.LessEq(b) && b.LessEq(a) {
+			// Pointwise equal on the union of their domains.
+			for i := 0; i < 5; i++ {
+				if a.Get(i) != b.Get(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVCTickStrictlyIncreases: ticking makes a clock strictly later on its
+// own component and incomparable-or-later overall.
+func TestVCTickStrictlyIncreases(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genVC(rng)
+		i := rng.Intn(4)
+		before := a.Clone()
+		a.Tick(i)
+		return before.LessEq(a) && !a.LessEq(before)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVCConcurrentSymmetric: concurrency is symmetric and irreflexive.
+func TestVCConcurrentSymmetric(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := genVC(rng), genVC(rng)
+		if a.Concurrent(a) {
+			return false
+		}
+		return a.Concurrent(b) == b.Concurrent(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

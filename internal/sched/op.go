@@ -1,0 +1,173 @@
+// Package sched implements a deterministic cooperative scheduler for modeled
+// multithreaded programs. It is the execution substrate of the iterative
+// context bounding (ICB) model checker: every shared-variable access is an
+// explicit scheduling point, the scheduler has an exact enabled-set oracle,
+// and an execution is fully determined by the sequence of decisions made at
+// its scheduling points, so any execution can be replayed bit-for-bit.
+//
+// The model follows Musuvathi & Qadeer (PLDI 2007) §2 and Appendix A: each
+// step of a thread accesses exactly one shared variable; variables are
+// partitioned into synchronization variables and data variables; a thread's
+// first operation accesses the synchronization variable associated with the
+// thread (signaled by its parent at creation), and a thread terminates by a
+// final fictitious operation on that variable.
+package sched
+
+import "fmt"
+
+// TID identifies a modeled thread within one execution. Thread IDs are
+// assigned deterministically in spawn order, starting at 0 for the main
+// thread.
+type TID int
+
+// NoTID is the sentinel "no thread" value, used e.g. as the previous thread
+// at the very first scheduling point of an execution.
+const NoTID TID = -1
+
+// VarID identifies a shared variable (data or synchronization) within one
+// execution. IDs are assigned deterministically in allocation order.
+type VarID int32
+
+// NoVar is the sentinel "no variable" value.
+const NoVar VarID = -1
+
+// VarClass partitions shared variables into data and synchronization
+// variables, mirroring DataVar/SyncVar of the paper. Scheduling points are
+// introduced at synchronization accesses; data accesses are recorded for the
+// race detector and (optionally, see ModeEveryAccess) also made scheduling
+// points.
+type VarClass uint8
+
+const (
+	// ClassData marks an ordinary shared-memory variable.
+	ClassData VarClass = iota
+	// ClassSync marks a synchronization variable (lock, event, semaphore,
+	// interlocked cell, thread-start/exit variable, ...).
+	ClassSync
+)
+
+// String returns "data" or "sync".
+func (c VarClass) String() string {
+	if c == ClassSync {
+		return "sync"
+	}
+	return "data"
+}
+
+// OpKind classifies the operation a thread performs at a step.
+type OpKind uint8
+
+const (
+	// OpRead is a read of a shared variable.
+	OpRead OpKind = iota
+	// OpWrite is a write of a shared variable.
+	OpWrite
+	// OpAcquire acquires a synchronization resource (lock, semaphore unit).
+	OpAcquire
+	// OpRelease releases a synchronization resource.
+	OpRelease
+	// OpWait is a potentially-blocking wait on a synchronization variable.
+	OpWait
+	// OpSignal signals a synchronization variable (event set, cond signal).
+	OpSignal
+	// OpYield is a voluntary scheduling point that accesses the thread's own
+	// synchronization variable. The thread stays enabled.
+	OpYield
+	// OpSpawn is the creation of a child thread; it signals the child's
+	// thread-start variable.
+	OpSpawn
+	// OpJoin blocks until the target thread has terminated; it reads the
+	// target's thread variable.
+	OpJoin
+	// OpExit is the final fictitious operation of a thread on its own thread
+	// variable. After it commits the thread is dead and never enabled again.
+	OpExit
+)
+
+var opKindNames = [...]string{
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpAcquire: "acquire",
+	OpRelease: "release",
+	OpWait:    "wait",
+	OpSignal:  "signal",
+	OpYield:   "yield",
+	OpSpawn:   "spawn",
+	OpJoin:    "join",
+	OpExit:    "exit",
+}
+
+// String returns a short lower-case name for the kind.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", uint8(k))
+}
+
+// IsWrite reports whether the kind mutates its variable for the purpose of
+// data-race classification. Synchronization kinds are all treated as
+// dependent with one another regardless, so this matters only for
+// ClassData variables.
+func (k OpKind) IsWrite() bool {
+	switch k {
+	case OpWrite, OpAcquire, OpRelease, OpSignal, OpSpawn, OpExit:
+		return true
+	}
+	return false
+}
+
+// Blocking reports whether the kind is potentially blocking, i.e. counts
+// toward the B statistic of Table 1 (an operation whose enabledness can
+// depend on other threads).
+func (k OpKind) Blocking() bool {
+	switch k {
+	case OpAcquire, OpWait, OpJoin:
+		return true
+	}
+	return false
+}
+
+// Op describes one shared-variable access: the step granularity of the
+// model. Every scheduling point exposes the pending Op of each enabled
+// thread so that search strategies and the race detector can inspect it.
+type Op struct {
+	// Kind is the operation class.
+	Kind OpKind
+	// Var is the accessed shared variable.
+	Var VarID
+	// Class says whether Var is a data or synchronization variable.
+	Class VarClass
+}
+
+// String renders the op as e.g. "acquire sync#3".
+func (o Op) String() string {
+	return fmt.Sprintf("%s %s#%d", o.Kind, o.Class, o.Var)
+}
+
+// Event is one committed step of an execution: thread TID performed Op as
+// its Index-th step, the Step-th step of the execution overall (both
+// 0-based).
+type Event struct {
+	// TID is the executing thread.
+	TID TID
+	// Index is the per-thread step index, starting at 0.
+	Index int
+	// Step is the global step index, starting at 0.
+	Step int
+	// Op is the access performed.
+	Op Op
+}
+
+// String renders the event for traces and test failures.
+func (e Event) String() string {
+	return fmt.Sprintf("step %d: t%d[%d] %s", e.Step, e.TID, e.Index, e.Op)
+}
+
+// Observer receives every committed event of an execution, in execution
+// order. Observers run on the executing thread's goroutine but executions
+// are single-token, so no additional synchronization is needed.
+type Observer interface {
+	// OnEvent is called after each step commits.
+	OnEvent(ev Event)
+}

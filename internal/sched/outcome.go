@@ -1,0 +1,120 @@
+package sched
+
+import "fmt"
+
+// Status classifies how an execution ended.
+type Status uint8
+
+const (
+	// StatusTerminated means every thread ran to completion: the canonical
+	// "terminating execution" of the paper.
+	StatusTerminated Status = iota
+	// StatusDeadlock means at least one thread is alive but none is enabled.
+	StatusDeadlock
+	// StatusAssertFailed means a modeled assertion failed.
+	StatusAssertFailed
+	// StatusPanic means the program panicked (a modeled crash, e.g. a
+	// use-after-free trap).
+	StatusPanic
+	// StatusStopped means the controller cut the execution short (used by
+	// depth-bounded search).
+	StatusStopped
+	// StatusStepLimit means the execution exceeded Config.MaxSteps, which for
+	// a supposedly terminating program indicates a livelock.
+	StatusStepLimit
+	// StatusReplayDiverged means a ReplayController detected nondeterminism
+	// outside the scheduler's control.
+	StatusReplayDiverged
+)
+
+var statusNames = [...]string{
+	StatusTerminated:     "terminated",
+	StatusDeadlock:       "deadlock",
+	StatusAssertFailed:   "assertion failed",
+	StatusPanic:          "panic",
+	StatusStopped:        "stopped",
+	StatusStepLimit:      "step limit exceeded",
+	StatusReplayDiverged: "replay diverged",
+}
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Buggy reports whether the status indicates a bug in the program under
+// test (as opposed to normal termination or a search-imposed cut).
+func (s Status) Buggy() bool {
+	switch s {
+	case StatusDeadlock, StatusAssertFailed, StatusPanic:
+		return true
+	}
+	return false
+}
+
+// Outcome summarizes one execution. Steps/Blocking/Preemptions are the K, B
+// and c statistics of Table 1.
+type Outcome struct {
+	// Status says how the execution ended.
+	Status Status
+	// Message carries the assertion or panic message for buggy statuses.
+	Message string
+	// Steps is the total number of shared-variable accesses (K).
+	Steps int
+	// Blocking is the maximum number of potentially-blocking operations
+	// executed by any single thread (B).
+	Blocking int
+	// Preemptions is the number of preempting context switches (c), counted
+	// per Appendix A: a switch away from a still-enabled thread.
+	Preemptions int
+	// ContextSwitches is the total number of context switches, preempting or
+	// not.
+	ContextSwitches int
+	// Threads is the number of threads created.
+	Threads int
+	// Decisions is the full decision log; replaying it reproduces the
+	// execution exactly.
+	Decisions Schedule
+	// Trace is the full event log (nil unless Config.RecordTrace).
+	Trace []Event
+	// VarNames maps VarIDs to their registration names (nil unless
+	// Config.RecordTrace), for rendering traces.
+	VarNames []string
+	// ThreadNames maps TIDs to their spawn names (nil unless
+	// Config.RecordTrace).
+	ThreadNames []string
+	// PanicValue holds the recovered panic value for StatusPanic.
+	PanicValue any
+}
+
+// TraceStrings renders the trace with thread and variable names, one line
+// per event, e.g. "worker[3] acquire dryad.m_baseCS". Empty without
+// RecordTrace.
+func (o Outcome) TraceStrings() []string {
+	name := func(names []string, i int, prefix string) string {
+		if i >= 0 && i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("%s%d", prefix, i)
+	}
+	var out []string
+	for _, ev := range o.Trace {
+		out = append(out, fmt.Sprintf("t%d:%s[%d] %s %s",
+			ev.TID, name(o.ThreadNames, int(ev.TID), "t"), ev.Index,
+			ev.Op.Kind, name(o.VarNames, int(ev.Op.Var), "var#")))
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (o Outcome) String() string {
+	s := fmt.Sprintf("%s: steps=%d blocking=%d preemptions=%d switches=%d threads=%d",
+		o.Status, o.Steps, o.Blocking, o.Preemptions, o.ContextSwitches, o.Threads)
+	if o.Message != "" {
+		s += ": " + o.Message
+	}
+	return s
+}

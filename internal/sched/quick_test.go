@@ -1,0 +1,118 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icb/internal/conc"
+	"icb/internal/sched"
+)
+
+// genProgram builds a deterministic random program: a few threads doing a
+// mix of lock-protected updates, event signaling, yields and data choices.
+// It terminates on every schedule.
+func genProgram(seed int64) sched.Program {
+	return func(t *sched.T) {
+		rng := rand.New(rand.NewSource(seed))
+		m := conc.NewMutex(t, "m")
+		ev := conc.NewEvent(t, "ev", false, false)
+		x := conc.NewInt(t, "x", 0)
+		a := conc.NewAtomicInt(t, "a", 0)
+		nThreads := 2 + rng.Intn(2)
+		plans := make([][]int, nThreads)
+		for i := range plans {
+			for j := 0; j < 2+rng.Intn(3); j++ {
+				plans[i] = append(plans[i], rng.Intn(5))
+			}
+		}
+		var ws []*sched.T
+		for i := 0; i < nThreads; i++ {
+			plan := plans[i]
+			ws = append(ws, t.Go("w", func(t *sched.T) {
+				for _, op := range plan {
+					switch op {
+					case 0:
+						m.Lock(t)
+						x.Update(t, func(v int) int { return v + 1 })
+						m.Unlock(t)
+					case 1:
+						a.Add(t, 1)
+					case 2:
+						t.Yield()
+					case 3:
+						ev.Set(t)
+					case 4:
+						if t.Choose(2) == 1 {
+							a.Add(t, 10)
+						}
+					}
+				}
+			}))
+		}
+		for _, w := range ws {
+			t.Join(w)
+		}
+	}
+}
+
+// randomSchedule runs the program once under a seeded random controller
+// and returns the recorded decisions.
+type seededRandom struct{ rng *rand.Rand }
+
+func (c *seededRandom) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	return info.Enabled[c.rng.Intn(len(info.Enabled))], true
+}
+func (c *seededRandom) PickData(_ sched.TID, n int) int { return c.rng.Intn(n) }
+
+// TestReplayDeterminismQuick: for random programs under random schedules,
+// replaying the recorded decision log reproduces the execution exactly —
+// the property the whole stateless search rests on.
+func TestReplayDeterminismQuick(t *testing.T) {
+	prop := func(progSeed, schedSeed int64) bool {
+		prog := genProgram(progSeed % 1000)
+		first := sched.Run(prog, &seededRandom{rand.New(rand.NewSource(schedSeed))},
+			sched.Config{RecordTrace: true})
+		if first.Status != sched.StatusTerminated {
+			t.Logf("prog %d sched %d: %v", progSeed, schedSeed, first)
+			return false
+		}
+		replay := sched.Run(prog,
+			&sched.ReplayController{Prefix: first.Decisions, Tail: sched.FirstEnabled{}},
+			sched.Config{RecordTrace: true})
+		if replay.Status != first.Status || replay.Steps != first.Steps ||
+			replay.Preemptions != first.Preemptions ||
+			replay.ContextSwitches != first.ContextSwitches ||
+			len(replay.Trace) != len(first.Trace) {
+			return false
+		}
+		for i := range replay.Trace {
+			if replay.Trace[i] != first.Trace[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreemptionCountMatchesSwitchAccounting: on any execution,
+// preemptions <= context switches, and a FirstEnabled run has zero
+// preemptions (any state can be driven to completion without preemption —
+// the paper's §2 argument).
+func TestPreemptionCountMatchesSwitchAccounting(t *testing.T) {
+	prop := func(progSeed, schedSeed int64) bool {
+		prog := genProgram(progSeed % 1000)
+		out := sched.Run(prog, &seededRandom{rand.New(rand.NewSource(schedSeed))}, sched.Config{})
+		if out.Preemptions > out.ContextSwitches {
+			return false
+		}
+		zero := sched.Run(prog, sched.FirstEnabled{}, sched.Config{})
+		return zero.Status == sched.StatusTerminated && zero.Preemptions == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+package sched
+
+import "fmt"
+
+// Mode selects where scheduling points are introduced.
+type Mode uint8
+
+const (
+	// ModeSyncOnly introduces scheduling points only at accesses to
+	// synchronization variables; data-variable accesses commit atomically
+	// with the preceding step. This is the §3.1 reduction, sound when
+	// combined with per-execution data-race detection (Theorems 2 and 3).
+	ModeSyncOnly Mode = iota
+	// ModeEveryAccess introduces a scheduling point at every shared access,
+	// the unreduced model of §2.
+	ModeEveryAccess
+)
+
+// String returns "sync-only" or "every-access".
+func (m Mode) String() string {
+	if m == ModeEveryAccess {
+		return "every-access"
+	}
+	return "sync-only"
+}
+
+// DefaultMaxSteps bounds a single execution; exceeding it yields
+// StatusStepLimit (a livelock under the assumption that the program under
+// test terminates on every schedule, which stateless exploration requires).
+const DefaultMaxSteps = 1 << 20
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Mode selects the scheduling-point strategy (default ModeSyncOnly).
+	Mode Mode
+	// MaxSteps bounds the number of steps per execution (default
+	// DefaultMaxSteps).
+	MaxSteps int
+	// RecordTrace retains the full event log in Outcome.Trace.
+	RecordTrace bool
+	// Observers receive every committed event.
+	Observers []Observer
+}
+
+// Program is the body of the main thread of the program under test. All
+// shared state must be created inside the program (via the passed thread),
+// so that re-running the program yields a fresh, deterministic instance.
+type Program func(t *T)
+
+type tmsgKind uint8
+
+const (
+	msgParked  tmsgKind = iota // parked at a scheduling point
+	msgChoose                  // parked at a data-choice point
+	msgExited                  // committed the exit op; thread is dead
+	msgAssert                  // assertion failed
+	msgPanic                   // program panicked
+	msgAborted                 // observed the abort signal and unwound
+)
+
+type tmsg struct {
+	kind tmsgKind
+	t    *T
+	msg  string
+	pv   any
+}
+
+type resumeMsg struct {
+	abort  bool
+	chosen int
+}
+
+type abortSignal struct{}
+
+type assertFailure struct{ msg string }
+
+// Runtime executes one program once under the control of a Controller. A
+// Runtime is single-use; create a new one (via Run) per execution.
+//
+// Exactly one goroutine runs at any time: either the controller (inside
+// Run's loop) or the single scheduled thread. Hand-off happens through
+// channels, which establishes happens-before for all runtime state, so the
+// modeled execution is free of real data races by construction.
+type Runtime struct {
+	cfg  Config
+	ctrl Controller
+
+	threads   []*T
+	varNames  []string
+	steps     int
+	decisions Schedule
+	trace     []Event
+
+	preemptions int
+	switches    int
+	prev        TID
+
+	hitStepLimit bool
+	aborting     bool
+	events       chan tmsg
+
+	enabledBuf []TID
+	opsBuf     []Op
+}
+
+// Run executes prog to completion under ctrl and returns its outcome. It
+// never leaks goroutines: on any early exit, all modeled threads are
+// unwound before Run returns.
+func Run(prog Program, ctrl Controller, cfg Config) (out Outcome) {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		ctrl:   ctrl,
+		events: make(chan tmsg),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(*ReplayError)
+			if !ok {
+				panic(r)
+			}
+			// The controller goroutine panicked between slices; every live
+			// modeled goroutine is parked and can be unwound safely.
+			rt.abortAll()
+			out = rt.outcome(StatusReplayDiverged, re.Error(), nil)
+		}
+	}()
+
+	main := rt.allocThread("main")
+	main.spawned = true
+	rt.startThread(main, prog)
+	return rt.loop()
+}
+
+// allocThread creates the bookkeeping for a new thread. Called from the
+// currently running goroutine (or from Run for the main thread); the
+// controller is parked, so this is race-free.
+func (rt *Runtime) allocThread(name string) *T {
+	t := &T{
+		rt:     rt,
+		id:     TID(len(rt.threads)),
+		name:   name,
+		resume: make(chan resumeMsg),
+	}
+	t.etVar = rt.allocVar(fmt.Sprintf("thread:%s", name))
+	rt.threads = append(rt.threads, t)
+	return t
+}
+
+func (rt *Runtime) allocVar(name string) VarID {
+	id := VarID(len(rt.varNames))
+	rt.varNames = append(rt.varNames, name)
+	return id
+}
+
+// startThread launches the goroutine of a spawned thread. The goroutine
+// immediately parks on its resume channel; its initial pending operation
+// (the thread-start access of its thread variable) was installed here.
+func (rt *Runtime) startThread(t *T, fn func(*T)) {
+	t.pending = &pendingOp{op: Op{Kind: OpAcquire, Var: t.etVar, Class: ClassSync}}
+	t.goroutineLive = true
+	go t.main(fn)
+}
+
+type sliceEnd uint8
+
+const (
+	sliceParked sliceEnd = iota
+	sliceExited
+	sliceAssert
+	slicePanic
+	sliceStepLimit
+)
+
+// loop is the controller loop: it alternates between computing the enabled
+// set, consulting the Controller, and running the chosen thread for one
+// slice (up to its next scheduling point).
+func (rt *Runtime) loop() Outcome {
+	rt.prev = NoTID
+	for {
+		if rt.steps >= rt.cfg.MaxSteps {
+			rt.abortAll()
+			return rt.outcome(StatusStepLimit, fmt.Sprintf("execution exceeded %d steps", rt.cfg.MaxSteps), nil)
+		}
+		enabled, ops, live, prevEnabled := rt.enabledSet()
+		if live == 0 {
+			return rt.outcome(StatusTerminated, "", nil)
+		}
+		if len(enabled) == 0 {
+			msg := rt.deadlockMessage()
+			rt.abortAll()
+			return rt.outcome(StatusDeadlock, msg, nil)
+		}
+		info := PickInfo{
+			Step:        rt.steps,
+			Prev:        rt.prev,
+			PrevEnabled: prevEnabled,
+			Enabled:     enabled,
+			Ops:         ops,
+		}
+		tid, ok := rt.ctrl.PickThread(info)
+		if !ok {
+			rt.abortAll()
+			return rt.outcome(StatusStopped, "", nil)
+		}
+		if !info.IsEnabled(tid) {
+			panic(fmt.Sprintf("sched: controller picked t%d, not in enabled set %v", tid, enabled))
+		}
+		rt.decisions = append(rt.decisions, ThreadDecision(tid))
+		if rt.prev != NoTID && tid != rt.prev {
+			rt.switches++
+			if prevEnabled {
+				rt.preemptions++
+			}
+		}
+		rt.prev = tid
+
+		end, m := rt.runSlice(rt.threads[tid])
+		switch end {
+		case sliceParked, sliceExited:
+			// Continue the controller loop.
+		case sliceAssert:
+			rt.abortAll()
+			return rt.outcome(StatusAssertFailed, m.msg, nil)
+		case slicePanic:
+			rt.abortAll()
+			return rt.outcome(StatusPanic, m.msg, m.pv)
+		case sliceStepLimit:
+			rt.abortAll()
+			return rt.outcome(StatusStepLimit, fmt.Sprintf("execution exceeded %d steps", rt.cfg.MaxSteps), nil)
+		}
+	}
+}
+
+// runSlice resumes t and processes thread messages until the slice ends:
+// the thread parks at its next scheduling point, exits, or fails. Data
+// choices are resolved inline (the same thread continues; a Choose point is
+// harness nondeterminism, not a shared access, so no context switch can
+// occur there).
+func (rt *Runtime) runSlice(t *T) (sliceEnd, tmsg) {
+	t.resume <- resumeMsg{}
+	for {
+		m := <-rt.events
+		switch m.kind {
+		case msgParked:
+			return sliceParked, m
+		case msgChoose:
+			n := m.t.pending.chooseN
+			v := rt.ctrl.PickData(m.t.id, n)
+			if v < 0 || v >= n {
+				panic(fmt.Sprintf("sched: controller picked data value %d outside [0,%d)", v, n))
+			}
+			rt.decisions = append(rt.decisions, DataDecision(v))
+			m.t.resume <- resumeMsg{chosen: v}
+		case msgExited:
+			m.t.goroutineLive = false
+			return sliceExited, m
+		case msgAssert:
+			m.t.goroutineLive = false
+			return sliceAssert, m
+		case msgPanic:
+			m.t.goroutineLive = false
+			return slicePanic, m
+		case msgAborted:
+			// The running thread tripped the step limit inside a slice (a
+			// data-access loop that never reached a scheduling point).
+			m.t.goroutineLive = false
+			return sliceStepLimit, m
+		}
+	}
+}
+
+// enabledSet computes the enabled threads in ascending TID order, their
+// pending ops, the number of live threads, and whether the previously
+// running thread is enabled.
+func (rt *Runtime) enabledSet() (enabled []TID, ops []Op, live int, prevEnabled bool) {
+	rt.enabledBuf = rt.enabledBuf[:0]
+	rt.opsBuf = rt.opsBuf[:0]
+	for _, t := range rt.threads {
+		if !t.spawned || t.dead || !t.goroutineLive {
+			continue
+		}
+		live++
+		p := t.pending
+		if p == nil || p.chooseN > 0 {
+			// Invariant violation: between slices every live thread is
+			// parked at a scheduling point.
+			panic(fmt.Sprintf("sched: live thread t%d not parked at a scheduling point", t.id))
+		}
+		if p.guard != nil && !p.guard() {
+			continue
+		}
+		rt.enabledBuf = append(rt.enabledBuf, t.id)
+		rt.opsBuf = append(rt.opsBuf, p.op)
+		if t.id == rt.prev {
+			prevEnabled = true
+		}
+	}
+	return rt.enabledBuf, rt.opsBuf, live, prevEnabled
+}
+
+// deadlockMessage describes which threads are blocked on what.
+func (rt *Runtime) deadlockMessage() string {
+	s := "deadlock:"
+	for _, t := range rt.threads {
+		if !t.spawned || t.dead || !t.goroutineLive {
+			continue
+		}
+		s += fmt.Sprintf(" t%d(%s) blocked at %s %q;", t.id, t.name, t.pending.op.Kind, rt.VarName(t.pending.op.Var))
+	}
+	return s
+}
+
+// abortAll unwinds every live modeled goroutine. Precondition: the
+// controller is between slices (every live goroutine is parked either at a
+// scheduling point or on its initial resume).
+func (rt *Runtime) abortAll() {
+	rt.aborting = true
+	for _, t := range rt.threads {
+		if !t.goroutineLive {
+			continue
+		}
+		t.resume <- resumeMsg{abort: true}
+		for {
+			m := <-rt.events
+			m.t.goroutineLive = false
+			if m.t == t && m.kind == msgAborted {
+				break
+			}
+			// A thread may race its own exit against the abort only if it
+			// was mid-slice, which the precondition excludes; any other
+			// message here is an invariant violation.
+			panic(fmt.Sprintf("sched: unexpected message %d from t%d during abort", m.kind, m.t.id))
+		}
+	}
+}
+
+// outcome assembles the Outcome.
+func (rt *Runtime) outcome(st Status, msg string, pv any) Outcome {
+	maxBlocking := 0
+	for _, t := range rt.threads {
+		if t.blocking > maxBlocking {
+			maxBlocking = t.blocking
+		}
+	}
+	out := Outcome{
+		Status:          st,
+		Message:         msg,
+		Steps:           rt.steps,
+		Blocking:        maxBlocking,
+		Preemptions:     rt.preemptions,
+		ContextSwitches: rt.switches,
+		Threads:         len(rt.threads),
+		Decisions:       rt.decisions,
+		Trace:           rt.trace,
+		PanicValue:      pv,
+	}
+	if rt.cfg.RecordTrace {
+		out.VarNames = rt.varNames
+		for _, t := range rt.threads {
+			out.ThreadNames = append(out.ThreadNames, t.name)
+		}
+	}
+	return out
+}
+
+// VarName returns the debug name a variable was registered with.
+func (rt *Runtime) VarName(v VarID) string {
+	if v >= 0 && int(v) < len(rt.varNames) {
+		return rt.varNames[v]
+	}
+	return fmt.Sprintf("var#%d", v)
+}

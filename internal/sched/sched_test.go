@@ -1,0 +1,417 @@
+package sched_test
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"icb/internal/conc"
+	"icb/internal/sched"
+)
+
+// script prefers a given thread at given global steps and otherwise behaves
+// like FirstEnabled; data picks come from dataPicks in order.
+type script struct {
+	prefs     map[int]sched.TID
+	dataPicks []int
+	dataPos   int
+}
+
+func (s *script) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	if want, ok := s.prefs[info.Step]; ok && info.IsEnabled(want) {
+		return want, true
+	}
+	if info.PrevEnabled {
+		return info.Prev, true
+	}
+	return info.Enabled[0], true
+}
+
+func (s *script) PickData(_ sched.TID, n int) int {
+	if s.dataPos < len(s.dataPicks) {
+		v := s.dataPicks[s.dataPos]
+		s.dataPos++
+		if v < n {
+			return v
+		}
+	}
+	return 0
+}
+
+func run(t *testing.T, prog sched.Program, ctrl sched.Controller) sched.Outcome {
+	t.Helper()
+	if ctrl == nil {
+		ctrl = sched.FirstEnabled{}
+	}
+	return sched.Run(prog, ctrl, sched.Config{RecordTrace: true})
+}
+
+func TestTrivialTermination(t *testing.T) {
+	out := run(t, func(*sched.T) {}, nil)
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status = %v, want terminated", out.Status)
+	}
+	// Main thread executes exactly its start and exit ops.
+	if out.Steps != 2 {
+		t.Fatalf("steps = %d, want 2", out.Steps)
+	}
+	if out.Preemptions != 0 || out.ContextSwitches != 0 {
+		t.Fatalf("preemptions=%d switches=%d, want 0/0", out.Preemptions, out.ContextSwitches)
+	}
+	if out.Threads != 1 {
+		t.Fatalf("threads = %d, want 1", out.Threads)
+	}
+}
+
+func TestSpawnJoinCounts(t *testing.T) {
+	out := run(t, func(t *sched.T) {
+		c := t.Go("child", func(t *sched.T) { t.Yield() })
+		t.Join(c)
+	}, nil)
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status = %v, want terminated", out.Status)
+	}
+	// main: start, spawn, join, exit = 4; child: start, yield, exit = 3.
+	if out.Steps != 7 {
+		t.Fatalf("steps = %d, want 7", out.Steps)
+	}
+	if out.Threads != 2 {
+		t.Fatalf("threads = %d, want 2", out.Threads)
+	}
+	// Join is blocking: main executed exactly one blocking op.
+	if out.Blocking != 1 {
+		t.Fatalf("blocking = %d, want 1", out.Blocking)
+	}
+	// FirstEnabled switches to the child only when main blocks at Join, and
+	// back when the child dies: two switches, zero preemptions.
+	if out.Preemptions != 0 {
+		t.Fatalf("preemptions = %d, want 0", out.Preemptions)
+	}
+	if out.ContextSwitches != 2 {
+		t.Fatalf("switches = %d, want 2", out.ContextSwitches)
+	}
+}
+
+func TestZeroPreemptionCompletion(t *testing.T) {
+	// §2: from any state a terminating program can be driven to completion
+	// without preemptions, e.g. by round-robin without preemption. Check a
+	// program with plenty of blocking interaction still finishes with c=0
+	// under FirstEnabled.
+	out := run(t, func(t *sched.T) {
+		m := conc.NewMutex(t, "m")
+		total := conc.NewInt(t, "total", 0)
+		var kids []*sched.T
+		for i := 0; i < 3; i++ {
+			kids = append(kids, t.Go("worker", func(t *sched.T) {
+				for j := 0; j < 4; j++ {
+					m.Lock(t)
+					total.Update(t, func(v int) int { return v + 1 })
+					m.Unlock(t)
+				}
+			}))
+		}
+		for _, k := range kids {
+			t.Join(k)
+		}
+		t.Assert(total.Load(t) == 12, "total = %d, want 12", total.Load(t))
+	}, nil)
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status = %v (%s), want terminated", out.Status, out.Message)
+	}
+	if out.Preemptions != 0 {
+		t.Fatalf("preemptions = %d, want 0", out.Preemptions)
+	}
+}
+
+func TestPreemptionCounting(t *testing.T) {
+	// Force a switch away from an enabled main thread: that is exactly one
+	// preemption.
+	var mainFirstYield int
+	out := run(t, func(t *sched.T) {
+		t.Go("child", func(t *sched.T) { t.Yield(); t.Yield() })
+		t.Yield()
+		t.Yield()
+	}, &script{prefs: map[int]sched.TID{3: 1}})
+	_ = mainFirstYield
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status = %v, want terminated", out.Status)
+	}
+	if out.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want exactly 1 (got switches=%d)\ndecisions: %v",
+			out.Preemptions, out.ContextSwitches, out.Decisions)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// Classic lock-order inversion; steer each thread to take its first
+	// lock, then the cross acquisition deadlocks.
+	out := run(t, func(t *sched.T) {
+		a := conc.NewMutex(t, "a")
+		b := conc.NewMutex(t, "b")
+		t.Go("one", func(t *sched.T) { a.Lock(t); b.Lock(t); b.Unlock(t); a.Unlock(t) })
+		t.Go("two", func(t *sched.T) { b.Lock(t); a.Lock(t); a.Unlock(t); b.Unlock(t) })
+	}, &script{prefs: map[int]sched.TID{
+		// main: start(0), spawn(1), spawn(2), exit(3); then t1 start+lock a,
+		// then prefer t2 to start and lock b, then both block.
+		4: 1, // t1 start
+		5: 1, // t1 lock a
+		6: 2, // t2 start
+		7: 2, // t2 lock b
+	}})
+	if out.Status != sched.StatusDeadlock {
+		t.Fatalf("status = %v (%s), want deadlock", out.Status, out.Message)
+	}
+}
+
+func TestAssertFailureAborts(t *testing.T) {
+	out := run(t, func(t *sched.T) {
+		t.Go("w", func(t *sched.T) {
+			for {
+				t.Yield()
+			}
+		})
+		t.Assert(false, "boom %d", 42)
+	}, nil)
+	if out.Status != sched.StatusAssertFailed {
+		t.Fatalf("status = %v, want assert failed", out.Status)
+	}
+	if out.Message != "boom 42" {
+		t.Fatalf("message = %q", out.Message)
+	}
+}
+
+func TestPanicCaptured(t *testing.T) {
+	out := run(t, func(t *sched.T) {
+		var p *int
+		_ = *p // real nil dereference inside modeled code
+	}, nil)
+	if out.Status != sched.StatusPanic {
+		t.Fatalf("status = %v, want panic", out.Status)
+	}
+	if out.PanicValue == nil {
+		t.Fatal("missing panic value")
+	}
+}
+
+func TestStepLimitOnSyncLoop(t *testing.T) {
+	out := sched.Run(func(t *sched.T) {
+		for {
+			t.Yield()
+		}
+	}, sched.FirstEnabled{}, sched.Config{MaxSteps: 100})
+	if out.Status != sched.StatusStepLimit {
+		t.Fatalf("status = %v, want step limit", out.Status)
+	}
+}
+
+func TestStepLimitOnDataLoop(t *testing.T) {
+	out := sched.Run(func(t *sched.T) {
+		x := conc.NewInt(t, "x", 0)
+		for {
+			x.Update(t, func(v int) int { return v + 1 })
+		}
+	}, sched.FirstEnabled{}, sched.Config{MaxSteps: 100})
+	if out.Status != sched.StatusStepLimit {
+		t.Fatalf("status = %v, want step limit", out.Status)
+	}
+}
+
+type stopAfter struct{ n int }
+
+func (s *stopAfter) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	if info.Step >= s.n {
+		return sched.NoTID, false
+	}
+	return info.Enabled[0], true
+}
+func (s *stopAfter) PickData(sched.TID, int) int { return 0 }
+
+func TestControllerStop(t *testing.T) {
+	out := run(t, func(t *sched.T) {
+		for i := 0; i < 100; i++ {
+			t.Yield()
+		}
+	}, &stopAfter{n: 10})
+	if out.Status != sched.StatusStopped {
+		t.Fatalf("status = %v, want stopped", out.Status)
+	}
+	if out.Steps != 10 {
+		t.Fatalf("steps = %d, want 10", out.Steps)
+	}
+}
+
+func TestChoose(t *testing.T) {
+	got := -1
+	out := run(t, func(t *sched.T) {
+		got = t.Choose(5)
+	}, &script{dataPicks: []int{3}})
+	if out.Status != sched.StatusTerminated {
+		t.Fatalf("status = %v", out.Status)
+	}
+	if got != 3 {
+		t.Fatalf("choose = %d, want 3", got)
+	}
+	// Data decisions appear in the log.
+	found := false
+	for _, d := range out.Decisions {
+		if d.Kind == sched.DecisionData && d.Data == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("data decision missing from log: %v", out.Decisions)
+	}
+}
+
+func interleaved(t *sched.T) {
+	m := conc.NewMutex(t, "m")
+	n := conc.NewInt(t, "n", 0)
+	done := conc.NewWaitGroup(t, "wg", 2)
+	for i := 0; i < 2; i++ {
+		t.Go("w", func(t *sched.T) {
+			v := t.Choose(3)
+			m.Lock(t)
+			n.Update(t, func(x int) int { return x + v })
+			m.Unlock(t)
+			done.Done(t)
+		})
+	}
+	done.Wait(t)
+}
+
+func TestReplayReproducesExecution(t *testing.T) {
+	orig := run(t, interleaved, &script{
+		prefs:     map[int]sched.TID{4: 2, 7: 1, 9: 2},
+		dataPicks: []int{2, 1},
+	})
+	if orig.Status != sched.StatusTerminated {
+		t.Fatalf("original status = %v (%s)", orig.Status, orig.Message)
+	}
+	replay := sched.Run(interleaved,
+		&sched.ReplayController{Prefix: orig.Decisions, Tail: sched.FirstEnabled{}},
+		sched.Config{RecordTrace: true})
+	if replay.Status != orig.Status || replay.Steps != orig.Steps ||
+		replay.Preemptions != orig.Preemptions {
+		t.Fatalf("replay mismatch: %v vs %v", replay, orig)
+	}
+	if len(replay.Trace) != len(orig.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(replay.Trace), len(orig.Trace))
+	}
+	for i := range replay.Trace {
+		if replay.Trace[i] != orig.Trace[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, replay.Trace[i], orig.Trace[i])
+		}
+	}
+}
+
+func TestReplayDivergenceDetected(t *testing.T) {
+	// Replaying a schedule from a different program reports divergence
+	// rather than corrupting the search.
+	orig := run(t, interleaved, nil)
+	other := func(t *sched.T) {
+		for i := 0; i < 50; i++ {
+			t.Yield()
+		}
+	}
+	out := sched.Run(other,
+		&sched.ReplayController{Prefix: orig.Decisions, Tail: sched.FirstEnabled{}},
+		sched.Config{})
+	if out.Status != sched.StatusReplayDiverged {
+		t.Fatalf("status = %v, want replay diverged", out.Status)
+	}
+}
+
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		run(t, func(t *sched.T) {
+			t.Go("spin", func(t *sched.T) {
+				for {
+					t.Yield()
+				}
+			})
+			t.Go("blocked", func(t *sched.T) {
+				e := conc.NewEvent(t, "never", false, false)
+				e.Wait(t)
+			})
+			t.Fail("die")
+		}, nil)
+	}
+	// Let exited goroutines be reaped.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if g := runtime.NumGoroutine(); g > before+5 {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, g)
+	}
+}
+
+func TestTraceEventOrdering(t *testing.T) {
+	out := run(t, func(t *sched.T) {
+		c := t.Go("c", func(t *sched.T) { t.Yield() })
+		t.Join(c)
+	}, nil)
+	for i, ev := range out.Trace {
+		if ev.Step != i {
+			t.Fatalf("event %d has step %d", i, ev.Step)
+		}
+	}
+	// Per-thread indexes are contiguous from zero.
+	next := map[sched.TID]int{}
+	for _, ev := range out.Trace {
+		if ev.Index != next[ev.TID] {
+			t.Fatalf("thread %d index %d, want %d", ev.TID, ev.Index, next[ev.TID])
+		}
+		next[ev.TID]++
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	orig := sched.Schedule{
+		sched.ThreadDecision(0), sched.ThreadDecision(2),
+		sched.DataDecision(1), sched.ThreadDecision(10),
+	}
+	parsed, err := sched.ParseSchedule(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("length %d != %d", len(parsed), len(orig))
+	}
+	for i := range parsed {
+		if parsed[i] != orig[i] {
+			t.Fatalf("decision %d: %v != %v", i, parsed[i], orig[i])
+		}
+	}
+	for _, bad := range []string{"x3", "t", "t-1", "tq", "d1 zz"} {
+		if _, err := sched.ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) succeeded", bad)
+		}
+	}
+	if s, err := sched.ParseSchedule("  "); err != nil || len(s) != 0 {
+		t.Fatalf("empty schedule: %v %v", s, err)
+	}
+}
+
+func TestTraceStringsUseNames(t *testing.T) {
+	out := run(t, func(t *sched.T) {
+		m := conc.NewMutex(t, "mylock")
+		w := t.Go("helper", func(t *sched.T) { m.Lock(t); m.Unlock(t) })
+		t.Join(w)
+	}, nil)
+	lines := out.TraceStrings()
+	if len(lines) != len(out.Trace) {
+		t.Fatalf("lines = %d, events = %d", len(lines), len(out.Trace))
+	}
+	joined := ""
+	for _, l := range lines {
+		joined += l + "\n"
+	}
+	for _, want := range []string{"mylock", "helper", "main", "acquire", "release"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace missing %q:\n%s", want, joined)
+		}
+	}
+}

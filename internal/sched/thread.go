@@ -1,0 +1,196 @@
+package sched
+
+import "fmt"
+
+// T is a modeled thread. Program code receives its own *T and performs all
+// shared-state operations through it (directly via Access, or through the
+// primitives of package conc, which are built on Access).
+type T struct {
+	rt   *Runtime
+	id   TID
+	name string
+	// etVar is the thread's synchronization variable: signaled by the parent
+	// at spawn, accessed by the thread's first and last (exit) operations,
+	// and read by Join. It realizes the e_t variable of Appendix A.
+	etVar VarID
+
+	spawned       bool // parent committed the spawn op
+	dead          bool // exit op committed
+	goroutineLive bool // goroutine running, terminal message not yet received
+
+	index    int // per-thread committed step count
+	blocking int // per-thread potentially-blocking ops executed
+
+	resume  chan resumeMsg
+	pending *pendingOp
+}
+
+type pendingOp struct {
+	op      Op
+	guard   func() bool
+	chooseN int
+}
+
+// ID returns the thread's identifier.
+func (t *T) ID() TID { return t.id }
+
+// Name returns the debug name given at spawn.
+func (t *T) Name() string { return t.name }
+
+// Runtime returns the runtime executing this thread, for var-name lookups.
+func (t *T) Runtime() *Runtime { return t.rt }
+
+// main is the goroutine body of a modeled thread.
+func (t *T) main(fn func(*T)) {
+	defer func() {
+		r := recover()
+		switch v := r.(type) {
+		case nil:
+		case abortSignal:
+			t.rt.events <- tmsg{kind: msgAborted, t: t}
+		case assertFailure:
+			t.rt.events <- tmsg{kind: msgAssert, t: t, msg: v.msg}
+		default:
+			t.rt.events <- tmsg{kind: msgPanic, t: t, msg: fmt.Sprint(r), pv: r}
+		}
+	}()
+
+	// Initial scheduling point: the pending thread-start op was installed by
+	// startThread, so the goroutine only waits to be scheduled.
+	t.await()
+
+	fn(t)
+
+	// Exit scheduling point: the final fictitious operation on the thread
+	// variable. After it commits the thread is dead.
+	t.pending = &pendingOp{op: Op{Kind: OpExit, Var: t.etVar, Class: ClassSync}}
+	t.rt.events <- tmsg{kind: msgParked, t: t}
+	t.await()
+	t.dead = true
+	t.rt.events <- tmsg{kind: msgExited, t: t}
+}
+
+// await blocks until the controller schedules this thread, then commits the
+// pending op. It panics with abortSignal if the execution is being torn
+// down.
+func (t *T) await() {
+	m := <-t.resume
+	if m.abort {
+		panic(abortSignal{})
+	}
+	p := t.pending
+	t.pending = nil
+	t.commit(p.op)
+}
+
+// commit records one step: it bumps counters, appends to the trace, and
+// notifies observers.
+func (t *T) commit(op Op) {
+	rt := t.rt
+	ev := Event{TID: t.id, Index: t.index, Step: rt.steps, Op: op}
+	t.index++
+	rt.steps++
+	// The fictitious thread-start operation (per-thread index 0) never
+	// blocks in this model and is excluded from the B statistic.
+	if op.Kind.Blocking() && ev.Index > 0 {
+		t.blocking++
+	}
+	if rt.cfg.RecordTrace {
+		rt.trace = append(rt.trace, ev)
+	}
+	for _, o := range rt.cfg.Observers {
+		o.OnEvent(ev)
+	}
+}
+
+// Access performs one shared-variable access, the primitive scheduling
+// point. The guard, if non-nil, defines the op's enabledness: the thread is
+// scheduled only when guard() is true, and the guard is guaranteed still
+// true when Access returns (no other thread runs in between), so the caller
+// may then complete the operation's effect atomically. Guards are evaluated
+// by the controller between slices and must be pure reads of modeled state.
+//
+// In ModeSyncOnly, data-variable accesses commit inline without a
+// scheduling point (they still reach observers, so the race detector sees
+// them); such accesses must not pass a guard.
+func (t *T) Access(op Op, guard func() bool) {
+	rt := t.rt
+	if op.Class == ClassData && rt.cfg.Mode == ModeSyncOnly {
+		if guard != nil {
+			panic("sched: data-variable access cannot block")
+		}
+		t.commit(op)
+		if rt.steps >= rt.cfg.MaxSteps {
+			// A data-access loop that never reaches a sync operation would
+			// otherwise spin forever without returning to the controller.
+			panic(abortSignal{})
+		}
+		return
+	}
+	t.pending = &pendingOp{op: op, guard: guard}
+	rt.events <- tmsg{kind: msgParked, t: t}
+	t.await()
+}
+
+// NewVar registers a fresh shared variable and returns its ID. Allocation
+// order is deterministic, so IDs are stable across replays.
+func (t *T) NewVar(name string, class VarClass) VarID {
+	_ = class // class is carried per-access in Op; names are global
+	return t.rt.allocVar(name)
+}
+
+// Go spawns a child thread running fn and returns its handle. The spawn is
+// itself a step (a signal of the child's thread variable), giving the
+// happens-before edge from parent to child required by Appendix A.
+func (t *T) Go(name string, fn func(*T)) *T {
+	child := t.rt.allocThread(name)
+	t.Access(Op{Kind: OpSpawn, Var: child.etVar, Class: ClassSync}, nil)
+	child.spawned = true
+	t.rt.startThread(child, fn)
+	return child
+}
+
+// Join blocks until u has terminated. It reads u's thread variable, giving
+// the happens-before edge from u's exit to the join.
+func (t *T) Join(u *T) {
+	t.Access(Op{Kind: OpJoin, Var: u.etVar, Class: ClassSync}, func() bool { return u.dead })
+}
+
+// Yield is a voluntary scheduling point; the thread stays enabled, so a
+// switch here still counts as a preemption under the formal NP definition.
+func (t *T) Yield() {
+	t.Access(Op{Kind: OpYield, Var: t.etVar, Class: ClassSync}, nil)
+}
+
+// Choose introduces a data-choice point over n alternatives and returns the
+// controller's pick. Data choices are harness nondeterminism (inputs,
+// timer firings); they are not shared accesses and never cost a preemption.
+func (t *T) Choose(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	t.pending = &pendingOp{chooseN: n}
+	t.rt.events <- tmsg{kind: msgChoose, t: t}
+	m := <-t.resume
+	if m.abort {
+		panic(abortSignal{})
+	}
+	t.pending = nil
+	return m.chosen
+}
+
+// ChooseBool is Choose(2) as a boolean.
+func (t *T) ChooseBool() bool { return t.Choose(2) == 1 }
+
+// Assert checks a safety property; on failure the execution ends with
+// StatusAssertFailed and the formatted message.
+func (t *T) Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic(assertFailure{fmt.Sprintf(format, args...)})
+	}
+}
+
+// Fail unconditionally fails the execution with the formatted message.
+func (t *T) Fail(format string, args ...any) {
+	panic(assertFailure{fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,443 @@
+package zing
+
+import (
+	"strings"
+	"testing"
+
+	"icb/internal/zml"
+)
+
+func compile(t *testing.T, src string) *zml.Program {
+	t.Helper()
+	p, err := zml.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// peterson is Peterson's mutual-exclusion algorithm: correct, and its
+// state space is cyclic-free but contention-heavy.
+const peterson = `
+	global bool flag0; global bool flag1;
+	global int turn;
+	global int incrit;
+	proc p(int me) {
+		int other = 1 - me;
+		if (me == 0) { flag0 = true; } else { flag1 = true; }
+		turn = other;
+		if (me == 0) {
+			wait(!flag1 || turn == 0);
+		} else {
+			wait(!flag0 || turn == 1);
+		}
+		incrit = incrit + 1;
+		assert(incrit == 1);
+		incrit = incrit - 1;
+		if (me == 0) { flag0 = false; } else { flag1 = false; }
+	}
+	proc main() {
+		spawn p(0);
+		spawn p(1);
+	}
+`
+
+// petersonBroken omits the turn variable (pure flags), which deadlocks or
+// violates mutual exclusion depending on the variant.
+const mutexRace = `
+	global int incrit;
+	proc p() {
+		incrit = incrit + 1;
+		assert(incrit == 1);
+		incrit = incrit - 1;
+	}
+	proc main() {
+		spawn p();
+		spawn p();
+	}
+`
+
+func TestPetersonCorrect(t *testing.T) {
+	res := CheckICB(compile(t, peterson), Options{MaxPreemptions: -1})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("peterson has bugs: %v", res.Bugs[0].String())
+	}
+	if !res.Exhausted {
+		t.Fatal("search not exhausted")
+	}
+	if res.States < 10 {
+		t.Fatalf("suspiciously few states: %d", res.States)
+	}
+}
+
+func TestUnprotectedCounterFoundAtBoundOne(t *testing.T) {
+	// incrit = incrit+1 compiles to load, store: the violation needs one
+	// preemption between them.
+	res := CheckICB(compile(t, mutexRace), Options{MaxPreemptions: -1, StopOnFirstBug: true})
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("no bug found")
+	}
+	if bug.Kind != BugAssert {
+		t.Fatalf("kind = %v: %s", bug.Kind, bug.Msg)
+	}
+	if bug.Preemptions != 1 {
+		t.Fatalf("found at %d preemptions, want 1", bug.Preemptions)
+	}
+
+	// And a complete bound-0 search is clean.
+	res = CheckICB(compile(t, mutexRace), Options{MaxPreemptions: 0})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("bound-0 found: %v", res.Bugs[0].String())
+	}
+	if res.BoundCompleted != 0 {
+		t.Fatal("bound 0 not completed")
+	}
+}
+
+func TestAtomicCounterIsSafe(t *testing.T) {
+	src := strings.Replace(mutexRace,
+		"incrit = incrit + 1;\n\t\tassert(incrit == 1);\n\t\tincrit = incrit - 1;",
+		"atomic { incrit = incrit + 1; assert(incrit == 1); incrit = incrit - 1; }", 1)
+	res := CheckICB(compile(t, src), Options{MaxPreemptions: -1})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("atomic counter has bugs: %v", res.Bugs[0].String())
+	}
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
+}
+
+func TestMutexCounterIsSafe(t *testing.T) {
+	src := `
+		global mutex m;
+		global int incrit;
+		proc p() {
+			acquire(m);
+			incrit = incrit + 1;
+			assert(incrit == 1);
+			incrit = incrit - 1;
+			release(m);
+		}
+		proc main() { spawn p(); spawn p(); }
+	`
+	res := CheckICB(compile(t, src), Options{MaxPreemptions: -1})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("mutex counter has bugs: %v", res.Bugs[0].String())
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	src := `
+		global mutex a; global mutex b;
+		proc one() { acquire(a); acquire(b); release(b); release(a); }
+		proc two() { acquire(b); acquire(a); release(a); release(b); }
+		proc main() { spawn one(); spawn two(); }
+	`
+	res := CheckICB(compile(t, src), Options{MaxPreemptions: -1, StopOnFirstBug: true})
+	bug := res.FirstBug()
+	if bug == nil || bug.Kind != BugDeadlock {
+		t.Fatalf("got %v", res.Bugs)
+	}
+	if bug.Preemptions != 1 {
+		t.Fatalf("deadlock at %d preemptions, want 1", bug.Preemptions)
+	}
+}
+
+func TestCyclicStateSpaceTerminates(t *testing.T) {
+	// A spin-loop consumer: the state space has cycles, which only the
+	// table makes finite — the capability the paper attributes to ZING.
+	src := `
+		global int flagv;
+		proc waiter() {
+			while (flagv == 0) { yield; }
+			assert(flagv == 7);
+		}
+		proc main() {
+			spawn waiter();
+			flagv = 7;
+		}
+	`
+	res := CheckICB(compile(t, src), Options{MaxPreemptions: -1})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("bugs: %v", res.Bugs[0].String())
+	}
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
+}
+
+func TestDFSMatchesICBStates(t *testing.T) {
+	for _, src := range []string{peterson, mutexRace} {
+		icb := CheckICB(compile(t, src), Options{MaxPreemptions: -1})
+		dfs := CheckDFS(compile(t, src), Options{})
+		if !dfs.Exhausted {
+			t.Fatal("DFS not exhausted")
+		}
+		// Both visit the same reachable graph; ICB stops exploring along
+		// failing paths exactly as DFS skips them, so state counts match.
+		if icb.States != dfs.States {
+			t.Fatalf("states: icb=%d dfs=%d", icb.States, dfs.States)
+		}
+	}
+}
+
+func TestChooseExpansion(t *testing.T) {
+	src := `
+		global int hit[3];
+		proc main() {
+			int v = choose(3);
+			hit[v] = 1;
+			assert(hit[1] == 0);  // fails exactly when v == 1
+		}
+	`
+	res := CheckICB(compile(t, src), Options{MaxPreemptions: -1})
+	if len(res.Bugs) != 1 {
+		t.Fatalf("bugs = %v, want exactly the v==1 branch", res.Bugs)
+	}
+	if res.Bugs[0].Preemptions != 0 {
+		t.Fatalf("choose branch costed preemptions: %d", res.Bugs[0].Preemptions)
+	}
+}
+
+func TestBoundCurveMonotone(t *testing.T) {
+	res := CheckICB(compile(t, peterson), Options{MaxPreemptions: -1})
+	if len(res.BoundCurve) == 0 {
+		t.Fatal("no curve")
+	}
+	for i := 1; i < len(res.BoundCurve); i++ {
+		if res.BoundCurve[i].States < res.BoundCurve[i-1].States {
+			t.Fatalf("coverage not monotone: %v", res.BoundCurve)
+		}
+	}
+	last := res.BoundCurve[len(res.BoundCurve)-1]
+	if last.States != res.States {
+		t.Fatalf("final curve point %d != total %d", last.States, res.States)
+	}
+}
+
+func TestMaxItemsBudget(t *testing.T) {
+	res := CheckICB(compile(t, peterson), Options{MaxPreemptions: -1, MaxItems: 5})
+	if res.Items > 5 {
+		t.Fatalf("items = %d, want <= 5", res.Items)
+	}
+	if res.Exhausted {
+		t.Fatal("budget-cut search claims exhaustion")
+	}
+}
+
+func TestRuntimeErrorSurfaces(t *testing.T) {
+	src := `
+		global int a[2];
+		global int i = 5;
+		proc main() { a[i] = 1; }
+	`
+	res := CheckICB(compile(t, src), Options{MaxPreemptions: -1, StopOnFirstBug: true})
+	bug := res.FirstBug()
+	if bug == nil || bug.Kind != BugRuntime {
+		t.Fatalf("got %v", res.Bugs)
+	}
+}
+
+func TestBuiltinModels(t *testing.T) {
+	models := Models()
+	for name := range models {
+		t.Run(name, func(t *testing.T) {
+			p := compile(t, models[name])
+			res := CheckICB(p, Options{MaxPreemptions: -1, StopOnFirstBug: true})
+			switch name {
+			case "peterson", "philosophers-ordered", "boundedbuffer", "linkedstack":
+				if len(res.Bugs) != 0 {
+					t.Fatalf("correct model has bugs: %v", res.Bugs[0].String())
+				}
+				if !res.Exhausted {
+					t.Fatal("not exhausted")
+				}
+			case "philosophers":
+				bug := res.FirstBug()
+				if bug == nil || bug.Kind != BugDeadlock {
+					t.Fatalf("expected deadlock, got %v", res.Bugs)
+				}
+				if bug.Preemptions != 1 {
+					t.Fatalf("philosophers deadlock at %d preemptions, want 1", bug.Preemptions)
+				}
+			default:
+				t.Fatalf("unknown model %q in test", name)
+			}
+		})
+	}
+}
+
+func TestPhilosophersDeadlockNotBelowBound1(t *testing.T) {
+	p := compile(t, Models()["philosophers"])
+	res := CheckICB(p, Options{MaxPreemptions: 0})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("deadlock below bound 1: %v", res.Bugs[0].String())
+	}
+	if res.BoundCompleted != 0 {
+		t.Fatal("bound 0 not completed")
+	}
+}
+
+func TestBugPathReplays(t *testing.T) {
+	// The repro path attached to a bug re-executes to the same failure.
+	p := compile(t, mutexRace)
+	res := CheckICB(p, Options{MaxPreemptions: -1, StopOnFirstBug: true})
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("no bug")
+	}
+	if len(bug.Path) == 0 {
+		t.Fatal("bug has no repro path")
+	}
+	states, fail := ReplayPath(p, bug.Path)
+	if fail == nil {
+		t.Fatalf("replay did not fail (states=%d)", len(states))
+	}
+	if fail.Kind != zml.FailAssert {
+		t.Fatalf("replay failed differently: %v", fail)
+	}
+	if PathString(bug.Path) == "" {
+		t.Fatal("empty path string")
+	}
+}
+
+func TestDeadlockPathReplays(t *testing.T) {
+	p := compile(t, Models()["philosophers"])
+	res := CheckICB(p, Options{MaxPreemptions: -1, StopOnFirstBug: true})
+	bug := res.FirstBug()
+	if bug == nil || bug.Kind != BugDeadlock {
+		t.Fatal("no deadlock")
+	}
+	states, fail := ReplayPath(p, bug.Path)
+	if fail != nil {
+		t.Fatalf("deadlock path hit a failure: %v", fail)
+	}
+	final := states[len(states)-1]
+	if !p.Deadlocked(final) {
+		t.Fatal("replayed path does not end in a deadlocked state")
+	}
+}
+
+// linkedStack is a lock-protected shared stack over heap records: the
+// first model to exercise references and heap canonicalization end to end
+// in the checker.
+const linkedStack = `
+record Node {
+	int val;
+	Node next;
+}
+global Node top;
+global mutex m;
+global int popped;
+global int pushers;
+global int popperDone;
+
+proc push(int v) {
+	Node n = new Node;
+	n.val = v;
+	acquire(m);
+	n.next = top;
+	top = n;
+	pushers = pushers + 1;
+	release(m);
+}
+
+proc popper() {
+	wait(pushers == 2);
+	acquire(m);
+	while (top != null) {
+		popped = popped + top.val;
+		top = top.next;
+	}
+	release(m);
+	popperDone = 1;
+}
+
+proc main() {
+	spawn push(10);
+	spawn push(20);
+	spawn popper();
+	wait(popperDone == 1);
+	assert(popped == 30);
+	assert(top == null);
+}
+`
+
+func TestLinkedStackExhaustive(t *testing.T) {
+	res := CheckICB(compile(t, linkedStack), Options{MaxPreemptions: -1})
+	if len(res.Bugs) != 0 {
+		t.Fatalf("linked stack has bugs: %v", res.Bugs[0].String())
+	}
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
+}
+
+func TestLinkedStackSymmetryReduction(t *testing.T) {
+	// The two pushers allocate in schedule-dependent order; without heap
+	// canonicalization the final states would split by allocation order.
+	// DFS over the canonical space must agree with ICB and stay small.
+	icb := CheckICB(compile(t, linkedStack), Options{MaxPreemptions: -1})
+	dfs := CheckDFS(compile(t, linkedStack), Options{})
+	if !dfs.Exhausted {
+		t.Fatal("DFS not exhausted")
+	}
+	if icb.States != dfs.States {
+		t.Fatalf("states: icb=%d dfs=%d", icb.States, dfs.States)
+	}
+}
+
+// lockFreePush is a Treiber push WITHOUT the lock: the unprotected
+// read-modify-write of top loses an update; the checker finds it at
+// bound 1.
+const lockFreePushBroken = `
+record Node {
+	int val;
+	Node next;
+}
+global Node top;
+global int done;
+
+proc push(int v) {
+	Node n = new Node;
+	n.val = v;
+	n.next = top;   // read top
+	top = n;        // write top: lost update window between the two
+	done = done + 1;
+}
+
+proc main() {
+	spawn push(1);
+	spawn push(2);
+	wait(done == 2);
+	int count = 0;
+	Node cur = top;
+	while (cur != null) {
+		count = count + 1;
+		cur = cur.next;
+	}
+	assert(count == 2);
+}
+`
+
+func TestBrokenTreiberPushFoundAtBoundOne(t *testing.T) {
+	// The unprotected top/done updates lose a write with one preemption;
+	// the first manifestation is a deadlock (the lost done increment
+	// starves main's wait).
+	res := CheckICB(compile(t, lockFreePushBroken), Options{MaxPreemptions: -1, StopOnFirstBug: true})
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("lost-update push not found")
+	}
+	if bug.Preemptions != 1 {
+		t.Fatalf("found at %d preemptions, want 1", bug.Preemptions)
+	}
+	// The repro path replays to the same defect: an assert failure, or a
+	// final deadlocked state for the starvation manifestation.
+	p := compile(t, lockFreePushBroken)
+	states, fail := ReplayPath(p, bug.Path)
+	if fail == nil && !p.Deadlocked(states[len(states)-1]) {
+		t.Fatal("repro path neither fails nor deadlocks")
+	}
+}

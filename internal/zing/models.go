@@ -1,0 +1,169 @@
+package zing
+
+// Models returns the built-in example ZML models, usable from the zingi
+// command (-model <name>) and exercised by the package tests. They are
+// classics with well-understood verdicts, so they double as end-to-end
+// oracles for the checker:
+//
+//   - peterson: correct two-thread mutual exclusion;
+//   - philosophers: three dining philosophers picking up the left fork
+//     first — deadlocks, minimally with 1 preemption
+//     (a blocked acquisition chain supplies the other switches for free);
+//   - philosophers-ordered: the resource-ordering fix — deadlock-free;
+//   - boundedbuffer: a producer/consumer ring buffer with wait-based flow
+//     control — correct;
+//   - linkedstack: a lock-protected linked stack over heap records,
+//     exercising references and heap-symmetry reduction — correct.
+func Models() map[string]string {
+	return map[string]string{
+		"peterson": `
+// Peterson's mutual-exclusion algorithm, two threads.
+global bool flag0; global bool flag1;
+global int turn;
+global int incrit;
+proc p(int me) {
+	int other = 1 - me;
+	if (me == 0) { flag0 = true; } else { flag1 = true; }
+	turn = other;
+	if (me == 0) {
+		wait(!flag1 || turn == 0);
+	} else {
+		wait(!flag0 || turn == 1);
+	}
+	incrit = incrit + 1;
+	assert(incrit == 1);
+	incrit = incrit - 1;
+	if (me == 0) { flag0 = false; } else { flag1 = false; }
+}
+proc main() {
+	spawn p(0);
+	spawn p(1);
+}
+`,
+		"philosophers": `
+// Three dining philosophers, left fork first: deadlocks when every
+// philosopher holds exactly one fork.
+global mutex fork[3];
+proc phil(int i) {
+	acquire(fork[i]);
+	acquire(fork[(i + 1) % 3]);
+	// eat
+	release(fork[(i + 1) % 3]);
+	release(fork[i]);
+}
+proc main() {
+	spawn phil(0);
+	spawn phil(1);
+	spawn phil(2);
+}
+`,
+		"philosophers-ordered": `
+// Dining philosophers with a total order on forks: deadlock-free.
+global mutex fork[3];
+proc phil(int i) {
+	int lo = i;
+	int hi = (i + 1) % 3;
+	if (lo > hi) {
+		int tmp = lo;
+		lo = hi;
+		hi = tmp;
+	}
+	acquire(fork[lo]);
+	acquire(fork[hi]);
+	release(fork[hi]);
+	release(fork[lo]);
+}
+proc main() {
+	spawn phil(0);
+	spawn phil(1);
+	spawn phil(2);
+}
+`,
+		"boundedbuffer": `
+// Producer/consumer over a two-slot ring buffer with wait-based flow
+// control.
+global int buf[2];
+global int head;     // next slot to consume
+global int count;    // filled slots
+global mutex m;
+global int consumed;
+proc producer(int n) {
+	int i = 0;
+	while (i < n) {
+		wait(count < 2);
+		acquire(m);
+		if (count < 2) {
+			buf[(head + count) % 2] = i + 1;
+			count = count + 1;
+			i = i + 1;
+		}
+		release(m);
+	}
+}
+proc consumer(int n) {
+	int i = 0;
+	while (i < n) {
+		wait(count > 0);
+		acquire(m);
+		if (count > 0) {
+			assert(buf[head] > 0);
+			buf[head] = 0;
+			head = (head + 1) % 2;
+			count = count - 1;
+			consumed = consumed + 1;
+			i = i + 1;
+		}
+		release(m);
+	}
+}
+proc main() {
+	spawn producer(3);
+	spawn consumer(3);
+	wait(consumed == 3);
+	assert(count == 0);
+}
+`,
+		"linkedstack": `
+// Lock-protected linked stack over heap records.
+record Node {
+	int val;
+	Node next;
+}
+global Node top;
+global mutex m;
+global int popped;
+global int pushers;
+global int popperDone;
+
+proc push(int v) {
+	Node n = new Node;
+	n.val = v;
+	acquire(m);
+	n.next = top;
+	top = n;
+	pushers = pushers + 1;
+	release(m);
+}
+
+proc popper() {
+	wait(pushers == 2);
+	acquire(m);
+	while (top != null) {
+		popped = popped + top.val;
+		top = top.next;
+	}
+	release(m);
+	popperDone = 1;
+}
+
+proc main() {
+	spawn push(10);
+	spawn push(20);
+	spawn popper();
+	wait(popperDone == 1);
+	assert(popped == 30);
+	assert(top == null);
+}
+`,
+	}
+}

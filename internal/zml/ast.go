@@ -1,0 +1,320 @@
+package zml
+
+// Kind enumerates the base kinds of ZML types.
+type Kind uint8
+
+const (
+	// KInt is a 64-bit signed integer.
+	KInt Kind = iota
+	// KBool is a boolean (stored as 0/1).
+	KBool
+	// KMutex is a mutual-exclusion lock (globals only).
+	KMutex
+	// KRef is a reference to a heap record.
+	KRef
+)
+
+// Type is a ZML type: a base kind plus, for references, the record name.
+// Types compare with ==.
+type Type struct {
+	Kind Kind
+	// Rec is the record name for KRef types ("" means the null literal's
+	// type, assignable to any reference).
+	Rec string
+}
+
+// Builtin scalar types.
+var (
+	TInt   = Type{Kind: KInt}
+	TBool  = Type{Kind: KBool}
+	TMutex = Type{Kind: KMutex}
+	// TNull is the type of the null literal.
+	TNull = Type{Kind: KRef}
+)
+
+// TRef constructs the reference type for a record.
+func TRef(rec string) Type { return Type{Kind: KRef, Rec: rec} }
+
+// IsRef reports whether the type is a reference.
+func (t Type) IsRef() bool { return t.Kind == KRef }
+
+// AssignableTo reports whether a value of type t can flow into type dst:
+// identical types, or null into any reference.
+func (t Type) AssignableTo(dst Type) bool {
+	if t == dst {
+		return true
+	}
+	return t.Kind == KRef && dst.Kind == KRef && (t.Rec == "" || dst.Rec == "")
+}
+
+// String names the type.
+func (t Type) String() string {
+	switch t.Kind {
+	case KInt:
+		return "int"
+	case KBool:
+		return "bool"
+	case KMutex:
+		return "mutex"
+	case KRef:
+		if t.Rec == "" {
+			return "null"
+		}
+		return t.Rec
+	}
+	return "type?"
+}
+
+// RecordDecl declares a heap record type.
+type RecordDecl struct {
+	Name   string
+	Fields []Param
+	Pos    Pos
+}
+
+// File is a parsed ZML compilation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Records []*RecordDecl
+	Procs   []*ProcDecl
+}
+
+// GlobalDecl declares a shared global: a scalar, a fixed array (Size > 0),
+// or a mutex.
+type GlobalDecl struct {
+	Name string
+	Type Type
+	// Size is the array length; 0 declares a scalar.
+	Size int
+	// Init is the initial value for scalars (arrays zero-initialize).
+	Init int64
+	Pos  Pos
+}
+
+// Param is a procedure parameter.
+type Param struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// ProcDecl declares a procedure. A procedure with HasResult returns a
+// value of type Result and is callable in expression position.
+type ProcDecl struct {
+	Name      string
+	Params    []Param
+	HasResult bool
+	Result    Type
+	Body      *Block
+	Pos       Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// Block is a brace-delimited statement list and scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt declares a local variable, optionally initialized.
+type DeclStmt struct {
+	Name string
+	Type Type
+	Init Expr // nil for zero value
+	Pos  Pos
+}
+
+// LValue is an assignable reference: a variable or an array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Pos   Pos
+}
+
+// AssignStmt assigns Value to Target.
+type AssignStmt struct {
+	Target *LValue
+	Value  Expr
+	Pos    Pos
+}
+
+// IfStmt is a conditional; Else is nil, a *Block, or a nested *IfStmt.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt
+	Pos  Pos
+}
+
+// WhileStmt is a loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// AcquireStmt blocks until the mutex is free and takes it.
+type AcquireStmt struct {
+	Target *LValue
+	Pos    Pos
+}
+
+// ReleaseStmt releases a held mutex.
+type ReleaseStmt struct {
+	Target *LValue
+	Pos    Pos
+}
+
+// WaitStmt blocks until Cond evaluates true. The condition is evaluated
+// atomically by the scheduler as an enabledness guard, so it must be free
+// of choose().
+type WaitStmt struct {
+	Cond Expr
+	Pos  Pos
+}
+
+// AtomicStmt executes Body as a single step (no scheduling points inside).
+type AtomicStmt struct {
+	Body *Block
+	Pos  Pos
+}
+
+// SpawnStmt creates a thread running Proc(Args).
+type SpawnStmt struct {
+	Proc string
+	Args []Expr
+	Pos  Pos
+}
+
+// CallStmt invokes Proc(Args) synchronously.
+type CallStmt struct {
+	Proc string
+	Args []Expr
+	Pos  Pos
+}
+
+// AssertStmt fails the execution when Cond is false.
+type AssertStmt struct {
+	Cond Expr
+	Pos  Pos
+}
+
+// YieldStmt is an explicit scheduling point.
+type YieldStmt struct{ Pos Pos }
+
+// ReturnStmt exits the enclosing procedure, yielding Value (nil for void
+// procedures).
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+func (b *Block) stmtPos() Pos       { return b.Pos }
+func (s *DeclStmt) stmtPos() Pos    { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos  { return s.Pos }
+func (s *IfStmt) stmtPos() Pos      { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos   { return s.Pos }
+func (s *AcquireStmt) stmtPos() Pos { return s.Pos }
+func (s *ReleaseStmt) stmtPos() Pos { return s.Pos }
+func (s *WaitStmt) stmtPos() Pos    { return s.Pos }
+func (s *AtomicStmt) stmtPos() Pos  { return s.Pos }
+func (s *SpawnStmt) stmtPos() Pos   { return s.Pos }
+func (s *CallStmt) stmtPos() Pos    { return s.Pos }
+func (s *AssertStmt) stmtPos() Pos  { return s.Pos }
+func (s *YieldStmt) stmtPos() Pos   { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos  { return s.Pos }
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V   int64
+	Pos Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	V   bool
+	Pos Pos
+}
+
+// VarRef references a scalar variable (local, param, or global).
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr references a global array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// UnaryExpr is -X or !X.
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr is X op Y. && and || are short-circuiting.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Pos  Pos
+}
+
+// ChooseExpr evaluates N and yields a nondeterministic value in [0, N).
+type ChooseExpr struct {
+	N   Expr
+	Pos Pos
+}
+
+// CallExpr invokes a value-returning procedure in expression position.
+type CallExpr struct {
+	Proc string
+	Args []Expr
+	Pos  Pos
+}
+
+// NullLit is the null reference literal.
+type NullLit struct{ Pos Pos }
+
+// NewExpr allocates a heap record with zero/null fields.
+type NewExpr struct {
+	Rec string
+	Pos Pos
+}
+
+// FieldExpr reads field Name of the record X references.
+type FieldExpr struct {
+	X    Expr
+	Name string
+	Pos  Pos
+}
+
+// FieldAssignStmt writes field Name of the record X references.
+type FieldAssignStmt struct {
+	X     Expr
+	Name  string
+	Value Expr
+	Pos   Pos
+}
+
+func (e *IntLit) exprPos() Pos     { return e.Pos }
+func (e *BoolLit) exprPos() Pos    { return e.Pos }
+func (e *VarRef) exprPos() Pos     { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *ChooseExpr) exprPos() Pos { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *NullLit) exprPos() Pos    { return e.Pos }
+func (e *NewExpr) exprPos() Pos    { return e.Pos }
+func (e *FieldExpr) exprPos() Pos  { return e.Pos }
+
+func (s *FieldAssignStmt) stmtPos() Pos { return s.Pos }

@@ -1,0 +1,596 @@
+package zml
+
+import "fmt"
+
+// Info is the result of semantic analysis: symbol resolution and the type
+// of every expression, consumed by the compiler.
+type Info struct {
+	file *File
+
+	// GlobalIndex maps a global's name to its index in declaration order.
+	GlobalIndex map[string]int
+	// ProcIndex maps a procedure's name to its index.
+	ProcIndex map[string]int
+	// ExprType records the type of every expression node.
+	ExprType map[Expr]Type
+	// LocalSlot maps each DeclStmt and each (proc, param index) to a frame
+	// slot. Params occupy slots 0..len(params)-1.
+	LocalSlot map[*DeclStmt]int
+	// NumLocals is the frame size of each procedure (params + locals).
+	NumLocals map[*ProcDecl]int
+	// VarSlot resolves a VarRef to a local slot (or -1 when it is a
+	// global).
+	VarSlot map[*VarRef]int
+	// LValueSlot resolves scalar LValue targets to local slots (or -1).
+	LValueSlot map[*LValue]int
+	// RecordIndex maps a record's name to its index.
+	RecordIndex map[string]int
+	// FieldSlot resolves every FieldExpr and FieldAssignStmt to the field's
+	// index within its record.
+	FieldSlot map[any]int
+	// SlotRef marks, per procedure, which frame slots hold references.
+	SlotRef map[*ProcDecl][]bool
+}
+
+// recordOf returns the RecordDecl a reference type points at.
+func (in *Info) recordOf(t Type) *RecordDecl {
+	return in.file.Records[in.RecordIndex[t.Rec]]
+}
+
+// validType checks that a declared type's record (if any) exists.
+func (in *Info) validType(t Type, pos Pos) error {
+	if t.Kind != KRef {
+		return nil
+	}
+	if _, ok := in.RecordIndex[t.Rec]; !ok {
+		return errf(pos, "undefined record type %q", t.Rec)
+	}
+	return nil
+}
+
+// Check runs semantic analysis over a parsed file.
+func Check(f *File) (*Info, error) {
+	info := &Info{
+		file:        f,
+		GlobalIndex: make(map[string]int),
+		ProcIndex:   make(map[string]int),
+		ExprType:    make(map[Expr]Type),
+		LocalSlot:   make(map[*DeclStmt]int),
+		NumLocals:   make(map[*ProcDecl]int),
+		VarSlot:     make(map[*VarRef]int),
+		LValueSlot:  make(map[*LValue]int),
+		RecordIndex: make(map[string]int),
+		FieldSlot:   make(map[any]int),
+		SlotRef:     make(map[*ProcDecl][]bool),
+	}
+	for i, r := range f.Records {
+		if _, dup := info.RecordIndex[r.Name]; dup {
+			return nil, errf(r.Pos, "record %q redeclared", r.Name)
+		}
+		info.RecordIndex[r.Name] = i
+	}
+	for _, r := range f.Records {
+		seen := map[string]bool{}
+		for _, fd := range r.Fields {
+			if seen[fd.Name] {
+				return nil, errf(fd.Pos, "field %q redeclared in record %q", fd.Name, r.Name)
+			}
+			seen[fd.Name] = true
+			if fd.Type.Kind == KMutex {
+				return nil, errf(fd.Pos, "record fields cannot be mutexes")
+			}
+			if err := info.validType(fd.Type, fd.Pos); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, g := range f.Globals {
+		if _, dup := info.GlobalIndex[g.Name]; dup {
+			return nil, errf(g.Pos, "global %q redeclared", g.Name)
+		}
+		info.GlobalIndex[g.Name] = i
+	}
+	for _, g := range f.Globals {
+		if err := info.validType(g.Type, g.Pos); err != nil {
+			return nil, err
+		}
+		if g.Type.Kind == KRef && g.Size > 0 {
+			return nil, errf(g.Pos, "arrays of references are not supported")
+		}
+	}
+	for i, pr := range f.Procs {
+		if _, dup := info.ProcIndex[pr.Name]; dup {
+			return nil, errf(pr.Pos, "proc %q redeclared", pr.Name)
+		}
+		if _, clash := info.GlobalIndex[pr.Name]; clash {
+			return nil, errf(pr.Pos, "proc %q collides with a global", pr.Name)
+		}
+		info.ProcIndex[pr.Name] = i
+	}
+	mainIdx, ok := info.ProcIndex["main"]
+	if !ok {
+		return nil, errf(Pos{1, 1}, "no proc main()")
+	}
+	if len(f.Procs[mainIdx].Params) != 0 {
+		return nil, errf(f.Procs[mainIdx].Pos, "proc main must take no parameters")
+	}
+	for _, pr := range f.Procs {
+		if err := info.checkProc(pr); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+// scope tracks local bindings during the walk of one procedure.
+type scope struct {
+	parent *scope
+	names  map[string]binding
+}
+
+type binding struct {
+	slot int
+	typ  Type
+}
+
+func (s *scope) lookup(name string) (binding, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if b, ok := sc.names[name]; ok {
+			return b, true
+		}
+	}
+	return binding{}, false
+}
+
+// procChecker carries the per-procedure state.
+type procChecker struct {
+	info     *Info
+	proc     *ProcDecl
+	nextSlot int
+	atomic   int // nesting depth of atomic blocks
+	inGuard  bool
+	refSlots []bool
+}
+
+// alwaysReturns reports whether every path through s ends in a return.
+func alwaysReturns(s Stmt) bool {
+	switch st := s.(type) {
+	case *ReturnStmt:
+		return true
+	case *Block:
+		for _, inner := range st.Stmts {
+			if alwaysReturns(inner) {
+				return true
+			}
+		}
+		return false
+	case *IfStmt:
+		return st.Else != nil && alwaysReturns(st.Then) && alwaysReturns(st.Else)
+	case *AtomicStmt:
+		return alwaysReturns(st.Body)
+	}
+	return false
+}
+
+func (in *Info) checkProc(pr *ProcDecl) error {
+	pc := &procChecker{info: in, proc: pr}
+	sc := &scope{names: make(map[string]binding)}
+	for _, p := range pr.Params {
+		if _, dup := sc.names[p.Name]; dup {
+			return errf(p.Pos, "parameter %q redeclared", p.Name)
+		}
+		if err := in.validType(p.Type, p.Pos); err != nil {
+			return err
+		}
+		sc.names[p.Name] = binding{slot: pc.nextSlot, typ: p.Type}
+		pc.refSlots = append(pc.refSlots, p.Type.IsRef())
+		pc.nextSlot++
+	}
+	if err := pc.block(pr.Body, sc); err != nil {
+		return err
+	}
+	if pr.HasResult && !alwaysReturns(pr.Body) {
+		return errf(pr.Pos, "proc %q must return a %s on every path", pr.Name, pr.Result)
+	}
+	in.NumLocals[pr] = pc.nextSlot
+	in.SlotRef[pr] = pc.refSlots
+	return nil
+}
+
+func (pc *procChecker) block(b *Block, parent *scope) error {
+	sc := &scope{parent: parent, names: make(map[string]binding)}
+	for _, s := range b.Stmts {
+		if err := pc.stmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (pc *procChecker) stmt(s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *Block:
+		return pc.block(st, sc)
+	case *DeclStmt:
+		if _, dup := sc.names[st.Name]; dup {
+			return errf(st.Pos, "local %q redeclared in this scope", st.Name)
+		}
+		if err := pc.info.validType(st.Type, st.Pos); err != nil {
+			return err
+		}
+		if st.Init != nil {
+			ty, err := pc.expr(st.Init, sc)
+			if err != nil {
+				return err
+			}
+			if !ty.AssignableTo(st.Type) {
+				return errf(st.Pos, "cannot initialize %s local %q with %s", st.Type, st.Name, ty)
+			}
+		}
+		sc.names[st.Name] = binding{slot: pc.nextSlot, typ: st.Type}
+		pc.info.LocalSlot[st] = pc.nextSlot
+		pc.refSlots = append(pc.refSlots, st.Type.IsRef())
+		pc.nextSlot++
+		return nil
+	case *AssignStmt:
+		ty, err := pc.lvalue(st.Target, sc, false)
+		if err != nil {
+			return err
+		}
+		vty, err := pc.expr(st.Value, sc)
+		if err != nil {
+			return err
+		}
+		if !vty.AssignableTo(ty) {
+			return errf(st.Pos, "cannot assign %s to %s target %q", vty, ty, st.Target.Name)
+		}
+		return nil
+	case *IfStmt:
+		if err := pc.cond(st.Cond, sc); err != nil {
+			return err
+		}
+		if err := pc.block(st.Then, sc); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return pc.stmt(st.Else, sc)
+		}
+		return nil
+	case *WhileStmt:
+		if err := pc.cond(st.Cond, sc); err != nil {
+			return err
+		}
+		return pc.block(st.Body, sc)
+	case *AcquireStmt, *ReleaseStmt:
+		var lv *LValue
+		var verb string
+		if a, ok := st.(*AcquireStmt); ok {
+			lv, verb = a.Target, "acquire"
+		} else {
+			lv, verb = st.(*ReleaseStmt).Target, "release"
+		}
+		if verb == "acquire" && pc.atomic > 0 {
+			return errf(s.stmtPos(), "acquire may block and is not allowed inside atomic")
+		}
+		ty, err := pc.lvalue(lv, sc, true)
+		if err != nil {
+			return err
+		}
+		if ty != TMutex {
+			return errf(lv.Pos, "%s needs a mutex, %q is %s", verb, lv.Name, ty)
+		}
+		return nil
+	case *WaitStmt:
+		if pc.atomic > 0 {
+			return errf(st.Pos, "wait may block and is not allowed inside atomic")
+		}
+		pc.inGuard = true
+		err := pc.cond(st.Cond, sc)
+		pc.inGuard = false
+		return err
+	case *AtomicStmt:
+		pc.atomic++
+		err := pc.block(st.Body, sc)
+		pc.atomic--
+		return err
+	case *SpawnStmt:
+		return pc.callLike(st.Proc, st.Args, st.Pos, sc)
+	case *CallStmt:
+		return pc.callLike(st.Proc, st.Args, st.Pos, sc)
+	case *FieldAssignStmt:
+		xt, err := pc.expr(st.X, sc)
+		if err != nil {
+			return err
+		}
+		if xt.Kind != KRef || xt.Rec == "" {
+			return errf(st.Pos, "field assignment needs a record reference, have %s", xt)
+		}
+		rec := pc.info.recordOf(xt)
+		fi := fieldIndex(rec, st.Name)
+		if fi < 0 {
+			return errf(st.Pos, "record %q has no field %q", rec.Name, st.Name)
+		}
+		pc.info.FieldSlot[st] = fi
+		vty, err := pc.expr(st.Value, sc)
+		if err != nil {
+			return err
+		}
+		if !vty.AssignableTo(rec.Fields[fi].Type) {
+			return errf(st.Pos, "cannot assign %s to field %q of type %s", vty, st.Name, rec.Fields[fi].Type)
+		}
+		return nil
+	case *AssertStmt:
+		return pc.cond(st.Cond, sc)
+	case *YieldStmt:
+		if pc.atomic > 0 {
+			return errf(st.Pos, "yield is not allowed inside atomic")
+		}
+		return nil
+	case *ReturnStmt:
+		if pc.proc.HasResult {
+			if st.Value == nil {
+				return errf(st.Pos, "proc %q must return a %s value", pc.proc.Name, pc.proc.Result)
+			}
+			ty, err := pc.expr(st.Value, sc)
+			if err != nil {
+				return err
+			}
+			if !ty.AssignableTo(pc.proc.Result) {
+				return errf(st.Pos, "cannot return %s from %s proc %q", ty, pc.proc.Result, pc.proc.Name)
+			}
+			return nil
+		}
+		if st.Value != nil {
+			return errf(st.Pos, "proc %q returns no value", pc.proc.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("zml: unhandled statement %T", s)
+}
+
+func (pc *procChecker) callLike(name string, args []Expr, pos Pos, sc *scope) error {
+	idx, ok := pc.info.ProcIndex[name]
+	if !ok {
+		return errf(pos, "undefined proc %q", name)
+	}
+	target := pc.info.file.Procs[idx]
+	if len(args) != len(target.Params) {
+		return errf(pos, "proc %q takes %d arguments, got %d", name, len(target.Params), len(args))
+	}
+	for i, a := range args {
+		ty, err := pc.expr(a, sc)
+		if err != nil {
+			return err
+		}
+		if !ty.AssignableTo(target.Params[i].Type) {
+			return errf(a.exprPos(), "argument %d of %q: have %s, want %s", i+1, name, ty, target.Params[i].Type)
+		}
+	}
+	return nil
+}
+
+// cond checks a boolean context.
+func (pc *procChecker) cond(e Expr, sc *scope) error {
+	ty, err := pc.expr(e, sc)
+	if err != nil {
+		return err
+	}
+	if ty != TBool {
+		return errf(e.exprPos(), "condition must be bool, have %s", ty)
+	}
+	return nil
+}
+
+// lvalue resolves an assignment or lock target. wantMutex admits mutex
+// globals; otherwise mutexes are rejected.
+func (pc *procChecker) lvalue(lv *LValue, sc *scope, wantMutex bool) (Type, error) {
+	if b, ok := sc.lookup(lv.Name); ok {
+		if lv.Index != nil {
+			return Type{}, errf(lv.Pos, "local %q is not an array", lv.Name)
+		}
+		pc.info.LValueSlot[lv] = b.slot
+		return b.typ, nil
+	}
+	gi, ok := pc.info.GlobalIndex[lv.Name]
+	if !ok {
+		return Type{}, errf(lv.Pos, "undefined variable %q", lv.Name)
+	}
+	pc.info.LValueSlot[lv] = -1
+	g := pc.info.file.Globals[gi]
+	if g.Size > 0 && lv.Index == nil {
+		return Type{}, errf(lv.Pos, "array global %q needs an index", lv.Name)
+	}
+	if g.Size == 0 && lv.Index != nil {
+		return Type{}, errf(lv.Pos, "scalar global %q cannot be indexed", lv.Name)
+	}
+	if lv.Index != nil {
+		ty, err := pc.expr(lv.Index, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		if ty != TInt {
+			return Type{}, errf(lv.Index.exprPos(), "array index must be int, have %s", ty)
+		}
+	}
+	if g.Type == TMutex && !wantMutex {
+		return Type{}, errf(lv.Pos, "mutex %q can only be used with acquire/release", lv.Name)
+	}
+	return g.Type, nil
+}
+
+// expr type-checks an expression and records its type.
+func (pc *procChecker) expr(e Expr, sc *scope) (Type, error) {
+	ty, err := pc.exprInner(e, sc)
+	if err != nil {
+		return Type{}, err
+	}
+	pc.info.ExprType[e] = ty
+	return ty, nil
+}
+
+func (pc *procChecker) exprInner(e Expr, sc *scope) (Type, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return TInt, nil
+	case *BoolLit:
+		return TBool, nil
+	case *VarRef:
+		if b, ok := sc.lookup(ex.Name); ok {
+			pc.info.VarSlot[ex] = b.slot
+			return b.typ, nil
+		}
+		gi, ok := pc.info.GlobalIndex[ex.Name]
+		if !ok {
+			return Type{}, errf(ex.Pos, "undefined variable %q", ex.Name)
+		}
+		pc.info.VarSlot[ex] = -1
+		g := pc.info.file.Globals[gi]
+		if g.Type == TMutex {
+			return Type{}, errf(ex.Pos, "mutex %q cannot be read", ex.Name)
+		}
+		if g.Size > 0 {
+			return Type{}, errf(ex.Pos, "array global %q needs an index", ex.Name)
+		}
+		return g.Type, nil
+	case *IndexExpr:
+		gi, ok := pc.info.GlobalIndex[ex.Name]
+		if !ok {
+			return Type{}, errf(ex.Pos, "undefined array %q", ex.Name)
+		}
+		g := pc.info.file.Globals[gi]
+		if g.Size == 0 {
+			return Type{}, errf(ex.Pos, "%q is not an array", ex.Name)
+		}
+		if g.Type == TMutex {
+			return Type{}, errf(ex.Pos, "mutex %q cannot be read", ex.Name)
+		}
+		ty, err := pc.expr(ex.Index, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		if ty != TInt {
+			return Type{}, errf(ex.Index.exprPos(), "array index must be int, have %s", ty)
+		}
+		return g.Type, nil
+	case *UnaryExpr:
+		ty, err := pc.expr(ex.X, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		switch ex.Op {
+		case "-":
+			if ty != TInt {
+				return Type{}, errf(ex.Pos, "unary - needs int, have %s", ty)
+			}
+			return TInt, nil
+		case "!":
+			if ty != TBool {
+				return Type{}, errf(ex.Pos, "! needs bool, have %s", ty)
+			}
+			return TBool, nil
+		}
+		return Type{}, errf(ex.Pos, "unknown unary operator %q", ex.Op)
+	case *BinaryExpr:
+		xt, err := pc.expr(ex.X, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		yt, err := pc.expr(ex.Y, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		switch ex.Op {
+		case "+", "-", "*", "/", "%":
+			if xt != TInt || yt != TInt {
+				return Type{}, errf(ex.Pos, "%s needs int operands, have %s and %s", ex.Op, xt, yt)
+			}
+			return TInt, nil
+		case "<", "<=", ">", ">=":
+			if xt != TInt || yt != TInt {
+				return Type{}, errf(ex.Pos, "%s needs int operands, have %s and %s", ex.Op, xt, yt)
+			}
+			return TBool, nil
+		case "==", "!=":
+			if !xt.AssignableTo(yt) && !yt.AssignableTo(xt) {
+				return Type{}, errf(ex.Pos, "%s needs matching operand types, have %s and %s", ex.Op, xt, yt)
+			}
+			if xt.Kind == KMutex {
+				return Type{}, errf(ex.Pos, "mutexes cannot be compared")
+			}
+			return TBool, nil
+		case "&&", "||":
+			if xt != TBool || yt != TBool {
+				return Type{}, errf(ex.Pos, "%s needs bool operands, have %s and %s", ex.Op, xt, yt)
+			}
+			return TBool, nil
+		}
+		return Type{}, errf(ex.Pos, "unknown operator %q", ex.Op)
+	case *CallExpr:
+		if pc.inGuard {
+			return Type{}, errf(ex.Pos, "calls are not allowed inside a wait condition")
+		}
+		idx, ok := pc.info.ProcIndex[ex.Proc]
+		if !ok {
+			return Type{}, errf(ex.Pos, "undefined proc %q", ex.Proc)
+		}
+		target := pc.info.file.Procs[idx]
+		if !target.HasResult {
+			return Type{}, errf(ex.Pos, "proc %q returns no value and cannot be used in an expression", ex.Proc)
+		}
+		if err := pc.callLike(ex.Proc, ex.Args, ex.Pos, sc); err != nil {
+			return Type{}, err
+		}
+		return target.Result, nil
+	case *NullLit:
+		return TNull, nil
+	case *NewExpr:
+		if pc.inGuard {
+			return Type{}, errf(ex.Pos, "new is not allowed inside a wait condition")
+		}
+		if _, ok := pc.info.RecordIndex[ex.Rec]; !ok {
+			return Type{}, errf(ex.Pos, "undefined record type %q", ex.Rec)
+		}
+		return TRef(ex.Rec), nil
+	case *FieldExpr:
+		if pc.inGuard {
+			return Type{}, errf(ex.Pos, "field access is not allowed inside a wait condition")
+		}
+		xt, err := pc.expr(ex.X, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		if xt.Kind != KRef || xt.Rec == "" {
+			return Type{}, errf(ex.Pos, "field access needs a record reference, have %s", xt)
+		}
+		rec := pc.info.recordOf(xt)
+		fi := fieldIndex(rec, ex.Name)
+		if fi < 0 {
+			return Type{}, errf(ex.Pos, "record %q has no field %q", rec.Name, ex.Name)
+		}
+		pc.info.FieldSlot[ex] = fi
+		return rec.Fields[fi].Type, nil
+	case *ChooseExpr:
+		if pc.inGuard {
+			return Type{}, errf(ex.Pos, "choose is not allowed inside a wait condition")
+		}
+		ty, err := pc.expr(ex.N, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		if ty != TInt {
+			return Type{}, errf(ex.Pos, "choose needs an int bound, have %s", ty)
+		}
+		return TInt, nil
+	}
+	return Type{}, fmt.Errorf("zml: unhandled expression %T", e)
+}
+
+// fieldIndex returns the index of a field within a record, or -1.
+func fieldIndex(r *RecordDecl, name string) int {
+	for i, f := range r.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}

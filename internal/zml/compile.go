@@ -1,0 +1,543 @@
+package zml
+
+import "fmt"
+
+// OpCode enumerates VM instructions. Instructions marked "shared" are
+// scheduling-point boundaries: each executed shared instruction is one
+// step of the model (one shared-variable access).
+type OpCode uint8
+
+const (
+	// OpPush pushes constant A.
+	OpPush OpCode = iota
+	// OpLoadLocal pushes frame slot A.
+	OpLoadLocal
+	// OpStoreLocal pops into frame slot A.
+	OpStoreLocal
+	// OpLoadGlobal pushes global scalar A. Shared.
+	OpLoadGlobal
+	// OpStoreGlobal pops into global scalar A. Shared.
+	OpStoreGlobal
+	// OpLoadElem pops an index and pushes global array A's element. Shared.
+	OpLoadElem
+	// OpStoreElem pops value then index, stores into global array A. Shared.
+	OpStoreElem
+	// OpAdd .. OpNot are pure operators over the operand stack.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpNot
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// OpJmp jumps to A.
+	OpJmp
+	// OpJz pops and jumps to A when zero.
+	OpJz
+	// OpChoose pops a bound n and parks for a data decision in [0, n).
+	OpChoose
+	// OpAssert pops a condition; zero fails the execution with message A.
+	OpAssert
+	// OpAcquire blocks until mutex global A (indexed when B == 1, index on
+	// stack) is free, then takes it. Shared, blocking.
+	OpAcquire
+	// OpRelease releases mutex global A (indexed when B == 1). Shared.
+	OpRelease
+	// OpWait blocks until guard A evaluates true. Shared, blocking.
+	OpWait
+	// OpYield is an explicit scheduling point on no variable. Shared.
+	OpYield
+	// OpSpawn pops B arguments and creates a thread running proc A. Shared.
+	OpSpawn
+	// OpCall pops B arguments and pushes a frame for proc A.
+	OpCall
+	// OpRet pops the current frame; the thread dies with its last frame.
+	OpRet
+	// OpRetV pops the current frame, leaving the already-pushed return
+	// value on the thread's operand stack for the caller.
+	OpRetV
+	// OpPop discards the top of the operand stack (a call statement on a
+	// value-returning procedure).
+	OpPop
+	// OpNew allocates a record of type A with zero/null fields and pushes
+	// its reference. Allocation is private until the reference is stored
+	// into shared state, so it is not a scheduling point.
+	OpNew
+	// OpLoadField pops a reference and pushes field A of its record; B is 1
+	// when the field is itself a reference. Shared.
+	OpLoadField
+	// OpStoreField pops a value then a reference and stores field A. Shared.
+	OpStoreField
+	// OpAtomicBegin increments the atomic nesting depth: shared
+	// instructions inside do not end the step.
+	OpAtomicBegin
+	// OpAtomicEnd decrements the atomic nesting depth.
+	OpAtomicEnd
+)
+
+var opNames = [...]string{
+	OpPush: "push", OpLoadLocal: "loadl", OpStoreLocal: "storel",
+	OpLoadGlobal: "loadg", OpStoreGlobal: "storeg",
+	OpLoadElem: "loade", OpStoreElem: "storee",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpNot: "not",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpJmp: "jmp", OpJz: "jz", OpChoose: "choose", OpAssert: "assert",
+	OpAcquire: "acquire", OpRelease: "release", OpWait: "wait",
+	OpYield: "yield", OpSpawn: "spawn", OpCall: "call", OpRet: "ret",
+	OpRetV: "retv", OpPop: "pop",
+	OpNew: "new", OpLoadField: "loadf", OpStoreField: "storef",
+	OpAtomicBegin: "atomic.begin", OpAtomicEnd: "atomic.end",
+}
+
+// String names the opcode.
+func (o OpCode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Shared reports whether the opcode is a scheduling-point boundary.
+func (o OpCode) Shared() bool {
+	switch o {
+	case OpLoadGlobal, OpStoreGlobal, OpLoadElem, OpStoreElem,
+		OpLoadField, OpStoreField,
+		OpAcquire, OpRelease, OpWait, OpYield, OpSpawn:
+		return true
+	}
+	return false
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op   OpCode
+	A, B int32
+	// Pos is the source position, for runtime error messages.
+	Pos Pos
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string { return fmt.Sprintf("%s %d %d", i.Op, i.A, i.B) }
+
+// Global is a compiled global: a scalar occupies one state slot, an array
+// Size slots, a mutex one slot (0 free, otherwise owner tid+1).
+type Global struct {
+	Name  string
+	Type  Type
+	Size  int // 0 for scalars
+	Init  int64
+	Slot  int // first state slot
+	Slots int // number of state slots
+}
+
+// Proc is a compiled procedure.
+type Proc struct {
+	Name      string
+	NumParams int
+	NumLocals int // including params
+	// RefSlot marks which frame slots hold heap references, for heap
+	// canonicalization.
+	RefSlot []bool
+	Code    []Instr
+}
+
+// Record is a compiled record type.
+type Record struct {
+	Name string
+	// Fields names the record's fields in slot order.
+	Fields []string
+	// RefField marks reference-typed fields.
+	RefField []bool
+}
+
+// Program is a compiled ZML model.
+type Program struct {
+	Globals []Global
+	// StateSize is the number of global state slots.
+	StateSize int
+	Procs     []*Proc
+	Records   []Record
+	MainProc  int
+	Consts    []int64
+	// Guards holds the compiled wait conditions, evaluated atomically
+	// against the state as enabledness predicates (pure code: no shared
+	// boundaries, no choose, no calls).
+	Guards [][]Instr
+	// Asserts holds assertion messages.
+	Asserts []string
+}
+
+// Compile parses, checks and compiles ZML source.
+func Compile(src string) (*Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := Check(f)
+	if err != nil {
+		return nil, err
+	}
+	return CompileChecked(f, info)
+}
+
+// CompileChecked compiles an already-checked file.
+func CompileChecked(f *File, info *Info) (*Program, error) {
+	p := &Program{MainProc: info.ProcIndex["main"]}
+	for _, r := range f.Records {
+		cr := Record{Name: r.Name}
+		for _, fd := range r.Fields {
+			cr.Fields = append(cr.Fields, fd.Name)
+			cr.RefField = append(cr.RefField, fd.Type.IsRef())
+		}
+		p.Records = append(p.Records, cr)
+	}
+	for _, g := range f.Globals {
+		cg := Global{Name: g.Name, Type: g.Type, Size: g.Size, Init: g.Init, Slot: p.StateSize, Slots: 1}
+		if g.Size > 0 {
+			cg.Slots = g.Size
+		}
+		p.StateSize += cg.Slots
+		p.Globals = append(p.Globals, cg)
+	}
+	for _, pr := range f.Procs {
+		c := &compiler{prog: p, info: info}
+		code, err := c.compileProc(pr)
+		if err != nil {
+			return nil, err
+		}
+		refSlot := make([]bool, info.NumLocals[pr])
+		copy(refSlot, info.SlotRef[pr])
+		p.Procs = append(p.Procs, &Proc{
+			Name:      pr.Name,
+			NumParams: len(pr.Params),
+			NumLocals: info.NumLocals[pr],
+			RefSlot:   refSlot,
+			Code:      code,
+		})
+	}
+	return p, nil
+}
+
+// compiler emits code for one procedure.
+type compiler struct {
+	prog *Program
+	info *Info
+	code []Instr
+}
+
+func (c *compiler) emit(op OpCode, a, b int32, pos Pos) int {
+	c.code = append(c.code, Instr{Op: op, A: a, B: b, Pos: pos})
+	return len(c.code) - 1
+}
+
+func (c *compiler) patch(at int, target int) { c.code[at].A = int32(target) }
+
+func (c *compiler) constIdx(v int64) int32 {
+	for i, k := range c.prog.Consts {
+		if k == v {
+			return int32(i)
+		}
+	}
+	c.prog.Consts = append(c.prog.Consts, v)
+	return int32(len(c.prog.Consts) - 1)
+}
+
+func (c *compiler) compileProc(pr *ProcDecl) ([]Instr, error) {
+	if err := c.block(pr.Body); err != nil {
+		return nil, err
+	}
+	c.emit(OpRet, 0, 0, pr.Pos)
+	return c.code, nil
+}
+
+func (c *compiler) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.block(st)
+	case *DeclStmt:
+		slot := int32(c.info.LocalSlot[st])
+		if st.Init != nil {
+			if err := c.expr(st.Init); err != nil {
+				return err
+			}
+		} else {
+			c.emit(OpPush, c.constIdx(0), 0, st.Pos)
+		}
+		c.emit(OpStoreLocal, slot, 0, st.Pos)
+		return nil
+	case *AssignStmt:
+		return c.assign(st)
+	case *IfStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(OpJz, 0, 0, st.Pos)
+		if err := c.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			c.patch(jz, len(c.code))
+			return nil
+		}
+		jmp := c.emit(OpJmp, 0, 0, st.Pos)
+		c.patch(jz, len(c.code))
+		if err := c.stmt(st.Else); err != nil {
+			return err
+		}
+		c.patch(jmp, len(c.code))
+		return nil
+	case *WhileStmt:
+		top := len(c.code)
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(OpJz, 0, 0, st.Pos)
+		if err := c.block(st.Body); err != nil {
+			return err
+		}
+		c.emit(OpJmp, int32(top), 0, st.Pos)
+		c.patch(jz, len(c.code))
+		return nil
+	case *AcquireStmt:
+		return c.mutexOp(OpAcquire, st.Target, st.Pos)
+	case *ReleaseStmt:
+		return c.mutexOp(OpRelease, st.Target, st.Pos)
+	case *WaitStmt:
+		g := &compiler{prog: c.prog, info: c.info}
+		if err := g.expr(st.Cond); err != nil {
+			return err
+		}
+		c.prog.Guards = append(c.prog.Guards, g.code)
+		c.emit(OpWait, int32(len(c.prog.Guards)-1), 0, st.Pos)
+		return nil
+	case *AtomicStmt:
+		c.emit(OpAtomicBegin, 0, 0, st.Pos)
+		if err := c.block(st.Body); err != nil {
+			return err
+		}
+		c.emit(OpAtomicEnd, 0, 0, st.Pos)
+		return nil
+	case *SpawnStmt:
+		for _, a := range st.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		c.emit(OpSpawn, int32(c.info.ProcIndex[st.Proc]), int32(len(st.Args)), st.Pos)
+		return nil
+	case *CallStmt:
+		for _, a := range st.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		target := c.info.file.Procs[c.info.ProcIndex[st.Proc]]
+		c.emit(OpCall, int32(c.info.ProcIndex[st.Proc]), int32(len(st.Args)), st.Pos)
+		if target.HasResult {
+			// The result of a call statement is discarded.
+			c.emit(OpPop, 0, 0, st.Pos)
+		}
+		return nil
+	case *FieldAssignStmt:
+		if err := c.expr(st.X); err != nil {
+			return err
+		}
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		c.emit(OpStoreField, int32(c.info.FieldSlot[st]), 0, st.Pos)
+		return nil
+	case *AssertStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		msg := fmt.Sprintf("assertion failed at %s", st.Pos)
+		c.prog.Asserts = append(c.prog.Asserts, msg)
+		c.emit(OpAssert, int32(len(c.prog.Asserts)-1), 0, st.Pos)
+		return nil
+	case *YieldStmt:
+		c.emit(OpYield, 0, 0, st.Pos)
+		return nil
+	case *ReturnStmt:
+		if st.Value != nil {
+			if err := c.expr(st.Value); err != nil {
+				return err
+			}
+			c.emit(OpRetV, 0, 0, st.Pos)
+			return nil
+		}
+		c.emit(OpRet, 0, 0, st.Pos)
+		return nil
+	}
+	return fmt.Errorf("zml: cannot compile %T", s)
+}
+
+func (c *compiler) assign(st *AssignStmt) error {
+	lv := st.Target
+	if slot, ok := c.info.LValueSlot[lv]; ok && slot >= 0 {
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		c.emit(OpStoreLocal, int32(slot), 0, st.Pos)
+		return nil
+	}
+	gi := c.info.GlobalIndex[lv.Name]
+	if lv.Index != nil {
+		if err := c.expr(lv.Index); err != nil {
+			return err
+		}
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		c.emit(OpStoreElem, int32(gi), 0, st.Pos)
+		return nil
+	}
+	if err := c.expr(st.Value); err != nil {
+		return err
+	}
+	c.emit(OpStoreGlobal, int32(gi), 0, st.Pos)
+	return nil
+}
+
+func (c *compiler) mutexOp(op OpCode, lv *LValue, pos Pos) error {
+	gi := c.info.GlobalIndex[lv.Name]
+	indexed := int32(0)
+	if lv.Index != nil {
+		if err := c.expr(lv.Index); err != nil {
+			return err
+		}
+		indexed = 1
+	}
+	c.emit(op, int32(gi), indexed, pos)
+	return nil
+}
+
+var binOps = map[string]OpCode{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (c *compiler) expr(e Expr) error {
+	switch ex := e.(type) {
+	case *IntLit:
+		c.emit(OpPush, c.constIdx(ex.V), 0, ex.Pos)
+		return nil
+	case *BoolLit:
+		v := int64(0)
+		if ex.V {
+			v = 1
+		}
+		c.emit(OpPush, c.constIdx(v), 0, ex.Pos)
+		return nil
+	case *VarRef:
+		if slot := c.info.VarSlot[ex]; slot >= 0 {
+			c.emit(OpLoadLocal, int32(slot), 0, ex.Pos)
+			return nil
+		}
+		c.emit(OpLoadGlobal, int32(c.info.GlobalIndex[ex.Name]), 0, ex.Pos)
+		return nil
+	case *IndexExpr:
+		if err := c.expr(ex.Index); err != nil {
+			return err
+		}
+		c.emit(OpLoadElem, int32(c.info.GlobalIndex[ex.Name]), 0, ex.Pos)
+		return nil
+	case *UnaryExpr:
+		if err := c.expr(ex.X); err != nil {
+			return err
+		}
+		if ex.Op == "-" {
+			c.emit(OpNeg, 0, 0, ex.Pos)
+		} else {
+			c.emit(OpNot, 0, 0, ex.Pos)
+		}
+		return nil
+	case *BinaryExpr:
+		switch ex.Op {
+		case "&&":
+			// X && Y with short circuit: if !X push 0 else Y.
+			if err := c.expr(ex.X); err != nil {
+				return err
+			}
+			jz := c.emit(OpJz, 0, 0, ex.Pos)
+			if err := c.expr(ex.Y); err != nil {
+				return err
+			}
+			jend := c.emit(OpJmp, 0, 0, ex.Pos)
+			c.patch(jz, len(c.code))
+			c.emit(OpPush, c.constIdx(0), 0, ex.Pos)
+			c.patch(jend, len(c.code))
+			return nil
+		case "||":
+			if err := c.expr(ex.X); err != nil {
+				return err
+			}
+			jz := c.emit(OpJz, 0, 0, ex.Pos)
+			c.emit(OpPush, c.constIdx(1), 0, ex.Pos)
+			jend := c.emit(OpJmp, 0, 0, ex.Pos)
+			c.patch(jz, len(c.code))
+			if err := c.expr(ex.Y); err != nil {
+				return err
+			}
+			c.patch(jend, len(c.code))
+			return nil
+		}
+		if err := c.expr(ex.X); err != nil {
+			return err
+		}
+		if err := c.expr(ex.Y); err != nil {
+			return err
+		}
+		c.emit(binOps[ex.Op], 0, 0, ex.Pos)
+		return nil
+	case *ChooseExpr:
+		if err := c.expr(ex.N); err != nil {
+			return err
+		}
+		c.emit(OpChoose, 0, 0, ex.Pos)
+		return nil
+	case *CallExpr:
+		for _, a := range ex.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		// The callee's OpRetV leaves the result on the shared operand
+		// stack, exactly where the caller's expression needs it.
+		c.emit(OpCall, int32(c.info.ProcIndex[ex.Proc]), int32(len(ex.Args)), ex.Pos)
+		return nil
+	case *NullLit:
+		c.emit(OpPush, c.constIdx(0), 0, ex.Pos)
+		return nil
+	case *NewExpr:
+		c.emit(OpNew, int32(c.info.RecordIndex[ex.Rec]), 0, ex.Pos)
+		return nil
+	case *FieldExpr:
+		if err := c.expr(ex.X); err != nil {
+			return err
+		}
+		isRef := int32(0)
+		if ty, ok := c.info.ExprType[ex]; ok && ty.IsRef() {
+			isRef = 1
+		}
+		c.emit(OpLoadField, int32(c.info.FieldSlot[ex]), isRef, ex.Pos)
+		return nil
+	}
+	return fmt.Errorf("zml: cannot compile expression %T", e)
+}

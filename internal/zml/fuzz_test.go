@@ -1,0 +1,230 @@
+package zml
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genSource emits a random well-formed ZML program: a few globals, a
+// worker proc with loops/conditionals/locks over them, and a main that
+// spawns workers. Every generated program is valid by construction, so
+// the pipeline must accept it; the VM then runs it under a step budget.
+type srcGen struct {
+	rng  *rand.Rand
+	b    strings.Builder
+	nInt int
+	nMut int
+}
+
+func genSource(seed int64) string {
+	g := &srcGen{rng: rand.New(rand.NewSource(seed))}
+	g.nInt = 1 + g.rng.Intn(3)
+	g.nMut = 1 + g.rng.Intn(2)
+	for i := 0; i < g.nInt; i++ {
+		fmt.Fprintf(&g.b, "global int g%d;\n", i)
+	}
+	for i := 0; i < g.nMut; i++ {
+		fmt.Fprintf(&g.b, "global mutex m%d;\n", i)
+	}
+	fmt.Fprintf(&g.b, "global int arr[4];\n")
+	g.b.WriteString("record Cell { int v; Cell link; }\nglobal Cell chain;\n")
+	g.b.WriteString("proc work(int id) {\n")
+	g.stmts(2+g.rng.Intn(4), 1)
+	g.b.WriteString("}\n")
+	g.b.WriteString("proc main() {\n")
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "\tspawn work(%d);\n", i)
+	}
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+func (g *srcGen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(10))
+		case 1:
+			return fmt.Sprintf("g%d", g.rng.Intn(g.nInt))
+		default:
+			return "id"
+		}
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), ops[g.rng.Intn(len(ops))], g.intExpr(depth-1))
+}
+
+func (g *srcGen) boolExpr(depth int) string {
+	cmp := []string{"<", "<=", "==", "!=", ">", ">="}
+	base := fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), cmp[g.rng.Intn(len(cmp))], g.intExpr(depth-1))
+	if depth > 1 && g.rng.Intn(3) == 0 {
+		conn := []string{"&&", "||"}
+		return fmt.Sprintf("(%s %s %s)", base, conn[g.rng.Intn(2)], g.boolExpr(depth-1))
+	}
+	return base
+}
+
+func (g *srcGen) stmts(n, indent int) {
+	pad := strings.Repeat("\t", indent)
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(9) {
+		case 0:
+			fmt.Fprintf(&g.b, "%sg%d = %s;\n", pad, g.rng.Intn(g.nInt), g.intExpr(2))
+		case 1:
+			fmt.Fprintf(&g.b, "%sarr[%d] = %s;\n", pad, g.rng.Intn(4), g.intExpr(1))
+		case 2:
+			m := g.rng.Intn(g.nMut)
+			fmt.Fprintf(&g.b, "%sacquire(m%d);\n", pad, m)
+			g.stmts(1, indent)
+			fmt.Fprintf(&g.b, "%srelease(m%d);\n", pad, m)
+		case 3:
+			fmt.Fprintf(&g.b, "%sif (%s) {\n", pad, g.boolExpr(2))
+			g.stmts(1, indent+1)
+			fmt.Fprintf(&g.b, "%s} else {\n", pad)
+			g.stmts(1, indent+1)
+			fmt.Fprintf(&g.b, "%s}\n", pad)
+		case 4:
+			// Bounded loop via a fresh local (locals are per-proc scope;
+			// use a unique name per emission site).
+			v := fmt.Sprintf("i%d", g.rng.Intn(1000000))
+			fmt.Fprintf(&g.b, "%sint %s = 0;\n", pad, v)
+			fmt.Fprintf(&g.b, "%swhile (%s < 2) {\n", pad, v)
+			g.stmts(1, indent+1)
+			fmt.Fprintf(&g.b, "%s\t%s = %s + 1;\n", pad, v, v)
+			fmt.Fprintf(&g.b, "%s}\n", pad)
+		case 5:
+			fmt.Fprintf(&g.b, "%syield;\n", pad)
+		case 6:
+			fmt.Fprintf(&g.b, "%sg%d = choose(3);\n", pad, g.rng.Intn(g.nInt))
+		case 7:
+			// Heap use: allocate, link, publish, and guarded traversal.
+			v := fmt.Sprintf("c%d", g.rng.Intn(1000000))
+			fmt.Fprintf(&g.b, "%sCell %s = new Cell;\n", pad, v)
+			fmt.Fprintf(&g.b, "%s%s.v = %s;\n", pad, v, g.intExpr(1))
+			fmt.Fprintf(&g.b, "%s%s.link = chain;\n", pad, v)
+			fmt.Fprintf(&g.b, "%schain = %s;\n", pad, v)
+		case 8:
+			fmt.Fprintf(&g.b, "%sif (chain != null) { g%d = chain.v; }\n", pad, g.rng.Intn(g.nInt))
+		}
+	}
+}
+
+// TestFuzzPipelineAcceptsGenerated: every generated program lexes, parses,
+// checks and compiles, and its canonical execution terminates without
+// runtime errors other than the ones the generator cannot cause.
+func TestFuzzPipelineAcceptsGenerated(t *testing.T) {
+	prop := func(seed int64) bool {
+		src := genSource(seed % 100000)
+		p, err := Compile(src)
+		if err != nil {
+			t.Logf("seed %d: compile error on generated source: %v\n%s", seed, err, src)
+			return false
+		}
+		s, fail := p.NewState()
+		if fail != nil {
+			t.Logf("seed %d: initial failure: %v", seed, fail)
+			return false
+		}
+		for steps := 0; s.Alive() > 0; steps++ {
+			if steps > 20000 {
+				t.Logf("seed %d: did not terminate", seed)
+				return false
+			}
+			picked := -1
+			for tid := range s.Threads {
+				if p.Enabled(s, tid) {
+					picked = tid
+					break
+				}
+			}
+			if picked == -1 {
+				break // deadlock is possible with nested acquires; fine
+			}
+			if fail := p.Step(s, picked, 0); fail != nil {
+				t.Logf("seed %d: runtime failure: %v\n%s", seed, fail, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzCompileDeterministic: compiling the same source twice yields
+// byte-identical programs (instruction streams and pools).
+func TestFuzzCompileDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		src := genSource(seed % 100000)
+		a, err1 := Compile(src)
+		b, err2 := Compile(src)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(a.Procs) != len(b.Procs) || a.StateSize != b.StateSize {
+			return false
+		}
+		for i := range a.Procs {
+			if len(a.Procs[i].Code) != len(b.Procs[i].Code) {
+				return false
+			}
+			for j := range a.Procs[i].Code {
+				if a.Procs[i].Code[j] != b.Procs[i].Code[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzStateKeyConsistency: along any execution, Clone keys equal the
+// original's, and stepping changes the key.
+func TestFuzzStateKeyConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		src := genSource(seed % 100000)
+		p, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		s, fail := p.NewState()
+		if fail != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for steps := 0; s.Alive() > 0 && steps < 200; steps++ {
+			var enabled []int
+			for tid := range s.Threads {
+				if p.Enabled(s, tid) {
+					enabled = append(enabled, tid)
+				}
+			}
+			if len(enabled) == 0 {
+				break
+			}
+			if s.Clone().Key() != s.Key() {
+				return false
+			}
+			tid := enabled[rng.Intn(len(enabled))]
+			choice := int64(0)
+			if n := p.PendingChoose(s, tid); n > 0 {
+				choice = int64(rng.Intn(int(n)))
+			}
+			if fail := p.Step(s, tid, choice); fail != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

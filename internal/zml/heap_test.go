@@ -1,0 +1,249 @@
+package zml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordsLinkedList(t *testing.T) {
+	p := mustCompile(t, `
+		record Node {
+			int val;
+			Node next;
+		}
+		global Node head;
+		global int sum;
+
+		proc push(int v) {
+			Node n = new Node;
+			n.val = v;
+			n.next = head;
+			head = n;
+		}
+
+		proc main() {
+			call push(1);
+			call push(2);
+			call push(3);
+			Node cur = head;
+			while (cur != null) {
+				sum = sum + cur.val;
+				cur = cur.next;
+			}
+			assert(sum == 6);
+			assert(head.val == 3);
+			assert(head.next.next.val == 1);
+			assert(head.next.next.next == null);
+		}
+	`)
+	_, fail := runToCompletion(t, p, 5000)
+	if fail != nil {
+		t.Fatalf("failure: %v", fail)
+	}
+}
+
+func TestNullDereferenceFails(t *testing.T) {
+	p := mustCompile(t, `
+		record Node { int val; }
+		global Node head;
+		proc main() { head.val = 1; }
+	`)
+	_, fail := runToCompletion(t, p, 100)
+	if fail == nil || !strings.Contains(fail.Msg, "null dereference") {
+		t.Fatalf("got %v", fail)
+	}
+}
+
+func TestRecordCheckErrors(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"proc main() { Node n; }", "undefined record type"},
+		{"record N { int v; } proc main() { N n = new M; }", "undefined record type"},
+		{"record N { int v; } proc main() { N n = new N; n.w = 1; }", "has no field"},
+		{"record N { int v; } proc main() { N n = new N; n.v = true; }", "cannot assign bool"},
+		{"record N { int v; } record N { int w; }", "redeclared"},
+		{"record N { int v; int v; }", "field \"v\" redeclared"},
+		{"record N { mutex m; }", "cannot be mutexes"},
+		{"record N { int v; } global N a[3];", "arrays of references"},
+		{"record N { int v; } global N h; proc main() { wait(h.v == 1); }", "not allowed inside a wait condition"},
+		{"record N { int v; } record M { int v; } proc main() { N n = new M; }", "cannot initialize N local"},
+		{"record N { int v; } proc main() { int x = new N; }", "cannot initialize int"},
+		{"record N { int v; } proc main() { N n = new N; int x = n; }", "cannot initialize int"},
+	} {
+		_, err := Compile(tc.src)
+		if err == nil {
+			t.Fatalf("Compile(%q) succeeded, want %q", tc.src, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Compile(%q) error %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestNullComparisons(t *testing.T) {
+	p := mustCompile(t, `
+		record Node { Node next; }
+		global Node a;
+		global bool r1; global bool r2; global bool r3;
+		proc main() {
+			r1 = a == null;       // true: unset global
+			a = new Node;
+			r2 = a != null;       // true
+			Node b = a;
+			r3 = a == b;          // true: same object
+			assert(r1 && r2 && r3);
+		}
+	`)
+	if _, fail := runToCompletion(t, p, 1000); fail != nil {
+		t.Fatalf("failure: %v", fail)
+	}
+}
+
+func TestHeapSymmetryCanonicalKey(t *testing.T) {
+	// Two threads each allocate a node and publish it to their own global.
+	// Allocation ORDER depends on the schedule, so raw encodings differ,
+	// but the states are isomorphic and the canonical key must coincide.
+	// The probe read is a shared op before each allocation, so the
+	// allocation order genuinely depends on the schedule (a freshly
+	// spawned thread otherwise runs its pure prefix — including new —
+	// during the spawn step).
+	src := `
+		record Node { int val; }
+		global Node a;
+		global Node b;
+		global int probe;
+		proc mkA() { int x = probe; Node n = new Node; n.val = 1; a = n; }
+		proc mkB() { int x = probe; Node n = new Node; n.val = 2; b = n; }
+		proc main() {
+			spawn mkA();
+			spawn mkB();
+		}
+	`
+	p := mustCompile(t, src)
+
+	runOrder := func(first, second int) *State {
+		s, fail := p.NewState()
+		if fail != nil {
+			t.Fatal(fail)
+		}
+		// Drain main first (spawns), then run the two workers to
+		// completion in the given order.
+		for p.Enabled(s, 0) {
+			if fail := p.Step(s, 0, 0); fail != nil {
+				t.Fatal(fail)
+			}
+		}
+		for _, tid := range []int{first, second} {
+			for p.Enabled(s, tid) {
+				if fail := p.Step(s, tid, 0); fail != nil {
+					t.Fatal(fail)
+				}
+			}
+		}
+		return s
+	}
+	s12 := runOrder(1, 2)
+	s21 := runOrder(2, 1)
+	if s12.Key() == s21.Key() {
+		t.Fatal("raw keys coincide; the test no longer exercises allocation order")
+	}
+	if p.StateKey(s12) != p.StateKey(s21) {
+		t.Fatal("canonical keys differ for isomorphic heaps")
+	}
+}
+
+func TestGarbageDoesNotDistinguishStates(t *testing.T) {
+	// Allocating and dropping an object must not change the canonical key.
+	p := mustCompile(t, `
+		record Node { int val; }
+		global int done;
+		proc main() {
+			Node garbage = new Node;
+			garbage = null;
+			done = 1;
+		}
+	`)
+	s, fail := p.NewState()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	for s.Alive() > 0 {
+		if fail := p.Step(s, 0, 0); fail != nil {
+			t.Fatal(fail)
+		}
+	}
+	if len(s.Heap) != 1 {
+		t.Fatalf("heap should hold the garbage object, has %d", len(s.Heap))
+	}
+	// Canonical encoding omits the unreachable object: the heap section
+	// length must be zero. Compare against a fresh state of the same
+	// program driven without the garbage... easiest: canonical key of the
+	// final state must equal the canonical key of the state with the heap
+	// slice emptied.
+	bare := s.Clone()
+	bare.Heap = nil
+	if p.StateKey(s) != p.StateKey(bare) {
+		t.Fatal("garbage object leaked into the canonical key")
+	}
+}
+
+func TestRecordFormatRoundTrip(t *testing.T) {
+	src := `
+record Node {
+	int val;
+	Node next;
+}
+
+global Node head;
+
+proc main() {
+	Node n = new Node;
+	n.val = 7;
+	n.next = head;
+	head = n;
+	assert(head.next == null);
+}
+`
+	got, err := Format(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != strings.TrimPrefix(src, "\n") {
+		t.Fatalf("format changed canonical source:\n%s\nwant:\n%s", got, src)
+	}
+	// And the formatted source compiles.
+	if _, err := Compile(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefsOnOperandStackAreCanonicalized(t *testing.T) {
+	// Park a thread mid-expression with a reference on its operand stack:
+	// the canonicalizer must treat it as a root. `head.val = (new Node).val`
+	// parks at the inner field read with both refs on the stack.
+	p := mustCompile(t, `
+		record Node { int val; }
+		global Node head;
+		global int sink;
+		proc main() {
+			head = new Node;
+			Node tmp = new Node;
+			sink = tmp.val + head.val;
+		}
+	`)
+	s, fail := p.NewState()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	// Step until just before completion, checking at every boundary that
+	// encoding doesn't panic and stays deterministic.
+	for s.Alive() > 0 {
+		k1 := p.StateKey(s)
+		k2 := p.StateKey(s)
+		if k1 != k2 {
+			t.Fatal("canonical key not deterministic")
+		}
+		if fail := p.Step(s, 0, 0); fail != nil {
+			t.Fatal(fail)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package zml
+
+import "fmt"
+
+// Lexer tokenizes ZML source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isSpace(c byte) bool   { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool   { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool  { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentCh(c byte) bool { return isLetter(c) || isDigit(c) }
+
+// skipTrivia consumes whitespace and // and /* */ comments.
+func (lx *Lexer) skipTrivia() error {
+	for {
+		switch {
+		case lx.off < len(lx.src) && isSpace(lx.peek()):
+			lx.advance()
+		case lx.peek() == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case lx.peek() == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// twoCharOps are the multi-byte operators.
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		var v int64
+		for _, d := range text {
+			nv := v*10 + int64(d-'0')
+			if nv < v {
+				return Token{}, errf(pos, "integer literal %s overflows", text)
+			}
+			v = nv
+		}
+		return Token{Kind: TokInt, Text: text, Val: v, Pos: pos}, nil
+	case isLetter(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentCh(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	default:
+		if lx.off+1 < len(lx.src) {
+			two := lx.src[lx.off : lx.off+2]
+			if twoCharOps[two] {
+				lx.advance()
+				lx.advance()
+				return Token{Kind: TokOp, Text: two, Pos: pos}, nil
+			}
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', '[', ']', ',', ';', '.':
+			lx.advance()
+			return Token{Kind: TokOp, Text: string(c), Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %s", fmt.Sprintf("%q", string(c)))
+	}
+}

@@ -1,0 +1,709 @@
+package zml
+
+// Parser is a recursive-descent parser for ZML.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a compilation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.file()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(text string) bool {
+	t := p.cur()
+	return (t.Kind == TokOp || t.Kind == TokKeyword) && t.Text == text
+}
+
+func (p *Parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) (Token, error) {
+	if p.at(text) {
+		return p.next(), nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected %q, found %s", text, p.cur())
+}
+
+func (p *Parser) ident() (Token, error) {
+	if p.cur().Kind == TokIdent {
+		return p.next(), nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected identifier, found %s", p.cur())
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.at("global"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case p.at("record"):
+			r, err := p.recordDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Records = append(f.Records, r)
+		case p.at("proc"):
+			pr, err := p.procDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Procs = append(f.Procs, pr)
+		default:
+			return nil, errf(p.cur().Pos, "expected 'global', 'record' or 'proc' declaration, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+// typeName parses "int" | "bool" | "mutex".
+func (p *Parser) typeName() (Type, error) {
+	switch {
+	case p.accept("int"):
+		return TInt, nil
+	case p.accept("bool"):
+		return TBool, nil
+	case p.accept("mutex"):
+		return TMutex, nil
+	}
+	if p.cur().Kind == TokIdent {
+		name := p.next()
+		return TRef(name.Text), nil
+	}
+	return Type{}, errf(p.cur().Pos, "expected a type, found %s", p.cur())
+}
+
+// recordDecl := "record" ident "{" (type ident ";")* "}"
+func (p *Parser) recordDecl() (*RecordDecl, error) {
+	kw := p.next() // record
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	r := &RecordDecl{Name: name.Text, Pos: kw.Pos}
+	for !p.at("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(kw.Pos, "unterminated record")
+		}
+		ty, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		r.Fields = append(r.Fields, Param{Name: id.Text, Type: ty, Pos: id.Pos})
+	}
+	p.next() // }
+	return r, nil
+}
+
+// globalDecl := "global" type ident ("[" int "]")? ("=" ("-")? int|bool)? ";"
+func (p *Parser) globalDecl() (*GlobalDecl, error) {
+	kw := p.next() // global
+	ty, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Type: ty, Pos: kw.Pos}
+	if p.accept("[") {
+		sz := p.cur()
+		if sz.Kind != TokInt || sz.Val <= 0 {
+			return nil, errf(sz.Pos, "array size must be a positive integer literal")
+		}
+		p.next()
+		g.Size = int(sz.Val)
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if g.Type == TMutex {
+			return nil, errf(kw.Pos, "mutex globals cannot be initialized")
+		}
+		if g.Size > 0 {
+			return nil, errf(kw.Pos, "array globals cannot be initialized")
+		}
+		neg := p.accept("-")
+		switch t := p.cur(); {
+		case t.Kind == TokInt:
+			p.next()
+			g.Init = t.Val
+			if neg {
+				g.Init = -g.Init
+			}
+		case t.Text == "true" && !neg:
+			p.next()
+			g.Init = 1
+		case t.Text == "false" && !neg:
+			p.next()
+			g.Init = 0
+		default:
+			return nil, errf(t.Pos, "expected a literal initializer, found %s", t)
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// procDecl := "proc" ident "(" (type ident ("," type ident)*)? ")" block
+func (p *Parser) procDecl() (*ProcDecl, error) {
+	kw := p.next() // proc
+	pr := &ProcDecl{Pos: kw.Pos}
+	if p.at("int") || p.at("bool") {
+		ty, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		pr.HasResult = true
+		pr.Result = ty
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	pr.Name = name.Text
+	for !p.at(")") {
+		if len(pr.Params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		ty, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if ty == TMutex {
+			return nil, errf(p.cur().Pos, "mutex parameters are not supported")
+		}
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		pr.Params = append(pr.Params, Param{Name: id.Text, Type: ty, Pos: id.Pos})
+	}
+	p.next() // )
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	pr.Body = body
+	return pr, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	lb, err := p.expect("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for !p.at("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at("{"):
+		return p.block()
+	case p.at("int"), p.at("bool"):
+		p.next()
+		ty := TInt
+		if t.Text == "bool" {
+			ty = TBool
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: name.Text, Type: ty, Pos: t.Pos}
+		if p.accept("=") {
+			d.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case p.at("if"):
+		return p.ifStmt()
+	case p.at("while"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+	case p.at("acquire"), p.at("release"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		lv, err := p.lvalue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if t.Text == "acquire" {
+			return &AcquireStmt{Target: lv, Pos: t.Pos}, nil
+		}
+		return &ReleaseStmt{Target: lv, Pos: t.Pos}, nil
+	case p.at("wait"), p.at("assert"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if t.Text == "wait" {
+			return &WaitStmt{Cond: cond, Pos: t.Pos}, nil
+		}
+		return &AssertStmt{Cond: cond, Pos: t.Pos}, nil
+	case p.at("atomic"):
+		p.next()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Body: body, Pos: t.Pos}, nil
+	case p.at("spawn"), p.at("call"):
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if t.Text == "spawn" {
+			return &SpawnStmt{Proc: name.Text, Args: args, Pos: t.Pos}, nil
+		}
+		return &CallStmt{Proc: name.Text, Args: args, Pos: t.Pos}, nil
+	case p.at("yield"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &YieldStmt{Pos: t.Pos}, nil
+	case p.at("return"):
+		p.next()
+		st := &ReturnStmt{Pos: t.Pos}
+		if !p.at(";") {
+			var err error
+			st.Value, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case t.Kind == TokIdent:
+		// Two identifiers in a row declare a reference-typed local
+		// ("Node n;" or "Node n = expr;").
+		if p.toks[p.pos+1].Kind == TokIdent {
+			ty, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			d := &DeclStmt{Name: name.Text, Type: ty, Pos: t.Pos}
+			if p.accept("=") {
+				d.Init, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return d, nil
+		}
+		// Assignment target: variable, array element, or a field chain.
+		lv, err := p.lvalue()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(".") {
+			// Field chain: rebuild the base as an expression and peel the
+			// final field as the store target.
+			var x Expr
+			if lv.Index != nil {
+				x = &IndexExpr{Name: lv.Name, Index: lv.Index, Pos: lv.Pos}
+			} else {
+				x = &VarRef{Name: lv.Name, Pos: lv.Pos}
+			}
+			var last string
+			var lastPos Pos
+			for p.accept(".") {
+				id, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if last != "" {
+					x = &FieldExpr{X: x, Name: last, Pos: lastPos}
+				}
+				last, lastPos = id.Text, id.Pos
+			}
+			if _, err := p.expect("="); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return &FieldAssignStmt{X: x, Name: last, Value: val, Pos: lastPos}, nil
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lv, Value: val, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "expected a statement, found %s", t)
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.accept("else") {
+		if p.at("if") {
+			st.Else, err = p.ifStmt()
+		} else {
+			st.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) lvalue() (*LValue, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	lv := &LValue{Name: name.Text, Pos: name.Pos}
+	if p.accept("[") {
+		lv.Index, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	return lv, nil
+}
+
+func (p *Parser) args() ([]Expr, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.at(")") {
+		if len(args) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.next() // )
+	return args, nil
+}
+
+// Expression parsing: precedence climbing.
+// || < && < == != < > <= >= < + - < * / % < unary.
+
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("||") {
+		op := p.next()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "||", X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	x, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("&&") {
+		op := p.next()
+		y, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "&&", X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+var cmpOps = []string{"==", "!=", "<=", ">=", "<", ">"}
+
+func (p *Parser) cmpExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range cmpOps {
+			if p.at(op) {
+				tok := p.next()
+				y, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				x = &BinaryExpr{Op: op, X: x, Y: y, Pos: tok.Pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("+") || p.at("-") {
+		op := p.next()
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op.Text, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	x, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("*") || p.at("/") || p.at("%") {
+		op := p.next()
+		y, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op.Text, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	if p.at("-") || p.at("!") {
+		op := p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Text, X: x, Pos: op.Pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return &IntLit{V: t.Val, Pos: t.Pos}, nil
+	case p.at("true"):
+		p.next()
+		return &BoolLit{V: true, Pos: t.Pos}, nil
+	case p.at("false"):
+		p.next()
+		return &BoolLit{V: false, Pos: t.Pos}, nil
+	case p.at("null"):
+		p.next()
+		return &NullLit{Pos: t.Pos}, nil
+	case p.at("new"):
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return p.postfix(&NewExpr{Rec: name.Text, Pos: t.Pos})
+	case p.at("choose"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		n, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &ChooseExpr{N: n, Pos: t.Pos}, nil
+	case p.at("("):
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return p.postfix(&IndexExpr{Name: t.Text, Index: idx, Pos: t.Pos})
+		}
+		if p.at("(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return p.postfix(&CallExpr{Proc: t.Text, Args: args, Pos: t.Pos})
+		}
+		return p.postfix(&VarRef{Name: t.Text, Pos: t.Pos})
+	}
+	return nil, errf(t.Pos, "expected an expression, found %s", t)
+}
+
+// postfix parses the ".field" chain after a primary expression.
+func (p *Parser) postfix(x Expr) (Expr, error) {
+	for p.accept(".") {
+		id, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		x = &FieldExpr{X: x, Name: id.Text, Pos: id.Pos}
+	}
+	return x, nil
+}

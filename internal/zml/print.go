@@ -1,0 +1,267 @@
+package zml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format parses and pretty-prints ZML source in canonical form: tab
+// indentation, one statement per line, normalized spacing, comments
+// dropped (the formatter works on the AST). Formatting is idempotent and
+// semantics-preserving: the printed source parses back to a program that
+// compiles to the same bytecode (enforced by the round-trip tests).
+func Format(src string) (string, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Print(f), nil
+}
+
+// Print renders a parsed file in canonical form.
+func Print(f *File) string {
+	var p printer
+	for i, r := range f.Records {
+		if i > 0 {
+			p.b.WriteByte('\n')
+		}
+		p.record(r)
+	}
+	if len(f.Records) > 0 {
+		p.b.WriteByte('\n')
+	}
+	for _, g := range f.Globals {
+		p.global(g)
+	}
+	if len(f.Globals) > 0 {
+		p.b.WriteByte('\n')
+	}
+	for i, pr := range f.Procs {
+		if i > 0 {
+			p.b.WriteByte('\n')
+		}
+		p.proc(pr)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) global(g *GlobalDecl) {
+	switch {
+	case g.Size > 0:
+		p.line("global %s %s[%d];", g.Type, g.Name, g.Size)
+	case g.Type == TBool && g.Init != 0:
+		p.line("global bool %s = true;", g.Name)
+	case g.Type != TMutex && g.Init != 0:
+		p.line("global %s %s = %d;", g.Type, g.Name, g.Init)
+	default:
+		p.line("global %s %s;", g.Type, g.Name)
+	}
+}
+
+func (p *printer) record(r *RecordDecl) {
+	p.line("record %s {", r.Name)
+	p.indent++
+	for _, f := range r.Fields {
+		p.line("%s %s;", f.Type, f.Name)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) proc(pr *ProcDecl) {
+	var params []string
+	for _, prm := range pr.Params {
+		params = append(params, fmt.Sprintf("%s %s", prm.Type, prm.Name))
+	}
+	if pr.HasResult {
+		p.line("proc %s %s(%s) {", pr.Result, pr.Name, strings.Join(params, ", "))
+	} else {
+		p.line("proc %s(%s) {", pr.Name, strings.Join(params, ", "))
+	}
+	p.indent++
+	for _, s := range pr.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, inner := range st.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *DeclStmt:
+		if st.Init != nil {
+			p.line("%s %s = %s;", st.Type, st.Name, exprString(st.Init, 0))
+		} else {
+			p.line("%s %s;", st.Type, st.Name)
+		}
+	case *AssignStmt:
+		p.line("%s = %s;", lvalueString(st.Target), exprString(st.Value, 0))
+	case *IfStmt:
+		p.ifChain(st)
+	case *WhileStmt:
+		p.line("while (%s) {", exprString(st.Cond, 0))
+		p.indent++
+		for _, inner := range st.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *AcquireStmt:
+		p.line("acquire(%s);", lvalueString(st.Target))
+	case *ReleaseStmt:
+		p.line("release(%s);", lvalueString(st.Target))
+	case *WaitStmt:
+		p.line("wait(%s);", exprString(st.Cond, 0))
+	case *AtomicStmt:
+		p.line("atomic {")
+		p.indent++
+		for _, inner := range st.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *SpawnStmt:
+		p.line("spawn %s(%s);", st.Proc, argsString(st.Args))
+	case *CallStmt:
+		p.line("call %s(%s);", st.Proc, argsString(st.Args))
+	case *FieldAssignStmt:
+		p.line("%s.%s = %s;", exprString(st.X, 6), st.Name, exprString(st.Value, 0))
+	case *AssertStmt:
+		p.line("assert(%s);", exprString(st.Cond, 0))
+	case *YieldStmt:
+		p.line("yield;")
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", exprString(st.Value, 0))
+		} else {
+			p.line("return;")
+		}
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+// ifChain renders if/else-if/else chains flat.
+func (p *printer) ifChain(st *IfStmt) {
+	p.line("if (%s) {", exprString(st.Cond, 0))
+	for {
+		p.indent++
+		for _, inner := range st.Then.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		switch e := st.Else.(type) {
+		case nil:
+			p.line("}")
+			return
+		case *IfStmt:
+			p.line("} else if (%s) {", exprString(e.Cond, 0))
+			st = e
+		case *Block:
+			p.line("} else {")
+			p.indent++
+			for _, inner := range e.Stmts {
+				p.stmt(inner)
+			}
+			p.indent--
+			p.line("}")
+			return
+		default:
+			p.line("} /* unknown else %T */", st.Else)
+			return
+		}
+	}
+}
+
+func lvalueString(lv *LValue) string {
+	if lv.Index != nil {
+		return fmt.Sprintf("%s[%s]", lv.Name, exprString(lv.Index, 0))
+	}
+	return lv.Name
+}
+
+func argsString(args []Expr) string {
+	var parts []string
+	for _, a := range args {
+		parts = append(parts, exprString(a, 0))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Operator precedence levels for minimal parenthesization, matching the
+// parser's grammar: || < && < comparisons < additive < multiplicative <
+// unary.
+func precOf(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	}
+	return 6
+}
+
+// exprString renders e, parenthesizing when its precedence is below the
+// context's.
+func exprString(e Expr, ctx int) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", ex.V)
+	case *BoolLit:
+		if ex.V {
+			return "true"
+		}
+		return "false"
+	case *VarRef:
+		return ex.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ex.Name, exprString(ex.Index, 0))
+	case *UnaryExpr:
+		return ex.Op + exprString(ex.X, 6)
+	case *ChooseExpr:
+		return fmt.Sprintf("choose(%s)", exprString(ex.N, 0))
+	case *CallExpr:
+		return fmt.Sprintf("%s(%s)", ex.Proc, argsString(ex.Args))
+	case *NullLit:
+		return "null"
+	case *NewExpr:
+		return "new " + ex.Rec
+	case *FieldExpr:
+		return exprString(ex.X, 6) + "." + ex.Name
+	case *BinaryExpr:
+		prec := precOf(ex.Op)
+		// Left-associative: the right operand needs strictly higher
+		// precedence to avoid parentheses.
+		s := exprString(ex.X, prec) + " " + ex.Op + " " + exprString(ex.Y, prec+1)
+		if prec < ctx {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return fmt.Sprintf("/* %T */", e)
+}

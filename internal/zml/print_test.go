@@ -1,0 +1,156 @@
+package zml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatGolden(t *testing.T) {
+	src := `
+global int  x   =  3 ; global mutex m;
+global bool ok;
+global int a [ 2 ];
+proc work(int id){int i=0;
+while(i<2){acquire(m);if(x>0&&ok){x=x-1;}else{a[i]=id*2+1;}release(m);i=i+1;}
+}
+proc main(){spawn work(1);assert( x >= 0 );yield;atomic { x = 0; ok = true; } return;}
+`
+	want := `global int x = 3;
+global mutex m;
+global bool ok;
+global int a[2];
+
+proc work(int id) {
+	int i = 0;
+	while (i < 2) {
+		acquire(m);
+		if (x > 0 && ok) {
+			x = x - 1;
+		} else {
+			a[i] = id * 2 + 1;
+		}
+		release(m);
+		i = i + 1;
+	}
+}
+
+proc main() {
+	spawn work(1);
+	assert(x >= 0);
+	yield;
+	atomic {
+		x = 0;
+		ok = true;
+	}
+	return;
+}
+`
+	got, err := Format(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("formatted output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFormatIdempotent(t *testing.T) {
+	check := func(src string) {
+		t.Helper()
+		once, err := Format(src)
+		if err != nil {
+			t.Fatalf("format: %v\n%s", err, src)
+		}
+		twice, err := Format(once)
+		if err != nil {
+			t.Fatalf("reformat: %v\n%s", err, once)
+		}
+		if once != twice {
+			t.Fatalf("not idempotent:\n%s\nvs\n%s", once, twice)
+		}
+	}
+	check(`global int x; proc main() { x = 1 + 2 * 3; }`)
+	prop := func(seed int64) bool {
+		src := genSource(seed % 100000)
+		once, err := Format(src)
+		if err != nil {
+			return false
+		}
+		twice, err := Format(once)
+		return err == nil && once == twice
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFormatPreservesSemantics: the formatted source compiles to the same
+// bytecode as the original (same instruction streams).
+func TestFormatPreservesSemantics(t *testing.T) {
+	sameProgram := func(a, b *Program) bool {
+		if len(a.Procs) != len(b.Procs) || a.StateSize != b.StateSize {
+			return false
+		}
+		for i := range a.Procs {
+			if len(a.Procs[i].Code) != len(b.Procs[i].Code) {
+				return false
+			}
+			for j := range a.Procs[i].Code {
+				x, y := a.Procs[i].Code[j], b.Procs[i].Code[j]
+				// Positions differ after formatting; compare semantics only.
+				x.Pos, y.Pos = Pos{}, Pos{}
+				if x != y {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	prop := func(seed int64) bool {
+		src := genSource(seed % 100000)
+		orig, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		formatted, err := Format(src)
+		if err != nil {
+			t.Logf("seed %d: format error: %v", seed, err)
+			return false
+		}
+		reparsed, err := Compile(formatted)
+		if err != nil {
+			t.Logf("seed %d: formatted source does not compile: %v\n%s", seed, err, formatted)
+			return false
+		}
+		if !sameProgram(orig, reparsed) {
+			t.Logf("seed %d: bytecode changed after formatting:\n%s", seed, formatted)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	// Nested expressions keep their meaning with minimal parentheses.
+	for _, tc := range []struct{ in, want string }{
+		{"x = (1 + 2) * 3;", "x = (1 + 2) * 3;"},
+		{"x = 1 + 2 * 3;", "x = 1 + 2 * 3;"},
+		{"x = (((1)));", "x = 1;"},
+		{"x = 1 - (2 - 3);", "x = 1 - (2 - 3);"},
+		{"b = !(x == 1) || x > 2 && x < 9;", "b = !(x == 1) || x > 2 && x < 9;"},
+		{"x = -(1 + 2);", "x = -(1 + 2);"},
+	} {
+		src := "global int x; global bool b; proc main() { " + tc.in + " }"
+		got, err := Format(src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if !strings.Contains(got, tc.want) {
+			t.Fatalf("Format(%q) = %q, want to contain %q", tc.in, got, tc.want)
+		}
+	}
+}

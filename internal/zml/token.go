@@ -1,0 +1,96 @@
+// Package zml implements a small concurrent modeling language in the
+// spirit of the ZING modeling language the paper's explicit-state checker
+// verifies (§4): global shared state (scalars, fixed arrays, mutexes),
+// procedures with locals, spawn/join-free thread creation, blocking
+// acquire/release and wait statements, atomic blocks, nondeterministic
+// choice, and assertions.
+//
+// The pipeline is conventional: Lex → Parse → Check → Compile, producing a
+// bytecode Program executed by the explicit-state virtual machine (vm.go),
+// whose states are serializable and hashable — exactly what the ZING-style
+// checker of package zing needs for state caching and for running
+// Algorithm 1 literally over state work items.
+package zml
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier.
+	TokIdent
+	// TokInt is an integer literal.
+	TokInt
+	// TokKeyword is a reserved word.
+	TokKeyword
+	// TokOp is an operator or punctuation.
+	TokOp
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of file"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokKeyword:
+		return "keyword"
+	case TokOp:
+		return "operator"
+	}
+	return "token"
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // value for TokInt
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// keywords of the language.
+var keywords = map[string]bool{
+	"global": true, "mutex": true, "proc": true,
+	"int": true, "bool": true,
+	"if": true, "else": true, "while": true,
+	"acquire": true, "release": true, "wait": true,
+	"atomic": true, "spawn": true, "call": true,
+	"assert": true, "choose": true, "yield": true,
+	"record": true, "new": true, "null": true,
+	"true": true, "false": true, "return": true,
+}
+
+// Error is a source-positioned compilation error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,707 @@
+package zml
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FailKind classifies an execution failure.
+type FailKind uint8
+
+const (
+	// FailAssert is a violated assert statement.
+	FailAssert FailKind = iota
+	// FailRuntime is a runtime error: division by zero, index out of
+	// range, bad mutex usage, bad choose bound.
+	FailRuntime
+)
+
+// Failure is a bug found while executing a model.
+type Failure struct {
+	Kind FailKind
+	Msg  string
+	Pos  Pos
+}
+
+// Error implements error.
+func (f *Failure) Error() string { return fmt.Sprintf("%s: %s", f.Pos, f.Msg) }
+
+// ThreadStatus says what a thread is doing between steps.
+type ThreadStatus uint8
+
+const (
+	// TSParked means the thread sits before a shared instruction.
+	TSParked ThreadStatus = iota
+	// TSChoose means the thread sits before a choose with its bound on the
+	// operand stack.
+	TSChoose
+	// TSDead means the thread has returned from its last frame.
+	TSDead
+)
+
+// Frame is one activation record.
+type Frame struct {
+	Proc   int32
+	PC     int32
+	Locals []int64
+}
+
+// Thread is one model thread's private state.
+type Thread struct {
+	Status ThreadStatus
+	Atomic int32
+	Frames []Frame
+	Stack  []int64
+	// Refs marks which Stack entries are heap references, maintained in
+	// lockstep by every push/pop; the canonicalizer needs it to renumber
+	// references held in partially evaluated expressions.
+	Refs []bool
+}
+
+// HeapObj is one allocated record instance.
+type HeapObj struct {
+	Rec    int32
+	Fields []int64
+}
+
+// State is a full explicit state of a model: globals plus all threads. It
+// is the WorkItem.state of Algorithm 1.
+type State struct {
+	Globals []int64
+	Threads []*Thread
+	// Heap holds the allocated records; references are 1-based indices
+	// into it (0 is null). Unreachable objects are dropped from the
+	// canonical encoding, so garbage does not distinguish states.
+	Heap []HeapObj
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	n := &State{Globals: append([]int64(nil), s.Globals...)}
+	for _, o := range s.Heap {
+		n.Heap = append(n.Heap, HeapObj{Rec: o.Rec, Fields: append([]int64(nil), o.Fields...)})
+	}
+	for _, t := range s.Threads {
+		nt := &Thread{Status: t.Status, Atomic: t.Atomic,
+			Stack: append([]int64(nil), t.Stack...),
+			Refs:  append([]bool(nil), t.Refs...)}
+		for _, f := range t.Frames {
+			nt.Frames = append(nt.Frames, Frame{Proc: f.Proc, PC: f.PC, Locals: append([]int64(nil), f.Locals...)})
+		}
+		n.Threads = append(n.Threads, nt)
+	}
+	return n
+}
+
+// Encode appends a raw byte serialization of the state to buf. Raw means
+// heap references are encoded as allocation indices: two states that
+// differ only in allocation order (or garbage) encode differently. The
+// explicit-state checker uses Program.StateKey instead, which renumbers
+// the reachable heap canonically (heap-symmetry reduction). For heap-free
+// programs the two coincide up to the empty heap section.
+func (s *State) Encode(buf []byte) []byte {
+	put := func(v int64) {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	put(int64(len(s.Globals)))
+	for _, g := range s.Globals {
+		put(g)
+	}
+	put(int64(len(s.Heap)))
+	for _, o := range s.Heap {
+		put(int64(o.Rec))
+		for _, f := range o.Fields {
+			put(f)
+		}
+	}
+	put(int64(len(s.Threads)))
+	for _, t := range s.Threads {
+		put(int64(t.Status))
+		put(int64(t.Atomic))
+		put(int64(len(t.Stack)))
+		for _, v := range t.Stack {
+			put(v)
+		}
+		put(int64(len(t.Frames)))
+		for _, f := range t.Frames {
+			put(int64(f.Proc))
+			put(int64(f.PC))
+			put(int64(len(f.Locals)))
+			for _, v := range f.Locals {
+				put(v)
+			}
+		}
+	}
+	return buf
+}
+
+// Key returns the state's canonical serialization as a map key.
+func (s *State) Key() string { return string(s.Encode(nil)) }
+
+// Alive returns the number of live threads.
+func (s *State) Alive() int {
+	n := 0
+	for _, t := range s.Threads {
+		if t.Status != TSDead {
+			n++
+		}
+	}
+	return n
+}
+
+// top returns the active frame.
+func (t *Thread) top() *Frame { return &t.Frames[len(t.Frames)-1] }
+
+func (t *Thread) push(v int64) {
+	t.Stack = append(t.Stack, v)
+	t.Refs = append(t.Refs, false)
+}
+
+// pushR pushes a value with explicit refness.
+func (t *Thread) pushR(v int64, isRef bool) {
+	t.Stack = append(t.Stack, v)
+	t.Refs = append(t.Refs, isRef)
+}
+
+func (t *Thread) pop() int64 {
+	v := t.Stack[len(t.Stack)-1]
+	t.Stack = t.Stack[:len(t.Stack)-1]
+	t.Refs = t.Refs[:len(t.Refs)-1]
+	return v
+}
+
+// NewState builds the initial state: the main thread advanced to its first
+// scheduling point. A Failure is possible (an assert before any shared
+// access).
+func (p *Program) NewState() (*State, *Failure) {
+	s := &State{Globals: make([]int64, p.StateSize)}
+	for _, g := range p.Globals {
+		if g.Size == 0 && g.Type != TMutex {
+			s.Globals[g.Slot] = g.Init
+		}
+	}
+	main := &Thread{Frames: []Frame{{Proc: int32(p.MainProc), Locals: make([]int64, p.Procs[p.MainProc].NumLocals)}}}
+	s.Threads = append(s.Threads, main)
+	if f := p.advance(s, main); f != nil {
+		return nil, f
+	}
+	return s, nil
+}
+
+// PendingChoose returns the bound of the choose a thread is parked at, or
+// 0 when it is not at a choose.
+func (p *Program) PendingChoose(s *State, tid int) int64 {
+	t := s.Threads[tid]
+	if t.Status != TSChoose {
+		return 0
+	}
+	return t.Stack[len(t.Stack)-1]
+}
+
+// Enabled reports whether thread tid can take a step. Choose-parked
+// threads are enabled (stepping them requires a data choice).
+func (p *Program) Enabled(s *State, tid int) bool {
+	t := s.Threads[tid]
+	switch t.Status {
+	case TSDead:
+		return false
+	case TSChoose:
+		return true
+	}
+	f := t.top()
+	in := p.Procs[f.Proc].Code[f.PC]
+	switch in.Op {
+	case OpAcquire:
+		slot, _, err := p.mutexSlot(s, t, in)
+		return err == nil && s.Globals[slot] == 0
+	case OpWait:
+		v, err := p.evalGuard(s, t, p.Guards[in.A])
+		return err == nil && v != 0
+	}
+	return true
+}
+
+// Deadlocked reports whether live threads exist but none is enabled.
+func (p *Program) Deadlocked(s *State) bool {
+	live := false
+	for tid, t := range s.Threads {
+		if t.Status == TSDead {
+			continue
+		}
+		live = true
+		if p.Enabled(s, tid) {
+			return false
+		}
+	}
+	return live
+}
+
+// DeadlockMessage describes the blocked threads.
+func (p *Program) DeadlockMessage(s *State) string {
+	msg := "deadlock:"
+	for tid, t := range s.Threads {
+		if t.Status == TSDead {
+			continue
+		}
+		f := t.top()
+		in := p.Procs[f.Proc].Code[f.PC]
+		msg += fmt.Sprintf(" t%d blocked at %s (%s);", tid, in.Op, in.Pos)
+	}
+	return msg
+}
+
+// mutexSlot resolves the state slot of a (possibly indexed) mutex operand.
+// For indexed mutexes the index sits on the operand stack.
+func (p *Program) mutexSlot(s *State, t *Thread, in Instr) (slot int, indexed bool, f *Failure) {
+	g := p.Globals[in.A]
+	if in.B == 0 {
+		return g.Slot, false, nil
+	}
+	idx := t.Stack[len(t.Stack)-1]
+	if idx < 0 || idx >= int64(g.Size) {
+		return 0, true, &Failure{Kind: FailRuntime, Pos: in.Pos,
+			Msg: fmt.Sprintf("mutex index %d out of range [0,%d)", idx, g.Size)}
+	}
+	return g.Slot + int(idx), true, nil
+}
+
+// Step executes one step of thread tid: the pending shared instruction (or
+// the pending choose, resolved to choice), followed by the run of private
+// instructions up to the next scheduling point. The caller must Clone
+// first if the predecessor state is still needed, and must only step
+// enabled threads; for choose-parked threads choice must be in [0, bound).
+func (p *Program) Step(s *State, tid int, choice int64) *Failure {
+	t := s.Threads[tid]
+	switch t.Status {
+	case TSDead:
+		return &Failure{Kind: FailRuntime, Msg: fmt.Sprintf("step of dead thread t%d", tid)}
+	case TSChoose:
+		n := t.pop()
+		if choice < 0 || choice >= n {
+			return &Failure{Kind: FailRuntime, Msg: fmt.Sprintf("choice %d outside [0,%d)", choice, n)}
+		}
+		t.push(choice)
+		t.top().PC++
+		return p.advance(s, t)
+	}
+	f := t.top()
+	in := p.Procs[f.Proc].Code[f.PC]
+	if fail := p.execShared(s, tid, t, in); fail != nil {
+		return fail
+	}
+	return p.advance(s, t)
+}
+
+// execShared performs one shared instruction and moves the PC past it.
+func (p *Program) execShared(s *State, tid int, t *Thread, in Instr) *Failure {
+	f := t.top()
+	switch in.Op {
+	case OpLoadGlobal:
+		t.pushR(s.Globals[p.Globals[in.A].Slot], p.Globals[in.A].Type.IsRef())
+	case OpStoreGlobal:
+		s.Globals[p.Globals[in.A].Slot] = t.pop()
+	case OpLoadElem:
+		g := p.Globals[in.A]
+		idx := t.pop()
+		if idx < 0 || idx >= int64(g.Size) {
+			return &Failure{Kind: FailRuntime, Pos: in.Pos,
+				Msg: fmt.Sprintf("index %d out of range [0,%d) on %s", idx, g.Size, g.Name)}
+		}
+		t.push(s.Globals[g.Slot+int(idx)])
+	case OpStoreElem:
+		g := p.Globals[in.A]
+		v := t.pop()
+		idx := t.pop()
+		if idx < 0 || idx >= int64(g.Size) {
+			return &Failure{Kind: FailRuntime, Pos: in.Pos,
+				Msg: fmt.Sprintf("index %d out of range [0,%d) on %s", idx, g.Size, g.Name)}
+		}
+		s.Globals[g.Slot+int(idx)] = v
+	case OpAcquire:
+		slot, indexed, fail := p.mutexSlot(s, t, in)
+		if fail != nil {
+			return fail
+		}
+		if indexed {
+			t.pop()
+		}
+		if s.Globals[slot] != 0 {
+			return &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: "acquire of held mutex (scheduler bug)"}
+		}
+		s.Globals[slot] = int64(tid) + 1
+	case OpRelease:
+		slot, indexed, fail := p.mutexSlot(s, t, in)
+		if fail != nil {
+			return fail
+		}
+		if indexed {
+			t.pop()
+		}
+		if s.Globals[slot] != int64(tid)+1 {
+			return &Failure{Kind: FailRuntime, Pos: in.Pos,
+				Msg: fmt.Sprintf("release of mutex %s not held by t%d", p.Globals[in.A].Name, tid)}
+		}
+		s.Globals[slot] = 0
+	case OpWait:
+		// Guard already true; the wait has no effect.
+	case OpYield:
+		// Scheduling point only.
+	case OpAtomicBegin:
+		// Entering an outermost atomic block; advance executes the body
+		// inline within this step.
+		t.Atomic++
+	case OpLoadField:
+		ref := t.pop()
+		if ref == 0 {
+			return &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: "null dereference"}
+		}
+		t.pushR(s.Heap[ref-1].Fields[in.A], in.B == 1)
+	case OpStoreField:
+		v := t.pop()
+		ref := t.pop()
+		if ref == 0 {
+			return &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: "null dereference"}
+		}
+		s.Heap[ref-1].Fields[in.A] = v
+	case OpSpawn:
+		proc := p.Procs[in.A]
+		locals := make([]int64, proc.NumLocals)
+		for i := int(in.B) - 1; i >= 0; i-- {
+			locals[i] = t.pop()
+		}
+		nt := &Thread{Frames: []Frame{{Proc: in.A, Locals: locals}}}
+		s.Threads = append(s.Threads, nt)
+		if fail := p.advance(s, nt); fail != nil {
+			return fail
+		}
+	default:
+		return &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: fmt.Sprintf("execShared on %s", in.Op)}
+	}
+	f.PC++
+	return nil
+}
+
+// advance runs a thread's private instructions until it parks at the next
+// scheduling point (shared instruction or choose), or dies. Inside atomic
+// blocks shared instructions execute inline. tid-dependent instructions
+// (acquire/release) inside atomic blocks are rejected by the checker, so
+// passing the thread's identity is unnecessary here — except for inline
+// shared ops, which need it for mutex ownership; we recover it by
+// searching, which is cheap (thread counts are tiny).
+func (p *Program) advance(s *State, t *Thread) *Failure {
+	for {
+		if len(t.Frames) == 0 {
+			t.Status = TSDead
+			t.Stack = nil
+			t.Refs = nil
+			return nil
+		}
+		f := t.top()
+		code := p.Procs[f.Proc].Code
+		in := code[f.PC]
+
+		if in.Op == OpChoose {
+			t.Status = TSChoose
+			return nil
+		}
+		if in.Op.Shared() {
+			if t.Atomic > 0 {
+				tid := s.tidOf(t)
+				if fail := p.execShared(s, tid, t, in); fail != nil {
+					return fail
+				}
+				continue
+			}
+			t.Status = TSParked
+			return nil
+		}
+		if in.Op == OpAtomicBegin && t.Atomic == 0 {
+			// An outermost atomic block is one schedulable step of its own:
+			// park before it so other threads can interleave here, then
+			// execute the whole block within the next step.
+			t.Status = TSParked
+			return nil
+		}
+
+		switch in.Op {
+		case OpPush:
+			t.push(p.Consts[in.A])
+		case OpLoadLocal:
+			t.pushR(f.Locals[in.A], p.Procs[f.Proc].RefSlot[in.A])
+		case OpStoreLocal:
+			f.Locals[in.A] = t.pop()
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			y := t.pop()
+			x := t.pop()
+			v, fail := applyBinary(in, x, y)
+			if fail != nil {
+				return fail
+			}
+			t.push(v)
+		case OpNeg:
+			t.push(-t.pop())
+		case OpNot:
+			if t.pop() == 0 {
+				t.push(1)
+			} else {
+				t.push(0)
+			}
+		case OpJmp:
+			f.PC = in.A
+			continue
+		case OpJz:
+			if t.pop() == 0 {
+				f.PC = in.A
+				continue
+			}
+		case OpAssert:
+			if t.pop() == 0 {
+				return &Failure{Kind: FailAssert, Pos: in.Pos, Msg: p.Asserts[in.A]}
+			}
+		case OpCall:
+			proc := p.Procs[in.A]
+			locals := make([]int64, proc.NumLocals)
+			for i := int(in.B) - 1; i >= 0; i-- {
+				locals[i] = t.pop()
+			}
+			f.PC++
+			t.Frames = append(t.Frames, Frame{Proc: in.A, Locals: locals})
+			continue
+		case OpRet, OpRetV:
+			// For OpRetV the return value was already pushed onto the
+			// thread's operand stack, which frames share.
+			t.Frames = t.Frames[:len(t.Frames)-1]
+			continue
+		case OpPop:
+			t.pop()
+		case OpNew:
+			rec := p.Records[in.A]
+			s.Heap = append(s.Heap, HeapObj{Rec: in.A, Fields: make([]int64, len(rec.Fields))})
+			t.pushR(int64(len(s.Heap)), true)
+		case OpAtomicBegin:
+			t.Atomic++
+		case OpAtomicEnd:
+			t.Atomic--
+		default:
+			return &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: fmt.Sprintf("unexpected %s in advance", in.Op)}
+		}
+		f.PC++
+	}
+}
+
+// tidOf finds a thread's index (used only on the rare inline-shared path).
+func (s *State) tidOf(t *Thread) int {
+	for i, u := range s.Threads {
+		if u == t {
+			return i
+		}
+	}
+	return -1
+}
+
+func applyBinary(in Instr, x, y int64) (int64, *Failure) {
+	b := func(cond bool) int64 {
+		if cond {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case OpAdd:
+		return x + y, nil
+	case OpSub:
+		return x - y, nil
+	case OpMul:
+		return x * y, nil
+	case OpDiv:
+		if y == 0 {
+			return 0, &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: "division by zero"}
+		}
+		return x / y, nil
+	case OpMod:
+		if y == 0 {
+			return 0, &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: "division by zero"}
+		}
+		return x % y, nil
+	case OpEq:
+		return b(x == y), nil
+	case OpNe:
+		return b(x != y), nil
+	case OpLt:
+		return b(x < y), nil
+	case OpLe:
+		return b(x <= y), nil
+	case OpGt:
+		return b(x > y), nil
+	case OpGe:
+		return b(x >= y), nil
+	}
+	return 0, &Failure{Kind: FailRuntime, Pos: in.Pos, Msg: fmt.Sprintf("applyBinary on %s", in.Op)}
+}
+
+// evalGuard evaluates a compiled wait condition atomically against the
+// state, reading globals and the parked thread's locals. Guards are pure:
+// no stores, no calls, no choose.
+func (p *Program) evalGuard(s *State, t *Thread, code []Instr) (int64, *Failure) {
+	f := t.top()
+	var stack []int64
+	push := func(v int64) { stack = append(stack, v) }
+	pop := func() int64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	for pc := 0; pc < len(code); pc++ {
+		in := code[pc]
+		switch in.Op {
+		case OpPush:
+			push(p.Consts[in.A])
+		case OpLoadLocal:
+			push(f.Locals[in.A])
+		case OpLoadGlobal:
+			push(s.Globals[p.Globals[in.A].Slot])
+		case OpLoadElem:
+			g := p.Globals[in.A]
+			idx := pop()
+			if idx < 0 || idx >= int64(g.Size) {
+				return 0, &Failure{Kind: FailRuntime, Pos: in.Pos,
+					Msg: fmt.Sprintf("index %d out of range [0,%d) on %s in wait condition", idx, g.Size, g.Name)}
+			}
+			push(s.Globals[g.Slot+int(idx)])
+		case OpNeg:
+			push(-pop())
+		case OpNot:
+			if pop() == 0 {
+				push(1)
+			} else {
+				push(0)
+			}
+		case OpJmp:
+			pc = int(in.A) - 1
+		case OpJz:
+			if pop() == 0 {
+				pc = int(in.A) - 1
+			}
+		default:
+			y := pop()
+			x := pop()
+			v, fail := applyBinary(in, x, y)
+			if fail != nil {
+				return 0, fail
+			}
+			push(v)
+		}
+	}
+	return stack[len(stack)-1], nil
+}
+
+// PendingBlocking reports whether thread tid is parked at a potentially-
+// blocking instruction (acquire or wait), the B statistic of Table 1.
+func (p *Program) PendingBlocking(s *State, tid int) bool {
+	t := s.Threads[tid]
+	if t.Status != TSParked {
+		return false
+	}
+	f := t.top()
+	switch p.Procs[f.Proc].Code[f.PC].Op {
+	case OpAcquire, OpWait:
+		return true
+	}
+	return false
+}
+
+// StateKey returns the canonical serialization of a state: the reachable
+// heap is renumbered in deterministic traversal order from the roots
+// (reference-typed globals, frame locals, and operand-stack entries), so
+// states that differ only in allocation history or garbage get the same
+// key — the heap-symmetry reduction the explicit-state checker relies on.
+func (p *Program) StateKey(s *State) string {
+	return string(p.EncodeState(nil, s))
+}
+
+// EncodeState appends the canonical serialization of s to buf.
+func (p *Program) EncodeState(buf []byte, s *State) []byte {
+	canon := make(map[int64]int64)
+	var order []int64
+	var visit func(ref int64)
+	visit = func(ref int64) {
+		if ref == 0 {
+			return
+		}
+		if _, ok := canon[ref]; ok {
+			return
+		}
+		canon[ref] = int64(len(order) + 1)
+		order = append(order, ref)
+		obj := s.Heap[ref-1]
+		rec := p.Records[obj.Rec]
+		for i, isRef := range rec.RefField {
+			if isRef {
+				visit(obj.Fields[i])
+			}
+		}
+	}
+	for _, g := range p.Globals {
+		if g.Type.IsRef() {
+			visit(s.Globals[g.Slot])
+		}
+	}
+	for _, t := range s.Threads {
+		for _, f := range t.Frames {
+			refSlot := p.Procs[f.Proc].RefSlot
+			for i, v := range f.Locals {
+				if refSlot[i] {
+					visit(v)
+				}
+			}
+		}
+		for i, v := range t.Stack {
+			if t.Refs[i] {
+				visit(v)
+			}
+		}
+	}
+	sub := func(v int64, isRef bool) int64 {
+		if isRef {
+			return canon[v] // null maps to 0 (missing key)
+		}
+		return v
+	}
+
+	put := func(v int64) { buf = binary.BigEndian.AppendUint64(buf, uint64(v)) }
+	put(int64(len(s.Globals)))
+	for _, g := range p.Globals {
+		for i := 0; i < g.Slots; i++ {
+			put(sub(s.Globals[g.Slot+i], g.Type.IsRef()))
+		}
+	}
+	put(int64(len(order)))
+	for _, ref := range order {
+		obj := s.Heap[ref-1]
+		rec := p.Records[obj.Rec]
+		put(int64(obj.Rec))
+		for i, v := range obj.Fields {
+			put(sub(v, rec.RefField[i]))
+		}
+	}
+	put(int64(len(s.Threads)))
+	for _, t := range s.Threads {
+		put(int64(t.Status))
+		put(int64(t.Atomic))
+		put(int64(len(t.Stack)))
+		for i, v := range t.Stack {
+			put(sub(v, t.Refs[i]))
+		}
+		put(int64(len(t.Frames)))
+		for _, f := range t.Frames {
+			refSlot := p.Procs[f.Proc].RefSlot
+			put(int64(f.Proc))
+			put(int64(f.PC))
+			put(int64(len(f.Locals)))
+			for i, v := range f.Locals {
+				put(sub(v, refSlot[i]))
+			}
+		}
+	}
+	return buf
+}

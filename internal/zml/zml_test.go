@@ -1,0 +1,472 @@
+package zml
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCompile(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// runToCompletion drives a single-threaded model with first-enabled
+// scheduling and choice 0, for functional tests.
+func runToCompletion(t *testing.T, p *Program, maxSteps int) (*State, *Failure) {
+	t.Helper()
+	s, fail := p.NewState()
+	if fail != nil {
+		return nil, fail
+	}
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			t.Fatalf("model did not terminate in %d steps", maxSteps)
+		}
+		picked := -1
+		for tid := range s.Threads {
+			if p.Enabled(s, tid) {
+				picked = tid
+				break
+			}
+		}
+		if picked == -1 {
+			return s, nil
+		}
+		if fail := p.Step(s, picked, 0); fail != nil {
+			return s, fail
+		}
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("proc main() { x = 10 + foo; } // comment\n/* block */")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind.String()+":"+tok.Text)
+	}
+	want := "keyword:proc identifier:main operator:( operator:) operator:{ identifier:x operator:= integer:10 operator:+ identifier:foo operator:; operator:} end of file:"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Fatalf("tokens:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "/* unterminated", "99999999999999999999999999"} {
+		if _, err := Lex(src); err == nil {
+			t.Fatalf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"proc main() { x = ; }",
+		"proc main( {",
+		"global int;",
+		"banana",
+		"proc main() { if x { } }",
+		"proc main() {",
+		"global int a[0];",
+		"global mutex m = 3;",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"proc foo() {}", "no proc main"},
+		{"proc main(int x) {}", "must take no parameters"},
+		{"proc main() { x = 1; }", "undefined variable"},
+		{"global int x; proc main() { x = true; }", "cannot assign bool"},
+		{"global mutex m; proc main() { m = 1; }", "can only be used with acquire/release"},
+		{"global int x; proc main() { acquire(x); }", "needs a mutex"},
+		{"global mutex m; proc main() { atomic { acquire(m); } }", "not allowed inside atomic"},
+		{"global int x; proc main() { wait(x == choose(2)); }", "not allowed inside a wait condition"},
+		{"global int x; proc main() { if (x) {} }", "condition must be bool"},
+		{"proc main() { int a; int a; }", "redeclared"},
+		{"proc main() { spawn nosuch(); }", "undefined proc"},
+		{"proc f(int a) {} proc main() { call f(); }", "takes 1 arguments"},
+		{"global int a[3]; proc main() { a = 1; }", "needs an index"},
+		{"global int a; proc main() { a[0] = 1; }", "cannot be indexed"},
+	} {
+		f, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		_, err = Check(f)
+		if err == nil {
+			t.Fatalf("Check(%q) succeeded, want error containing %q", tc.src, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Check(%q) error %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	p := mustCompile(t, `
+		global int r1; global int r2; global int r3; global bool b1;
+		proc main() {
+			int x = 7;
+			int y = 3;
+			r1 = x + y * 2 - 1;      // 12
+			r2 = (x + y) / 2 % 4;    // 1
+			r3 = -x + 10;            // 3
+			b1 = x > y && !(x == y) || false;
+		}
+	`)
+	s, fail := runToCompletion(t, p, 1000)
+	if fail != nil {
+		t.Fatalf("failure: %v", fail)
+	}
+	want := []int64{12, 1, 3, 1}
+	for i, w := range want {
+		if s.Globals[i] != w {
+			t.Fatalf("global %d = %d, want %d", i, s.Globals[i], w)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// here it would divide by zero.
+	p := mustCompile(t, `
+		global int z;
+		global bool out;
+		proc main() {
+			out = z != 0 && 10 / z > 1;
+		}
+	`)
+	s, fail := runToCompletion(t, p, 1000)
+	if fail != nil {
+		t.Fatalf("short-circuit failed: %v", fail)
+	}
+	if s.Globals[1] != 0 {
+		t.Fatalf("out = %d, want 0", s.Globals[1])
+	}
+}
+
+func TestControlFlowAndCalls(t *testing.T) {
+	p := mustCompile(t, `
+		global int sum;
+		proc add(int k) {
+			if (k % 2 == 0) { sum = sum + k; } else { sum = sum - k; }
+		}
+		proc main() {
+			int i = 0;
+			while (i < 5) {
+				call add(i);
+				i = i + 1;
+			}
+		}
+	`)
+	s, fail := runToCompletion(t, p, 1000)
+	if fail != nil {
+		t.Fatalf("failure: %v", fail)
+	}
+	// 0 - 1 + 2 - 3 + 4 = 2
+	if s.Globals[0] != 2 {
+		t.Fatalf("sum = %d, want 2", s.Globals[0])
+	}
+}
+
+func TestArraysAndBoundsCheck(t *testing.T) {
+	p := mustCompile(t, `
+		global int a[4];
+		proc main() {
+			int i = 0;
+			while (i < 4) { a[i] = i * i; i = i + 1; }
+			a[a[2]] = 99;   // a[4]: out of range
+		}
+	`)
+	_, fail := runToCompletion(t, p, 1000)
+	if fail == nil || fail.Kind != FailRuntime {
+		t.Fatalf("expected bounds failure, got %v", fail)
+	}
+	if !strings.Contains(fail.Msg, "out of range") {
+		t.Fatalf("message: %q", fail.Msg)
+	}
+}
+
+func TestDivisionByZeroFails(t *testing.T) {
+	p := mustCompile(t, `
+		global int x;
+		proc main() { x = 1 / x; }
+	`)
+	_, fail := runToCompletion(t, p, 100)
+	if fail == nil || !strings.Contains(fail.Msg, "division by zero") {
+		t.Fatalf("got %v", fail)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	p := mustCompile(t, `
+		global int x = 3;
+		proc main() { assert(x == 4); }
+	`)
+	_, fail := runToCompletion(t, p, 100)
+	if fail == nil || fail.Kind != FailAssert {
+		t.Fatalf("got %v", fail)
+	}
+}
+
+func TestMutexSemantics(t *testing.T) {
+	p := mustCompile(t, `
+		global mutex m;
+		global int x;
+		proc main() {
+			acquire(m);
+			x = 1;
+			release(m);
+			release(m);   // double release: runtime error
+		}
+	`)
+	_, fail := runToCompletion(t, p, 100)
+	if fail == nil || !strings.Contains(fail.Msg, "release of mutex") {
+		t.Fatalf("got %v", fail)
+	}
+}
+
+func TestSpawnAndWait(t *testing.T) {
+	p := mustCompile(t, `
+		global int ready;
+		global int val;
+		proc child(int v) {
+			val = v;
+			ready = 1;
+		}
+		proc main() {
+			spawn child(42);
+			wait(ready == 1);
+			assert(val == 42);
+		}
+	`)
+	s, fail := runToCompletion(t, p, 1000)
+	if fail != nil {
+		t.Fatalf("failure: %v", fail)
+	}
+	if s.Alive() != 0 {
+		t.Fatalf("threads still alive: %d", s.Alive())
+	}
+}
+
+func TestAtomicBlockIsOneStep(t *testing.T) {
+	src := `
+		global int a; global int b;
+		proc main() {
+			%s{ a = 1; b = 2; a = a + b; }
+		}
+	`
+	plain := mustCompile(t, strings.Replace(src, "%s", "", 1))
+	atomic := mustCompile(t, strings.Replace(src, "%s", "atomic ", 1))
+	countSteps := func(p *Program) int {
+		s, fail := p.NewState()
+		if fail != nil {
+			t.Fatal(fail)
+		}
+		steps := 0
+		for s.Alive() > 0 {
+			if fail := p.Step(s, 0, 0); fail != nil {
+				t.Fatal(fail)
+			}
+			steps++
+		}
+		return steps
+	}
+	ps, as := countSteps(plain), countSteps(atomic)
+	if as >= ps {
+		t.Fatalf("atomic block took %d steps, plain %d; atomic must be fewer", as, ps)
+	}
+	if as != 1 {
+		t.Fatalf("atomic block took %d steps, want 1", as)
+	}
+}
+
+func TestStateEncodeRoundTrip(t *testing.T) {
+	p := mustCompile(t, `
+		global int x;
+		proc main() { x = 1; yield; x = 2; }
+	`)
+	s, fail := p.NewState()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	k1 := s.Key()
+	c := s.Clone()
+	if c.Key() != k1 {
+		t.Fatal("clone has different key")
+	}
+	if fail := p.Step(c, 0, 0); fail != nil {
+		t.Fatal(fail)
+	}
+	if c.Key() == k1 {
+		t.Fatal("stepping did not change the key")
+	}
+	if s.Key() != k1 {
+		t.Fatal("stepping the clone mutated the original")
+	}
+}
+
+func TestChooseParksForDecision(t *testing.T) {
+	p := mustCompile(t, `
+		global int out;
+		proc main() { out = choose(3) + 10; }
+	`)
+	s, fail := p.NewState()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if n := p.PendingChoose(s, 0); n != 3 {
+		t.Fatalf("pending choose = %d, want 3", n)
+	}
+	if fail := p.Step(s, 0, 2); fail != nil {
+		t.Fatal(fail)
+	}
+	for s.Alive() > 0 {
+		if fail := p.Step(s, 0, 0); fail != nil {
+			t.Fatal(fail)
+		}
+	}
+	if s.Globals[0] != 12 {
+		t.Fatalf("out = %d, want 12", s.Globals[0])
+	}
+}
+
+func TestFunctionReturns(t *testing.T) {
+	p := mustCompile(t, `
+		global int out;
+		global int calls;
+
+		proc int double(int x) {
+			calls = calls + 1;
+			return x * 2;
+		}
+
+		proc bool isSmall(int x) {
+			if (x < 10) {
+				return true;
+			} else {
+				return false;
+			}
+		}
+
+		proc main() {
+			out = double(3) + double(4);      // 14
+			if (isSmall(out)) {
+				out = 0;
+			}
+			call double(100);                  // result discarded
+		}
+	`)
+	s, fail := runToCompletion(t, p, 2000)
+	if fail != nil {
+		t.Fatalf("failure: %v", fail)
+	}
+	if s.Globals[0] != 14 {
+		t.Fatalf("out = %d, want 14", s.Globals[0])
+	}
+	if s.Globals[1] != 3 {
+		t.Fatalf("calls = %d, want 3", s.Globals[1])
+	}
+	// Operand stacks are empty at the end (no leaked return values).
+	for tid, th := range s.Threads {
+		if len(th.Stack) != 0 {
+			t.Fatalf("thread %d has %d leaked stack values", tid, len(th.Stack))
+		}
+	}
+}
+
+func TestFunctionRecursion(t *testing.T) {
+	p := mustCompile(t, `
+		global int out;
+		proc int fib(int n) {
+			if (n < 2) {
+				return n;
+			}
+			return fib(n - 1) + fib(n - 2);
+		}
+		proc main() { out = fib(10); }
+	`)
+	s, fail := runToCompletion(t, p, 100000)
+	if fail != nil {
+		t.Fatalf("failure: %v", fail)
+	}
+	if s.Globals[0] != 55 {
+		t.Fatalf("fib(10) = %d, want 55", s.Globals[0])
+	}
+}
+
+func TestFunctionCheckErrors(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"proc int f() { }	proc main() { int x = f(); }", "must return a int on every path"},
+		{"proc int f() { if (true) { return 1; } } proc main() { int x = f(); }", "must return a int on every path"},
+		{"proc f() {} proc main() { int x = f(); }", "returns no value"},
+		{"proc int f() { return true; } proc main() { int x = f(); }", "cannot return bool"},
+		{"proc f() { return 1; } proc main() { call f(); }", "returns no value"},
+		{"global int g; proc int f() { g = 1; return 2; } proc main() { wait(f() == 2); }", "not allowed inside a wait condition"},
+		{"proc main() { int x = nosuch(); }", "undefined proc"},
+	} {
+		_, err := Compile(tc.src)
+		if err == nil {
+			t.Fatalf("Compile(%q) succeeded, want %q", tc.src, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Compile(%q) error %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestFunctionCallInterleavesAtSharedOps(t *testing.T) {
+	// A call expression whose callee touches globals is NOT atomic: it has
+	// scheduling points inside, which the explicit-state checker must
+	// explore. Checked indirectly: stepping the main thread takes more
+	// than one step across the call.
+	p := mustCompile(t, `
+		global int g;
+		proc int bump() {
+			g = g + 1;
+			return g;
+		}
+		proc main() { g = bump() + bump(); }
+	`)
+	s, fail := p.NewState()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	steps := 0
+	for s.Alive() > 0 {
+		if fail := p.Step(s, 0, 0); fail != nil {
+			t.Fatal(fail)
+		}
+		steps++
+	}
+	if steps < 5 {
+		t.Fatalf("call bodies merged into %d steps; scheduling points lost", steps)
+	}
+	if s.Globals[0] != 3 { // 1 + 2
+		t.Fatalf("g = %d, want 3", s.Globals[0])
+	}
+}
+
+func TestFormatFunctionSyntax(t *testing.T) {
+	src := "proc int f(int x){return x*2;} proc main(){int y=f(2);}"
+	got, err := Format(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"proc int f(int x) {", "return x * 2;", "int y = f(2);"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, got)
+		}
+	}
+}
