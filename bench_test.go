@@ -35,7 +35,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exper.Table2Data()
+		rows, err := exper.Table2Data(exper.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,37 +6,96 @@
 //	icb-bench -exp table2
 //	icb-bench -exp fig2 -budget 25000
 //	icb-bench -exp all
+//	icb-bench -exp fig2 -cpuprofile cpu.out -metrics-addr :6060
+//
+// With -metrics-addr, live search counters are served over HTTP as expvar
+// JSON at /debug/vars (key "icb") while the experiments run.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"icb/internal/exper"
+	"icb/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, all")
-		budget = flag.Int("budget", 2000, "execution budget per strategy for growth curves")
-		sample = flag.Int("sample", 0, "curve sampling stride (0 = budget/50)")
-		seed   = flag.Int64("seed", 1, "random-walk seed")
-		csvDir = flag.String("csv", "", "also write plot-ready CSV files into this directory (runs every experiment)")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, ablate, all")
+		budget   = flag.Int("budget", 2000, "execution budget per strategy for growth curves")
+		sample   = flag.Int("sample", 0, "curve sampling stride (0 = budget/50)")
+		seed     = flag.Int64("seed", 1, "random-walk seed")
+		csvDir   = flag.String("csv", "", "also write plot-ready CSV files into this directory (runs every experiment)")
+		progress = flag.Bool("progress", false, "print live search progress to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metrics  = flag.String("metrics-addr", "", "serve live search counters as expvar JSON on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
+
 	cfg := exper.Config{Budget: *budget, Sample: *sample, Seed: *seed}
+	if *progress {
+		cfg.Sink = obs.NewProgress(os.Stderr, 0)
+	}
+	if *metrics != "" {
+		m := &obs.Metrics{}
+		cfg.Metrics = m
+		expvar.Publish("icb", expvar.Func(func() any { return m.Snapshot() }))
+		go func() {
+			// expvar registers its handler on http.DefaultServeMux.
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "icb-bench: metrics:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "icb-bench: serving metrics at http://%s/debug/vars\n", *metrics)
+	}
+
 	if *csvDir != "" {
 		if err := exper.WriteCSV(*csvDir, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "icb-bench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote CSV files to %s\n", *csvDir)
 		return
 	}
 	if err := exper.Run(*exp, os.Stdout, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "icb-bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icb-bench:", err)
+	os.Exit(1)
 }

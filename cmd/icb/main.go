@@ -7,12 +7,15 @@
 //	icb -prog wsq -bug steal-unlocked -strategy icb -bound 2
 //	icb -prog dryad -bug alert-window -strategy icb -bound 1 -trace
 //	icb -prog bluetooth -strategy dfs -execs 10000
+//	icb -prog wsq -bug steal-unlocked -progress -events ev.ndjson -json
 //	icb -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,11 +23,16 @@ import (
 	"icb/internal/baseline"
 	"icb/internal/core"
 	"icb/internal/exper"
+	"icb/internal/obs"
 	"icb/internal/progs"
 	"icb/internal/sched"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; returning (rather than os.Exit-ing) lets deferred
+// cleanups — notably the NDJSON flush — run before the process exits.
+func run() int {
 	var (
 		progName = flag.String("prog", "", "benchmark program: bluetooth, fsmodel, wsq, ape, dryad")
 		bugID    = flag.String("bug", "", "seeded bug variant (default: the correct version); see -list")
@@ -41,17 +49,28 @@ func main() {
 		every    = flag.Bool("everyaccess", false, "scheduling points at every shared access (no sync-only reduction)")
 		list     = flag.Bool("list", false, "list benchmarks and bug variants")
 		seed     = flag.Int64("seed", 1, "seed for the random strategy")
+		progress = flag.Bool("progress", false, "print live search progress to stderr")
+		events   = flag.String("events", "", "write the structured event stream (NDJSON) to this file")
+		jsonOut  = flag.Bool("json", false, "print the final result as JSON on stdout (human text goes to stderr)")
+		swimlane = flag.Bool("swimlane", false, "replay the first bug and print a thread-per-column diagram")
 	)
 	flag.Parse()
 
+	// With -json, stdout carries exactly one JSON document; everything meant
+	// for humans moves to stderr.
+	human := io.Writer(os.Stdout)
+	if *jsonOut {
+		human = os.Stderr
+	}
+
 	if *list {
 		listBenchmarks()
-		return
+		return 0
 	}
 	b := findBenchmark(*progName)
 	if b == nil {
 		fmt.Fprintf(os.Stderr, "icb: unknown program %q; use -list\n", *progName)
-		os.Exit(2)
+		return 2
 	}
 	prog := b.Correct
 	if *bugID != "" {
@@ -61,16 +80,16 @@ func main() {
 			os.Exit(2)
 		}
 		prog = bug.Program
-		fmt.Printf("checking %s with seeded bug %q (documented bound %d)\n", b.Name, bug.ID, bug.Bound)
+		fmt.Fprintf(human, "checking %s with seeded bug %q (documented bound %d)\n", b.Name, bug.ID, bug.Bound)
 	} else {
-		fmt.Printf("checking %s (correct version)\n", b.Name)
+		fmt.Fprintf(human, "checking %s (correct version)\n", b.Name)
 	}
 
 	if *replay != "" {
 		schedule, err := sched.ParseSchedule(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "icb:", err)
-			os.Exit(2)
+			return 2
 		}
 		mode := sched.ModeSyncOnly
 		if *every {
@@ -86,15 +105,15 @@ func main() {
 		}
 		fmt.Printf("replay outcome: %s\n", out)
 		if out.Status.Buggy() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	strat, err := parseStrategy(*strategy, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icb:", err)
-		os.Exit(2)
+		return 2
 	}
 	opt := core.Options{
 		MaxPreemptions: *bound,
@@ -108,26 +127,109 @@ func main() {
 		opt.Mode = sched.ModeEveryAccess
 	}
 
+	var sinks []obs.Sink
+	if *progress {
+		sinks = append(sinks, obs.NewProgress(os.Stderr, 0))
+	}
+	var nd *obs.NDJSON
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icb:", err)
+			return 2
+		}
+		nd = obs.NewNDJSON(f)
+		defer func() {
+			if err := nd.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "icb: events:", err)
+			}
+			f.Close()
+		}()
+		sinks = append(sinks, nd)
+	}
+	opt.Sink = obs.Multi(sinks...)
+
 	res := core.Explore(prog, strat, opt)
 	if bug := res.FirstBug(); bug != nil && *minimize {
 		min := core.MinimizeSchedule(prog, bug.Schedule, opt)
-		fmt.Printf("minimized schedule: %d -> %d decisions\n", len(bug.Schedule), len(min))
+		fmt.Fprintf(human, "minimized schedule: %d -> %d decisions\n", len(bug.Schedule), len(min))
 		bug.Schedule = min
 	}
-	printResult(res)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult(res)); err != nil {
+			fmt.Fprintln(os.Stderr, "icb:", err)
+			return 2
+		}
+	} else {
+		printResult(res)
+	}
 
-	if bug := res.FirstBug(); bug != nil && *trace {
-		fmt.Println("\nreplaying the bug schedule:")
+	if bug := res.FirstBug(); bug != nil && (*trace || *swimlane) {
 		out := sched.Run(prog,
 			&sched.ReplayController{Prefix: bug.Schedule, Tail: sched.FirstEnabled{}},
 			sched.Config{RecordTrace: true, Mode: opt.Mode})
-		for _, line := range out.TraceStrings() {
-			fmt.Printf("  %s\n", line)
+		if *trace {
+			fmt.Fprintln(human, "\nreplaying the bug schedule:")
+			for _, line := range out.TraceStrings() {
+				fmt.Fprintf(human, "  %s\n", line)
+			}
+			fmt.Fprintf(human, "replay outcome: %s\n", out)
 		}
-		fmt.Printf("replay outcome: %s\n", out)
+		if *swimlane {
+			fmt.Fprintln(human)
+			fmt.Fprint(human, sched.Swimlane(out))
+		}
 	}
 	if len(res.Bugs) > 0 {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// jsonResult shapes a core.Result for -json output: schedules become their
+// compact string form ("t0 t1 ...") instead of decision-struct arrays.
+func jsonResult(res core.Result) map[string]any {
+	bugs := make([]map[string]any, 0, len(res.Bugs))
+	for i := range res.Bugs {
+		b := &res.Bugs[i]
+		bugs = append(bugs, map[string]any{
+			"kind":             b.Kind.String(),
+			"message":          b.Message,
+			"preemptions":      b.Preemptions,
+			"context_switches": b.ContextSwitches,
+			"steps":            b.Steps,
+			"execution":        b.Execution,
+			"schedule":         b.Schedule.String(),
+			"count":            b.Count,
+		})
+	}
+	bounds := make([]map[string]any, 0, len(res.BoundStats))
+	for _, bs := range res.BoundStats {
+		bounds = append(bounds, map[string]any{
+			"bound":          bs.Bound,
+			"executions":     bs.Executions,
+			"cum_executions": bs.CumExecutions,
+			"states":         bs.States,
+			"duration_ms":    float64(bs.Duration.Microseconds()) / 1e3,
+		})
+	}
+	return map[string]any{
+		"strategy":          res.Strategy,
+		"executions":        res.Executions,
+		"states":            res.States,
+		"execution_classes": res.ExecutionClasses,
+		"max_steps":         res.MaxSteps,
+		"max_blocking":      res.MaxBlocking,
+		"max_preemptions":   res.MaxPreemptions,
+		"bound_completed":   res.BoundCompleted,
+		"exhausted":         res.Exhausted,
+		"duration_ms":       float64(res.Duration.Microseconds()) / 1e3,
+		"cache_hits":        res.CacheHits,
+		"cache_misses":      res.CacheMisses,
+		"bound_stats":       bounds,
+		"bugs":              bugs,
 	}
 }
 

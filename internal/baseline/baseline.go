@@ -54,6 +54,7 @@ func runDFS(e *core.Engine, depth int) (exhausted, anyCut bool) {
 		if e.Done() {
 			return false, anyCut
 		}
+		e.NoteFrontier(len(stack) - 1)
 		path := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		ctrl := &dfsController{
@@ -167,10 +168,14 @@ func (s IDFS) stepBy() int {
 // Explore implements core.Strategy.
 func (s IDFS) Explore(e *core.Engine) {
 	for depth := s.startDepth(); !e.Done(); depth += s.stepBy() {
+		// Each depth round is a "bound" for telemetry purposes (BoundStats,
+		// progress events); no coverage guarantee is claimed for it.
+		e.BeginBound(depth, 1)
 		exhausted, anyCut := runDFS(e, depth)
 		if !exhausted {
 			return
 		}
+		e.CompleteBound(depth)
 		if !anyCut {
 			// No execution was truncated: the bounded tree was the full
 			// tree, so the search is complete.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"icb/internal/hb"
+	"icb/internal/obs"
 	"icb/internal/sched"
 )
 
@@ -31,9 +32,14 @@ import (
 // counts are only guaranteed without caching; the coverage experiments use
 // caching, the counting experiments do not.)
 type Cache struct {
-	fp    *hb.Fingerprinter
-	table map[cacheKey]struct{}
-	hits  int
+	fp     *hb.Fingerprinter
+	table  map[cacheKey]struct{}
+	hits   int
+	misses int
+
+	// Telemetry, set by the engine; both nil when disabled.
+	sink obs.Sink
+	met  *obs.Metrics
 }
 
 type cacheKey struct {
@@ -58,14 +64,27 @@ func (c *Cache) TryTake(d sched.Decision) bool {
 	}
 	if _, ok := c.table[k]; ok {
 		c.hits++
+		if c.met != nil {
+			c.met.CacheHits.Add(1)
+		}
+		if c.sink != nil {
+			c.sink.CacheHit(obs.CacheEvent{Hits: int64(c.hits), Misses: int64(c.misses)})
+		}
 		return false
 	}
 	c.table[k] = struct{}{}
+	c.misses++
+	if c.met != nil {
+		c.met.CacheMisses.Add(1)
+	}
 	return true
 }
 
 // Hits returns the number of pruned duplicates, for diagnostics.
 func (c *Cache) Hits() int { return c.hits }
+
+// Misses returns the number of lookups that registered a new work item.
+func (c *Cache) Misses() int { return c.misses }
 
 // Size returns the number of registered work items.
 func (c *Cache) Size() int { return len(c.table) }

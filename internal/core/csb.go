@@ -33,15 +33,18 @@ func (CSB) Explore(e *Engine) {
 	currBound := 0
 
 	for {
+		e.BeginBound(currBound, len(workQueue))
 		for head := 0; head < len(workQueue); head++ {
 			if e.Done() {
 				return
 			}
+			e.NoteFrontier(len(workQueue) - head - 1 + len(nextWork))
 			csbSearch(e, workQueue[head], currBound, &nextWork)
 		}
 		if e.Done() {
 			return
 		}
+		e.NoteFrontier(len(nextWork))
 		e.SetBoundCompleted(currBound)
 		if len(nextWork) == 0 {
 			e.MarkExhausted()

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"icb/internal/hb"
+	"icb/internal/obs"
 	"icb/internal/race"
 	"icb/internal/sched"
 )
@@ -30,6 +32,17 @@ type Engine struct {
 
 	cache *Cache
 
+	// Telemetry (package obs). sink and met are nil when disabled, so the
+	// per-execution path pays one nil-check each and allocates nothing.
+	sink obs.Sink
+	met  *obs.Metrics
+	// curBound is the bound currently being drained (-1 outside bounds),
+	// frontier the latest deferred-work-item count reported by the strategy.
+	curBound        int
+	frontier        int
+	boundStart      time.Time
+	boundStartExecs int
+
 	res     Result
 	bugSeen map[bugKey]int // index into res.Bugs, for deduplication
 	done    bool
@@ -44,14 +57,22 @@ type bugKey struct {
 // NewEngine prepares an engine for prog under opt.
 func NewEngine(prog sched.Program, opt Options) *Engine {
 	e := &Engine{
-		prog:    prog,
-		opt:     opt,
-		states:  hb.NewStateSet(),
-		classes: hb.NewStateSet(),
+		prog:     prog,
+		opt:      opt,
+		states:   hb.NewStateSet(),
+		classes:  hb.NewStateSet(),
+		sink:     opt.Sink,
+		met:      opt.Metrics,
+		curBound: -1,
 	}
 	e.fp = hb.NewFingerprinter(func(s uint64) { e.states.Add(s) })
 	if opt.StateCache {
 		e.cache = newCache(e.fp)
+		e.cache.sink = e.sink
+		e.cache.met = e.met
+	}
+	if e.met != nil {
+		e.met.CurBound.Store(-1)
 	}
 	if opt.CheckRaces {
 		if opt.UseGoldilocks {
@@ -78,10 +99,28 @@ type Strategy interface {
 // Explore runs strategy s on prog and returns the accumulated result.
 func Explore(prog sched.Program, s Strategy, opt Options) Result {
 	e := NewEngine(prog, opt)
+	start := time.Now()
 	s.Explore(e)
+	e.res.Duration = time.Since(start)
 	e.res.Strategy = s.Name()
 	e.res.States = e.states.Len()
 	e.res.ExecutionClasses = e.classes.Len()
+	if e.cache != nil {
+		e.res.CacheHits = e.cache.Hits()
+		e.res.CacheMisses = e.cache.Misses()
+	}
+	if e.sink != nil {
+		e.sink.SearchDone(obs.SearchEvent{
+			Strategy:       e.res.Strategy,
+			Executions:     e.res.Executions,
+			States:         e.res.States,
+			Classes:        e.res.ExecutionClasses,
+			Bugs:           len(e.res.Bugs),
+			BoundCompleted: e.res.BoundCompleted,
+			Exhausted:      e.res.Exhausted,
+			DurationNS:     e.res.Duration.Nanoseconds(),
+		})
+	}
 	return e.res
 }
 
@@ -93,7 +132,8 @@ func (e *Engine) Done() bool { return e.done }
 func (e *Engine) MarkExhausted() { e.res.Exhausted = true }
 
 // SetBoundCompleted records the highest fully-explored preemption bound and
-// appends a per-bound coverage sample.
+// appends a per-bound coverage sample. It also closes out the bound's
+// telemetry (see CompleteBound).
 func (e *Engine) SetBoundCompleted(bound int) {
 	e.res.BoundCompleted = bound
 	e.res.BoundCurve = append(e.res.BoundCurve, BoundCoverage{
@@ -101,6 +141,69 @@ func (e *Engine) SetBoundCompleted(bound int) {
 		States:     e.states.Len(),
 		Executions: e.res.Executions,
 	})
+	e.CompleteBound(bound)
+}
+
+// BeginBound marks the start of one bound (or depth round) holding queue
+// work items: per-bound timing starts and a BoundStart event is emitted.
+// Strategies without bound structure never call it.
+func (e *Engine) BeginBound(bound, queue int) {
+	e.curBound = bound
+	e.frontier = queue
+	e.boundStart = time.Now()
+	e.boundStartExecs = e.res.Executions
+	if e.met != nil {
+		e.met.CurBound.Store(int64(bound))
+		e.met.QueueDepth.Store(int64(queue))
+	}
+	if e.sink != nil {
+		e.sink.BoundStart(obs.BoundEvent{
+			Bound:      bound,
+			Queue:      queue,
+			Executions: e.res.Executions,
+			States:     e.states.Len(),
+		})
+	}
+}
+
+// CompleteBound closes out one bound's telemetry: it appends a BoundStat
+// with the bound's execution count and wall time and emits BoundComplete.
+// Unlike SetBoundCompleted it makes no coverage-guarantee claim, so
+// iterative depth bounding uses it for its depth rounds.
+func (e *Engine) CompleteBound(bound int) {
+	var d time.Duration
+	if !e.boundStart.IsZero() {
+		d = time.Since(e.boundStart)
+	}
+	e.res.BoundStats = append(e.res.BoundStats, BoundStat{
+		Bound:         bound,
+		Executions:    e.res.Executions - e.boundStartExecs,
+		CumExecutions: e.res.Executions,
+		States:        e.states.Len(),
+		Duration:      d,
+	})
+	if e.met != nil {
+		e.met.ObserveBoundTime(bound, d.Nanoseconds())
+	}
+	if e.sink != nil {
+		e.sink.BoundComplete(obs.BoundEvent{
+			Bound:      bound,
+			Frontier:   e.frontier,
+			Executions: e.res.Executions,
+			States:     e.states.Len(),
+			DurationNS: d.Nanoseconds(),
+		})
+	}
+}
+
+// NoteFrontier reports the strategy's current deferred-work-item count, so
+// progress reports can show how much work remains. Cheap: two stores and a
+// nil-check.
+func (e *Engine) NoteFrontier(n int) {
+	e.frontier = n
+	if e.met != nil {
+		e.met.QueueDepth.Store(int64(n))
+	}
 }
 
 // States returns the current number of distinct visited states.
@@ -123,15 +226,15 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 		return sched.Outcome{Status: sched.StatusStopped}, true
 	}
 	e.fp.Reset()
-	obs := []sched.Observer{e.fp}
+	observers := []sched.Observer{e.fp}
 	if e.det != nil {
 		e.det.Reset()
-		obs = append(obs, e.det)
+		observers = append(observers, e.det)
 	}
 	out = sched.Run(e.prog, ctrl, sched.Config{
 		Mode:      e.opt.Mode,
 		MaxSteps:  e.opt.MaxSteps,
-		Observers: obs,
+		Observers: observers,
 	})
 	e.res.Executions++
 	if out.Status != sched.StatusStopped {
@@ -155,6 +258,24 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 		e.res.Curve = append(e.res.Curve, CoveragePoint{
 			Executions: e.res.Executions,
 			States:     e.states.Len(),
+		})
+	}
+
+	if e.met != nil {
+		e.met.ObserveExecution(e.curBound)
+		e.met.States.Store(int64(e.states.Len()))
+		e.met.Classes.Store(int64(e.classes.Len()))
+	}
+	if e.sink != nil {
+		e.sink.ExecutionDone(obs.ExecutionEvent{
+			Execution:   e.res.Executions,
+			Status:      out.Status.String(),
+			Steps:       out.Steps,
+			Preemptions: out.Preemptions,
+			States:      e.states.Len(),
+			Classes:     e.classes.Len(),
+			Bound:       e.curBound,
+			Frontier:    e.frontier,
 		})
 	}
 
@@ -200,6 +321,17 @@ func (e *Engine) recordBugs(out sched.Outcome) {
 			Schedule:        out.Decisions.Clone(),
 			Count:           1,
 		})
+		if e.met != nil {
+			e.met.Bugs.Add(1)
+		}
+		if e.sink != nil {
+			e.sink.BugFound(obs.BugEvent{
+				Kind:        kind.String(),
+				Message:     msg,
+				Preemptions: out.Preemptions,
+				Execution:   e.res.Executions,
+			})
+		}
 		if e.opt.StopOnFirstBug {
 			e.done = true
 		}

@@ -36,15 +36,18 @@ func (ICB) Explore(e *Engine) {
 	for {
 		// Drain the current bound. Each popped schedule seeds a
 		// no-new-preemption depth-first exploration (the Search procedure).
+		e.BeginBound(currBound, len(workQueue))
 		for head := 0; head < len(workQueue); head++ {
 			if e.Done() {
 				return
 			}
+			e.NoteFrontier(len(workQueue) - head - 1 + len(nextWork))
 			searchNoPreempt(e, workQueue[head], currBound, &nextWork)
 		}
 		if e.Done() {
 			return
 		}
+		e.NoteFrontier(len(nextWork))
 		e.SetBoundCompleted(currBound)
 		if len(nextWork) == 0 {
 			e.MarkExhausted()

@@ -14,6 +14,9 @@
 package core
 
 import (
+	"time"
+
+	"icb/internal/obs"
 	"icb/internal/sched"
 )
 
@@ -48,6 +51,13 @@ type Options struct {
 	// Indispensable for exhaustive coverage runs; leave off when exact
 	// per-bound execution counts are needed (Theorem 1 validation).
 	StateCache bool
+	// Sink receives the structured event stream of the search (package obs).
+	// nil (the default) disables emission entirely; the engine then pays a
+	// single nil-check per execution.
+	Sink obs.Sink
+	// Metrics, when non-nil, receives live atomic counter updates that can
+	// be read concurrently (e.g. from an expvar HTTP handler).
+	Metrics *obs.Metrics
 }
 
 // BugKind classifies a found bug.
@@ -155,6 +165,22 @@ type BoundCoverage struct {
 	Executions int
 }
 
+// BoundStat records the cost of one completed preemption bound (or, for
+// iterative depth bounding, one depth round): how many executions the
+// bound took and how long it ran.
+type BoundStat struct {
+	// Bound is the bound the stats concern.
+	Bound int
+	// Executions is the number of executions run within this bound.
+	Executions int
+	// CumExecutions is the cumulative execution count at bound completion.
+	CumExecutions int
+	// States is the cumulative distinct-state count at bound completion.
+	States int
+	// Duration is the wall-clock time spent draining the bound.
+	Duration time.Duration
+}
+
 // Result summarizes an exploration.
 type Result struct {
 	// Strategy is the name of the search strategy used.
@@ -184,6 +210,15 @@ type Result struct {
 	Curve []CoveragePoint
 	// BoundCurve is the per-bound cumulative coverage (ICB only).
 	BoundCurve []BoundCoverage
+	// Duration is the total wall-clock time of the exploration.
+	Duration time.Duration
+	// CacheHits and CacheMisses count work-item-table lookups (zero when
+	// StateCache is off). A hit is a pruned duplicate.
+	CacheHits   int
+	CacheMisses int
+	// BoundStats records per-bound execution counts and wall times, in
+	// completion order (bounded strategies only).
+	BoundStats []BoundStat
 }
 
 // FirstBug returns the first found bug, or nil.

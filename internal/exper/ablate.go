@@ -35,12 +35,12 @@ type AblationResult struct {
 }
 
 // AblationData measures every ablation.
-func AblationData() (AblationResult, error) {
+func AblationData(cfg Config) (AblationResult, error) {
 	var r AblationResult
 
 	// 1. Preemption bounding vs context-switch bounding on Figure 3's bug.
 	fig3 := dryad.Program(dryad.AlertWindow, dryad.Params{})
-	icbRes := explore(fig3, core.ICB{}, core.Options{MaxPreemptions: 1, StopOnFirstBug: true})
+	icbRes := explore(fig3, core.ICB{}, core.Options{MaxPreemptions: 1, StopOnFirstBug: true}, cfg)
 	if b := icbRes.FirstBug(); b != nil {
 		r.ICBBugBound, r.ICBBugExecs = b.Preemptions, res(icbRes)
 	} else {
@@ -48,7 +48,7 @@ func AblationData() (AblationResult, error) {
 	}
 	found := false
 	for bound := 0; bound <= 12 && !found; bound++ {
-		csbRes := explore(fig3, core.CSB{}, core.Options{MaxPreemptions: bound, StopOnFirstBug: true})
+		csbRes := explore(fig3, core.CSB{}, core.Options{MaxPreemptions: bound, StopOnFirstBug: true}, cfg)
 		r.CSBBugExecs += csbRes.Executions
 		if b := csbRes.FirstBug(); b != nil {
 			r.CSBBugBound = b.ContextSwitches
@@ -65,7 +65,7 @@ func AblationData() (AblationResult, error) {
 	// reduction collapses the data accesses into their preceding sync
 	// step, the race detector keeping it sound.
 	dh := dataHeavy()
-	so := explore(dh, core.ICB{}, core.Options{MaxPreemptions: 2, StateCache: true})
+	so := explore(dh, core.ICB{}, core.Options{MaxPreemptions: 2, StateCache: true}, cfg)
 	ea := core.Explore(dh, core.ICB{}, core.Options{
 		MaxPreemptions: 2, StateCache: true, Mode: sched.ModeEveryAccess, CheckRaces: true,
 	})
@@ -74,8 +74,8 @@ func AblationData() (AblationResult, error) {
 
 	// 3. Work-item table vs uncached exhaustive search.
 	small := wsq.Program(wsq.Correct, wsq.Params{Items: 2, Size: 2})
-	cached := explore(small, core.ICB{}, core.Options{MaxPreemptions: -1, StateCache: true})
-	plain := explore(small, core.ICB{}, core.Options{MaxPreemptions: -1})
+	cached := explore(small, core.ICB{}, core.Options{MaxPreemptions: -1, StateCache: true}, cfg)
+	plain := explore(small, core.ICB{}, core.Options{MaxPreemptions: -1}, cfg)
 	if cached.States != plain.States {
 		return r, fmt.Errorf("ablate: cache changed coverage: %d vs %d", cached.States, plain.States)
 	}
@@ -110,8 +110,8 @@ func dataHeavy() sched.Program {
 }
 
 // Ablate renders the ablation report.
-func Ablate(w io.Writer, _ Config) error {
-	r, err := AblationData()
+func Ablate(w io.Writer, cfg Config) error {
+	r, err := AblationData(cfg)
 	if err != nil {
 		return err
 	}

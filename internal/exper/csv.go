@@ -22,28 +22,30 @@ func WriteCSV(dir string, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	rows := [][]string{{"program", "loc", "threads", "max_k", "max_b", "max_c"}}
+	rows := [][]string{{"program", "loc", "threads", "max_k", "max_b", "max_c", "time_ms"}}
 	for _, r := range t1 {
-		rows = append(rows, []string{r.Name, itoa(r.LOC), itoa(r.Threads), itoa(r.MaxK), itoa(r.MaxB), itoa(r.MaxC)})
+		rows = append(rows, []string{r.Name, itoa(r.LOC), itoa(r.Threads), itoa(r.MaxK), itoa(r.MaxB), itoa(r.MaxC),
+			itoa(int(r.Time.Milliseconds()))})
 	}
 	if err := writeCSVFile(dir, "table1.csv", rows); err != nil {
 		return err
 	}
 
-	t2, err := Table2Data()
+	t2, err := Table2Data(cfg)
 	if err != nil {
 		return err
 	}
-	rows = [][]string{{"program", "bugs", "c0", "c1", "c2", "c3"}}
+	rows = [][]string{{"program", "bugs", "c0", "c1", "c2", "c3", "time_ms"}}
 	for _, r := range t2 {
 		rows = append(rows, []string{r.Name, itoa(r.Total),
-			itoa(r.AtBound[0]), itoa(r.AtBound[1]), itoa(r.AtBound[2]), itoa(r.AtBound[3])})
+			itoa(r.AtBound[0]), itoa(r.AtBound[1]), itoa(r.AtBound[2]), itoa(r.AtBound[3]),
+			itoa(int(r.Time.Milliseconds()))})
 	}
 	if err := writeCSVFile(dir, "table2.csv", rows); err != nil {
 		return err
 	}
 
-	f1, err := Fig1Data()
+	f1, err := Fig1Data(cfg)
 	if err != nil {
 		return err
 	}
@@ -65,7 +67,7 @@ func WriteCSV(dir string, cfg Config) error {
 		}
 	}
 
-	f4, err := Fig4Data()
+	f4, err := Fig4Data(cfg)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"io"
 
 	"icb/internal/core"
+	"icb/internal/obs"
 	"icb/internal/progs"
 	"icb/internal/progs/ape"
 	"icb/internal/progs/bluetooth"
@@ -40,6 +41,12 @@ type Config struct {
 	Sample int
 	// Seed seeds the random-walk strategy.
 	Seed int64
+	// Metrics, when non-nil, receives live counters from every exploration
+	// the experiments run (icb-bench serves it over expvar).
+	Metrics *obs.Metrics
+	// Sink, when non-nil, receives the structured event stream of every
+	// exploration the experiments run.
+	Sink obs.Sink
 }
 
 func (c *Config) fill() {
@@ -106,9 +113,12 @@ func Run(name string, w io.Writer, cfg Config) error {
 	return fmt.Errorf("unknown experiment %q (have %v)", name, Experiments())
 }
 
-// explore runs a strategy over a stateless program with shared settings.
-func explore(prog sched.Program, s core.Strategy, opt core.Options) core.Result {
+// explore runs a strategy over a stateless program with shared settings,
+// attaching the Config's telemetry.
+func explore(prog sched.Program, s core.Strategy, opt core.Options, cfg Config) core.Result {
 	opt.CheckRaces = true
+	opt.Metrics = cfg.Metrics
+	opt.Sink = cfg.Sink
 	return core.Explore(prog, s, opt)
 }
 
@@ -126,7 +136,7 @@ func growthCurves(prog sched.Program, cfg Config, strategies []core.Strategy) []
 			MaxPreemptions: -1,
 			MaxExecutions:  cfg.Budget,
 			SampleEvery:    cfg.Sample,
-		})
+		}, cfg)
 		out = append(out, series{name: res.Strategy, curve: res.Curve})
 	}
 	return out
@@ -177,11 +187,13 @@ func finalStates(s series) int {
 	return s.curve[len(s.curve)-1].States
 }
 
-// zingICB runs the explicit-state checker on the transaction manager.
-func zingICB(opt zing.Options) (zing.Result, error) {
+// zingICB runs the explicit-state checker on the transaction manager,
+// attaching the Config's event sink.
+func zingICB(opt zing.Options, cfg Config) (zing.Result, error) {
 	p, err := TxnMgrProgram()
 	if err != nil {
 		return zing.Result{}, err
 	}
+	opt.Sink = cfg.Sink
 	return zing.CheckICB(p, opt), nil
 }

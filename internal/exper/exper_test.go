@@ -15,7 +15,7 @@ import (
 // per-bound bug distribution of Table 2, re-measured from scratch by the
 // checker, must match the paper's row for row.
 func TestTable2MatchesPaper(t *testing.T) {
-	rows, err := Table2Data()
+	rows, err := Table2Data(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,8 +30,10 @@ func TestTable2MatchesPaper(t *testing.T) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(want))
 	}
 	for i, w := range want {
-		if rows[i] != w {
-			t.Errorf("row %d:\n got %+v\nwant %+v", i, rows[i], w)
+		got := rows[i]
+		got.Time = 0 // wall-clock, not comparable
+		if got != w {
+			t.Errorf("row %d:\n got %+v\nwant %+v", i, got, w)
 		}
 	}
 	// The paper's key claim: every previously-unknown bug (APE, Dryad)
@@ -66,7 +68,7 @@ func TestTable1Sane(t *testing.T) {
 
 func TestFig1ShapeSmall(t *testing.T) {
 	// Reduced work-stealing queue: checks the Figure 1 shape cheaply.
-	points, err := boundSweep(wsq.Program(wsq.Correct, wsq.Params{Items: 2, Size: 2}))
+	points, err := boundSweep(wsq.Program(wsq.Correct, wsq.Params{Items: 2, Size: 2}), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func TestFig1ShapeFull(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full work-stealing-queue sweep takes ~30s")
 	}
-	points, err := Fig1Data()
+	points, err := Fig1Data(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func TestFig4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweeps take ~40s")
 	}
-	data, err := Fig4Data()
+	data, err := Fig4Data(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +181,7 @@ func TestAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("the csb sweep takes minutes")
 	}
-	r, err := AblationData()
+	r, err := AblationData(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,8 +22,8 @@ type BoundPercent struct {
 
 // boundSweep runs an exhaustive cached ICB search and converts its
 // per-bound coverage into percentages of the final (full) state count.
-func boundSweep(prog sched.Program) ([]BoundPercent, error) {
-	res := explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1, StateCache: true})
+func boundSweep(prog sched.Program, cfg Config) ([]BoundPercent, error) {
+	res := explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1, StateCache: true}, cfg)
 	if !res.Exhausted {
 		return nil, fmt.Errorf("state space not exhausted")
 	}
@@ -43,13 +43,13 @@ func boundSweep(prog sched.Program) ([]BoundPercent, error) {
 
 // Fig1Data computes Figure 1: % state space covered per context bound for
 // the work-stealing queue.
-func Fig1Data() ([]BoundPercent, error) {
-	return boundSweep(wsq.Program(wsq.Correct, wsq.Params{}))
+func Fig1Data(cfg Config) ([]BoundPercent, error) {
+	return boundSweep(wsq.Program(wsq.Correct, wsq.Params{}), cfg)
 }
 
 // Fig1 renders Figure 1.
-func Fig1(w io.Writer, _ Config) error {
-	points, err := Fig1Data()
+func Fig1(w io.Writer, cfg Config) error {
+	points, err := Fig1Data(cfg)
 	if err != nil {
 		return err
 	}
@@ -94,19 +94,19 @@ type Fig4Series struct {
 // the file-system model, Bluetooth and the work-stealing queue via the
 // stateless engine, and the transaction manager via the explicit-state
 // checker (as in the paper).
-func Fig4Data() ([]Fig4Series, error) {
+func Fig4Data(cfg Config) ([]Fig4Series, error) {
 	var out []Fig4Series
 	for _, b := range Benchmarks() {
 		switch b.Name {
 		case "File System Model", "Bluetooth", "Work Stealing Queue":
-			points, err := boundSweep(b.Correct)
+			points, err := boundSweep(b.Correct, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
 			}
 			out = append(out, Fig4Series{Name: b.Name, Points: points})
 		}
 	}
-	zres, err := zingICB(zing.Options{MaxPreemptions: -1})
+	zres, err := zingICB(zing.Options{MaxPreemptions: -1}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +126,8 @@ func Fig4Data() ([]Fig4Series, error) {
 }
 
 // Fig4 renders Figure 4.
-func Fig4(w io.Writer, _ Config) error {
-	data, err := Fig4Data()
+func Fig4(w io.Writer, cfg Config) error {
+	data, err := Fig4Data(cfg)
 	if err != nil {
 		return err
 	}

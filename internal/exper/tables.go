@@ -3,6 +3,7 @@ package exper
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"icb/internal/baseline"
 	"icb/internal/core"
@@ -20,6 +21,8 @@ type Table1Row struct {
 	MaxK    int
 	MaxB    int
 	MaxC    int
+	// Time is the wall-clock cost of the row's measurement runs.
+	Time time.Duration
 }
 
 // Table1Data measures the characteristics of every benchmark. For the
@@ -34,10 +37,10 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 		icbRes := explore(b.Correct, core.ICB{}, core.Options{
 			MaxPreemptions: 2,
 			StateCache:     true,
-		})
+		}, cfg)
 		rndRes := explore(b.Correct, baseline.Random{Seed: cfg.Seed + 1}, core.Options{
 			MaxExecutions: cfg.Budget,
-		})
+		}, cfg)
 		row := Table1Row{
 			Name:    b.Name,
 			LOC:     b.LOC,
@@ -45,10 +48,11 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 			MaxK:    max(icbRes.MaxSteps, rndRes.MaxSteps),
 			MaxB:    max(icbRes.MaxBlocking, rndRes.MaxBlocking),
 			MaxC:    max(icbRes.MaxPreemptions, rndRes.MaxPreemptions),
+			Time:    icbRes.Duration + rndRes.Duration,
 		}
 		rows = append(rows, row)
 	}
-	zres, err := zingICB(zing.Options{MaxPreemptions: -1})
+	zres, err := zingICB(zing.Options{MaxPreemptions: -1}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +63,7 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 		MaxK:    zres.MaxSteps,
 		MaxB:    zres.MaxBlocking,
 		MaxC:    zres.MaxPreemptions,
+		Time:    zres.Duration,
 	})
 	return rows, nil
 }
@@ -86,9 +91,10 @@ func Table1(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintln(w, "Table 1: Characteristics of the benchmarks (this reproduction's models).")
 	fmt.Fprintln(w, "K = max total steps, B = max blocking ops per thread, c = max preemptions observed.")
-	fmt.Fprintf(w, "%-22s %6s %8s %6s %6s %6s\n", "Program", "LOC", "Threads", "MaxK", "MaxB", "Maxc")
+	fmt.Fprintf(w, "%-22s %6s %8s %6s %6s %6s %10s\n", "Program", "LOC", "Threads", "MaxK", "MaxB", "Maxc", "Time")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-22s %6d %8d %6d %6d %6d\n", r.Name, r.LOC, r.Threads, r.MaxK, r.MaxB, r.MaxC)
+		fmt.Fprintf(w, "%-22s %6d %8d %6d %6d %6d %10s\n", r.Name, r.LOC, r.Threads, r.MaxK, r.MaxB, r.MaxC,
+			r.Time.Round(time.Millisecond))
 	}
 	return nil
 }
@@ -100,6 +106,8 @@ type Table2Row struct {
 	Total   int
 	AtBound [4]int
 	Known   bool
+	// Time is the total wall-clock time spent finding the row's bugs.
+	Time time.Duration
 }
 
 // Table2Data runs ICB on every seeded bug variant and buckets the bugs by
@@ -107,7 +115,7 @@ type Table2Row struct {
 // of the 14 bugs exposed with at most 3 (the unknown ones with at most 2)
 // preemptions — is re-established from scratch here, not copied from the
 // variants' documentation.
-func Table2Data() ([]Table2Row, error) {
+func Table2Data(cfg Config) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, b := range Benchmarks() {
 		if len(b.Bugs) == 0 || b.Name == "File System Model" {
@@ -120,13 +128,14 @@ func Table2Data() ([]Table2Row, error) {
 			res := explore(b.Bugs[i].Program, core.ICB{}, core.Options{
 				MaxPreemptions: 3,
 				StopOnFirstBug: true,
-			})
+			}, cfg)
 			bug := res.FirstBug()
 			if bug == nil {
 				return nil, fmt.Errorf("%s/%s: bug not found within bound 3", b.Name, b.Bugs[i].ID)
 			}
 			row.Total++
 			row.AtBound[bug.Preemptions]++
+			row.Time += res.Duration
 		}
 		rows = append(rows, row)
 	}
@@ -138,13 +147,14 @@ func Table2Data() ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := zing.CheckICB(p, zing.Options{MaxPreemptions: 3, StopOnFirstBug: true})
+		res := zing.CheckICB(p, zing.Options{MaxPreemptions: 3, StopOnFirstBug: true, Sink: cfg.Sink})
 		fb := res.FirstBug()
 		if fb == nil {
 			return nil, fmt.Errorf("txnmgr/%s: bug not found within bound 3", bug.ID)
 		}
 		tm.Total++
 		tm.AtBound[fb.Preemptions]++
+		tm.Time += res.Duration
 	}
 
 	// Paper order: Bluetooth, WSQ, Transaction Manager, APE, Dryad.
@@ -153,17 +163,18 @@ func Table2Data() ([]Table2Row, error) {
 }
 
 // Table2 renders Table 2.
-func Table2(w io.Writer, _ Config) error {
-	rows, err := Table2Data()
+func Table2(w io.Writer, cfg Config) error {
+	rows, err := Table2Data(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "Table 2: Bugs exposed in executions with exactly c preemptions.")
-	fmt.Fprintf(w, "%-22s %5s   %3s %3s %3s %3s\n", "Program", "Bugs", "0", "1", "2", "3")
+	fmt.Fprintf(w, "%-22s %5s   %3s %3s %3s %3s %10s\n", "Program", "Bugs", "0", "1", "2", "3", "Time")
 	total := 0
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-22s %5d   %3d %3d %3d %3d\n",
-			r.Name, r.Total, r.AtBound[0], r.AtBound[1], r.AtBound[2], r.AtBound[3])
+		fmt.Fprintf(w, "%-22s %5d   %3d %3d %3d %3d %10s\n",
+			r.Name, r.Total, r.AtBound[0], r.AtBound[1], r.AtBound[2], r.AtBound[3],
+			r.Time.Round(time.Millisecond))
 		total += r.Total
 	}
 	fmt.Fprintf(w, "Total bugs: %d (the paper's Table 2 rows also sum to 16 although its caption says 14;\n"+

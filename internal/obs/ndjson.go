@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// NDJSON writes the event stream as newline-delimited JSON, one object per
+// line, for offline analysis (jq, pandas, ...). Every line carries the
+// event name and the milliseconds since the writer was created:
+//
+//	{"event":"bound_start","t_ms":12,"data":{"bound":1,"queue":42,...}}
+//
+// Writes are buffered; call Close (or Flush) when the search returns.
+// Unlike Progress, nothing is rate-limited: the stream is the full record
+// of the search, including one line per cache hit.
+type NDJSON struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	err   error
+}
+
+// ndjsonLine is the envelope of one event line.
+type ndjsonLine struct {
+	Event string `json:"event"`
+	TMS   int64  `json:"t_ms"`
+	Data  any    `json:"data"`
+}
+
+// NewNDJSON returns an NDJSON sink writing to w. The caller keeps
+// ownership of w (close the underlying file after Close/Flush).
+func NewNDJSON(w io.Writer) *NDJSON {
+	bw := bufio.NewWriter(w)
+	return &NDJSON{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+func (n *NDJSON) emit(event string, data any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil {
+		return
+	}
+	// Encode appends the trailing newline: one object per line.
+	n.err = n.enc.Encode(ndjsonLine{
+		Event: event,
+		TMS:   time.Since(n.start).Milliseconds(),
+		Data:  data,
+	})
+}
+
+// ExecutionDone implements Sink.
+func (n *NDJSON) ExecutionDone(ev ExecutionEvent) { n.emit("execution_done", ev) }
+
+// BoundStart implements Sink.
+func (n *NDJSON) BoundStart(ev BoundEvent) { n.emit("bound_start", ev) }
+
+// BoundComplete implements Sink.
+func (n *NDJSON) BoundComplete(ev BoundEvent) { n.emit("bound_complete", ev) }
+
+// BugFound implements Sink.
+func (n *NDJSON) BugFound(ev BugEvent) { n.emit("bug_found", ev) }
+
+// CacheHit implements Sink.
+func (n *NDJSON) CacheHit(ev CacheEvent) { n.emit("cache_hit", ev) }
+
+// SearchDone implements Sink.
+func (n *NDJSON) SearchDone(ev SearchEvent) { n.emit("search_done", ev) }
+
+// Flush drains the write buffer and returns the first error encountered
+// by any write so far.
+func (n *NDJSON) Flush() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.w.Flush(); n.err == nil {
+		n.err = err
+	}
+	return n.err
+}
+
+// Close flushes; it does not close the underlying writer.
+func (n *NDJSON) Close() error { return n.Flush() }

@@ -1,0 +1,241 @@
+// Package obs is the observability layer of the checker: cheap live
+// counters (Metrics) and a structured event stream (Sink) threaded through
+// the stateless engine, the explicit-state checker, and every search
+// strategy. CHESS-style stateless search is a long-running batch workload;
+// without telemetry a bound-3 run is indistinguishable from a hung one.
+// The design follows the tooling the paper's ecosystem grew for this exact
+// need (JPF's SearchMonitor and StateCountEstimator with a log period):
+// the engine emits one event per execution plus bound-transition events,
+// and sinks decide what to do with them — print a rate-limited progress
+// line, append NDJSON for offline analysis, or fan out to both.
+//
+// The hot path stays cheap when telemetry is off: core.Options.Sink and
+// core.Options.Metrics default to nil and every emission site is guarded
+// by a single nil-check, so a disabled engine pays one predictable branch
+// per execution and allocates nothing. Event payloads are plain structs
+// passed by value; a Sink implementation that needs to retain one may copy
+// it freely.
+package obs
+
+import "sync/atomic"
+
+// ExecutionEvent reports one completed (or cut) execution of the program
+// under test. For the explicit-state checker, the unit is one work item.
+type ExecutionEvent struct {
+	// Execution is the 1-based index of the execution.
+	Execution int `json:"execution"`
+	// Status is the outcome status ("terminated", "deadlock", "stopped", ...).
+	Status string `json:"status"`
+	// Steps is the length of the execution.
+	Steps int `json:"steps"`
+	// Preemptions is the number of preempting context switches.
+	Preemptions int `json:"preemptions"`
+	// States and Classes are the cumulative coverage counters.
+	States  int `json:"states"`
+	Classes int `json:"classes,omitempty"`
+	// Bound is the preemption bound the execution ran under (-1 when the
+	// strategy has no bound structure).
+	Bound int `json:"bound"`
+	// Frontier is the number of deferred work items known to the engine.
+	Frontier int `json:"frontier"`
+}
+
+// BoundEvent reports the start or completion of one preemption bound (or,
+// for iterative depth bounding, one depth round).
+type BoundEvent struct {
+	// Bound is the bound the event concerns.
+	Bound int `json:"bound"`
+	// Queue is the number of work items queued within this bound (start).
+	Queue int `json:"queue,omitempty"`
+	// Frontier is the number of items deferred to the next bound (complete).
+	Frontier int `json:"frontier,omitempty"`
+	// Executions and States are the cumulative counters at the event.
+	Executions int `json:"executions"`
+	States     int `json:"states"`
+	// DurationNS is the wall-clock time spent inside the bound (complete).
+	DurationNS int64 `json:"duration_ns,omitempty"`
+}
+
+// BugEvent reports a newly discovered (deduplicated) defect.
+type BugEvent struct {
+	// Kind is the bug classification ("deadlock", "data race", ...).
+	Kind string `json:"kind"`
+	// Message is the defect description.
+	Message string `json:"message"`
+	// Preemptions is the preemption count of the exposing execution.
+	Preemptions int `json:"preemptions"`
+	// Execution is the 1-based index of the exposing execution.
+	Execution int `json:"execution"`
+}
+
+// CacheEvent reports one work-item-table hit, with cumulative totals.
+type CacheEvent struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// SearchEvent reports the end of a whole exploration.
+type SearchEvent struct {
+	// Strategy is the search strategy name.
+	Strategy string `json:"strategy"`
+	// Executions, States, Classes, Bugs are the final counters.
+	Executions int `json:"executions"`
+	States     int `json:"states"`
+	Classes    int `json:"classes,omitempty"`
+	Bugs       int `json:"bugs"`
+	// BoundCompleted is the highest fully-explored bound (-1 if none).
+	BoundCompleted int `json:"bound_completed"`
+	// Exhausted reports a complete search.
+	Exhausted bool `json:"exhausted"`
+	// DurationNS is the total search wall time.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Sink receives the structured event stream of one exploration. Methods
+// are invoked from the exploring goroutine, in order; implementations that
+// are shared across explorations (Progress, NDJSON) serialize internally.
+type Sink interface {
+	// ExecutionDone is called after every execution (hot: once per run).
+	ExecutionDone(ExecutionEvent)
+	// BoundStart is called when a strategy begins draining a bound.
+	BoundStart(BoundEvent)
+	// BoundComplete is called when a bound's queue is fully drained.
+	BoundComplete(BoundEvent)
+	// BugFound is called once per distinct defect, at discovery.
+	BugFound(BugEvent)
+	// CacheHit is called when the work-item table prunes a duplicate.
+	CacheHit(CacheEvent)
+	// SearchDone is called once, when the exploration returns.
+	SearchDone(SearchEvent)
+}
+
+// Nop is the no-op Sink: every method is empty and allocation-free. The
+// engine treats a nil Sink the same way; Nop exists for composition sites
+// that want a non-nil default.
+type Nop struct{}
+
+// ExecutionDone implements Sink.
+func (Nop) ExecutionDone(ExecutionEvent) {}
+
+// BoundStart implements Sink.
+func (Nop) BoundStart(BoundEvent) {}
+
+// BoundComplete implements Sink.
+func (Nop) BoundComplete(BoundEvent) {}
+
+// BugFound implements Sink.
+func (Nop) BugFound(BugEvent) {}
+
+// CacheHit implements Sink.
+func (Nop) CacheHit(CacheEvent) {}
+
+// SearchDone implements Sink.
+func (Nop) SearchDone(SearchEvent) {}
+
+// MaxTrackedBounds caps the per-bound counter arrays in Metrics. The paper's
+// whole point is that interesting bounds are tiny (every known bug within
+// 3 preemptions); executions at bounds beyond the cap are folded into the
+// last slot.
+const MaxTrackedBounds = 64
+
+// Metrics is a set of live counters cheap enough to update on the
+// per-execution path and safe to read concurrently (e.g. from an expvar
+// HTTP handler while a search runs on another goroutine). All fields are
+// atomics; the struct must not be copied after first use.
+type Metrics struct {
+	// Executions counts completed (or cut) executions.
+	Executions atomic.Int64
+	// States and Classes mirror the cumulative coverage counters.
+	States  atomic.Int64
+	Classes atomic.Int64
+	// CacheHits and CacheMisses count work-item-table lookups.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// QueueDepth is the latest known number of deferred work items.
+	QueueDepth atomic.Int64
+	// Bugs counts distinct defects found.
+	Bugs atomic.Int64
+	// CurBound is the bound currently being drained (-1 outside bounds).
+	CurBound atomic.Int64
+
+	boundExecs [MaxTrackedBounds]atomic.Int64
+	boundNanos [MaxTrackedBounds]atomic.Int64
+}
+
+func boundSlot(bound int) int {
+	if bound < 0 {
+		bound = 0
+	}
+	if bound >= MaxTrackedBounds {
+		bound = MaxTrackedBounds - 1
+	}
+	return bound
+}
+
+// ObserveExecution records one execution at the given bound (-1 for
+// strategies without bound structure, attributed to slot 0).
+func (m *Metrics) ObserveExecution(bound int) {
+	m.Executions.Add(1)
+	m.boundExecs[boundSlot(bound)].Add(1)
+}
+
+// ObserveBoundTime adds wall-clock nanoseconds to a bound's total.
+func (m *Metrics) ObserveBoundTime(bound int, ns int64) {
+	m.boundNanos[boundSlot(bound)].Add(ns)
+}
+
+// BoundExecutions returns the execution count recorded at a bound.
+func (m *Metrics) BoundExecutions(bound int) int64 {
+	return m.boundExecs[boundSlot(bound)].Load()
+}
+
+// BoundNanos returns the wall-clock nanoseconds recorded at a bound.
+func (m *Metrics) BoundNanos(bound int) int64 {
+	return m.boundNanos[boundSlot(bound)].Load()
+}
+
+// BoundSnapshot is the per-bound slice of a Snapshot.
+type BoundSnapshot struct {
+	Bound      int   `json:"bound"`
+	Executions int64 `json:"executions"`
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Snapshot is a plain-value copy of the counters, suitable for JSON
+// encoding (expvar.Func) or test assertions.
+type Snapshot struct {
+	Executions  int64           `json:"executions"`
+	States      int64           `json:"states"`
+	Classes     int64           `json:"classes"`
+	CacheHits   int64           `json:"cache_hits"`
+	CacheMisses int64           `json:"cache_misses"`
+	QueueDepth  int64           `json:"queue_depth"`
+	Bugs        int64           `json:"bugs"`
+	CurBound    int64           `json:"cur_bound"`
+	Bounds      []BoundSnapshot `json:"bounds,omitempty"`
+}
+
+// Snapshot copies the counters. Per-bound entries are trimmed to the
+// bounds that saw at least one execution.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Executions:  m.Executions.Load(),
+		States:      m.States.Load(),
+		Classes:     m.Classes.Load(),
+		CacheHits:   m.CacheHits.Load(),
+		CacheMisses: m.CacheMisses.Load(),
+		QueueDepth:  m.QueueDepth.Load(),
+		Bugs:        m.Bugs.Load(),
+		CurBound:    m.CurBound.Load(),
+	}
+	for b := 0; b < MaxTrackedBounds; b++ {
+		if n := m.boundExecs[b].Load(); n > 0 {
+			s.Bounds = append(s.Bounds, BoundSnapshot{
+				Bound:      b,
+				Executions: n,
+				DurationNS: m.boundNanos[b].Load(),
+			})
+		}
+	}
+	return s
+}

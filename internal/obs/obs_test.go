@@ -1,0 +1,233 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"icb/internal/core"
+	"icb/internal/obs"
+	"icb/internal/progs/wsq"
+)
+
+// collector records every event it receives, for assertions.
+type collector struct {
+	execs    []obs.ExecutionEvent
+	starts   []obs.BoundEvent
+	dones    []obs.BoundEvent
+	bugs     []obs.BugEvent
+	cache    []obs.CacheEvent
+	searches []obs.SearchEvent
+}
+
+func (c *collector) ExecutionDone(e obs.ExecutionEvent) { c.execs = append(c.execs, e) }
+func (c *collector) BoundStart(e obs.BoundEvent)        { c.starts = append(c.starts, e) }
+func (c *collector) BoundComplete(e obs.BoundEvent)     { c.dones = append(c.dones, e) }
+func (c *collector) BugFound(e obs.BugEvent)            { c.bugs = append(c.bugs, e) }
+func (c *collector) CacheHit(e obs.CacheEvent)          { c.cache = append(c.cache, e) }
+func (c *collector) SearchDone(e obs.SearchEvent)       { c.searches = append(c.searches, e) }
+
+// TestCountersMatchResult checks the telemetry against the ground truth of
+// a real search: an ICB run of the work-stealing queue at bound 1.
+func TestCountersMatchResult(t *testing.T) {
+	var (
+		met obs.Metrics
+		col collector
+	)
+	prog := wsq.Program(wsq.Correct, wsq.Params{Items: 2, Size: 2})
+	res := core.Explore(prog, core.ICB{}, core.Options{
+		MaxPreemptions: 1,
+		CheckRaces:     true,
+		StateCache:     true,
+		Sink:           &col,
+		Metrics:        &met,
+	})
+
+	if got := met.Executions.Load(); got != int64(res.Executions) {
+		t.Errorf("Metrics.Executions = %d, Result.Executions = %d", got, res.Executions)
+	}
+	if got := met.States.Load(); got != int64(res.States) {
+		t.Errorf("Metrics.States = %d, Result.States = %d", got, res.States)
+	}
+	if got := met.CacheHits.Load(); got != int64(res.CacheHits) {
+		t.Errorf("Metrics.CacheHits = %d, Result.CacheHits = %d", got, res.CacheHits)
+	}
+	if got := met.Bugs.Load(); got != int64(len(res.Bugs)) {
+		t.Errorf("Metrics.Bugs = %d, len(Result.Bugs) = %d", got, len(res.Bugs))
+	}
+	if len(col.execs) != res.Executions {
+		t.Errorf("ExecutionDone events = %d, executions = %d", len(col.execs), res.Executions)
+	}
+	// Bounds 0 and 1 each start and complete exactly once.
+	if len(col.starts) != 2 || len(col.dones) != 2 {
+		t.Errorf("bound events = %d starts / %d completes, want 2/2", len(col.starts), len(col.dones))
+	}
+	if len(col.searches) != 1 {
+		t.Fatalf("SearchDone events = %d, want 1", len(col.searches))
+	}
+	sd := col.searches[0]
+	if sd.Executions != res.Executions || sd.BoundCompleted != res.BoundCompleted {
+		t.Errorf("SearchDone %+v disagrees with Result (execs=%d boundCompleted=%d)",
+			sd, res.Executions, res.BoundCompleted)
+	}
+	if len(col.cache) != res.CacheHits {
+		t.Errorf("CacheHit events = %d, Result.CacheHits = %d", len(col.cache), res.CacheHits)
+	}
+	// Per-bound metrics: executions attributed to bounds 0 and 1 add up.
+	var perBound int64
+	for b := 0; b < obs.MaxTrackedBounds; b++ {
+		perBound += met.BoundExecutions(b)
+	}
+	if perBound != int64(res.Executions) {
+		t.Errorf("sum of per-bound executions = %d, want %d", perBound, res.Executions)
+	}
+	// BoundStats mirror the same structure with wall time attached.
+	if len(res.BoundStats) != 2 {
+		t.Fatalf("BoundStats = %+v, want two bounds", res.BoundStats)
+	}
+	var statExecs int
+	for _, bs := range res.BoundStats {
+		statExecs += bs.Executions
+		if bs.Duration < 0 {
+			t.Errorf("bound %d has negative duration %v", bs.Bound, bs.Duration)
+		}
+	}
+	if statExecs != res.Executions {
+		t.Errorf("sum of BoundStat executions = %d, want %d", statExecs, res.Executions)
+	}
+
+	snap := met.Snapshot()
+	if snap.Executions != int64(res.Executions) || len(snap.Bounds) != 2 {
+		t.Errorf("Snapshot = %+v disagrees with result", snap)
+	}
+}
+
+// TestNDJSONRoundTrip drives a search through the NDJSON sink and parses
+// every emitted line back.
+func TestNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	nd := obs.NewNDJSON(&buf)
+	prog := wsq.Program(wsq.Correct, wsq.Params{Items: 2, Size: 2})
+	res := core.Explore(prog, core.ICB{}, core.Options{
+		MaxPreemptions: 1,
+		CheckRaces:     true,
+		Sink:           nd,
+	})
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	counts := map[string]int{}
+	for i, line := range lines {
+		var env struct {
+			Event string          `json:"event"`
+			TMS   float64         `json:"t_ms"`
+			Data  json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if env.Event == "" || len(env.Data) == 0 {
+			t.Fatalf("line %d has an empty envelope: %s", i+1, line)
+		}
+		counts[env.Event]++
+	}
+	if counts["execution_done"] != res.Executions {
+		t.Errorf("execution_done lines = %d, executions = %d", counts["execution_done"], res.Executions)
+	}
+	if counts["search_done"] != 1 {
+		t.Errorf("search_done lines = %d, want 1", counts["search_done"])
+	}
+	if counts["bound_start"] != 2 || counts["bound_complete"] != 2 {
+		t.Errorf("bound lines = %d starts / %d completes, want 2/2",
+			counts["bound_start"], counts["bound_complete"])
+	}
+}
+
+// TestDisabledPathAllocationFree pins the cost of disabled telemetry: the
+// Nop sink and Metrics updates allocate nothing.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var (
+		sink obs.Sink = obs.Nop{}
+		met  obs.Metrics
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink.ExecutionDone(obs.ExecutionEvent{Execution: 1, Steps: 10})
+		sink.CacheHit(obs.CacheEvent{Hits: 1})
+		met.ObserveExecution(2)
+		met.ObserveBoundTime(2, 100)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry allocates %.1f per emission, want 0", allocs)
+	}
+}
+
+// TestMetricsBoundClamping checks out-of-range bounds fold into the edge
+// slots instead of panicking.
+func TestMetricsBoundClamping(t *testing.T) {
+	var m obs.Metrics
+	m.ObserveExecution(-1)
+	m.ObserveExecution(obs.MaxTrackedBounds + 5)
+	if got := m.BoundExecutions(0); got != 1 {
+		t.Errorf("bound -1 not folded into slot 0: %d", got)
+	}
+	if got := m.BoundExecutions(obs.MaxTrackedBounds - 1); got != 1 {
+		t.Errorf("overflow bound not folded into last slot: %d", got)
+	}
+}
+
+// TestProgressReportsRateLimited checks the progress reporter prints at
+// most one per-execution line per interval but never drops bound or
+// search-completion lines.
+func TestProgressReportsRateLimited(t *testing.T) {
+	var buf bytes.Buffer
+	p := obs.NewProgress(&buf, time.Second)
+	now := time.Unix(0, 0)
+	p.SetClock(func() time.Time { return now })
+
+	for i := 1; i <= 100; i++ {
+		p.ExecutionDone(obs.ExecutionEvent{Execution: i, Bound: 0})
+	}
+	if got := strings.Count(buf.String(), "/s)"); got > 1 {
+		t.Errorf("%d per-execution lines within one interval, want at most 1", got)
+	}
+	now = now.Add(2 * time.Second)
+	p.ExecutionDone(obs.ExecutionEvent{Execution: 101, Bound: 0, Status: "terminated"})
+	if !strings.Contains(buf.String(), "execs=101") {
+		t.Errorf("no progress line after the interval elapsed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	p.BoundStart(obs.BoundEvent{Bound: 1, Queue: 42})
+	p.BoundComplete(obs.BoundEvent{Bound: 1, Executions: 7, DurationNS: int64(time.Millisecond)})
+	p.BugFound(obs.BugEvent{Kind: "deadlock", Message: "stuck"})
+	p.SearchDone(obs.SearchEvent{Strategy: "icb", Executions: 7})
+	for _, want := range []string{"[bound 1] start", "[bound 1] complete", "[bug] deadlock", "[search done]"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing unconditional line %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestMultiFansOut checks Tee forwarding and nil-dropping.
+func TestMultiFansOut(t *testing.T) {
+	if obs.Multi() != nil {
+		t.Error("Multi() should be nil (telemetry disabled)")
+	}
+	if obs.Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	var a, b collector
+	if got := obs.Multi(&a, nil); got != obs.Sink(&a) {
+		t.Error("Multi with one non-nil sink should return it unwrapped")
+	}
+	m := obs.Multi(&a, &b)
+	m.ExecutionDone(obs.ExecutionEvent{Execution: 1})
+	m.BugFound(obs.BugEvent{Kind: "panic"})
+	if len(a.execs) != 1 || len(b.execs) != 1 || len(a.bugs) != 1 || len(b.bugs) != 1 {
+		t.Errorf("Tee did not fan out: a=%+v b=%+v", a, b)
+	}
+}

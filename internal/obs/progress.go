@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a rate-limited terminal reporter in the spirit of JPF's
+// SearchMonitor: at most one progress line per interval on the execution
+// path, plus unconditional lines at bound transitions, bug discoveries,
+// and search completion. Output is plain text on one line per report,
+// suitable for stderr while results go to stdout.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every time.Duration
+	now   func() time.Time // injectable clock for tests
+
+	start     time.Time
+	last      time.Time
+	lastExecs int
+
+	cache CacheEvent
+}
+
+// DefaultInterval is the progress reporting period when none is given.
+const DefaultInterval = time.Second
+
+// NewProgress returns a Progress writing to w at most once per interval
+// (DefaultInterval if every <= 0).
+func NewProgress(w io.Writer, every time.Duration) *Progress {
+	if every <= 0 {
+		every = DefaultInterval
+	}
+	now := time.Now()
+	return &Progress{w: w, every: every, now: time.Now, start: now, last: now}
+}
+
+// SetClock replaces the reporter's time source and restarts its timers;
+// tests use it to drive the rate limiter deterministically.
+func (p *Progress) SetClock(now func() time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+	p.start = now()
+	p.last = p.start
+}
+
+// ExecutionDone implements Sink: prints a progress line if at least one
+// interval elapsed since the previous one.
+func (p *Progress) ExecutionDone(ev ExecutionEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if now.Sub(p.last) < p.every {
+		return
+	}
+	rate := float64(ev.Execution-p.lastExecs) / now.Sub(p.last).Seconds()
+	p.last, p.lastExecs = now, ev.Execution
+	fmt.Fprintf(p.w, "[search %s] execs=%d (%.0f/s) bound=%d frontier=%d states=%d classes=%d cache=%d/%d\n",
+		fmtDur(now.Sub(p.start)), ev.Execution, rate, ev.Bound, ev.Frontier,
+		ev.States, ev.Classes, p.cache.Hits, p.cache.Hits+p.cache.Misses)
+}
+
+// BoundStart implements Sink.
+func (p *Progress) BoundStart(ev BoundEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[bound %d] start: queue=%d execs=%d states=%d\n",
+		ev.Bound, ev.Queue, ev.Executions, ev.States)
+}
+
+// BoundComplete implements Sink.
+func (p *Progress) BoundComplete(ev BoundEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[bound %d] complete in %s: execs=%d states=%d next-frontier=%d\n",
+		ev.Bound, fmtDur(time.Duration(ev.DurationNS)), ev.Executions, ev.States, ev.Frontier)
+}
+
+// BugFound implements Sink.
+func (p *Progress) BugFound(ev BugEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[bug] %s (preemptions=%d, execution %d): %s\n",
+		ev.Kind, ev.Preemptions, ev.Execution, ev.Message)
+}
+
+// CacheHit implements Sink: hits are folded into the next progress line
+// rather than reported individually.
+func (p *Progress) CacheHit(ev CacheEvent) {
+	p.mu.Lock()
+	p.cache = ev
+	p.mu.Unlock()
+}
+
+// SearchDone implements Sink.
+func (p *Progress) SearchDone(ev SearchEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[search done] strategy=%s execs=%d states=%d classes=%d bugs=%d bound-completed=%d exhausted=%v in %s\n",
+		ev.Strategy, ev.Executions, ev.States, ev.Classes, ev.Bugs,
+		ev.BoundCompleted, ev.Exhausted, fmtDur(time.Duration(ev.DurationNS)))
+}
+
+// fmtDur rounds a duration to a width that stays readable as it grows.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	}
+	return d.Round(time.Millisecond).String()
+}

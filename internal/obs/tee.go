@@ -1,0 +1,66 @@
+package obs
+
+// Tee fans every event out to each member sink, in order. The zero-length
+// Tee behaves like Nop.
+type Tee []Sink
+
+// ExecutionDone implements Sink.
+func (t Tee) ExecutionDone(ev ExecutionEvent) {
+	for _, s := range t {
+		s.ExecutionDone(ev)
+	}
+}
+
+// BoundStart implements Sink.
+func (t Tee) BoundStart(ev BoundEvent) {
+	for _, s := range t {
+		s.BoundStart(ev)
+	}
+}
+
+// BoundComplete implements Sink.
+func (t Tee) BoundComplete(ev BoundEvent) {
+	for _, s := range t {
+		s.BoundComplete(ev)
+	}
+}
+
+// BugFound implements Sink.
+func (t Tee) BugFound(ev BugEvent) {
+	for _, s := range t {
+		s.BugFound(ev)
+	}
+}
+
+// CacheHit implements Sink.
+func (t Tee) CacheHit(ev CacheEvent) {
+	for _, s := range t {
+		s.CacheHit(ev)
+	}
+}
+
+// SearchDone implements Sink.
+func (t Tee) SearchDone(ev SearchEvent) {
+	for _, s := range t {
+		s.SearchDone(ev)
+	}
+}
+
+// Multi combines sinks, dropping nils: no sink yields nil (so the engine's
+// nil-check keeps the hot path free), one sink is returned unwrapped, and
+// several are wrapped in a Tee.
+func Multi(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return Tee(live)
+}

@@ -86,6 +86,11 @@ type Outcome struct {
 	// ThreadNames maps TIDs to their spawn names (nil unless
 	// Config.RecordTrace).
 	ThreadNames []string
+	// PreemptedSteps lists the global step indices at which a preempting
+	// context switch took effect: the listed step is the first one the
+	// incoming thread runs after preempting a still-enabled thread (nil
+	// unless Config.RecordTrace).
+	PreemptedSteps []int
 	// PanicValue holds the recovered panic value for StatusPanic.
 	PanicValue any
 }

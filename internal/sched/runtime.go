@@ -91,9 +91,10 @@ type Runtime struct {
 	decisions Schedule
 	trace     []Event
 
-	preemptions int
-	switches    int
-	prev        TID
+	preemptions    int
+	switches       int
+	prev           TID
+	preemptedSteps []int
 
 	hitStepLimit bool
 	aborting     bool
@@ -213,6 +214,12 @@ func (rt *Runtime) loop() Outcome {
 			rt.switches++
 			if prevEnabled {
 				rt.preemptions++
+				if rt.cfg.RecordTrace {
+					// rt.steps is the global index the incoming thread's
+					// next commit will get, which is where trace renderers
+					// draw the preemption separator.
+					rt.preemptedSteps = append(rt.preemptedSteps, rt.steps)
+				}
 			}
 		}
 		rt.prev = tid
@@ -359,6 +366,7 @@ func (rt *Runtime) outcome(st Status, msg string, pv any) Outcome {
 	}
 	if rt.cfg.RecordTrace {
 		out.VarNames = rt.varNames
+		out.PreemptedSteps = rt.preemptedSteps
 		for _, t := range rt.threads {
 			out.ThreadNames = append(out.ThreadNames, t.name)
 		}

@@ -32,42 +32,55 @@ func Swimlane(o Outcome) string {
 		}
 		return fmt.Sprintf("%s%d", prefix, i)
 	}
+	// truncate cuts s to at most n runes; byte-slicing would split
+	// multi-byte runes in the middle (thread and variable names are
+	// user-supplied and may contain any UTF-8).
+	truncate := func(s string, n int) string {
+		r := []rune(s)
+		if len(r) > n {
+			return string(r[:n])
+		}
+		return s
+	}
 	var b strings.Builder
 
 	// Header: thread names centered over their columns.
 	b.WriteString("      ")
 	for tid := 0; tid < nThreads; tid++ {
-		label := fmt.Sprintf("t%d:%s", tid, name(o.ThreadNames, tid, "t"))
-		if len(label) > colWidth-2 {
-			label = label[:colWidth-2]
-		}
-		pad := (colWidth - len(label)) / 2
+		label := truncate(fmt.Sprintf("t%d:%s", tid, name(o.ThreadNames, tid, "t")), colWidth-2)
+		width := len([]rune(label))
+		pad := (colWidth - width) / 2
 		b.WriteString(strings.Repeat(" ", pad))
 		b.WriteString(label)
-		b.WriteString(strings.Repeat(" ", colWidth-pad-len(label)))
+		b.WriteString(strings.Repeat(" ", colWidth-pad-width))
 	}
 	b.WriteByte('\n')
 	b.WriteString("  ")
 	b.WriteString(strings.Repeat("─", 4+colWidth*nThreads))
 	b.WriteByte('\n')
 
-	// Reconstruct enabledness-at-switch from the event stream: a switch is
-	// preempting iff the previous thread's next event eventually occurs
-	// (it was not dead) and the outcome recorded it — we approximate by
-	// consulting the preemption count only in the summary line and mark
-	// every switch with a separator.
+	// The runtime records the step at which each preempting switch took
+	// effect (Outcome.PreemptedSteps), so preempting switches — the ones
+	// ICB budgets — are visually distinct from voluntary hand-offs.
+	preempted := make(map[int]bool, len(o.PreemptedSteps))
+	for _, s := range o.PreemptedSteps {
+		preempted[s] = true
+	}
 	prev := NoTID
 	for _, ev := range o.Trace {
 		if ev.TID != prev && prev != NoTID {
-			b.WriteString("     ├─ switch ")
-			b.WriteString(strings.Repeat("─", colWidth*nThreads-10))
+			sep := "switch"
+			if preempted[ev.Step] {
+				sep = "preempted"
+			}
+			b.WriteString("     ├─ ")
+			b.WriteString(sep)
+			b.WriteByte(' ')
+			b.WriteString(strings.Repeat("─", colWidth*nThreads-4-len(sep)))
 			b.WriteByte('\n')
 		}
 		prev = ev.TID
-		opText := fmt.Sprintf("%s %s", ev.Op.Kind, name(o.VarNames, int(ev.Op.Var), "var#"))
-		if len(opText) > colWidth-1 {
-			opText = opText[:colWidth-1]
-		}
+		opText := truncate(fmt.Sprintf("%s %s", ev.Op.Kind, name(o.VarNames, int(ev.Op.Var), "var#")), colWidth-1)
 		fmt.Fprintf(&b, "%4d │ %s%s\n", ev.Step, strings.Repeat(" ", colWidth*int(ev.TID)), opText)
 	}
 

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// lane builds a minimal recorded Outcome for rendering tests: two threads,
+// main runs steps 0-1, worker runs step 2 after a switch.
+func lane(preempted []int) Outcome {
+	return Outcome{
+		Status:  StatusTerminated,
+		Steps:   3,
+		Threads: 2,
+		Trace: []Event{
+			{TID: 0, Index: 0, Step: 0, Op: Op{Kind: OpAcquire, Var: 0}},
+			{TID: 0, Index: 1, Step: 1, Op: Op{Kind: OpRead, Var: 1}},
+			{TID: 1, Index: 0, Step: 2, Op: Op{Kind: OpAcquire, Var: 0}},
+		},
+		VarNames:       []string{"m", "x"},
+		ThreadNames:    []string{"main", "worker"},
+		PreemptedSteps: preempted,
+	}
+}
+
+func TestSwimlanePreemptingSeparator(t *testing.T) {
+	out := Swimlane(lane([]int{2}))
+	if !strings.Contains(out, "├─ preempted ") {
+		t.Errorf("preempting switch not marked:\n%s", out)
+	}
+	if strings.Contains(out, "├─ switch ") {
+		t.Errorf("preempting switch rendered as plain switch:\n%s", out)
+	}
+}
+
+func TestSwimlaneNonpreemptingSeparator(t *testing.T) {
+	out := Swimlane(lane(nil))
+	if !strings.Contains(out, "├─ switch ") {
+		t.Errorf("voluntary switch not marked:\n%s", out)
+	}
+	if strings.Contains(out, "preempted") {
+		t.Errorf("voluntary switch rendered as preemption:\n%s", out)
+	}
+}
+
+func TestSwimlaneUnnamedThreads(t *testing.T) {
+	o := lane(nil)
+	o.ThreadNames = []string{"main"} // worker (TID 1) has no recorded name
+	out := Swimlane(o)
+	if !strings.Contains(out, "t1:t1") {
+		t.Errorf("unnamed thread not given a tN fallback header:\n%s", out)
+	}
+}
+
+func TestSwimlaneEmptyTrace(t *testing.T) {
+	out := Swimlane(Outcome{Status: StatusTerminated, Threads: 2})
+	if !strings.Contains(out, "no trace recorded") {
+		t.Errorf("empty trace did not explain RecordTrace:\n%s", out)
+	}
+}
+
+func TestSwimlaneRuneSafeTruncation(t *testing.T) {
+	o := lane(nil)
+	// Long multi-byte names force truncation; a byte-sliced cut would leave
+	// invalid UTF-8 in the output.
+	o.ThreadNames = []string{strings.Repeat("héllo", 12), strings.Repeat("wörld", 12)}
+	o.VarNames = []string{strings.Repeat("mütex", 12), strings.Repeat("داده", 20)}
+	out := Swimlane(o)
+	if !utf8.ValidString(out) {
+		t.Errorf("truncation split a multi-byte rune:\n%q", out)
+	}
+}
+
+func TestSwimlaneRecordsPreemptedSteps(t *testing.T) {
+	// End-to-end: run a program whose bug needs one preemption and check
+	// the runtime records the preempted step under RecordTrace.
+	write := func(t *T, v VarID) {
+		t.Access(Op{Kind: OpWrite, Var: v, Class: ClassSync}, nil)
+	}
+	prog := func(t *T) {
+		x := t.NewVar("x", ClassSync)
+		w := t.Go("w", func(t *T) {
+			write(t, x)
+			write(t, x)
+		})
+		write(t, x)
+		t.Join(w)
+	}
+	// Schedule: w runs one write, then main preempts it.
+	prefix, err := ParseSchedule("t0 t0 t1 t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Run(prog, &ReplayController{
+		Prefix: prefix,
+		Tail:   FirstEnabled{},
+	}, Config{RecordTrace: true})
+	if out.Preemptions == 0 {
+		t.Fatalf("schedule produced no preemption: %s", out)
+	}
+	if len(out.PreemptedSteps) != out.Preemptions {
+		t.Errorf("PreemptedSteps has %d entries, Preemptions = %d",
+			len(out.PreemptedSteps), out.Preemptions)
+	}
+	if !strings.Contains(Swimlane(out), "preempted") {
+		t.Errorf("swimlane of a preempting run has no preempted separator:\n%s", Swimlane(out))
+	}
+}

@@ -14,7 +14,9 @@ package zing
 
 import (
 	"fmt"
+	"time"
 
+	"icb/internal/obs"
 	"icb/internal/zml"
 )
 
@@ -121,6 +123,10 @@ type Options struct {
 	// NoTable disables the visited-work-item table. Only safe for acyclic
 	// state spaces; the table is on by default, as in ZING.
 	NoTable bool
+	// Sink receives the structured event stream of the check (package obs).
+	// The explicit-state checker's execution unit is one work item, so
+	// ExecutionDone fires once per item. nil disables emission.
+	Sink obs.Sink
 }
 
 // Result summarizes a check.
@@ -145,6 +151,8 @@ type Result struct {
 	MaxSteps       int
 	MaxBlocking    int
 	MaxPreemptions int
+	// Duration is the total wall-clock time of the check.
+	Duration time.Duration
 }
 
 // FirstBug returns the first bug, or nil.
@@ -194,12 +202,27 @@ type checker struct {
 
 // CheckICB model-checks the program with iterative context bounding
 // (Algorithm 1).
-func CheckICB(p *zml.Program, opt Options) Result {
+func CheckICB(p *zml.Program, opt Options) (res Result) {
+	start := time.Now()
 	c := &checker{
 		prog:    p,
 		opt:     opt,
 		visited: make(map[string]struct{}),
 	}
+	defer func() {
+		res.Duration = time.Since(start)
+		if opt.Sink != nil {
+			opt.Sink.SearchDone(obs.SearchEvent{
+				Strategy:       "zing-icb",
+				Executions:     res.Items,
+				States:         res.States,
+				Bugs:           len(res.Bugs),
+				BoundCompleted: res.BoundCompleted,
+				Exhausted:      res.Exhausted,
+				DurationNS:     time.Since(start).Nanoseconds(),
+			})
+		}
+	}()
 	if !opt.NoTable {
 		c.table = make(map[string]struct{})
 	}
@@ -231,6 +254,15 @@ func CheckICB(p *zml.Program, opt Options) Result {
 	// Lines 9–21: drain the current bound, then move to the next.
 	currBound := 0
 	for {
+		boundStart := time.Now()
+		if opt.Sink != nil {
+			opt.Sink.BoundStart(obs.BoundEvent{
+				Bound:      currBound,
+				Queue:      len(workQueue),
+				Executions: c.res.Items,
+				States:     len(c.visited),
+			})
+		}
 		for i := 0; i < len(workQueue) && !c.stop; i++ {
 			c.search(workQueue[i])
 		}
@@ -243,6 +275,15 @@ func CheckICB(p *zml.Program, opt Options) Result {
 			States: len(c.visited),
 			Items:  c.res.Items,
 		})
+		if opt.Sink != nil {
+			opt.Sink.BoundComplete(obs.BoundEvent{
+				Bound:      currBound,
+				Frontier:   len(c.next),
+				Executions: c.res.Items,
+				States:     len(c.visited),
+				DurationNS: time.Since(boundStart).Nanoseconds(),
+			})
+		}
 		if len(c.next) == 0 {
 			c.res.Exhausted = true
 			return c.res
@@ -274,6 +315,17 @@ func (c *checker) search(w workItem) {
 		return
 	}
 	c.res.Items++
+	if c.opt.Sink != nil {
+		c.opt.Sink.ExecutionDone(obs.ExecutionEvent{
+			Execution:   c.res.Items,
+			Status:      "item",
+			Steps:       w.depth,
+			Preemptions: w.np,
+			States:      len(c.visited),
+			Bound:       w.np,
+			Frontier:    len(c.next),
+		})
+	}
 
 	// Line 25: s := w.state.Execute(w.tid).
 	blocking := c.prog.PendingBlocking(w.state, w.tid)
@@ -350,6 +402,14 @@ func (c *checker) fail(f *zml.Failure, np int, path []PathStep) {
 
 func (c *checker) bug(b Bug) {
 	c.res.Bugs = append(c.res.Bugs, b)
+	if c.opt.Sink != nil {
+		c.opt.Sink.BugFound(obs.BugEvent{
+			Kind:        b.Kind.String(),
+			Message:     b.Msg,
+			Preemptions: b.Preemptions,
+			Execution:   c.res.Items,
+		})
+	}
 	if c.opt.StopOnFirstBug {
 		c.stop = true
 	}
@@ -357,8 +417,23 @@ func (c *checker) bug(b Bug) {
 
 // CheckDFS explores the full state space depth-first with state caching,
 // ignoring preemption structure — the baseline denominator for Figure 4.
-func CheckDFS(p *zml.Program, opt Options) Result {
-	res := Result{BoundCompleted: -1}
+func CheckDFS(p *zml.Program, opt Options) (res Result) {
+	start := time.Now()
+	res = Result{BoundCompleted: -1}
+	defer func() {
+		res.Duration = time.Since(start)
+		if opt.Sink != nil {
+			opt.Sink.SearchDone(obs.SearchEvent{
+				Strategy:       "zing-dfs",
+				Executions:     res.Items,
+				States:         res.States,
+				Bugs:           len(res.Bugs),
+				BoundCompleted: res.BoundCompleted,
+				Exhausted:      res.Exhausted,
+				DurationNS:     time.Since(start).Nanoseconds(),
+			})
+		}
+	}()
 	s0, fail := p.NewState()
 	if fail != nil {
 		res.Bugs = append(res.Bugs, Bug{Kind: failKind(fail), Msg: fail.Error()})
