@@ -6,23 +6,34 @@
 //	icb-bench -exp table2
 //	icb-bench -exp fig2 -budget 25000
 //	icb-bench -exp all
-//	icb-bench -exp fig2 -cpuprofile cpu.out -metrics-addr :6060
+//	icb-bench -exp fig2 -cpuprofile cpu.out -http :6060
 //
-// With -metrics-addr, live search counters are served over HTTP as expvar
-// JSON at /debug/vars (key "icb") while the experiments run.
+// With -http (alias -metrics-addr), the live search dashboard is served
+// while the experiments run: the single-page view at /, counters plus
+// schedule-space estimates as JSON at /api/snapshot, the event stream as
+// SSE at /api/events, and the same snapshot as expvar JSON at /debug/vars
+// (key "icb") for scrapers. Everything is registered on a dedicated
+// ServeMux — never http.DefaultServeMux, where stray init() registrations
+// from imported packages could leak handlers onto the metrics port — and
+// the server drains gracefully when the experiments finish.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"icb/internal/exper"
 	"icb/internal/obs"
+	"icb/internal/obs/dash"
+	"icb/internal/obs/estimate"
 )
 
 func main() {
@@ -35,8 +46,10 @@ func main() {
 		progress = flag.Bool("progress", false, "print live search progress to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		metrics  = flag.String("metrics-addr", "", "serve live search counters as expvar JSON on this address (e.g. :6060)")
 	)
+	var httpAddr string
+	flag.StringVar(&httpAddr, "http", "", "serve the live search dashboard on this address (e.g. :6060)")
+	flag.StringVar(&httpAddr, "metrics-addr", "", "alias for -http (kept for compatibility)")
 	flag.Parse()
 
 	if *cpuProf != "" {
@@ -67,21 +80,53 @@ func main() {
 	}
 
 	cfg := exper.Config{Budget: *budget, Sample: *sample, Seed: *seed}
+	var sinks []obs.Sink
+	var prg *obs.Progress
 	if *progress {
-		cfg.Sink = obs.NewProgress(os.Stderr, 0)
+		prg = obs.NewProgress(os.Stderr, 0)
+		sinks = append(sinks, prg)
 	}
-	if *metrics != "" {
+	if httpAddr != "" {
 		m := &obs.Metrics{}
+		est := estimate.New()
+		m.SetEstimator(est)
 		cfg.Metrics = m
+		cfg.Estimator = est
+		sinks = append(sinks, est)
+		if prg != nil {
+			prg.SetEstimator(est)
+		}
+
+		ds := dash.New(m)
+		sinks = append(sinks, ds.Sink())
+		// Dedicated mux: the dashboard plus /debug/vars for expvar
+		// scrapers, with the snapshot published under the "icb" key.
+		// Publish is process-global, but the handler serving it is ours.
 		expvar.Publish("icb", expvar.Func(func() any { return m.Snapshot() }))
+		mux := http.NewServeMux()
+		mux.Handle("/", ds.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		srv := &http.Server{Handler: mux}
 		go func() {
-			// expvar registers its handler on http.DefaultServeMux.
-			if err := http.ListenAndServe(*metrics, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "icb-bench: metrics:", err)
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "icb-bench: dashboard:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "icb-bench: serving metrics at http://%s/debug/vars\n", *metrics)
+		fmt.Fprintf(os.Stderr, "icb-bench: dashboard at http://%s/ (expvar at /debug/vars)\n", ln.Addr())
+		defer func() {
+			// Drain open SSE streams with a deadline so a finished bench
+			// run exits promptly even with a browser still attached.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
 	}
+	cfg.Sink = obs.Multi(sinks...)
 
 	if *csvDir != "" {
 		if err := exper.WriteCSV(*csvDir, cfg); err != nil {

@@ -8,22 +8,39 @@
 //	icb -prog dryad -bug alert-window -strategy icb -bound 1 -trace
 //	icb -prog bluetooth -strategy dfs -execs 10000
 //	icb -prog wsq -bug steal-unlocked -progress -events ev.ndjson -json
+//	icb -prog wsq -bug steal-unlocked -http :8080 -repro-dir repro/
+//	icb -replay repro/bug-001-assertion-failure
 //	icb -list
+//
+// With -http, a live dashboard (per-bound progress bars, schedule-space
+// estimates, SSE event stream) is served while the search runs. With
+// -repro-dir, every found bug is persisted as a self-contained bundle that
+// -replay verifies later: -replay accepts either a literal schedule
+// ("t0 t1 t1 t0", requires -prog) or a bundle path (self-describing).
+// Replaying a bundle exits 0 when the recorded bug reproduces and 1 when
+// it does not.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"icb/internal/baseline"
 	"icb/internal/core"
 	"icb/internal/exper"
 	"icb/internal/obs"
+	"icb/internal/obs/dash"
+	"icb/internal/obs/estimate"
+	"icb/internal/obs/repro"
 	"icb/internal/progs"
 	"icb/internal/sched"
 )
@@ -45,7 +62,7 @@ func run() int {
 		first    = flag.Bool("first", true, "stop at the first bug")
 		trace    = flag.Bool("trace", false, "replay and print the first bug's schedule")
 		minimize = flag.Bool("minimize", false, "shrink the first bug's schedule before reporting")
-		replay   = flag.String("replay", "", "skip searching; replay this schedule (e.g. \"t0 t1 t1 t0\")")
+		replay   = flag.String("replay", "", "skip searching; replay this schedule (e.g. \"t0 t1 t1 t0\") or repro bundle path")
 		every    = flag.Bool("everyaccess", false, "scheduling points at every shared access (no sync-only reduction)")
 		list     = flag.Bool("list", false, "list benchmarks and bug variants")
 		seed     = flag.Int64("seed", 1, "seed for the random strategy")
@@ -53,6 +70,8 @@ func run() int {
 		events   = flag.String("events", "", "write the structured event stream (NDJSON) to this file")
 		jsonOut  = flag.Bool("json", false, "print the final result as JSON on stdout (human text goes to stderr)")
 		swimlane = flag.Bool("swimlane", false, "replay the first bug and print a thread-per-column diagram")
+		httpAddr = flag.String("http", "", "serve the live search dashboard on this address (e.g. :8080)")
+		reproDir = flag.String("repro-dir", "", "write a self-contained repro bundle for every found bug under this directory")
 	)
 	flag.Parse()
 
@@ -67,6 +86,22 @@ func run() int {
 		listBenchmarks()
 		return 0
 	}
+
+	// -replay with a path is a repro bundle: it names its own program and
+	// bug variant, so -prog/-bug come from the manifest.
+	var bundle *repro.Bundle
+	if *replay != "" {
+		if _, statErr := os.Stat(*replay); statErr == nil {
+			var err error
+			if bundle, err = repro.Load(*replay); err != nil {
+				fmt.Fprintln(os.Stderr, "icb:", err)
+				return 2
+			}
+			*progName = bundle.Meta.Program
+			*bugID = bundle.Meta.BugVariant
+		}
+	}
+
 	b := findBenchmark(*progName)
 	if b == nil {
 		fmt.Fprintf(os.Stderr, "icb: unknown program %q; use -list\n", *progName)
@@ -85,6 +120,9 @@ func run() int {
 		fmt.Fprintf(human, "checking %s (correct version)\n", b.Name)
 	}
 
+	if bundle != nil {
+		return replayBundle(bundle, prog, human, *trace)
+	}
 	if *replay != "" {
 		schedule, err := sched.ParseSchedule(*replay)
 		if err != nil {
@@ -128,8 +166,19 @@ func run() int {
 	}
 
 	var sinks []obs.Sink
+	// The schedule-space estimator backs both the progress line's
+	// "% explored, ETA" suffix and the dashboard, so it is attached
+	// whenever either consumer is on.
+	var est *estimate.Estimator
+	if *progress || *httpAddr != "" {
+		est = estimate.New()
+		opt.Estimator = est
+		sinks = append(sinks, est)
+	}
 	if *progress {
-		sinks = append(sinks, obs.NewProgress(os.Stderr, 0))
+		p := obs.NewProgress(os.Stderr, 0)
+		p.SetEstimator(est)
+		sinks = append(sinks, p)
 	}
 	var nd *obs.NDJSON
 	if *events != "" {
@@ -147,9 +196,49 @@ func run() int {
 		}()
 		sinks = append(sinks, nd)
 	}
+	if *httpAddr != "" {
+		met := &obs.Metrics{}
+		met.SetEstimator(est)
+		opt.Metrics = met
+		ds := dash.New(met)
+		sinks = append(sinks, ds.Sink())
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icb: dashboard:", err)
+			return 2
+		}
+		srv := &http.Server{Handler: ds.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "icb: dashboard:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "icb: dashboard at http://%s/\n", ln.Addr())
+		defer func() {
+			// Graceful drain with a deadline: lingering SSE streams must
+			// not keep a finished search alive.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+	var rw *repro.Writer
+	if *reproDir != "" {
+		rw = repro.NewWriter(*reproDir, prog,
+			repro.NewMeta(*progName, *bugID, *strategy, *seed, opt))
+		sinks = append(sinks, rw)
+	}
 	opt.Sink = obs.Multi(sinks...)
 
 	res := core.Explore(prog, strat, opt)
+	if rw != nil {
+		if err := rw.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "icb: repro:", err)
+		}
+		for _, p := range rw.Bundles() {
+			fmt.Fprintf(human, "repro bundle: %s\n", p)
+		}
+	}
 	if bug := res.FirstBug(); bug != nil && *minimize {
 		min := core.MinimizeSchedule(prog, bug.Schedule, opt)
 		fmt.Fprintf(human, "minimized schedule: %d -> %d decisions\n", len(bug.Schedule), len(min))
@@ -184,6 +273,38 @@ func run() int {
 	}
 	if len(res.Bugs) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// replayBundle feeds a repro bundle's schedule back through the replay
+// controller under the recorded search semantics, prints the re-rendered
+// swimlane, and verifies the recorded bug reproduces (also diffing the
+// swimlane against the bundled rendering). Exit status: 0 when the bug
+// reproduces, 1 when it does not.
+func replayBundle(b *repro.Bundle, prog sched.Program, human io.Writer, trace bool) int {
+	fmt.Fprintf(human, "replaying bundle %s\n", b.Dir)
+	fmt.Fprintf(human, "recorded bug: %s: %s (%d preemptions, execution #%d)\n",
+		b.Bug.Kind, b.Bug.Message, b.Bug.Preemptions, b.Bug.Execution)
+	r := repro.Replay(b, prog)
+	if trace {
+		for _, line := range r.Outcome.TraceStrings() {
+			fmt.Fprintf(human, "  %s\n", line)
+		}
+	}
+	fmt.Fprint(human, r.Swimlane)
+	if !r.Reproduced() {
+		fmt.Printf("NOT REPRODUCED: replay outcome %s, bugs %d\n", r.Outcome, len(r.Bugs))
+		return 1
+	}
+	fmt.Printf("reproduced: %s\n", r.Match.String())
+	if lane, err := os.ReadFile(b.SwimlanePath()); err == nil {
+		if string(lane) == r.Swimlane {
+			fmt.Println("swimlane matches the bundled rendering")
+		} else {
+			fmt.Println("WARNING: swimlane differs from the bundled rendering")
+			return 1
+		}
 	}
 	return 0
 }

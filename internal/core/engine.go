@@ -32,10 +32,11 @@ type Engine struct {
 
 	cache *Cache
 
-	// Telemetry (package obs). sink and met are nil when disabled, so the
-	// per-execution path pays one nil-check each and allocates nothing.
+	// Telemetry (package obs). sink, met and est are nil when disabled, so
+	// the per-execution path pays one nil-check each and allocates nothing.
 	sink obs.Sink
 	met  *obs.Metrics
+	est  obs.BranchObserver
 	// curBound is the bound currently being drained (-1 outside bounds),
 	// frontier the latest deferred-work-item count reported by the strategy.
 	curBound        int
@@ -63,6 +64,7 @@ func NewEngine(prog sched.Program, opt Options) *Engine {
 		classes:  hb.NewStateSet(),
 		sink:     opt.Sink,
 		met:      opt.Metrics,
+		est:      opt.Estimator,
 		curBound: -1,
 	}
 	e.fp = hb.NewFingerprinter(func(s uint64) { e.states.Add(s) })
@@ -119,6 +121,8 @@ func Explore(prog sched.Program, s Strategy, opt Options) Result {
 			BoundCompleted: e.res.BoundCompleted,
 			Exhausted:      e.res.Exhausted,
 			DurationNS:     e.res.Duration.Nanoseconds(),
+			CacheHits:      int64(e.res.CacheHits),
+			CacheMisses:    int64(e.res.CacheMisses),
 		})
 	}
 	return e.res
@@ -206,6 +210,16 @@ func (e *Engine) NoteFrontier(n int) {
 	}
 }
 
+// NoteWork reports the strategy's work-item progress within the current
+// bound: done of total seed schedules have been fully explored. It feeds
+// the schedule-space estimator's executions-per-seed model; a no-op when
+// no estimator is attached.
+func (e *Engine) NoteWork(done, total int) {
+	if e.est != nil {
+		e.est.NoteWork(e.curBound, done, total)
+	}
+}
+
 // States returns the current number of distinct visited states.
 func (e *Engine) States() int { return e.states.Len() }
 
@@ -230,6 +244,9 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 	if e.det != nil {
 		e.det.Reset()
 		observers = append(observers, e.det)
+	}
+	if e.est != nil {
+		ctrl = &branchController{inner: ctrl, est: e.est, bound: e.curBound}
 	}
 	out = sched.Run(e.prog, ctrl, sched.Config{
 		Mode:      e.opt.Mode,
@@ -293,6 +310,41 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 	return out, e.done
 }
 
+// branchController instruments a strategy's controller with the
+// schedule-space estimator's sampling hook: before delegating each pick it
+// reports the number of alternatives the current bound admits at that
+// decision point. Within a preemption bound, scheduling any thread other
+// than a still-enabled running thread costs a preemption (Algorithm 1
+// defers those branches to the next bound), so the within-bound width at a
+// preemptible point is 1; at a voluntary switch it is the enabled-set
+// size; at a data-choice point it is the choice arity. For strategies that
+// branch at every point (dfs, idfs) this undercounts, making their
+// estimates conservative lower bounds.
+type branchController struct {
+	inner sched.Controller
+	est   obs.BranchObserver
+	bound int
+	depth int
+}
+
+// PickThread implements sched.Controller.
+func (b *branchController) PickThread(info sched.PickInfo) (sched.TID, bool) {
+	width := 1
+	if !info.PrevEnabled {
+		width = len(info.Enabled)
+	}
+	b.est.NoteBranch(b.depth, width, b.bound)
+	b.depth++
+	return b.inner.PickThread(info)
+}
+
+// PickData implements sched.Controller.
+func (b *branchController) PickData(t sched.TID, n int) int {
+	b.est.NoteBranch(b.depth, n, b.bound)
+	b.depth++
+	return b.inner.PickData(t, n)
+}
+
 // recordBugs files bugs for a completed execution. A defect already seen
 // (same kind and message) only bumps its count: an exhaustive search of a
 // buggy program encounters the same failure along many interleavings and
@@ -330,21 +382,16 @@ func (e *Engine) recordBugs(out sched.Outcome) {
 				Message:     msg,
 				Preemptions: out.Preemptions,
 				Execution:   e.res.Executions,
+				Schedule:    out.Decisions.String(),
+				Steps:       out.Steps,
 			})
 		}
 		if e.opt.StopOnFirstBug {
 			e.done = true
 		}
 	}
-	switch out.Status {
-	case sched.StatusDeadlock:
-		file(BugDeadlock, out.Message)
-	case sched.StatusAssertFailed:
-		file(BugAssert, out.Message)
-	case sched.StatusPanic:
-		file(BugPanic, out.Message)
-	case sched.StatusStepLimit:
-		file(BugLivelock, out.Message)
+	if kind, msg, ok := classifyOutcome(out); ok {
+		file(kind, msg)
 	}
 	if e.det != nil && e.det.Racy() {
 		file(BugRace, e.det.Reports()[0].String())

@@ -41,12 +41,14 @@ func (ICB) Explore(e *Engine) {
 			if e.Done() {
 				return
 			}
+			e.NoteWork(head, len(workQueue))
 			e.NoteFrontier(len(workQueue) - head - 1 + len(nextWork))
 			searchNoPreempt(e, workQueue[head], currBound, &nextWork)
 		}
 		if e.Done() {
 			return
 		}
+		e.NoteWork(len(workQueue), len(workQueue))
 		e.NoteFrontier(len(nextWork))
 		e.SetBoundCompleted(currBound)
 		if len(nextWork) == 0 {

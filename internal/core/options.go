@@ -58,6 +58,12 @@ type Options struct {
 	// Metrics, when non-nil, receives live atomic counter updates that can
 	// be read concurrently (e.g. from an expvar HTTP handler).
 	Metrics *obs.Metrics
+	// Estimator, when non-nil, receives a branching-width sample at every
+	// scheduling point plus work-item progress reports, driving live
+	// schedule-space estimates (package obs/estimate). nil (the default)
+	// disables sampling entirely; the engine then pays one nil-check per
+	// execution.
+	Estimator obs.BranchObserver
 }
 
 // BugKind classifies a found bug.

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"icb/internal/race"
+	"icb/internal/sched"
+)
+
+// classifyOutcome maps a buggy outcome status to its bug classification.
+// Races are not outcome statuses — they come from the race detector and are
+// handled by the callers (recordBugs, ReplayBugs).
+func classifyOutcome(out sched.Outcome) (BugKind, string, bool) {
+	switch out.Status {
+	case sched.StatusDeadlock:
+		return BugDeadlock, out.Message, true
+	case sched.StatusAssertFailed:
+		return BugAssert, out.Message, true
+	case sched.StatusPanic:
+		return BugPanic, out.Message, true
+	case sched.StatusStepLimit:
+		return BugLivelock, out.Message, true
+	}
+	return 0, "", false
+}
+
+// ReplayBugs replays one schedule under opt's semantics — scheduling-point
+// mode, step limit, and race detection all honored, with trace recording on
+// so the outcome renders as a swimlane — and returns the outcome together
+// with every bug the replayed execution exposes, derived exactly as the
+// search engine derives them. It is the verification half of the repro
+// workflow (package obs/repro, cmd/icb -replay): a bundle reproduces when
+// ReplayBugs surfaces the recorded defect again.
+func ReplayBugs(prog sched.Program, schedule sched.Schedule, opt Options) (sched.Outcome, []Bug) {
+	var det raceDetector
+	var observers []sched.Observer
+	if opt.CheckRaces {
+		if opt.UseGoldilocks {
+			det = race.NewGoldilocks()
+		} else {
+			det = race.NewDetector()
+		}
+		observers = append(observers, det)
+	}
+	out := sched.Run(prog,
+		&sched.ReplayController{Prefix: schedule, Tail: sched.FirstEnabled{}},
+		sched.Config{
+			Mode:        opt.Mode,
+			MaxSteps:    opt.MaxSteps,
+			RecordTrace: true,
+			Observers:   observers,
+		})
+	var bugs []Bug
+	file := func(kind BugKind, msg string) {
+		bugs = append(bugs, Bug{
+			Kind:            kind,
+			Message:         msg,
+			Preemptions:     out.Preemptions,
+			ContextSwitches: out.ContextSwitches,
+			Steps:           out.Steps,
+			Schedule:        out.Decisions.Clone(),
+			Count:           1,
+		})
+	}
+	if kind, msg, ok := classifyOutcome(out); ok {
+		file(kind, msg)
+	}
+	if det != nil && det.Racy() {
+		file(BugRace, det.Reports()[0].String())
+	}
+	return out, bugs
+}

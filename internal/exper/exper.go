@@ -47,6 +47,10 @@ type Config struct {
 	// Sink, when non-nil, receives the structured event stream of every
 	// exploration the experiments run.
 	Sink obs.Sink
+	// Estimator, when non-nil, receives branching samples and work-item
+	// progress from every exploration, driving live schedule-space
+	// estimates on icb-bench's dashboard.
+	Estimator obs.BranchObserver
 }
 
 func (c *Config) fill() {
@@ -119,6 +123,7 @@ func explore(prog sched.Program, s core.Strategy, opt core.Options, cfg Config) 
 	opt.CheckRaces = true
 	opt.Metrics = cfg.Metrics
 	opt.Sink = cfg.Sink
+	opt.Estimator = cfg.Estimator
 	return core.Explore(prog, s, opt)
 }
 

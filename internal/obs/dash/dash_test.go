@@ -1,0 +1,179 @@
+package dash_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"icb/internal/obs"
+	"icb/internal/obs/dash"
+	"icb/internal/obs/estimate"
+)
+
+// TestDashSnapshotEndpoint checks GET /api/snapshot serves the metrics —
+// counters, per-bound stats, and the attached estimator's estimates — as
+// one JSON object.
+func TestDashSnapshotEndpoint(t *testing.T) {
+	met := &obs.Metrics{}
+	met.ObserveExecution(0)
+	met.ObserveExecution(1)
+	met.ObserveExecution(1)
+	met.Bugs.Add(1)
+	est := estimate.New()
+	est.BoundStart(obs.BoundEvent{Bound: 1, Queue: 4})
+	est.NoteWork(1, 2, 4)
+	est.ExecutionDone(obs.ExecutionEvent{Bound: 1, Execution: 1})
+	est.ExecutionDone(obs.ExecutionEvent{Bound: 1, Execution: 2})
+	met.SetEstimator(est)
+
+	srv := httptest.NewServer(dash.New(met).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Executions != 3 || snap.Bugs != 1 || len(snap.Bounds) != 2 {
+		t.Errorf("snapshot = %+v, want 3 executions, 1 bug, 2 bounds", snap)
+	}
+	if len(snap.Estimates) != 1 || snap.Estimates[0].Bound != 1 {
+		t.Fatalf("snapshot estimates = %+v, want one estimate for bound 1", snap.Estimates)
+	}
+	if e := snap.Estimates[0]; e.EstTotal != 4 || e.Fraction != 0.5 {
+		t.Errorf("estimate = %+v, want total 4 at fraction 0.5", e)
+	}
+}
+
+// TestDashSnapshotWithoutMetrics checks a nil-Metrics dashboard serves an
+// empty snapshot instead of crashing.
+func TestDashSnapshotWithoutMetrics(t *testing.T) {
+	srv := httptest.NewServer(dash.New(nil).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Executions != 0 {
+		t.Errorf("snapshot = %+v, want zero values", snap)
+	}
+}
+
+// TestDashEventsSSE checks GET /api/events: the stream opens with a
+// snapshot event and then carries sink events bridged as SSE, named after
+// their kind.
+func TestDashEventsSSE(t *testing.T) {
+	ds := dash.New(&obs.Metrics{})
+	srv := httptest.NewServer(ds.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// The subscriber registers when the handler runs; emit until the
+	// events land rather than racing a single emission against it.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ds.Sink().BugFound(obs.BugEvent{Kind: "deadlock", Message: "stuck", Execution: 7})
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var sawSnapshot bool
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() {
+		if time.Now().After(deadline) {
+			t.Fatal("no bug_found event within deadline")
+		}
+		line := sc.Text()
+		if line == "event: snapshot" {
+			sawSnapshot = true
+		}
+		if line == "event: bug_found" {
+			if !sawSnapshot {
+				t.Error("bug_found arrived before the opening snapshot event")
+			}
+			if !sc.Scan() {
+				t.Fatal("event line without a data line")
+			}
+			data, ok := strings.CutPrefix(sc.Text(), "data: ")
+			if !ok {
+				t.Fatalf("malformed SSE data line %q", sc.Text())
+			}
+			var ev obs.BugEvent
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bug_found payload: %v", err)
+			}
+			if ev.Kind != "deadlock" || ev.Execution != 7 {
+				t.Errorf("bug event = %+v", ev)
+			}
+			return
+		}
+	}
+	t.Fatalf("stream ended without a bug_found event: %v", sc.Err())
+}
+
+// TestDashIndex checks the embedded page is served at / only.
+func TestDashIndex(t *testing.T) {
+	srv := httptest.NewServer(dash.New(nil).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		t.Errorf("GET / = %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	resp, err = http.Get(srv.URL + "/nosuchpage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nosuchpage = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDashSinkCheapWithoutSubscribers pins the idle cost of attaching the
+// dashboard: with no SSE subscriber connected, bridging an event allocates
+// nothing (one atomic load and out).
+func TestDashSinkCheapWithoutSubscribers(t *testing.T) {
+	sink := dash.New(&obs.Metrics{}).Sink()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink.ExecutionDone(obs.ExecutionEvent{Execution: 1})
+	})
+	if allocs != 0 {
+		t.Errorf("idle event bridge allocates %.1f per event, want 0", allocs)
+	}
+}

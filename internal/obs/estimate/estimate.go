@@ -1,0 +1,217 @@
+// Package estimate implements online schedule-space estimation for bounded
+// search: while a preemption bound drains, it answers "how many executions
+// does this bound hold, what fraction is done, and when will it finish".
+//
+// The estimator combines two signals, in the spirit of Knuth's classic
+// tree-size estimator ("Estimating the efficiency of backtrack programs",
+// 1975) and JPF's StateCountEstimator:
+//
+//   - Branching samples. The engine reports, at every scheduling point of
+//     every execution, the number of alternatives the strategy can explore
+//     there without leaving the current bound (obs.BranchObserver.NoteBranch).
+//     The product of these widths along one root-to-leaf path is a Knuth
+//     sample of the bound's execution-tree leaf count; the running mean of
+//     the per-execution products estimates the executions one work item
+//     (seed schedule) expands into. This is the only signal available at
+//     the start of a bound, before any work item has been fully explored.
+//
+//   - Work-item progress. Bounded strategies drain a known queue of seed
+//     schedules (obs.BoundEvent.Queue at BoundStart) and report how many
+//     they have finished (obs.BranchObserver.NoteWork). Once at least one
+//     seed is done, the mean executions-per-seed observed so far is a far
+//     better subtree-size estimate than the Knuth products, so the
+//     estimator switches to
+//
+//     estimated total = observed + remaining seeds × observed/done seeds.
+//
+// The estimate therefore converges to the exact execution count as the
+// bound drains and equals it once BoundComplete arrives. ETA is projected
+// from the bound's observed execution rate. Estimates are meaningful for
+// the bounded strategies (icb, idfs); for unbounded strategies no
+// BoundStart arrives and no estimate is produced.
+//
+// An Estimator is an obs.Sink (for bound lifecycle and execution events),
+// an obs.BranchObserver (for the engine-side sampling hooks), and an
+// obs.EstimateSource (for Metrics.Snapshot, Progress, and the dashboard).
+// All methods are safe for concurrent use: the engine feeds it from the
+// search goroutine while HTTP handlers read estimates.
+package estimate
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"icb/internal/obs"
+)
+
+// maxProduct caps a Knuth branching product; a path through a pathological
+// tree could otherwise overflow float64 and poison the running mean.
+const maxProduct = 1e15
+
+// Estimator produces live per-bound schedule-space estimates. Create with
+// New; wire as core.Options.Estimator plus a member of the event sink.
+type Estimator struct {
+	mu     sync.Mutex
+	now    func() time.Time // injectable clock for tests
+	bounds map[int]*boundState
+}
+
+// boundState accumulates one bound's evidence.
+type boundState struct {
+	started    bool
+	start      time.Time
+	seedsTotal int
+	seedsDone  int
+	execs      int64
+	done       bool
+
+	// Knuth sampling: curProduct is the branching product of the
+	// in-flight execution (0 before its first scheduling point), prodSum
+	// and prodN the completed samples.
+	curProduct float64
+	prodSum    float64
+	prodN      int64
+}
+
+// New returns an empty Estimator using the real clock.
+func New() *Estimator {
+	return &Estimator{now: time.Now, bounds: make(map[int]*boundState)}
+}
+
+// SetClock replaces the estimator's time source; tests use it to make ETA
+// projections deterministic.
+func (e *Estimator) SetClock(now func() time.Time) {
+	e.mu.Lock()
+	e.now = now
+	e.mu.Unlock()
+}
+
+func (e *Estimator) get(bound int) *boundState {
+	b := e.bounds[bound]
+	if b == nil {
+		b = &boundState{}
+		e.bounds[bound] = b
+	}
+	return b
+}
+
+// NoteBranch implements obs.BranchObserver: one scheduling point of the
+// in-flight execution, with the number of within-bound alternatives. Depth
+// zero marks the first decision of a fresh execution and restarts the
+// Knuth product.
+func (e *Estimator) NoteBranch(depth, width, bound int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.get(bound)
+	if depth == 0 || b.curProduct == 0 {
+		b.curProduct = 1
+	}
+	if width > 1 && b.curProduct < maxProduct {
+		b.curProduct *= float64(width)
+	}
+}
+
+// NoteWork implements obs.BranchObserver: done of total seed schedules of
+// the bound have been fully explored.
+func (e *Estimator) NoteWork(bound, done, total int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.get(bound)
+	b.seedsDone, b.seedsTotal = done, total
+}
+
+// ExecutionDone implements obs.Sink: counts the execution toward its bound
+// and closes the Knuth sample of its path.
+func (e *Estimator) ExecutionDone(ev obs.ExecutionEvent) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.get(ev.Bound)
+	b.execs++
+	if b.curProduct >= 1 {
+		b.prodSum += b.curProduct
+		b.prodN++
+		b.curProduct = 0
+	}
+}
+
+// BoundStart implements obs.Sink: opens the bound with its seed-queue size
+// and starts its wall clock.
+func (e *Estimator) BoundStart(ev obs.BoundEvent) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.get(ev.Bound)
+	b.started = true
+	b.start = e.now()
+	b.seedsTotal = ev.Queue
+}
+
+// BoundComplete implements obs.Sink: the bound's execution count is now
+// exact.
+func (e *Estimator) BoundComplete(ev obs.BoundEvent) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.get(ev.Bound).done = true
+}
+
+// BugFound implements obs.Sink.
+func (e *Estimator) BugFound(obs.BugEvent) {}
+
+// CacheHit implements obs.Sink.
+func (e *Estimator) CacheHit(obs.CacheEvent) {}
+
+// SearchDone implements obs.Sink.
+func (e *Estimator) SearchDone(obs.SearchEvent) {}
+
+// estimateTotal returns the bound's current total-execution estimate, or
+// ok=false when there is no evidence yet.
+func (b *boundState) estimateTotal() (est float64, ok bool) {
+	switch {
+	case b.done:
+		return float64(b.execs), true
+	case b.seedsDone > 0 && b.execs > 0:
+		mean := float64(b.execs) / float64(b.seedsDone)
+		return float64(b.execs) + float64(b.seedsTotal-b.seedsDone)*mean, true
+	case b.prodN > 0 && b.seedsTotal > 0:
+		return (b.prodSum / float64(b.prodN)) * float64(b.seedsTotal), true
+	}
+	return 0, false
+}
+
+// Estimates implements obs.EstimateSource: the current per-bound estimates
+// in ascending bound order. Bounds that never started (unbounded
+// strategies) are omitted.
+func (e *Estimator) Estimates() []obs.BoundEstimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	out := make([]obs.BoundEstimate, 0, len(e.bounds))
+	for bound, b := range e.bounds {
+		if !b.started {
+			continue
+		}
+		est, ok := b.estimateTotal()
+		if !ok {
+			continue
+		}
+		be := obs.BoundEstimate{
+			Bound:      bound,
+			Executions: b.execs,
+			EstTotal:   est,
+			Fraction:   1,
+			Done:       b.done,
+		}
+		if est > 0 && float64(b.execs) < est {
+			be.Fraction = float64(b.execs) / est
+		}
+		if !b.done && b.execs > 0 && est > float64(b.execs) {
+			if elapsed := now.Sub(b.start); elapsed > 0 {
+				be.ETANanos = int64(float64(elapsed.Nanoseconds()) *
+					(est - float64(b.execs)) / float64(b.execs))
+			}
+		}
+		out = append(out, be)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bound < out[j].Bound })
+	return out
+}

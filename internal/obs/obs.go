@@ -66,6 +66,14 @@ type BugEvent struct {
 	Preemptions int `json:"preemptions"`
 	// Execution is the 1-based index of the exposing execution.
 	Execution int `json:"execution"`
+	// Schedule is the exposing execution's decision log in its compact
+	// string form ("t0 t1 d0 ..."); sched.ParseSchedule round-trips it.
+	// Sinks that persist repro artifacts (package repro) depend on it;
+	// empty when the emitter has no replayable schedule (explicit-state
+	// checking reports paths, not schedules).
+	Schedule string `json:"schedule,omitempty"`
+	// Steps is the length of the exposing execution.
+	Steps int `json:"steps,omitempty"`
 }
 
 // CacheEvent reports one work-item-table hit, with cumulative totals.
@@ -89,6 +97,10 @@ type SearchEvent struct {
 	Exhausted bool `json:"exhausted"`
 	// DurationNS is the total search wall time.
 	DurationNS int64 `json:"duration_ns"`
+	// CacheHits and CacheMisses are the final work-item-table totals; both
+	// zero when state caching was off.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 }
 
 // Sink receives the structured event stream of one exploration. Methods
@@ -132,10 +144,51 @@ func (Nop) CacheHit(CacheEvent) {}
 // SearchDone implements Sink.
 func (Nop) SearchDone(SearchEvent) {}
 
+// BoundEstimate is one bound's schedule-space estimate, produced by an
+// EstimateSource (package obs/estimate) and surfaced in Snapshot.
+type BoundEstimate struct {
+	// Bound is the preemption bound (or depth round) the estimate concerns.
+	Bound int `json:"bound"`
+	// Executions is the number of executions observed at the bound so far.
+	Executions int64 `json:"executions"`
+	// EstTotal is the estimated total number of executions the bound holds.
+	EstTotal float64 `json:"est_total"`
+	// Fraction is Executions/EstTotal, clamped to [0, 1].
+	Fraction float64 `json:"fraction"`
+	// ETANanos is the projected remaining wall time of the bound at the
+	// current execution rate (0 when the bound is done or rate is unknown).
+	ETANanos int64 `json:"eta_ns"`
+	// Done reports that the bound completed; EstTotal is then exact.
+	Done bool `json:"done"`
+}
+
+// EstimateSource produces live per-bound schedule-space estimates. It is
+// implemented by estimate.Estimator; Metrics and Progress hold it as an
+// interface so package obs does not depend on the estimator math.
+type EstimateSource interface {
+	// Estimates returns the current per-bound estimates in ascending bound
+	// order. Safe for concurrent use.
+	Estimates() []BoundEstimate
+}
+
+// BranchObserver receives the engine-side sampling hooks that drive
+// schedule-space estimation: the within-bound branching width of every
+// scheduling point and the strategy's work-item progress. Implemented by
+// estimate.Estimator; the engine holds it nil when estimation is off.
+type BranchObserver interface {
+	// NoteBranch reports one scheduling point of the in-flight execution:
+	// its decision depth and the number of alternatives the strategy can
+	// explore there without leaving the current bound.
+	NoteBranch(depth, width, bound int)
+	// NoteWork reports work-item progress within a bound: done of total
+	// seed schedules have been fully explored.
+	NoteWork(bound, done, total int)
+}
+
 // MaxTrackedBounds caps the per-bound counter arrays in Metrics. The paper's
 // whole point is that interesting bounds are tiny (every known bug within
 // 3 preemptions); executions at bounds beyond the cap are folded into the
-// last slot.
+// last slot, and Snapshot.Truncated reports that folding happened.
 const MaxTrackedBounds = 64
 
 // Metrics is a set of live counters cheap enough to update on the
@@ -160,13 +213,21 @@ type Metrics struct {
 
 	boundExecs [MaxTrackedBounds]atomic.Int64
 	boundNanos [MaxTrackedBounds]atomic.Int64
+	// truncated records that some observation was folded into the last
+	// slot because its bound was >= MaxTrackedBounds.
+	truncated atomic.Bool
+
+	// est is the attached EstimateSource (or nil), stored atomically so
+	// Snapshot can race with SetEstimator under -race.
+	est atomic.Value
 }
 
-func boundSlot(bound int) int {
+func (m *Metrics) boundSlot(bound int) int {
 	if bound < 0 {
 		bound = 0
 	}
 	if bound >= MaxTrackedBounds {
+		m.truncated.Store(true)
 		bound = MaxTrackedBounds - 1
 	}
 	return bound
@@ -176,22 +237,40 @@ func boundSlot(bound int) int {
 // strategies without bound structure, attributed to slot 0).
 func (m *Metrics) ObserveExecution(bound int) {
 	m.Executions.Add(1)
-	m.boundExecs[boundSlot(bound)].Add(1)
+	m.boundExecs[m.boundSlot(bound)].Add(1)
 }
 
 // ObserveBoundTime adds wall-clock nanoseconds to a bound's total.
 func (m *Metrics) ObserveBoundTime(bound int, ns int64) {
-	m.boundNanos[boundSlot(bound)].Add(ns)
+	m.boundNanos[m.boundSlot(bound)].Add(ns)
+}
+
+// SetEstimator attaches a schedule-space estimator; its per-bound
+// estimates are included in every subsequent Snapshot.
+func (m *Metrics) SetEstimator(src EstimateSource) {
+	m.est.Store(&src)
+}
+
+// clampSlot is the read-side slot clamp: unlike the write side it does not
+// flag truncation (reading an out-of-range bound is not a lost sample).
+func clampSlot(bound int) int {
+	if bound < 0 {
+		bound = 0
+	}
+	if bound >= MaxTrackedBounds {
+		bound = MaxTrackedBounds - 1
+	}
+	return bound
 }
 
 // BoundExecutions returns the execution count recorded at a bound.
 func (m *Metrics) BoundExecutions(bound int) int64 {
-	return m.boundExecs[boundSlot(bound)].Load()
+	return m.boundExecs[clampSlot(bound)].Load()
 }
 
 // BoundNanos returns the wall-clock nanoseconds recorded at a bound.
 func (m *Metrics) BoundNanos(bound int) int64 {
-	return m.boundNanos[boundSlot(bound)].Load()
+	return m.boundNanos[clampSlot(bound)].Load()
 }
 
 // BoundSnapshot is the per-bound slice of a Snapshot.
@@ -212,7 +291,14 @@ type Snapshot struct {
 	QueueDepth  int64           `json:"queue_depth"`
 	Bugs        int64           `json:"bugs"`
 	CurBound    int64           `json:"cur_bound"`
-	Bounds      []BoundSnapshot `json:"bounds,omitempty"`
+	// Truncated reports that at least one observation fell at a bound >=
+	// MaxTrackedBounds and was folded into the last Bounds entry, so that
+	// entry aggregates several bounds rather than describing one.
+	Truncated bool            `json:"truncated,omitempty"`
+	Bounds    []BoundSnapshot `json:"bounds,omitempty"`
+	// Estimates carries the per-bound schedule-space estimates of the
+	// attached estimator (empty when none is attached).
+	Estimates []BoundEstimate `json:"estimates,omitempty"`
 }
 
 // Snapshot copies the counters. Per-bound entries are trimmed to the
@@ -227,6 +313,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		QueueDepth:  m.QueueDepth.Load(),
 		Bugs:        m.Bugs.Load(),
 		CurBound:    m.CurBound.Load(),
+		Truncated:   m.truncated.Load(),
 	}
 	for b := 0; b < MaxTrackedBounds; b++ {
 		if n := m.boundExecs[b].Load(); n > 0 {
@@ -236,6 +323,9 @@ func (m *Metrics) Snapshot() Snapshot {
 				DurationNS: m.boundNanos[b].Load(),
 			})
 		}
+	}
+	if p, _ := m.est.Load().(*EstimateSource); p != nil && *p != nil {
+		s.Estimates = (*p).Estimates()
 	}
 	return s
 }

@@ -3,7 +3,9 @@ package obs_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -230,4 +232,141 @@ func TestMultiFansOut(t *testing.T) {
 	if len(a.execs) != 1 || len(b.execs) != 1 || len(a.bugs) != 1 || len(b.bugs) != 1 {
 		t.Errorf("Tee did not fan out: a=%+v b=%+v", a, b)
 	}
+}
+
+// TestSnapshotTruncated checks the overflow contract of the per-bound
+// arrays: observations beyond MaxTrackedBounds fold into the last slot and
+// the snapshot says so, while in-range observations do not raise the flag.
+func TestSnapshotTruncated(t *testing.T) {
+	var m obs.Metrics
+	m.ObserveExecution(0)
+	m.ObserveExecution(obs.MaxTrackedBounds - 1)
+	if snap := m.Snapshot(); snap.Truncated {
+		t.Errorf("in-range observations set Truncated: %+v", snap)
+	}
+	m.ObserveExecution(obs.MaxTrackedBounds)
+	snap := m.Snapshot()
+	if !snap.Truncated {
+		t.Error("overflow observation did not set Truncated")
+	}
+	if got := m.BoundExecutions(obs.MaxTrackedBounds - 1); got != 2 {
+		t.Errorf("last slot = %d, want the in-range and folded observations (2)", got)
+	}
+	// Reading an out-of-range bound is not a lost sample; a fresh Metrics
+	// read at a wild bound stays untruncated.
+	var clean obs.Metrics
+	_ = clean.BoundExecutions(obs.MaxTrackedBounds + 10)
+	if clean.Snapshot().Truncated {
+		t.Error("read-side clamp set Truncated")
+	}
+}
+
+// TestSearchDoneIncludesCacheTotals checks the final progress line carries
+// the work-item-table totals when caching ran, and omits them when it did
+// not, under a deterministic clock.
+func TestSearchDoneIncludesCacheTotals(t *testing.T) {
+	var buf bytes.Buffer
+	p := obs.NewProgress(&buf, time.Second)
+	now := time.Unix(0, 0)
+	p.SetClock(func() time.Time { return now })
+
+	p.SearchDone(obs.SearchEvent{Strategy: "icb", Executions: 9, CacheHits: 3, CacheMisses: 7})
+	if !strings.Contains(buf.String(), " cache=3/10") {
+		t.Errorf("SearchDone line omits cache totals:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	p.SearchDone(obs.SearchEvent{Strategy: "icb", Executions: 9})
+	if strings.Contains(buf.String(), "cache=") {
+		t.Errorf("SearchDone line shows cache totals for a cacheless run:\n%s", buf.String())
+	}
+}
+
+// TestProgressEstimateSuffix checks the per-execution line renders the
+// attached estimator's view of the current bound.
+func TestProgressEstimateSuffix(t *testing.T) {
+	var buf bytes.Buffer
+	p := obs.NewProgress(&buf, time.Second)
+	now := time.Unix(0, 0)
+	p.SetClock(func() time.Time { return now })
+	p.SetEstimator(estimateStub{obs.BoundEstimate{
+		Bound: 2, Executions: 41, EstTotal: 100, Fraction: 0.41,
+		ETANanos: (3*time.Minute + 12*time.Second).Nanoseconds(),
+	}})
+
+	now = now.Add(2 * time.Second)
+	p.ExecutionDone(obs.ExecutionEvent{Execution: 41, Bound: 2})
+	if want := "bound 2: 41% explored, ~3m12s left"; !strings.Contains(buf.String(), want) {
+		t.Errorf("progress line missing %q:\n%s", want, buf.String())
+	}
+}
+
+// estimateStub is a canned obs.EstimateSource.
+type estimateStub []obs.BoundEstimate
+
+func (s estimateStub) Estimates() []obs.BoundEstimate { return s }
+
+// TestConcurrentSinkEmission hammers the NDJSON sink through a Tee from
+// many goroutines (as the engine and an HTTP handler might) and asserts —
+// under -race — that every line of output is a well-formed, non-interleaved
+// JSON object and nothing was lost.
+func TestConcurrentSinkEmission(t *testing.T) {
+	var buf syncBuffer
+	nd := obs.NewNDJSON(&buf)
+	tee := obs.Multi(nd, obs.Nop{}, obs.NewProgress(io.Discard, 0))
+
+	const goroutines, events = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				tee.ExecutionDone(obs.ExecutionEvent{Execution: g*events + i + 1, Bound: g})
+				tee.CacheHit(obs.CacheEvent{Hits: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if want := goroutines * events * 2; len(lines) != want {
+		t.Fatalf("lines = %d, want %d", len(lines), want)
+	}
+	counts := map[string]int{}
+	for i, line := range lines {
+		var env struct {
+			Event string          `json:"event"`
+			Data  json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("line %d is interleaved or malformed: %v\n%s", i+1, err, line)
+		}
+		counts[env.Event]++
+	}
+	if counts["execution_done"] != goroutines*events || counts["cache_hit"] != goroutines*events {
+		t.Errorf("event counts = %v, want %d of each kind", counts, goroutines*events)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer; NDJSON serializes writes
+// internally, but the final Flush may race a test-side Read without it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -23,6 +23,7 @@ type Progress struct {
 	lastExecs int
 
 	cache CacheEvent
+	est   EstimateSource
 }
 
 // DefaultInterval is the progress reporting period when none is given.
@@ -48,6 +49,14 @@ func (p *Progress) SetClock(now func() time.Time) {
 	p.last = p.start
 }
 
+// SetEstimator attaches a schedule-space estimator; per-execution progress
+// lines then carry the current bound's completion estimate and ETA.
+func (p *Progress) SetEstimator(src EstimateSource) {
+	p.mu.Lock()
+	p.est = src
+	p.mu.Unlock()
+}
+
 // ExecutionDone implements Sink: prints a progress line if at least one
 // interval elapsed since the previous one.
 func (p *Progress) ExecutionDone(ev ExecutionEvent) {
@@ -59,9 +68,30 @@ func (p *Progress) ExecutionDone(ev ExecutionEvent) {
 	}
 	rate := float64(ev.Execution-p.lastExecs) / now.Sub(p.last).Seconds()
 	p.last, p.lastExecs = now, ev.Execution
-	fmt.Fprintf(p.w, "[search %s] execs=%d (%.0f/s) bound=%d frontier=%d states=%d classes=%d cache=%d/%d\n",
+	fmt.Fprintf(p.w, "[search %s] execs=%d (%.0f/s) bound=%d frontier=%d states=%d classes=%d cache=%d/%d%s\n",
 		fmtDur(now.Sub(p.start)), ev.Execution, rate, ev.Bound, ev.Frontier,
-		ev.States, ev.Classes, p.cache.Hits, p.cache.Hits+p.cache.Misses)
+		ev.States, ev.Classes, p.cache.Hits, p.cache.Hits+p.cache.Misses,
+		p.estimateSuffix(ev.Bound))
+}
+
+// estimateSuffix renders the attached estimator's view of one bound, e.g.
+// " | bound 2: 41% explored, ~3m12s left". Empty without an estimator or
+// before the estimator has anything to say about the bound.
+func (p *Progress) estimateSuffix(bound int) string {
+	if p.est == nil {
+		return ""
+	}
+	for _, e := range p.est.Estimates() {
+		if e.Bound != bound || e.Done || e.EstTotal <= 0 {
+			continue
+		}
+		s := fmt.Sprintf(" | bound %d: %.0f%% explored", e.Bound, 100*e.Fraction)
+		if e.ETANanos > 0 {
+			s += fmt.Sprintf(", ~%s left", fmtDur(time.Duration(e.ETANanos)))
+		}
+		return s
+	}
+	return ""
 }
 
 // BoundStart implements Sink.
@@ -96,13 +126,19 @@ func (p *Progress) CacheHit(ev CacheEvent) {
 	p.mu.Unlock()
 }
 
-// SearchDone implements Sink.
+// SearchDone implements Sink. When state caching ran (any table lookups at
+// all), the final line carries the hit/miss totals so the one-line summary
+// of a long search records how much the table pruned.
 func (p *Progress) SearchDone(ev SearchEvent) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	fmt.Fprintf(p.w, "[search done] strategy=%s execs=%d states=%d classes=%d bugs=%d bound-completed=%d exhausted=%v in %s\n",
+	cache := ""
+	if ev.CacheHits+ev.CacheMisses > 0 {
+		cache = fmt.Sprintf(" cache=%d/%d", ev.CacheHits, ev.CacheHits+ev.CacheMisses)
+	}
+	fmt.Fprintf(p.w, "[search done] strategy=%s execs=%d states=%d classes=%d bugs=%d bound-completed=%d exhausted=%v%s in %s\n",
 		ev.Strategy, ev.Executions, ev.States, ev.Classes, ev.Bugs,
-		ev.BoundCompleted, ev.Exhausted, fmtDur(time.Duration(ev.DurationNS)))
+		ev.BoundCompleted, ev.Exhausted, cache, fmtDur(time.Duration(ev.DurationNS)))
 }
 
 // fmtDur rounds a duration to a width that stays readable as it grows.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -88,6 +89,27 @@ func (d Decision) String() string {
 		return fmt.Sprintf("t%d", d.Thread)
 	}
 	return fmt.Sprintf("d%d", d.Data)
+}
+
+// MarshalJSON renders the decision as its compact string form ("t3",
+// "d2"), so a marshaled Schedule is a JSON array of short strings — the
+// on-disk decision format of repro bundles (package obs/repro).
+func (d Decision) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON parses the compact string form back into a decision.
+func (d *Decision) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := parseDecision(s)
+	if err != nil {
+		return err
+	}
+	*d = parsed
+	return nil
 }
 
 // Schedule is a replayable sequence of decisions.
@@ -206,24 +228,32 @@ func (FirstEnabled) PickThread(info PickInfo) (TID, bool) {
 // PickData implements Controller.
 func (FirstEnabled) PickData(TID, int) int { return 0 }
 
+// parseDecision parses one compact decision token ("t3" or "d2").
+func parseDecision(f string) (Decision, error) {
+	if len(f) < 2 || (f[0] != 't' && f[0] != 'd') {
+		return Decision{}, fmt.Errorf("%q is not t<N> or d<N>", f)
+	}
+	n, err := strconv.Atoi(f[1:])
+	if err != nil || n < 0 {
+		return Decision{}, fmt.Errorf("bad number in %q", f)
+	}
+	if f[0] == 't' {
+		return ThreadDecision(TID(n)), nil
+	}
+	return DataDecision(n), nil
+}
+
 // ParseSchedule parses the String form of a schedule ("t0 t2 d1 t0 ...")
 // back into decisions, for replaying repros passed on a command line or
 // stored in a file.
 func ParseSchedule(s string) (Schedule, error) {
 	var out Schedule
 	for i, f := range strings.Fields(s) {
-		if len(f) < 2 || (f[0] != 't' && f[0] != 'd') {
-			return nil, fmt.Errorf("schedule token %d: %q is not t<N> or d<N>", i, f)
+		d, err := parseDecision(f)
+		if err != nil {
+			return nil, fmt.Errorf("schedule token %d: %v", i, err)
 		}
-		n, err := strconv.Atoi(f[1:])
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("schedule token %d: bad number in %q", i, f)
-		}
-		if f[0] == 't' {
-			out = append(out, ThreadDecision(TID(n)))
-		} else {
-			out = append(out, DataDecision(n))
-		}
+		out = append(out, d)
 	}
 	return out, nil
 }

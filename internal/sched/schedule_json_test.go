@@ -1,0 +1,43 @@
+package sched_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"icb/internal/sched"
+)
+
+// TestScheduleJSONRoundTrip pins the on-disk decision format of repro
+// bundles: a schedule marshals to a JSON array of compact tokens and
+// unmarshals back to the identical decision sequence.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	in, err := sched.ParseSchedule("t0 t2 d1 t0 d0 t17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `["t0","t2","d1","t0","d0","t17"]`; string(js) != want {
+		t.Fatalf("marshaled schedule = %s, want %s", js, want)
+	}
+	var out sched.Schedule
+	if err := json.Unmarshal(js, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != in.String() {
+		t.Fatalf("round trip changed the schedule: %q -> %q", in, out)
+	}
+}
+
+// TestDecisionUnmarshalRejectsGarbage checks malformed tokens fail loudly
+// instead of producing a silently wrong replay.
+func TestDecisionUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{`"x3"`, `"t"`, `"d-1"`, `"tx"`, `7`} {
+		var d sched.Decision
+		if err := json.Unmarshal([]byte(bad), &d); err == nil {
+			t.Errorf("unmarshal %s succeeded as %v, want error", bad, d)
+		}
+	}
+}
