@@ -32,6 +32,7 @@ import (
 
 	"icb/internal/exper"
 	"icb/internal/obs"
+	"icb/internal/obs/coverage"
 	"icb/internal/obs/dash"
 	"icb/internal/obs/estimate"
 )
@@ -46,11 +47,17 @@ func main() {
 		progress = flag.Bool("progress", false, "print live search progress to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	var httpAddr string
 	flag.StringVar(&httpAddr, "http", "", "serve the live search dashboard on this address (e.g. :6060)")
 	flag.StringVar(&httpAddr, "metrics-addr", "", "alias for -http (kept for compatibility)")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("icb-bench", obs.BuildInfo())
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -90,8 +97,11 @@ func main() {
 		m := &obs.Metrics{}
 		est := estimate.New()
 		m.SetEstimator(est)
+		cov := coverage.NewRecorder("exper")
+		m.SetCoverage(cov)
 		cfg.Metrics = m
 		cfg.Estimator = est
+		cfg.Coverage = cov
 		sinks = append(sinks, est)
 		if prg != nil {
 			prg.SetEstimator(est)

@@ -38,9 +38,11 @@ import (
 	"icb/internal/core"
 	"icb/internal/exper"
 	"icb/internal/obs"
+	"icb/internal/obs/coverage"
 	"icb/internal/obs/dash"
 	"icb/internal/obs/estimate"
 	"icb/internal/obs/repro"
+	obstrace "icb/internal/obs/trace"
 	"icb/internal/progs"
 	"icb/internal/sched"
 )
@@ -72,8 +74,20 @@ func run() int {
 		swimlane = flag.Bool("swimlane", false, "replay the first bug and print a thread-per-column diagram")
 		httpAddr = flag.String("http", "", "serve the live search dashboard on this address (e.g. :8080)")
 		reproDir = flag.String("repro-dir", "", "write a self-contained repro bundle for every found bug under this directory")
+		covFile  = flag.String("coverage", "", "merge this run's preemption-point coverage atlas into this JSON file")
+		covDiff  = flag.String("coverage-diff", "", "skip searching; print what atlas NEW adds over atlas OLD (\"old.json,new.json\")")
+		traceDir = flag.String("trace-dir", "", "write per-execution Chrome trace-event JSON (Perfetto) into this directory")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("icb", obs.BuildInfo())
+		return 0
+	}
+	if *covDiff != "" {
+		return coverageDiff(*covDiff)
+	}
 
 	// With -json, stdout carries exactly one JSON document; everything meant
 	// for humans moves to stderr.
@@ -165,6 +179,19 @@ func run() int {
 		opt.Mode = sched.ModeEveryAccess
 	}
 
+	var cov *coverage.Recorder
+	if *covFile != "" || *httpAddr != "" {
+		// The atlas backs both the -coverage store and the dashboard's
+		// heatmap panel, so it is attached whenever either consumer is on.
+		cov = coverage.NewRecorder(*progName)
+		opt.Coverage = cov
+	}
+	var tw *obstrace.DirWriter
+	if *traceDir != "" {
+		tw = &obstrace.DirWriter{Dir: *traceDir, Label: *progName}
+		opt.TraceObserver = tw
+	}
+
 	var sinks []obs.Sink
 	// The schedule-space estimator backs both the progress line's
 	// "% explored, ETA" suffix and the dashboard, so it is attached
@@ -199,6 +226,7 @@ func run() int {
 	if *httpAddr != "" {
 		met := &obs.Metrics{}
 		met.SetEstimator(est)
+		met.SetCoverage(cov)
 		opt.Metrics = met
 		ds := dash.New(met)
 		sinks = append(sinks, ds.Sink())
@@ -231,6 +259,28 @@ func run() int {
 	opt.Sink = obs.Multi(sinks...)
 
 	res := core.Explore(prog, strat, opt)
+	if cov != nil && *covFile != "" {
+		run := cov.Atlas()
+		merged, added, err := coverage.MergeFile(*covFile, run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icb: coverage:", err)
+			return 2
+		}
+		rs, ms := coverage.Summarize(run), coverage.Summarize(merged)
+		fmt.Fprintf(human, "coverage atlas: this run reached %d sites (%d preemption sites); %s now holds %d sites (+%d new)\n",
+			rs.Sites, rs.PSites, *covFile, ms.Sites, added)
+	}
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "icb: trace:", err)
+		}
+		written, skipped := tw.Written()
+		fmt.Fprintf(human, "traces: %d written to %s", written, *traceDir)
+		if skipped > 0 {
+			fmt.Fprintf(human, " (%d further executions skipped by the %d-file cap)", skipped, obstrace.DefaultMaxFiles)
+		}
+		fmt.Fprintln(human)
+	}
 	if rw != nil {
 		if err := rw.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "icb: repro:", err)
@@ -307,6 +357,43 @@ func replayBundle(b *repro.Bundle, prog sched.Program, human io.Writer, trace bo
 		}
 	}
 	return 0
+}
+
+// coverageDiff implements -coverage-diff: given "old.json,new.json" it
+// prints every site, bound and next-thread choice the new atlas covers that
+// the old one does not. Exit status: 0 when new adds nothing, 1 when it
+// does (so scripts can gate on "did this campaign advance the frontier"),
+// 2 on usage or I/O errors.
+func coverageDiff(arg string) int {
+	oldPath, newPath, ok := strings.Cut(arg, ",")
+	if !ok || oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "icb: -coverage-diff wants \"old.json,new.json\"")
+		return 2
+	}
+	oldA, err := coverage.Load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icb:", err)
+		return 2
+	}
+	newA, err := coverage.Load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icb:", err)
+		return 2
+	}
+	d := coverage.Diff(oldA, newA)
+	if len(d.Sites) == 0 {
+		fmt.Printf("%s adds no coverage over %s\n", newPath, oldPath)
+		return 0
+	}
+	fmt.Printf("%s adds coverage at %d sites over %s:\n", newPath, len(d.Sites), oldPath)
+	for _, s := range d.Sites {
+		for _, bc := range s.Bounds {
+			fmt.Printf("+ %s %s %q @%s: bound=%d reached=%d preempted=%d choices=%s\n",
+				s.Program, s.Kind, s.Loc, s.Thread,
+				bc.Bound, bc.Reached, bc.Preempted, strings.Join(bc.Choices, ","))
+		}
+	}
+	return 1
 }
 
 // jsonResult shapes a core.Result for -json output: schedules become their

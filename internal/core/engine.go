@@ -248,12 +248,22 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 	if e.est != nil {
 		ctrl = &branchController{inner: ctrl, est: e.est, bound: e.curBound}
 	}
-	out = sched.Run(e.prog, ctrl, sched.Config{
+	cfg := sched.Config{
 		Mode:      e.opt.Mode,
 		MaxSteps:  e.opt.MaxSteps,
 		Observers: observers,
-	})
+	}
+	if e.opt.Coverage != nil {
+		cfg.PointObserver = &pointForwarder{rec: e.opt.Coverage, bound: e.curBound}
+	}
+	if e.opt.TraceObserver != nil {
+		cfg.RecordTrace = true
+	}
+	out = sched.Run(e.prog, ctrl, cfg)
 	e.res.Executions++
+	if e.opt.TraceObserver != nil {
+		e.opt.TraceObserver.ObserveOutcome(e.res.Executions, out)
+	}
 	if out.Status != sched.StatusStopped {
 		// Cut executions (cache hits, depth bounds) are prefixes of
 		// executions counted elsewhere; only completed runs define
@@ -343,6 +353,20 @@ func (b *branchController) PickData(t sched.TID, n int) int {
 	b.est.NoteBranch(b.depth, n, b.bound)
 	b.depth++
 	return b.inner.PickData(t, n)
+}
+
+// pointForwarder adapts a sched.PointObserver installation to the engine's
+// PointRecorder, attributing each observation to the bound the execution
+// runs under. One is built per execution so the bound is fixed for its
+// lifetime.
+type pointForwarder struct {
+	rec   PointRecorder
+	bound int
+}
+
+// OnPoint implements sched.PointObserver.
+func (p *pointForwarder) OnPoint(pi sched.PointInfo) {
+	p.rec.RecordPoint(p.bound, pi)
 }
 
 // recordBugs files bugs for a completed execution. A defect already seen

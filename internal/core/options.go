@@ -64,6 +64,32 @@ type Options struct {
 	// disables sampling entirely; the engine then pays one nil-check per
 	// execution.
 	Estimator obs.BranchObserver
+	// Coverage, when non-nil, receives every resolved thread-scheduling
+	// decision together with the preemption bound it ran under, feeding the
+	// preemption-point coverage atlas (package obs/coverage). nil (the
+	// default) leaves the sched-layer observation hook uninstalled.
+	Coverage PointRecorder
+	// TraceObserver, when non-nil, receives every execution's outcome with
+	// full trace recording forced on, so each execution can be rendered as
+	// a Chrome trace-event file (package obs/trace). Recording every trace
+	// costs one event-log allocation per step; leave nil on hot exhaustive
+	// runs.
+	TraceObserver OutcomeObserver
+}
+
+// PointRecorder accumulates preemption-point coverage: one call per
+// resolved scheduling decision, attributed to the preemption bound the
+// execution ran under (-1 for strategies without bound structure).
+// Implemented by coverage.Recorder.
+type PointRecorder interface {
+	RecordPoint(bound int, pi sched.PointInfo)
+}
+
+// OutcomeObserver receives every execution's full outcome (trace recorded)
+// right after it completes. execution is the 1-based execution index.
+// Implemented by trace.DirWriter.
+type OutcomeObserver interface {
+	ObserveOutcome(execution int, out sched.Outcome)
 }
 
 // BugKind classifies a found bug.

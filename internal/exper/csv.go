@@ -22,10 +22,10 @@ func WriteCSV(dir string, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	rows := [][]string{{"program", "loc", "threads", "max_k", "max_b", "max_c", "time_ms"}}
+	rows := [][]string{{"program", "loc", "threads", "max_k", "max_b", "max_c", "sites", "time_ms"}}
 	for _, r := range t1 {
 		rows = append(rows, []string{r.Name, itoa(r.LOC), itoa(r.Threads), itoa(r.MaxK), itoa(r.MaxB), itoa(r.MaxC),
-			itoa(int(r.Time.Milliseconds()))})
+			countCell(r.Sites), itoa(int(r.Time.Milliseconds()))})
 	}
 	if err := writeCSVFile(dir, "table1.csv", rows); err != nil {
 		return err
@@ -35,11 +35,11 @@ func WriteCSV(dir string, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	rows = [][]string{{"program", "bugs", "c0", "c1", "c2", "c3", "time_ms"}}
+	rows = [][]string{{"program", "bugs", "c0", "c1", "c2", "c3", "psites", "time_ms"}}
 	for _, r := range t2 {
 		rows = append(rows, []string{r.Name, itoa(r.Total),
 			itoa(r.AtBound[0]), itoa(r.AtBound[1]), itoa(r.AtBound[2]), itoa(r.AtBound[3]),
-			itoa(int(r.Time.Milliseconds()))})
+			countCell(r.PSites), itoa(int(r.Time.Milliseconds()))})
 	}
 	if err := writeCSVFile(dir, "table2.csv", rows); err != nil {
 		return err

@@ -51,6 +51,12 @@ type Config struct {
 	// progress from every exploration, driving live schedule-space
 	// estimates on icb-bench's dashboard.
 	Estimator obs.BranchObserver
+	// Coverage, when non-nil, receives every scheduling decision of every
+	// exploration, accumulating the preemption-point coverage atlas across
+	// the whole experiment run (icb-bench feeds the dashboard's heatmap
+	// with it). Per-row atlases used for the table coverage columns are
+	// recorded independently and tee into this one.
+	Coverage core.PointRecorder
 }
 
 func (c *Config) fill() {
@@ -118,13 +124,42 @@ func Run(name string, w io.Writer, cfg Config) error {
 }
 
 // explore runs a strategy over a stateless program with shared settings,
-// attaching the Config's telemetry.
+// attaching the Config's telemetry. A caller-supplied opt.Coverage (the
+// per-row atlas of the table experiments) is kept and teed into the
+// Config's experiment-wide recorder.
 func explore(prog sched.Program, s core.Strategy, opt core.Options, cfg Config) core.Result {
 	opt.CheckRaces = true
 	opt.Metrics = cfg.Metrics
 	opt.Sink = cfg.Sink
 	opt.Estimator = cfg.Estimator
+	if cfg.Coverage != nil {
+		if opt.Coverage != nil {
+			opt.Coverage = teePoints{opt.Coverage, cfg.Coverage}
+		} else {
+			opt.Coverage = cfg.Coverage
+		}
+	}
 	return core.Explore(prog, s, opt)
+}
+
+// relabelCoverage renames the experiment-wide recorder's program label for
+// the rows that follow (the per-row atlases carry their own labels). No-op
+// when the Config recorder does not support relabeling.
+func relabelCoverage(cfg Config, name string) {
+	if p, ok := cfg.Coverage.(interface{ SetProgram(string) }); ok {
+		p.SetProgram(name)
+	}
+}
+
+// teePoints fans one scheduling-decision stream out to two recorders.
+type teePoints struct {
+	a, b core.PointRecorder
+}
+
+// RecordPoint implements core.PointRecorder.
+func (t teePoints) RecordPoint(bound int, pi sched.PointInfo) {
+	t.a.RecordPoint(bound, pi)
+	t.b.RecordPoint(bound, pi)
 }
 
 // growthCurves runs the named strategies over one program with an

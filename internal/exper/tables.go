@@ -7,6 +7,7 @@ import (
 
 	"icb/internal/baseline"
 	"icb/internal/core"
+	"icb/internal/obs/coverage"
 	"icb/internal/progs/txnmgr"
 	"icb/internal/zing"
 )
@@ -21,6 +22,10 @@ type Table1Row struct {
 	MaxK    int
 	MaxB    int
 	MaxC    int
+	// Sites is the number of distinct scheduling points the row's runs
+	// reached (coverage-atlas sites); -1 for the explicit-state checker,
+	// which has no sched-layer points.
+	Sites int
 	// Time is the wall-clock cost of the row's measurement runs.
 	Time time.Duration
 }
@@ -34,12 +39,16 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 	cfg.fill()
 	var rows []Table1Row
 	for _, b := range Benchmarks() {
+		rec := coverage.NewRecorder(b.Name)
+		relabelCoverage(cfg, b.Name)
 		icbRes := explore(b.Correct, core.ICB{}, core.Options{
 			MaxPreemptions: 2,
 			StateCache:     true,
+			Coverage:       rec,
 		}, cfg)
 		rndRes := explore(b.Correct, baseline.Random{Seed: cfg.Seed + 1}, core.Options{
 			MaxExecutions: cfg.Budget,
+			Coverage:      rec,
 		}, cfg)
 		row := Table1Row{
 			Name:    b.Name,
@@ -48,6 +57,7 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 			MaxK:    max(icbRes.MaxSteps, rndRes.MaxSteps),
 			MaxB:    max(icbRes.MaxBlocking, rndRes.MaxBlocking),
 			MaxC:    max(icbRes.MaxPreemptions, rndRes.MaxPreemptions),
+			Sites:   coverage.Summarize(rec.Atlas()).Sites,
 			Time:    icbRes.Duration + rndRes.Duration,
 		}
 		rows = append(rows, row)
@@ -63,6 +73,7 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 		MaxK:    zres.MaxSteps,
 		MaxB:    zres.MaxBlocking,
 		MaxC:    zres.MaxPreemptions,
+		Sites:   -1, // explicit-state checker: no sched-layer points
 		Time:    zres.Duration,
 	})
 	return rows, nil
@@ -90,11 +101,12 @@ func Table1(w io.Writer, cfg Config) error {
 		return err
 	}
 	fmt.Fprintln(w, "Table 1: Characteristics of the benchmarks (this reproduction's models).")
-	fmt.Fprintln(w, "K = max total steps, B = max blocking ops per thread, c = max preemptions observed.")
-	fmt.Fprintf(w, "%-22s %6s %8s %6s %6s %6s %10s\n", "Program", "LOC", "Threads", "MaxK", "MaxB", "Maxc", "Time")
+	fmt.Fprintln(w, "K = max total steps, B = max blocking ops per thread, c = max preemptions observed,")
+	fmt.Fprintln(w, "Sites = distinct scheduling points reached (coverage atlas; - for the ZML model).")
+	fmt.Fprintf(w, "%-22s %6s %8s %6s %6s %6s %6s %10s\n", "Program", "LOC", "Threads", "MaxK", "MaxB", "Maxc", "Sites", "Time")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-22s %6d %8d %6d %6d %6d %10s\n", r.Name, r.LOC, r.Threads, r.MaxK, r.MaxB, r.MaxC,
-			r.Time.Round(time.Millisecond))
+		fmt.Fprintf(w, "%-22s %6d %8d %6d %6d %6d %6s %10s\n", r.Name, r.LOC, r.Threads, r.MaxK, r.MaxB, r.MaxC,
+			countCell(r.Sites), r.Time.Round(time.Millisecond))
 	}
 	return nil
 }
@@ -106,8 +118,21 @@ type Table2Row struct {
 	Total   int
 	AtBound [4]int
 	Known   bool
+	// PSites is the number of distinct scheduling points the row's
+	// bug-finding runs exercised as preemption sites; -1 for the
+	// explicit-state checker.
+	PSites int
 	// Time is the total wall-clock time spent finding the row's bugs.
 	Time time.Duration
+}
+
+// countCell renders a coverage count, with "-" for rows measured by the
+// explicit-state checker (no sched-layer scheduling points).
+func countCell(n int) string {
+	if n < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // Table2Data runs ICB on every seeded bug variant and buckets the bugs by
@@ -124,10 +149,13 @@ func Table2Data(cfg Config) ([]Table2Row, error) {
 			continue
 		}
 		row := Table2Row{Name: b.Name, Known: b.KnownBugs}
+		rec := coverage.NewRecorder(b.Name)
+		relabelCoverage(cfg, b.Name)
 		for i := range b.Bugs {
 			res := explore(b.Bugs[i].Program, core.ICB{}, core.Options{
 				MaxPreemptions: 3,
 				StopOnFirstBug: true,
+				Coverage:       rec,
 			}, cfg)
 			bug := res.FirstBug()
 			if bug == nil {
@@ -137,11 +165,12 @@ func Table2Data(cfg Config) ([]Table2Row, error) {
 			row.AtBound[bug.Preemptions]++
 			row.Time += res.Duration
 		}
+		row.PSites = coverage.Summarize(rec.Atlas()).PSites
 		rows = append(rows, row)
 	}
 
 	// Transaction manager (explicit-state checker).
-	tm := Table2Row{Name: "Transaction Manager", Known: true}
+	tm := Table2Row{Name: "Transaction Manager", Known: true, PSites: -1}
 	for _, bug := range txnmgr.Bugs() {
 		p, err := txnmgr.Compile(bug.Variant)
 		if err != nil {
@@ -169,12 +198,13 @@ func Table2(w io.Writer, cfg Config) error {
 		return err
 	}
 	fmt.Fprintln(w, "Table 2: Bugs exposed in executions with exactly c preemptions.")
-	fmt.Fprintf(w, "%-22s %5s   %3s %3s %3s %3s %10s\n", "Program", "Bugs", "0", "1", "2", "3", "Time")
+	fmt.Fprintln(w, "PSites = distinct scheduling points exercised as preemption sites while bug-hunting.")
+	fmt.Fprintf(w, "%-22s %5s   %3s %3s %3s %3s %7s %10s\n", "Program", "Bugs", "0", "1", "2", "3", "PSites", "Time")
 	total := 0
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-22s %5d   %3d %3d %3d %3d %10s\n",
+		fmt.Fprintf(w, "%-22s %5d   %3d %3d %3d %3d %7s %10s\n",
 			r.Name, r.Total, r.AtBound[0], r.AtBound[1], r.AtBound[2], r.AtBound[3],
-			r.Time.Round(time.Millisecond))
+			countCell(r.PSites), r.Time.Round(time.Millisecond))
 		total += r.Total
 	}
 	fmt.Fprintf(w, "Total bugs: %d (the paper's Table 2 rows also sum to 16 although its caption says 14;\n"+

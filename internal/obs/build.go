@@ -1,0 +1,48 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo returns a one-line description of the running binary — module
+// path, module version, Go toolchain, and VCS revision when the binary was
+// built from a checkout — read from the build-info section Go embeds in
+// every binary. It stamps artifacts (NDJSON headers, repro bundles,
+// -version output) so they stay attributable to the binary that produced
+// them long after the process is gone.
+func BuildInfo() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	out := bi.Main.Path
+	if out == "" {
+		out = bi.Path
+	}
+	out += " " + ver + " " + bi.GoVersion
+	var rev, modified, vcstime string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		case "vcs.time":
+			vcstime = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " " + rev + modified
+		if vcstime != "" {
+			out += " " + vcstime
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package coverage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// AtlasVersion is the on-disk schema version of the atlas JSON file.
+const AtlasVersion = 1
+
+// BoundCount is one preemption bound's counters at one site, in the
+// serialized atlas. Bound -1 collects executions run by strategies without
+// bound structure.
+type BoundCount struct {
+	Bound int `json:"bound"`
+	// Reached counts scheduling decisions observed at the site.
+	Reached int64 `json:"reached"`
+	// Preempted counts decisions that preempted the site's thread there.
+	Preempted int64 `json:"preempted"`
+	// Choices lists the distinct threads ever scheduled next at the site,
+	// sorted.
+	Choices []string `json:"choices"`
+}
+
+// Site is one scheduling point of the atlas with its per-bound counters,
+// ascending by bound.
+type Site struct {
+	Key
+	Bounds []BoundCount `json:"bounds"`
+}
+
+// Atlas is the serializable coverage atlas: the set of scheduling points a
+// search campaign has exercised. Atlases merge across runs (Merge), so an
+// incremental campaign accumulates one growing frontier file.
+type Atlas struct {
+	Version int    `json:"version"`
+	Sites   []Site `json:"sites"`
+}
+
+func keyLess(a, b Key) bool {
+	if a.Program != b.Program {
+		return a.Program < b.Program
+	}
+	if a.Loc != b.Loc {
+		return a.Loc < b.Loc
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Thread < b.Thread
+}
+
+func (a *Atlas) sortSites() {
+	sort.Slice(a.Sites, func(i, j int) bool { return keyLess(a.Sites[i].Key, a.Sites[j].Key) })
+}
+
+// site returns the site with key k, or nil.
+func (a *Atlas) site(k Key) *Site {
+	for i := range a.Sites {
+		if a.Sites[i].Key == k {
+			return &a.Sites[i]
+		}
+	}
+	return nil
+}
+
+// bound returns the BoundCount for b, or nil.
+func (s *Site) bound(b int) *BoundCount {
+	for i := range s.Bounds {
+		if s.Bounds[i].Bound == b {
+			return &s.Bounds[i]
+		}
+	}
+	return nil
+}
+
+func unionChoices(a, b []string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for _, c := range a {
+		set[c] = struct{}{}
+	}
+	for _, c := range b {
+		set[c] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge returns the union of two atlases: the union of their sites, per
+// site the union of bound entries, per bound summed reached/preempted
+// counters and the union of choice sets. Neither input is modified.
+func Merge(a, b Atlas) Atlas {
+	out := Atlas{Version: AtlasVersion}
+	for _, s := range a.Sites {
+		cp := Site{Key: s.Key, Bounds: append([]BoundCount(nil), s.Bounds...)}
+		for i := range cp.Bounds {
+			cp.Bounds[i].Choices = append([]string(nil), cp.Bounds[i].Choices...)
+		}
+		out.Sites = append(out.Sites, cp)
+	}
+	for _, s := range b.Sites {
+		dst := out.site(s.Key)
+		if dst == nil {
+			out.Sites = append(out.Sites, Site{Key: s.Key})
+			dst = &out.Sites[len(out.Sites)-1]
+		}
+		for _, bc := range s.Bounds {
+			if d := dst.bound(bc.Bound); d != nil {
+				d.Reached += bc.Reached
+				d.Preempted += bc.Preempted
+				d.Choices = unionChoices(d.Choices, bc.Choices)
+			} else {
+				cp := bc
+				cp.Choices = append([]string(nil), bc.Choices...)
+				dst.Bounds = append(dst.Bounds, cp)
+				sort.Slice(dst.Bounds, func(i, j int) bool { return dst.Bounds[i].Bound < dst.Bounds[j].Bound })
+			}
+		}
+	}
+	out.sortSites()
+	return out
+}
+
+// Contains reports that a covers everything b covers: every site of b is a
+// site of a, every bound entry of b exists there, and every choice of b was
+// also taken in a. Counters are coverage evidence, not coverage itself, so
+// they are not compared.
+func Contains(a, b Atlas) bool {
+	for _, s := range b.Sites {
+		as := a.site(s.Key)
+		if as == nil {
+			return false
+		}
+		for _, bc := range s.Bounds {
+			abc := as.bound(bc.Bound)
+			if abc == nil {
+				return false
+			}
+			have := make(map[string]struct{}, len(abc.Choices))
+			for _, c := range abc.Choices {
+				have[c] = struct{}{}
+			}
+			for _, c := range bc.Choices {
+				if _, ok := have[c]; !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns what cur covers that base does not: sites absent from base;
+// at shared sites, bound entries absent from base; at shared bounds, only
+// the choices base has not taken (with cur's counters kept for context).
+// An empty diff (no sites) means base already contains cur.
+func Diff(base, cur Atlas) Atlas {
+	out := Atlas{Version: AtlasVersion}
+	for _, s := range cur.Sites {
+		bs := base.site(s.Key)
+		if bs == nil {
+			out.Sites = append(out.Sites, s)
+			continue
+		}
+		var novel []BoundCount
+		for _, bc := range s.Bounds {
+			bbc := bs.bound(bc.Bound)
+			if bbc == nil {
+				novel = append(novel, bc)
+				continue
+			}
+			have := make(map[string]struct{}, len(bbc.Choices))
+			for _, c := range bbc.Choices {
+				have[c] = struct{}{}
+			}
+			var newChoices []string
+			for _, c := range bc.Choices {
+				if _, ok := have[c]; !ok {
+					newChoices = append(newChoices, c)
+				}
+			}
+			if len(newChoices) > 0 {
+				cp := bc
+				cp.Choices = newChoices
+				novel = append(novel, cp)
+			}
+		}
+		if len(novel) > 0 {
+			out.Sites = append(out.Sites, Site{Key: s.Key, Bounds: novel})
+		}
+	}
+	out.sortSites()
+	return out
+}
+
+// Stats summarizes an atlas: distinct sites, distinct sites with at least
+// one preemption, and total reached/preempted counts.
+type Stats struct {
+	Sites     int
+	PSites    int
+	Reached   int64
+	Preempted int64
+}
+
+// Summarize computes an atlas's Stats.
+func Summarize(a Atlas) Stats {
+	var st Stats
+	for _, s := range a.Sites {
+		st.Sites++
+		preempted := false
+		for _, bc := range s.Bounds {
+			st.Reached += bc.Reached
+			st.Preempted += bc.Preempted
+			if bc.Preempted > 0 {
+				preempted = true
+			}
+		}
+		if preempted {
+			st.PSites++
+		}
+	}
+	return st
+}
+
+// Save writes the atlas as indented JSON to path (0644, truncating).
+func Save(path string, a Atlas) error {
+	a.Version = AtlasVersion
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads an atlas from path.
+func Load(path string) (Atlas, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Atlas{}, err
+	}
+	var a Atlas
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Atlas{}, fmt.Errorf("coverage: parsing %s: %w", path, err)
+	}
+	if a.Version > AtlasVersion {
+		return Atlas{}, fmt.Errorf("coverage: %s has atlas version %d, this binary understands <= %d", path, a.Version, AtlasVersion)
+	}
+	return a, nil
+}
+
+// MergeFile merges atlas a into the file at path: if the file exists it is
+// loaded and a is merged in; either way the result is saved back and
+// returned together with the number of sites the file gained.
+func MergeFile(path string, a Atlas) (merged Atlas, added int, err error) {
+	prev, lerr := Load(path)
+	if lerr != nil {
+		if !os.IsNotExist(lerr) {
+			return Atlas{}, 0, lerr
+		}
+		prev = Atlas{Version: AtlasVersion}
+	}
+	merged = Merge(prev, a)
+	added = len(merged.Sites) - len(prev.Sites)
+	if err := Save(path, merged); err != nil {
+		return Atlas{}, 0, err
+	}
+	return merged, added, nil
+}

@@ -1,0 +1,158 @@
+// Package coverage implements the preemption-point coverage atlas: a
+// per-search map recording, for every scheduling point the search ever
+// reached, how often it was reached, how often it was an actual preemption
+// site, and which threads were scheduled next there — all broken down by
+// preemption bound.
+//
+// The paper's coverage guarantee ("all executions with at most c
+// preemptions have been explored", §4) is a statement about scheduling
+// points: after bound c completes, every reachable point has been driven
+// through every within-bound choice. The atlas makes that claim
+// inspectable. Each point is keyed by static context that is stable across
+// executions and process restarts — (program, op kind, variable name,
+// thread name) — so atlases from separate runs can be merged into one
+// growing frontier and diffed to see what a new run added. Bindal, Bansal
+// and Lal (ASE 2013) evaluate bounding dimensions exactly this way: by
+// measuring what each bound actually covers.
+//
+// A Recorder is the live accumulator (fed by the core.Engine's
+// sched.PointObserver hook); an Atlas is its serializable snapshot with
+// Merge/Diff/Contains set algebra and a JSON file format.
+package coverage
+
+import (
+	"sort"
+	"sync"
+
+	"icb/internal/obs"
+	"icb/internal/sched"
+)
+
+// Key identifies one scheduling point across executions and runs. All four
+// components are deterministic for a given program: thread and variable
+// names are assigned in spawn/allocation order, which the modeled program
+// fixes.
+type Key struct {
+	// Program is the name of the program under test.
+	Program string `json:"program"`
+	// Kind is the pending operation kind at the point.
+	Kind string `json:"kind"`
+	// Loc is the static location label: the registration name of the
+	// variable the pending operation accesses.
+	Loc string `json:"loc"`
+	// Thread is the spawn name of the thread parked at the point (the
+	// potential preemption victim).
+	Thread string `json:"thread"`
+}
+
+// boundTally is the mutable per-(site, bound) state of a Recorder.
+type boundTally struct {
+	reached   int64
+	preempted int64
+	choices   map[string]struct{}
+}
+
+// Recorder accumulates the coverage atlas of one process. It implements
+// core.PointRecorder (the engine-side write path) and obs.CoverageSource
+// (the snapshot-side read path); both are safe for concurrent use, so a
+// dashboard can snapshot while a search records.
+type Recorder struct {
+	mu      sync.Mutex
+	program string
+	sites   map[Key]map[int]*boundTally
+}
+
+// NewRecorder returns an empty recorder attributing points to program.
+func NewRecorder(program string) *Recorder {
+	return &Recorder{program: program, sites: make(map[Key]map[int]*boundTally)}
+}
+
+// SetProgram changes the program label for subsequently recorded points.
+// Experiment drivers that run several benchmarks through one recorder call
+// it between programs.
+func (r *Recorder) SetProgram(name string) {
+	r.mu.Lock()
+	r.program = name
+	r.mu.Unlock()
+}
+
+// RecordPoint implements core.PointRecorder: it files one resolved
+// scheduling decision under the bound its execution ran under.
+func (r *Recorder) RecordPoint(bound int, pi sched.PointInfo) {
+	k := Key{
+		Program: r.program,
+		Kind:    pi.SiteOp.Kind.String(),
+		Loc:     pi.SiteVarName,
+		Thread:  pi.SiteThreadName,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bt := r.sites[k]
+	if bt == nil {
+		bt = make(map[int]*boundTally)
+		r.sites[k] = bt
+	}
+	t := bt[bound]
+	if t == nil {
+		t = &boundTally{choices: make(map[string]struct{})}
+		bt[bound] = t
+	}
+	t.reached++
+	if pi.Preempted {
+		t.preempted++
+	}
+	t.choices[pi.ChosenName] = struct{}{}
+}
+
+// Atlas snapshots the recorder into its serializable form, sites sorted by
+// key and bounds ascending.
+func (r *Recorder) Atlas() Atlas {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := Atlas{Version: AtlasVersion}
+	for k, bt := range r.sites {
+		s := Site{Key: k}
+		for b, t := range bt {
+			choices := make([]string, 0, len(t.choices))
+			for c := range t.choices {
+				choices = append(choices, c)
+			}
+			sort.Strings(choices)
+			s.Bounds = append(s.Bounds, BoundCount{
+				Bound:     b,
+				Reached:   t.reached,
+				Preempted: t.preempted,
+				Choices:   choices,
+			})
+		}
+		sort.Slice(s.Bounds, func(i, j int) bool { return s.Bounds[i].Bound < s.Bounds[j].Bound })
+		a.Sites = append(a.Sites, s)
+	}
+	a.sortSites()
+	return a
+}
+
+// CoverageSites implements obs.CoverageSource: the atlas in the plain-value
+// form Snapshot embeds (choice sets reduced to their cardinality).
+func (r *Recorder) CoverageSites() []obs.CoverageSite {
+	a := r.Atlas()
+	out := make([]obs.CoverageSite, 0, len(a.Sites))
+	for _, s := range a.Sites {
+		cs := obs.CoverageSite{
+			Program: s.Program,
+			Kind:    s.Kind,
+			Loc:     s.Loc,
+			Thread:  s.Thread,
+		}
+		for _, b := range s.Bounds {
+			cs.Bounds = append(cs.Bounds, obs.CoverageBoundCount{
+				Bound:     b.Bound,
+				Reached:   b.Reached,
+				Preempted: b.Preempted,
+				Choices:   len(b.Choices),
+			})
+		}
+		out = append(out, cs)
+	}
+	return out
+}

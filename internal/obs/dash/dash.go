@@ -65,6 +65,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // it with the search (e.g. via obs.Multi) to make the event stream live.
 func (s *Server) Sink() obs.Sink { return s.bc }
 
+// Subscribers returns the number of currently connected SSE subscribers.
+// A disconnected client must eventually drop this back down: the event
+// bridge's idle fast path relies on the count reaching zero again.
+func (s *Server) Subscribers() int { return int(s.bc.nsubs.Load()) }
+
 func (s *Server) snap() obs.Snapshot {
 	if s.met == nil {
 		return obs.Snapshot{}

@@ -165,6 +165,60 @@ func TestDashIndex(t *testing.T) {
 	}
 }
 
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDashSubscriberUnregistersOnDisconnect checks the SSE bookkeeping: a
+// connected client registers exactly one subscriber, and dropping the
+// connection unregisters it, returning the bridge to its idle (free) path.
+// A leak here would make every event allocate forever after one browser
+// visit.
+func TestDashSubscriberUnregistersOnDisconnect(t *testing.T) {
+	ds := dash.New(&obs.Metrics{})
+	srv := httptest.NewServer(ds.Handler())
+	defer srv.Close()
+
+	if n := ds.Subscribers(); n != 0 {
+		t.Fatalf("fresh dashboard has %d subscribers, want 0", n)
+	}
+	resp, err := http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "subscriber to register", func() bool { return ds.Subscribers() == 1 })
+
+	// Second client: counts are per-connection, not a boolean.
+	resp2, err := http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second subscriber to register", func() bool { return ds.Subscribers() == 2 })
+
+	// Closing the body cancels the request context server-side; the
+	// handler's deferred unsubscribe must run.
+	resp.Body.Close()
+	waitFor(t, "first subscriber to unregister", func() bool { return ds.Subscribers() == 1 })
+	resp2.Body.Close()
+	waitFor(t, "second subscriber to unregister", func() bool { return ds.Subscribers() == 0 })
+
+	// Back on the idle path: bridging an event allocates nothing again.
+	sink := ds.Sink()
+	if allocs := testing.AllocsPerRun(100, func() {
+		sink.ExecutionDone(obs.ExecutionEvent{Execution: 1})
+	}); allocs != 0 {
+		t.Errorf("post-disconnect event bridge allocates %.1f per event, want 0", allocs)
+	}
+}
+
 // TestDashSinkCheapWithoutSubscribers pins the idle cost of attaching the
 // dashboard: with no SSE subscriber connected, bridging an event allocates
 // nothing (one atomic load and out).

@@ -38,6 +38,7 @@
 package estimate
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -164,18 +165,27 @@ func (e *Estimator) CacheHit(obs.CacheEvent) {}
 func (e *Estimator) SearchDone(obs.SearchEvent) {}
 
 // estimateTotal returns the bound's current total-execution estimate, or
-// ok=false when there is no evidence yet.
+// ok=false when there is no evidence yet. The estimate is always finite and
+// non-negative: degenerate evidence (zero seeds, empty queues, clock
+// weirdness) must yield "no estimate", never Inf or NaN, because the value
+// flows verbatim into Progress suffixes and /api/snapshot JSON (and
+// encoding/json refuses non-finite floats outright).
 func (b *boundState) estimateTotal() (est float64, ok bool) {
 	switch {
 	case b.done:
-		return float64(b.execs), true
+		est = float64(b.execs)
 	case b.seedsDone > 0 && b.execs > 0:
 		mean := float64(b.execs) / float64(b.seedsDone)
-		return float64(b.execs) + float64(b.seedsTotal-b.seedsDone)*mean, true
+		est = float64(b.execs) + float64(b.seedsTotal-b.seedsDone)*mean
 	case b.prodN > 0 && b.seedsTotal > 0:
-		return (b.prodSum / float64(b.prodN)) * float64(b.seedsTotal), true
+		est = (b.prodSum / float64(b.prodN)) * float64(b.seedsTotal)
+	default:
+		return 0, false
 	}
-	return 0, false
+	if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+		return 0, false
+	}
+	return est, true
 }
 
 // Estimates implements obs.EstimateSource: the current per-bound estimates
@@ -206,8 +216,20 @@ func (e *Estimator) Estimates() []obs.BoundEstimate {
 		}
 		if !b.done && b.execs > 0 && est > float64(b.execs) {
 			if elapsed := now.Sub(b.start); elapsed > 0 {
-				be.ETANanos = int64(float64(elapsed.Nanoseconds()) *
-					(est - float64(b.execs)) / float64(b.execs))
+				eta := float64(elapsed.Nanoseconds()) *
+					(est - float64(b.execs)) / float64(b.execs)
+				// A wild early estimate can push the projection past the
+				// int64 range, where float->int conversion is undefined
+				// (and lands on MinInt64 in practice, i.e. a negative
+				// ETA). Saturate instead: "longer than ~29 years" is all
+				// a progress line needs to convey.
+				const maxETA = float64(math.MaxInt64 / 10)
+				if eta > maxETA {
+					eta = maxETA
+				}
+				if eta > 0 {
+					be.ETANanos = int64(eta)
+				}
 			}
 		}
 		out = append(out, be)

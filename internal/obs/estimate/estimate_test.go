@@ -1,6 +1,8 @@
 package estimate_test
 
 import (
+	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -164,6 +166,83 @@ func TestAccuracyOnWSQ(t *testing.T) {
 				bs.Bound, mid.EstTotal, truth, 100*(ratio-1))
 		}
 	}
+}
+
+// TestNoNonfiniteEstimates is the hardening regression test: no matter how
+// degenerate or extreme the evidence, Estimates must never surface Inf, NaN,
+// or negative values — encoding/json refuses non-finite floats, so one bad
+// estimate would break /api/snapshot wholesale.
+func TestNoNonfiniteEstimates(t *testing.T) {
+	now := time.Unix(0, 0)
+	check := func(t *testing.T, est *estimate.Estimator) {
+		t.Helper()
+		for _, e := range est.Estimates() {
+			if math.IsNaN(e.EstTotal) || math.IsInf(e.EstTotal, 0) || e.EstTotal < 0 {
+				t.Errorf("bound %d: EstTotal = %v", e.Bound, e.EstTotal)
+			}
+			if math.IsNaN(e.Fraction) || math.IsInf(e.Fraction, 0) || e.Fraction < 0 || e.Fraction > 1 {
+				t.Errorf("bound %d: Fraction = %v", e.Bound, e.Fraction)
+			}
+			if e.ETANanos < 0 {
+				t.Errorf("bound %d: ETANanos = %d", e.Bound, e.ETANanos)
+			}
+		}
+		// The whole point: the snapshot these estimates flow into must
+		// always be serializable.
+		met := &obs.Metrics{}
+		met.SetEstimator(est)
+		if _, err := json.Marshal(met.Snapshot()); err != nil {
+			t.Errorf("snapshot with these estimates does not marshal: %v", err)
+		}
+	}
+
+	t.Run("zero seeds zero executions", func(t *testing.T) {
+		est := estimate.New()
+		est.SetClock(func() time.Time { return now })
+		est.BoundStart(obs.BoundEvent{Bound: 0, Queue: 0})
+		est.NoteWork(0, 0, 0)
+		check(t, est)
+	})
+	t.Run("bound done with nothing observed", func(t *testing.T) {
+		est := estimate.New()
+		est.SetClock(func() time.Time { return now })
+		est.BoundStart(obs.BoundEvent{Bound: 1})
+		est.BoundComplete(obs.BoundEvent{Bound: 1})
+		check(t, est)
+	})
+	t.Run("huge Knuth product times huge queue", func(t *testing.T) {
+		// Saturating branching products against a massive seed queue pushes
+		// the raw estimate toward float64 extremes; the ETA projection from
+		// a long elapsed time would overflow int64 without the clamp.
+		est := estimate.New()
+		clock := now
+		est.SetClock(func() time.Time { return clock })
+		est.BoundStart(obs.BoundEvent{Bound: 2, Queue: 1 << 30})
+		est.NoteBranch(0, 1000, 2)
+		for i := 0; i < 100; i++ {
+			est.NoteBranch(i+1, 1000, 2)
+		}
+		clock = clock.Add(10 * time.Hour)
+		est.ExecutionDone(obs.ExecutionEvent{Bound: 2, Execution: 1})
+		check(t, est)
+		e := findBound(t, est.Estimates(), 2)
+		if e.ETANanos < 0 {
+			t.Errorf("ETA overflowed to %d", e.ETANanos)
+		}
+	})
+	t.Run("clock going backwards", func(t *testing.T) {
+		est := estimate.New()
+		clock := now
+		est.SetClock(func() time.Time { return clock })
+		est.BoundStart(obs.BoundEvent{Bound: 3, Queue: 4})
+		est.ExecutionDone(obs.ExecutionEvent{Bound: 3, Execution: 1})
+		est.NoteWork(3, 1, 4)
+		clock = clock.Add(-time.Hour) // negative elapsed: no ETA, never negative
+		check(t, est)
+		if e := findBound(t, est.Estimates(), 3); e.ETANanos != 0 {
+			t.Errorf("ETANanos = %d with a backwards clock, want 0", e.ETANanos)
+		}
+	})
 }
 
 // TestConcurrentReads hammers Estimates from another goroutine while the

@@ -185,6 +185,49 @@ type BranchObserver interface {
 	NoteWork(bound, done, total int)
 }
 
+// CoverageBoundCount is one preemption bound's counters at one scheduling
+// point: how often the point was reached, how often it was an actual
+// preemption site, and how many distinct next-thread choices the search has
+// taken there. Produced by coverage.Recorder and surfaced in Snapshot.
+type CoverageBoundCount struct {
+	// Bound is the preemption bound (-1 for strategies without bound
+	// structure).
+	Bound int `json:"bound"`
+	// Reached counts scheduling decisions observed at the point.
+	Reached int64 `json:"reached"`
+	// Preempted counts decisions that preempted the point's thread there.
+	Preempted int64 `json:"preempted"`
+	// Choices is the number of distinct threads ever scheduled next at the
+	// point.
+	Choices int `json:"choices"`
+}
+
+// CoverageSite is one scheduling point of the coverage atlas, identified by
+// its stable static key (see coverage.Key), with per-bound counters in
+// ascending bound order.
+type CoverageSite struct {
+	// Program is the name of the program under test.
+	Program string `json:"program"`
+	// Kind is the operation kind at the point ("acquire", "write", ...).
+	Kind string `json:"kind"`
+	// Loc is the static location label: the registration name of the
+	// variable the pending operation touches.
+	Loc string `json:"loc"`
+	// Thread is the spawn name of the thread parked at the point.
+	Thread string `json:"thread"`
+	// Bounds holds the per-bound counters, ascending by bound.
+	Bounds []CoverageBoundCount `json:"bounds"`
+}
+
+// CoverageSource produces a point-in-time view of the preemption-point
+// coverage atlas. Implemented by coverage.Recorder; Metrics holds it as an
+// interface so package obs does not depend on the atlas bookkeeping.
+type CoverageSource interface {
+	// CoverageSites returns the atlas sites in a deterministic order. Safe
+	// for concurrent use.
+	CoverageSites() []CoverageSite
+}
+
 // MaxTrackedBounds caps the per-bound counter arrays in Metrics. The paper's
 // whole point is that interesting bounds are tiny (every known bug within
 // 3 preemptions); executions at bounds beyond the cap are folded into the
@@ -220,6 +263,8 @@ type Metrics struct {
 	// est is the attached EstimateSource (or nil), stored atomically so
 	// Snapshot can race with SetEstimator under -race.
 	est atomic.Value
+	// cov is the attached CoverageSource (or nil), same discipline as est.
+	cov atomic.Value
 }
 
 func (m *Metrics) boundSlot(bound int) int {
@@ -249,6 +294,12 @@ func (m *Metrics) ObserveBoundTime(bound int, ns int64) {
 // estimates are included in every subsequent Snapshot.
 func (m *Metrics) SetEstimator(src EstimateSource) {
 	m.est.Store(&src)
+}
+
+// SetCoverage attaches a coverage-atlas source; its sites are included in
+// every subsequent Snapshot.
+func (m *Metrics) SetCoverage(src CoverageSource) {
+	m.cov.Store(&src)
 }
 
 // clampSlot is the read-side slot clamp: unlike the write side it does not
@@ -283,14 +334,14 @@ type BoundSnapshot struct {
 // Snapshot is a plain-value copy of the counters, suitable for JSON
 // encoding (expvar.Func) or test assertions.
 type Snapshot struct {
-	Executions  int64           `json:"executions"`
-	States      int64           `json:"states"`
-	Classes     int64           `json:"classes"`
-	CacheHits   int64           `json:"cache_hits"`
-	CacheMisses int64           `json:"cache_misses"`
-	QueueDepth  int64           `json:"queue_depth"`
-	Bugs        int64           `json:"bugs"`
-	CurBound    int64           `json:"cur_bound"`
+	Executions  int64 `json:"executions"`
+	States      int64 `json:"states"`
+	Classes     int64 `json:"classes"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	QueueDepth  int64 `json:"queue_depth"`
+	Bugs        int64 `json:"bugs"`
+	CurBound    int64 `json:"cur_bound"`
 	// Truncated reports that at least one observation fell at a bound >=
 	// MaxTrackedBounds and was folded into the last Bounds entry, so that
 	// entry aggregates several bounds rather than describing one.
@@ -299,6 +350,9 @@ type Snapshot struct {
 	// Estimates carries the per-bound schedule-space estimates of the
 	// attached estimator (empty when none is attached).
 	Estimates []BoundEstimate `json:"estimates,omitempty"`
+	// Coverage carries the preemption-point coverage atlas of the attached
+	// coverage source (empty when none is attached).
+	Coverage []CoverageSite `json:"coverage,omitempty"`
 }
 
 // Snapshot copies the counters. Per-bound entries are trimmed to the
@@ -326,6 +380,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if p, _ := m.est.Load().(*EstimateSource); p != nil && *p != nil {
 		s.Estimates = (*p).Estimates()
+	}
+	if p, _ := m.cov.Load().(*CoverageSource); p != nil && *p != nil {
+		s.Coverage = (*p).CoverageSites()
 	}
 	return s
 }

@@ -126,6 +126,8 @@ func TestNDJSONRoundTrip(t *testing.T) {
 	for i, line := range lines {
 		var env struct {
 			Event string          `json:"event"`
+			Seq   int64           `json:"seq"`
+			V     int             `json:"v"`
 			TMS   float64         `json:"t_ms"`
 			Data  json.RawMessage `json:"data"`
 		}
@@ -135,7 +137,16 @@ func TestNDJSONRoundTrip(t *testing.T) {
 		if env.Event == "" || len(env.Data) == 0 {
 			t.Fatalf("line %d has an empty envelope: %s", i+1, line)
 		}
+		if env.Seq != int64(i) {
+			t.Fatalf("line %d has seq %d, want %d (gapless monotonic)", i+1, env.Seq, i)
+		}
+		if env.V != obs.NDJSONSchemaVersion {
+			t.Fatalf("line %d has schema version %d, want %d", i+1, env.V, obs.NDJSONSchemaVersion)
+		}
 		counts[env.Event]++
+	}
+	if counts["header"] != 1 || lines[0] == "" || !strings.Contains(lines[0], `"event":"header"`) {
+		t.Errorf("stream must start with exactly one header line; counts=%v first=%s", counts, lines[0])
 	}
 	if counts["execution_done"] != res.Executions {
 		t.Errorf("execution_done lines = %d, executions = %d", counts["execution_done"], res.Executions)
@@ -333,22 +344,107 @@ func TestConcurrentSinkEmission(t *testing.T) {
 	}
 
 	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if want := goroutines * events * 2; len(lines) != want {
+	if want := goroutines*events*2 + 1; len(lines) != want { // +1: header
 		t.Fatalf("lines = %d, want %d", len(lines), want)
 	}
 	counts := map[string]int{}
+	seqs := make(map[int64]bool, len(lines))
 	for i, line := range lines {
 		var env struct {
 			Event string          `json:"event"`
+			Seq   int64           `json:"seq"`
 			Data  json.RawMessage `json:"data"`
 		}
 		if err := json.Unmarshal([]byte(line), &env); err != nil {
 			t.Fatalf("line %d is interleaved or malformed: %v\n%s", i+1, err, line)
 		}
+		if seqs[env.Seq] {
+			t.Fatalf("duplicate seq %d", env.Seq)
+		}
+		seqs[env.Seq] = true
 		counts[env.Event]++
+	}
+	for s := int64(0); s < int64(len(lines)); s++ {
+		if !seqs[s] {
+			t.Fatalf("seq %d missing: gap in the line sequence", s)
+		}
 	}
 	if counts["execution_done"] != goroutines*events || counts["cache_hit"] != goroutines*events {
 		t.Errorf("event counts = %v, want %d of each kind", counts, goroutines*events)
+	}
+}
+
+// TestConcurrentSnapshotVsObserve races Snapshot against counter writes at
+// bounds on both sides of the MaxTrackedBounds clamp, plus the interface
+// attachments (SetEstimator/SetCoverage) that Snapshot dereferences. Under
+// -race this pins that the dashboard can read while a search records at any
+// bound, including ones folded into the overflow slot.
+func TestConcurrentSnapshotVsObserve(t *testing.T) {
+	var m obs.Metrics
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // the dashboard side
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := m.Snapshot()
+				if _, err := json.Marshal(snap); err != nil {
+					t.Errorf("snapshot does not marshal: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // attachment churn while snapshots run
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.SetEstimator(nil)
+				m.SetCoverage(nil)
+			}
+		}
+	}()
+
+	const writers, perWriter = 4, 2000
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				// Spread bounds across the tracked range and past it, so
+				// the overflow slot is hammered concurrently too.
+				m.ObserveExecution((w*perWriter + i) % (obs.MaxTrackedBounds + 16))
+				m.ObserveBoundTime(obs.MaxTrackedBounds+i, 1)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	snap := m.Snapshot()
+	if snap.Executions != writers*perWriter {
+		t.Errorf("executions = %d, want %d", snap.Executions, writers*perWriter)
+	}
+	if !snap.Truncated {
+		t.Error("overflow-bound observations did not set Truncated")
+	}
+	var sum int64
+	for _, b := range snap.Bounds {
+		sum += b.Executions
+	}
+	if sum != int64(writers*perWriter) {
+		t.Errorf("per-bound executions sum to %d, want %d", sum, writers*perWriter)
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -85,7 +86,16 @@ func (p *Progress) estimateSuffix(bound int) string {
 		if e.Bound != bound || e.Done || e.EstTotal <= 0 {
 			continue
 		}
-		s := fmt.Sprintf(" | bound %d: %.0f%% explored", e.Bound, 100*e.Fraction)
+		// Defensive: EstimateSource is an interface; never let a
+		// misbehaving implementation print Inf/NaN on a progress line.
+		frac := e.Fraction
+		if math.IsNaN(frac) || math.IsInf(frac, 0) || frac < 0 {
+			continue
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		s := fmt.Sprintf(" | bound %d: %.0f%% explored", e.Bound, 100*frac)
 		if e.ETANanos > 0 {
 			s += fmt.Sprintf(", ~%s left", fmtDur(time.Duration(e.ETANanos)))
 		}

@@ -11,6 +11,8 @@
 //	              schedule as a JSON array of compact tokens ("t0", "d1")
 //	swimlane.txt  the exposing execution rendered as a thread-per-column
 //	              diagram, re-derived by replaying the schedule
+//	trace.json    the same execution as Chrome trace-event JSON, loadable
+//	              in Perfetto (package obs/trace)
 //	report.txt    a short human-readable summary with the exact
 //	              icb -replay invocation that reproduces the bug
 //
@@ -31,6 +33,7 @@ import (
 
 	"icb/internal/core"
 	"icb/internal/obs"
+	"icb/internal/obs/trace"
 	"icb/internal/sched"
 )
 
@@ -113,6 +116,8 @@ type Bundle struct {
 	Version int `json:"version"`
 	// CreatedUnixNS is the bundle's creation time.
 	CreatedUnixNS int64 `json:"created_unix_ns,omitempty"`
+	// Build identifies the binary that wrote the bundle (obs.BuildInfo).
+	Build string `json:"build,omitempty"`
 	// Meta records the search configuration.
 	Meta Meta `json:"meta"`
 	// Bug is the recorded defect.
@@ -128,6 +133,9 @@ type Bundle struct {
 
 // SwimlanePath returns the bundle's rendered swimlane file.
 func (b *Bundle) SwimlanePath() string { return filepath.Join(b.Dir, "swimlane.txt") }
+
+// TracePath returns the bundle's Perfetto-loadable trace-event file.
+func (b *Bundle) TracePath() string { return filepath.Join(b.Dir, "trace.json") }
 
 // Writer is an obs.Sink that persists a bundle for every (deduplicated)
 // BugFound event. Construct with NewWriter and register with the search via
@@ -207,6 +215,7 @@ func (w *Writer) BugFound(ev obs.BugEvent) {
 	b := &Bundle{
 		Version:       Version,
 		CreatedUnixNS: w.now().UnixNano(),
+		Build:         obs.BuildInfo(),
 		Meta:          w.meta,
 		Bug: BugInfo{
 			Kind:        ev.Kind,
@@ -243,10 +252,18 @@ func (w *Writer) write(b *Bundle) error {
 	if err := os.WriteFile(filepath.Join(b.Dir, manifestName), append(js, '\n'), 0o644); err != nil {
 		return err
 	}
-	// Re-derive the swimlane by replaying the schedule; the replay also
-	// sanity-checks the bundle the moment it is written.
+	// Re-derive the swimlane and the Perfetto trace by replaying the
+	// schedule; the replay also sanity-checks the bundle the moment it is
+	// written.
 	out, _ := core.ReplayBugs(w.prog, b.Schedule, b.Meta.Options())
 	if err := os.WriteFile(b.SwimlanePath(), []byte(sched.Swimlane(out)), 0o644); err != nil {
+		return err
+	}
+	tj, err := trace.Marshal(b.Meta.Program, out)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(b.TracePath(), append(tj, '\n'), 0o644); err != nil {
 		return err
 	}
 	return os.WriteFile(filepath.Join(b.Dir, "report.txt"), []byte(b.report()), 0o644)

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"icb/internal/sched"
+)
+
+// DefaultMaxFiles caps how many executions a DirWriter exports by default.
+// An exhaustive search runs thousands of executions; exporting every one
+// would turn the trace directory into the bottleneck.
+const DefaultMaxFiles = 500
+
+// DirWriter writes one trace-event JSON file per observed execution into a
+// directory. It implements core.OutcomeObserver: attach it via
+// core.Options.TraceObserver (which forces trace recording on every
+// execution). Buggy executions are always written, even past the cap, since
+// they are the ones worth opening in Perfetto.
+type DirWriter struct {
+	// Dir is the target directory (created on first write).
+	Dir string
+	// Label names the process track in each file (the program name).
+	Label string
+	// MaxFiles caps the number of non-buggy executions exported (<= 0 means
+	// DefaultMaxFiles). Buggy executions are exempt.
+	MaxFiles int
+
+	mu      sync.Mutex
+	made    bool
+	written int
+	skipped int
+	err     error
+}
+
+// ObserveOutcome implements core.OutcomeObserver.
+func (w *DirWriter) ObserveOutcome(execution int, out sched.Outcome) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	max := w.MaxFiles
+	if max <= 0 {
+		max = DefaultMaxFiles
+	}
+	if w.written >= max && !out.Status.Buggy() {
+		w.skipped++
+		return
+	}
+	if !w.made {
+		if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+			w.err = err
+			return
+		}
+		w.made = true
+	}
+	data, err := Marshal(w.Label, out)
+	if err != nil {
+		w.err = err
+		return
+	}
+	suffix := ""
+	if out.Status.Buggy() {
+		suffix = "-bug"
+	}
+	path := filepath.Join(w.Dir, fmt.Sprintf("exec-%06d%s.json", execution, suffix))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		w.err = err
+		return
+	}
+	w.written++
+}
+
+// Written returns how many files were written and how many executions were
+// skipped by the cap.
+func (w *DirWriter) Written() (written, skipped int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written, w.skipped
+}
+
+// Err returns the first write error, if any; the writer stops after one.
+func (w *DirWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

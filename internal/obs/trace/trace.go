@@ -1,0 +1,122 @@
+// Package trace renders one modeled execution as Chrome trace-event JSON,
+// the format Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+// Sthread (PAPERS.md) demonstrates how much debugging value comes from
+// making individual explored executions inspectable in a standard viewer;
+// this package is that exporter for the ICB checker.
+//
+// Mapping: one process (pid 1, named after the program), one track per
+// modeled thread (tid = TID, thread_name metadata from the spawn name).
+// Time is logical: 1 µs per step, with ts = the global step index, so the
+// viewer's timeline reads as the step axis of the swimlane renderer. Each
+// maximal run of consecutive steps by one thread becomes a complete ("X")
+// slice on its thread's track; each preempting context switch becomes a
+// thread-scoped instant ("i") named "preemption" on the incoming thread's
+// track at the first step it runs (the same step index the swimlane marks
+// with '*'); a buggy outcome adds a global instant at the end of the
+// timeline named after the status.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"icb/internal/sched"
+)
+
+// event is one trace-event JSON object (the subset of the Chrome
+// trace-event format this exporter emits).
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// file is the top-level trace-event JSON object.
+type file struct {
+	TraceEvents []event `json:"traceEvents"`
+	// DisplayTimeUnit hints viewers at the logical resolution.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+const pid = 1
+
+// Marshal renders out as trace-event JSON. label names the process track
+// (typically the program name). The outcome must carry a recorded trace
+// (sched.Config.RecordTrace); without one only metadata is emitted.
+func Marshal(label string, out sched.Outcome) ([]byte, error) {
+	name := func(names []string, i int, prefix string) string {
+		if i >= 0 && i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("%s%d", prefix, i)
+	}
+
+	f := file{DisplayTimeUnit: "ms", TraceEvents: []event{}}
+	f.TraceEvents = append(f.TraceEvents, event{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": label},
+	})
+	for tid := 0; tid < out.Threads; tid++ {
+		f.TraceEvents = append(f.TraceEvents, event{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": fmt.Sprintf("t%d:%s", tid, name(out.ThreadNames, tid, "t"))},
+		})
+	}
+
+	// Slices: one per maximal run of consecutive steps by the same thread.
+	flush := func(tid sched.TID, start, end int, firstOp, lastOp string) {
+		args := map[string]any{"steps": end - start, "first": firstOp}
+		if end-start > 1 {
+			args["last"] = lastOp
+		}
+		f.TraceEvents = append(f.TraceEvents, event{
+			Name: "run", Ph: "X", TS: int64(start), Dur: int64(end - start),
+			PID: pid, TID: int(tid), Args: args,
+		})
+	}
+	opStr := func(ev sched.Event) string {
+		return ev.Op.Kind.String() + " " + name(out.VarNames, int(ev.Op.Var), "var#")
+	}
+	segTID, segStart, segFirst, segLast := sched.NoTID, 0, "", ""
+	for i, ev := range out.Trace {
+		if ev.TID != segTID {
+			if segTID != sched.NoTID {
+				flush(segTID, segStart, ev.Step, segFirst, segLast)
+			}
+			segTID, segStart, segFirst = ev.TID, ev.Step, opStr(ev)
+		}
+		segLast = opStr(ev)
+		if i == len(out.Trace)-1 {
+			flush(segTID, segStart, ev.Step+1, segFirst, segLast)
+		}
+	}
+
+	// Preemption instants at the incoming thread's first post-preemption
+	// step, matching Outcome.PreemptedSteps and the swimlane's '*' marks.
+	stepTID := make(map[int]sched.TID, len(out.Trace))
+	for _, ev := range out.Trace {
+		stepTID[ev.Step] = ev.TID
+	}
+	for _, step := range out.PreemptedSteps {
+		tid, ok := stepTID[step]
+		if !ok {
+			continue
+		}
+		f.TraceEvents = append(f.TraceEvents, event{
+			Name: "preemption", Ph: "i", TS: int64(step), PID: pid, TID: int(tid), S: "t",
+		})
+	}
+
+	if out.Status.Buggy() || out.Status == sched.StatusStepLimit {
+		f.TraceEvents = append(f.TraceEvents, event{
+			Name: out.Status.String(), Ph: "i", TS: int64(out.Steps), PID: pid, TID: 0, S: "g",
+			Args: map[string]any{"message": out.Message},
+		})
+	}
+	return json.MarshalIndent(f, "", " ")
+}

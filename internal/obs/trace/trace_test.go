@@ -1,0 +1,243 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/obs/trace"
+	"icb/internal/progs/wsq"
+	"icb/internal/sched"
+)
+
+// traceFile mirrors the emitted trace-event JSON for decoding in tests.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func decode(t *testing.T, data []byte) traceFile {
+	t.Helper()
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	return f
+}
+
+// outcome builds a recorded three-step, two-thread outcome: main runs steps
+// 0-1, worker is preemptively scheduled at step 2 (mirroring the swimlane
+// test fixture).
+func outcome(preempted []int) sched.Outcome {
+	return sched.Outcome{
+		Status:  sched.StatusTerminated,
+		Steps:   3,
+		Threads: 2,
+		Trace: []sched.Event{
+			{TID: 0, Index: 0, Step: 0, Op: sched.Op{Kind: sched.OpAcquire, Var: 0}},
+			{TID: 0, Index: 1, Step: 1, Op: sched.Op{Kind: sched.OpRead, Var: 1}},
+			{TID: 1, Index: 0, Step: 2, Op: sched.Op{Kind: sched.OpAcquire, Var: 0}},
+		},
+		VarNames:       []string{"m", "x"},
+		ThreadNames:    []string{"main", "worker"},
+		PreemptedSteps: preempted,
+	}
+}
+
+// TestMarshalTracksAndSlices checks the structural mapping: one process
+// metadata event, one thread_name per thread, and one complete slice per
+// maximal same-thread run whose durations sum to the step count.
+func TestMarshalTracksAndSlices(t *testing.T) {
+	data, err := trace.Marshal("demo", outcome(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := decode(t, data)
+
+	var procs, threads, slices int
+	var durSum int64
+	names := map[int]string{}
+	for _, ev := range f.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs++
+			if ev.Args["name"] != "demo" {
+				t.Errorf("process name = %v, want demo", ev.Args["name"])
+			}
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threads++
+			names[ev.TID] = ev.Args["name"].(string)
+		case ev.Ph == "X":
+			slices++
+			durSum += ev.Dur
+		}
+	}
+	if procs != 1 || threads != 2 {
+		t.Errorf("metadata: %d process, %d thread events, want 1 and 2", procs, threads)
+	}
+	if !strings.Contains(names[0], "main") || !strings.Contains(names[1], "worker") {
+		t.Errorf("thread names = %v, want spawn names on each track", names)
+	}
+	if slices != 2 {
+		t.Errorf("slices = %d, want 2 (main's run, worker's run)", slices)
+	}
+	if durSum != 3 {
+		t.Errorf("slice durations sum to %d, want 3 steps", durSum)
+	}
+}
+
+// TestMarshalPreemptionInstants checks each preempted step becomes a
+// thread-scoped instant on the incoming thread's track, at the step's ts.
+func TestMarshalPreemptionInstants(t *testing.T) {
+	data, err := trace.Marshal("demo", outcome([]int{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instants []int64
+	for _, ev := range decode(t, data).TraceEvents {
+		if ev.Ph == "i" && ev.Name == "preemption" {
+			instants = append(instants, ev.TS)
+			if ev.S != "t" {
+				t.Errorf("preemption instant scope = %q, want thread-scoped", ev.S)
+			}
+			if ev.TID != 1 {
+				t.Errorf("preemption instant on tid %d, want 1 (the incoming thread)", ev.TID)
+			}
+		}
+	}
+	if len(instants) != 1 || instants[0] != 2 {
+		t.Errorf("preemption instants at %v, want [2]", instants)
+	}
+}
+
+// TestMarshalBugInstant checks a buggy outcome gets a global instant named
+// after its status at the end of the timeline.
+func TestMarshalBugInstant(t *testing.T) {
+	o := outcome(nil)
+	o.Status = sched.StatusDeadlock
+	o.Message = "all stuck"
+	data, err := trace.Marshal("demo", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range decode(t, data).TraceEvents {
+		if ev.Ph == "i" && ev.S == "g" {
+			found = true
+			if ev.Name != sched.StatusDeadlock.String() || ev.TS != 3 {
+				t.Errorf("bug instant = %q at ts %d, want %q at 3", ev.Name, ev.TS, sched.StatusDeadlock)
+			}
+			if ev.Args["message"] != "all stuck" {
+				t.Errorf("bug instant message = %v", ev.Args["message"])
+			}
+		}
+	}
+	if !found {
+		t.Error("buggy outcome emitted no global instant")
+	}
+}
+
+// TestTraceMatchesSwimlaneOnWSQ is the acceptance check against a real
+// search: find the work-stealing queue bug, replay it with trace recording,
+// and check the emitted trace's tracks and preemption instants agree with
+// the outcome the swimlane renderer sees.
+func TestTraceMatchesSwimlaneOnWSQ(t *testing.T) {
+	prog := wsq.Program(wsq.StealUnlocked, wsq.Params{Items: 2, Size: 2})
+	res := core.Explore(prog, core.ICB{}, core.Options{
+		MaxPreemptions: 2,
+		CheckRaces:     true,
+		StopOnFirstBug: true,
+	})
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("no bug found in the StealUnlocked variant at bound 2")
+	}
+	out, _ := core.ReplayBugs(prog, bug.Schedule, core.Options{CheckRaces: true})
+	data, err := trace.Marshal("wsq", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := decode(t, data)
+
+	var threads int
+	instants := map[int64]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			threads++
+		}
+		if ev.Ph == "i" && ev.Name == "preemption" {
+			instants[ev.TS] = true
+		}
+	}
+	if threads != out.Threads {
+		t.Errorf("trace has %d thread tracks, outcome has %d threads", threads, out.Threads)
+	}
+	if len(instants) != len(out.PreemptedSteps) {
+		t.Errorf("trace has %d preemption instants, outcome has %d preempted steps",
+			len(instants), len(out.PreemptedSteps))
+	}
+	for _, step := range out.PreemptedSteps {
+		if !instants[int64(step)] {
+			t.Errorf("preempted step %d has no instant in the trace", step)
+		}
+	}
+}
+
+// TestDirWriterCapAndBugExemption checks the per-directory file cap: at most
+// MaxFiles non-buggy executions are exported, buggy ones always are.
+func TestDirWriterCapAndBugExemption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	w := &trace.DirWriter{Dir: dir, Label: "demo", MaxFiles: 2}
+
+	for i := 1; i <= 4; i++ {
+		w.ObserveOutcome(i, outcome(nil))
+	}
+	buggy := outcome(nil)
+	buggy.Status = sched.StatusDeadlock
+	w.ObserveOutcome(5, buggy)
+
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	written, skipped := w.Written()
+	if written != 3 || skipped != 2 {
+		t.Errorf("written, skipped = %d, %d; want 3 written (2 capped + 1 bug), 2 skipped", written, skipped)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+	}
+	want := []string{"exec-000001.json", "exec-000002.json", "exec-000005-bug.json"}
+	if len(files) != len(want) {
+		t.Fatalf("directory holds %v, want %v", files, want)
+	}
+	for i := range want {
+		if files[i] != want[i] {
+			t.Fatalf("directory holds %v, want %v", files, want)
+		}
+	}
+	// Every exported file must itself be valid trace-event JSON.
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode(t, data)
+	}
+}

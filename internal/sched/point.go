@@ -1,0 +1,81 @@
+package sched
+
+// PointInfo describes one resolved thread-scheduling decision with enough
+// static context — operation kind, variable name, thread names — to
+// attribute coverage to a stable location across executions and runs. It
+// is the observation unit of the preemption-point coverage atlas (package
+// obs/coverage): the paper's guarantee "all executions with at most c
+// preemptions have been explored" is a statement about scheduling points,
+// and this hook is what makes the set of exercised points observable.
+//
+// The scheduling point (the "site") is identified by the pending operation
+// of the thread that was running when the controller was consulted — the
+// potential preemption victim. When that thread is still enabled, choosing
+// any other thread preempts it at exactly this operation; when it is
+// blocked, the site is the operation it is blocked on. At the first
+// scheduling point of an execution, and after the previous thread exited
+// (its final operation already committed), there is no victim: the site is
+// then the chosen thread's own pending operation and Preemptible is false.
+type PointInfo struct {
+	// Step is the global index of the step about to be executed.
+	Step int
+	// SiteThread is the thread whose pending operation defines the site.
+	SiteThread TID
+	// SiteThreadName is SiteThread's spawn name.
+	SiteThreadName string
+	// SiteOp is the site's pending operation.
+	SiteOp Op
+	// SiteVarName is the registration name of SiteOp.Var — the static
+	// location label of the site (variable names are stable across
+	// executions because allocation order is deterministic).
+	SiteVarName string
+	// Preemptible reports that the previously running thread was still
+	// enabled, so scheduling any other thread is a preemption (Appendix A's
+	// NP definition).
+	Preemptible bool
+	// Chosen is the thread the controller picked.
+	Chosen TID
+	// ChosenName is Chosen's spawn name.
+	ChosenName string
+	// Preempted reports that this decision preempted the site: the
+	// previously running thread was enabled and a different thread was
+	// chosen. Summing Preempted observations over an execution yields
+	// exactly its Outcome.Preemptions.
+	Preempted bool
+}
+
+// PointObserver receives every resolved thread-scheduling decision of an
+// execution, after the controller's pick is validated and before the chosen
+// thread runs. Observers are invoked from the controller goroutine, one
+// point at a time, so no synchronization is needed within one execution.
+// Data-choice points are not reported: they are harness nondeterminism, not
+// context switches, and can never be preemption sites.
+type PointObserver interface {
+	// OnPoint is called once per thread-scheduling decision.
+	OnPoint(pi PointInfo)
+}
+
+// observePoint assembles the PointInfo of the decision just made and hands
+// it to the configured observer. Called with rt.prev still holding the
+// previously scheduled thread.
+func (rt *Runtime) observePoint(info PickInfo, chosen TID, prevEnabled bool) {
+	site := chosen
+	if info.Prev != NoTID && rt.threads[info.Prev].pending != nil {
+		// The previous thread is alive (enabled or blocked); its pending
+		// operation is the point everything else is scheduled around. A
+		// dead previous thread has no pending op — its exit committed.
+		site = info.Prev
+	}
+	st := rt.threads[site]
+	rt.cfg.PointObserver.OnPoint(PointInfo{
+		Step:           info.Step,
+		SiteThread:     site,
+		SiteThreadName: st.name,
+		SiteOp:         st.pending.op,
+		SiteVarName:    rt.VarName(st.pending.op.Var),
+		Preemptible:    prevEnabled,
+		Chosen:         chosen,
+		ChosenName:     rt.threads[chosen].name,
+		Preempted:      prevEnabled && chosen != info.Prev,
+	})
+}

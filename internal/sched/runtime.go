@@ -40,6 +40,10 @@ type Config struct {
 	RecordTrace bool
 	// Observers receive every committed event.
 	Observers []Observer
+	// PointObserver, when non-nil, receives every resolved thread-scheduling
+	// decision (see PointInfo). It is the coverage-atlas hook; nil disables
+	// the observation entirely.
+	PointObserver PointObserver
 }
 
 // Program is the body of the main thread of the program under test. All
@@ -210,6 +214,9 @@ func (rt *Runtime) loop() Outcome {
 			panic(fmt.Sprintf("sched: controller picked t%d, not in enabled set %v", tid, enabled))
 		}
 		rt.decisions = append(rt.decisions, ThreadDecision(tid))
+		if rt.cfg.PointObserver != nil {
+			rt.observePoint(info, tid, prevEnabled)
+		}
 		if rt.prev != NoTID && tid != rt.prev {
 			rt.switches++
 			if prevEnabled {
