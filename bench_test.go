@@ -7,6 +7,7 @@ package icb_test
 // the command regenerates the full-scale versions.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -131,6 +132,27 @@ func BenchmarkICBExhaustive(b *testing.B) {
 		if len(res.Bugs) != 0 {
 			b.Fatal("unexpected bug")
 		}
+	}
+}
+
+// BenchmarkParallelICB measures the bound-synchronized parallel search at
+// increasing worker counts over the same exhaustive bound-2 drain as
+// BenchmarkICBExhaustive. Speedup over the workers=1 sub-benchmark is
+// bounded by min(workers, CPU count); on a single-CPU host the spread
+// between sub-benchmarks is pure coordination overhead.
+func BenchmarkParallelICB(b *testing.B) {
+	prog := wsq.Program(wsq.StealUnlocked, wsq.Params{Items: 2, Size: 2})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := core.Explore(prog, core.ParallelICB{Workers: w},
+					core.Options{MaxPreemptions: 2, CheckRaces: true})
+				if len(res.Bugs) == 0 {
+					b.Fatal("seeded bug not found")
+				}
+			}
+		})
 	}
 }
 

@@ -39,10 +39,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, ablate, all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, ablate, parallel, all")
 		budget   = flag.Int("budget", 2000, "execution budget per strategy for growth curves")
 		sample   = flag.Int("sample", 0, "curve sampling stride (0 = budget/50)")
 		seed     = flag.Int64("seed", 1, "random-walk seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker engines for icb searches (1 = sequential reference search)")
+		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "JSON output path for -exp parallel (empty = stdout table only)")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files into this directory (runs every experiment)")
 		progress = flag.Bool("progress", false, "print live search progress to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -86,7 +88,7 @@ func main() {
 		}()
 	}
 
-	cfg := exper.Config{Budget: *budget, Sample: *sample, Seed: *seed}
+	cfg := exper.Config{Budget: *budget, Sample: *sample, Seed: *seed, Workers: *workers}
 	var sinks []obs.Sink
 	var prg *obs.Progress
 	if *progress {
@@ -143,6 +145,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote CSV files to %s\n", *csvDir)
+		return
+	}
+	if *exp == "parallel" {
+		// Run the scaling study directly so -parallel-out controls where
+		// the machine-readable report lands.
+		if err := exper.Parallel(os.Stdout, cfg, *parOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if err := exper.Run(*exp, os.Stdout, cfg); err != nil {

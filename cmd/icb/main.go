@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -68,6 +69,7 @@ func run() int {
 		every    = flag.Bool("everyaccess", false, "scheduling points at every shared access (no sync-only reduction)")
 		list     = flag.Bool("list", false, "list benchmarks and bug variants")
 		seed     = flag.Int64("seed", 1, "seed for the random strategy")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker engines for the icb strategy (1 = sequential reference search)")
 		progress = flag.Bool("progress", false, "print live search progress to stderr")
 		events   = flag.String("events", "", "write the structured event stream (NDJSON) to this file")
 		jsonOut  = flag.Bool("json", false, "print the final result as JSON on stdout (human text goes to stderr)")
@@ -162,7 +164,7 @@ func run() int {
 		return 0
 	}
 
-	strat, err := parseStrategy(*strategy, *seed)
+	strat, err := parseStrategy(*strategy, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icb:", err)
 		return 2
@@ -462,9 +464,12 @@ func findBenchmark(name string) *progs.Benchmark {
 	return exper.Benchmarks()[i]
 }
 
-func parseStrategy(s string, seed int64) (core.Strategy, error) {
+func parseStrategy(s string, seed int64, workers int) (core.Strategy, error) {
 	switch {
 	case s == "icb":
+		if workers > 1 {
+			return core.ParallelICB{Workers: workers}, nil
+		}
 		return core.ICB{}, nil
 	case s == "dfs":
 		return baseline.DFS{}, nil

@@ -6,14 +6,20 @@ import (
 )
 
 func TestParseStrategy(t *testing.T) {
-	for _, tc := range []struct{ in, name string }{
-		{"icb", "icb"},
-		{"dfs", "dfs"},
-		{"db:25", "db:25"},
-		{"idfs", "idfs:20+20"},
-		{"random", "random"},
+	for _, tc := range []struct {
+		in      string
+		workers int
+		name    string
+	}{
+		{"icb", 1, "icb"},
+		{"icb", 4, "icb-w4"},
+		{"dfs", 1, "dfs"},
+		{"dfs", 4, "dfs"}, // -workers only parallelizes the icb strategy
+		{"db:25", 1, "db:25"},
+		{"idfs", 1, "idfs:20+20"},
+		{"random", 1, "random"},
 	} {
-		s, err := parseStrategy(tc.in, 1)
+		s, err := parseStrategy(tc.in, 1, tc.workers)
 		if err != nil {
 			t.Fatalf("parseStrategy(%q): %v", tc.in, err)
 		}
@@ -22,7 +28,7 @@ func TestParseStrategy(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"", "db:", "db:x", "db:-1", "bfs"} {
-		if _, err := parseStrategy(bad, 1); err == nil {
+		if _, err := parseStrategy(bad, 1, 1); err == nil {
 			t.Fatalf("parseStrategy(%q) succeeded", bad)
 		}
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"icb/internal/hb"
 	"icb/internal/obs"
 	"icb/internal/sched"
@@ -37,6 +39,13 @@ type Cache struct {
 	hits   int
 	misses int
 
+	// shared, when non-nil, replaces the private table with a lock-striped
+	// one owned by a parallel search: every worker's Cache points at the
+	// same sharedTable, so TryTake stays a single atomic check-and-set per
+	// decision across all workers while hits/misses stay per-worker (no
+	// contention on counters; the barrier merge sums them).
+	shared *sharedTable
+
 	// Telemetry, set by the engine; both nil when disabled.
 	sink obs.Sink
 	met  *obs.Metrics
@@ -62,7 +71,13 @@ func (c *Cache) TryTake(d sched.Decision) bool {
 	} else {
 		k.val = int32(d.Data)
 	}
-	if _, ok := c.table[k]; ok {
+	taken := false
+	if c.shared != nil {
+		taken = !c.shared.tryInsert(k)
+	} else if _, ok := c.table[k]; ok {
+		taken = true
+	}
+	if taken {
 		c.hits++
 		if c.met != nil {
 			c.met.CacheHits.Add(1)
@@ -72,7 +87,9 @@ func (c *Cache) TryTake(d sched.Decision) bool {
 		}
 		return false
 	}
-	c.table[k] = struct{}{}
+	if c.shared == nil {
+		c.table[k] = struct{}{}
+	}
 	c.misses++
 	if c.met != nil {
 		c.met.CacheMisses.Add(1)
@@ -87,4 +104,62 @@ func (c *Cache) Hits() int { return c.hits }
 func (c *Cache) Misses() int { return c.misses }
 
 // Size returns the number of registered work items.
-func (c *Cache) Size() int { return len(c.table) }
+func (c *Cache) Size() int {
+	if c.shared != nil {
+		return c.shared.size()
+	}
+	return len(c.table)
+}
+
+// cacheShards is the stripe count of sharedTable. Cache keys lead with a
+// splitmix64 state fingerprint, so the low bits distribute uniformly.
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]struct{}
+	_  [40]byte // keep neighboring stripe locks off one cache line
+}
+
+// sharedTable is the concurrent work-item table of a parallel search: one
+// striped map shared by every worker's Cache. tryInsert is the atomic
+// check-and-set that makes Algorithm 1's "registered exactly once"
+// invariant hold under concurrent draining — when two workers reach an
+// equivalent state simultaneously, exactly one wins the registration and
+// the other is cut.
+type sharedTable struct {
+	shards [cacheShards]cacheShard
+}
+
+func newSharedTable() *sharedTable {
+	t := &sharedTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[cacheKey]struct{})
+	}
+	return t
+}
+
+// tryInsert registers k and reports whether it was new.
+func (t *sharedTable) tryInsert(k cacheKey) bool {
+	sh := &t.shards[k.state&(cacheShards-1)]
+	sh.mu.Lock()
+	if _, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[k] = struct{}{}
+	sh.mu.Unlock()
+	return true
+}
+
+// size returns the number of registered work items.
+func (t *sharedTable) size() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

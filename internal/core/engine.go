@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"icb/internal/hb"
@@ -25,12 +26,29 @@ type Engine struct {
 	prog sched.Program
 	opt  Options
 
-	states  *hb.StateSet
-	classes *hb.StateSet
+	// states and classes are plain StateSets for a sequential engine and
+	// lock-striped ShardedStateSets shared across every worker engine of a
+	// parallel search (see ParallelICB).
+	states  hb.Set
+	classes hb.Set
 	fp      *hb.Fingerprinter
 	det     raceDetector
+	// observers is the per-execution observer slice, built once and reused
+	// across executions (its membership — fingerprinter plus optional race
+	// detector — never changes within one engine's lifetime).
+	observers []sched.Observer
 
 	cache *Cache
+
+	// Parallel-search plumbing, all nil/negative on a sequential engine so
+	// the hot path pays one nil-check each. stop is the search-wide abort
+	// flag shared by every worker (StopOnFirstBug, execution budget);
+	// sharedExecs is the search-wide execution counter that numbers
+	// executions globally and enforces MaxExecutions across workers; worker
+	// is this engine's worker index for per-worker telemetry.
+	stop        *atomic.Bool
+	sharedExecs *atomic.Int64
+	worker      int
 
 	// Telemetry (package obs). sink, met and est are nil when disabled, so
 	// the per-execution path pays one nil-check each and allocates nothing.
@@ -66,6 +84,7 @@ func NewEngine(prog sched.Program, opt Options) *Engine {
 		met:      opt.Metrics,
 		est:      opt.Estimator,
 		curBound: -1,
+		worker:   -1,
 	}
 	e.fp = hb.NewFingerprinter(func(s uint64) { e.states.Add(s) })
 	if opt.StateCache {
@@ -76,15 +95,25 @@ func NewEngine(prog sched.Program, opt Options) *Engine {
 	if e.met != nil {
 		e.met.CurBound.Store(-1)
 	}
-	if opt.CheckRaces {
-		if opt.UseGoldilocks {
+	e.initExec()
+	e.res.BoundCompleted = -1
+	return e
+}
+
+// initExec builds the per-execution machinery that depends only on the
+// options: the race detector and the reusable observer slice.
+func (e *Engine) initExec() {
+	if e.opt.CheckRaces {
+		if e.opt.UseGoldilocks {
 			e.det = race.NewGoldilocks()
 		} else {
 			e.det = race.NewDetector()
 		}
 	}
-	e.res.BoundCompleted = -1
-	return e
+	e.observers = append(e.observers, e.fp)
+	if e.det != nil {
+		e.observers = append(e.observers, e.det)
+	}
 }
 
 // Strategy is a search strategy: ICB (this package) or one of the
@@ -129,8 +158,21 @@ func Explore(prog sched.Program, s Strategy, opt Options) Result {
 }
 
 // Done reports whether the strategy must stop (budget exhausted or a bug
-// found under StopOnFirstBug).
-func (e *Engine) Done() bool { return e.done }
+// found under StopOnFirstBug). For a worker engine of a parallel search it
+// also observes the search-wide stop flag, so every worker drains out as
+// soon as any one of them must stop.
+func (e *Engine) Done() bool {
+	return e.done || (e.stop != nil && e.stop.Load())
+}
+
+// halt records that this engine must stop and, in a parallel search,
+// broadcasts the stop to every sibling worker.
+func (e *Engine) halt() {
+	e.done = true
+	if e.stop != nil {
+		e.stop.Store(true)
+	}
+}
 
 // MarkExhausted records that the strategy fully explored its search space.
 func (e *Engine) MarkExhausted() { e.res.Exhausted = true }
@@ -236,14 +278,12 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // coverage and statistics, files any bug, and returns the outcome. done
 // reports that the strategy must stop.
 func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bool) {
-	if e.done {
+	if e.Done() {
 		return sched.Outcome{Status: sched.StatusStopped}, true
 	}
 	e.fp.Reset()
-	observers := []sched.Observer{e.fp}
 	if e.det != nil {
 		e.det.Reset()
-		observers = append(observers, e.det)
 	}
 	if e.est != nil {
 		ctrl = &branchController{inner: ctrl, est: e.est, bound: e.curBound}
@@ -251,7 +291,7 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 	cfg := sched.Config{
 		Mode:      e.opt.Mode,
 		MaxSteps:  e.opt.MaxSteps,
-		Observers: observers,
+		Observers: e.observers,
 	}
 	if e.opt.Coverage != nil {
 		cfg.PointObserver = &pointForwarder{rec: e.opt.Coverage, bound: e.curBound}
@@ -261,8 +301,15 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 	}
 	out = sched.Run(e.prog, ctrl, cfg)
 	e.res.Executions++
+	// execNo is the search-global 1-based execution index: the local count
+	// for a sequential engine, a shared atomic for parallel workers (so bug
+	// reports, events and the budget see one consistent numbering).
+	execNo := e.res.Executions
+	if e.sharedExecs != nil {
+		execNo = int(e.sharedExecs.Add(1))
+	}
 	if e.opt.TraceObserver != nil {
-		e.opt.TraceObserver.ObserveOutcome(e.res.Executions, out)
+		e.opt.TraceObserver.ObserveOutcome(execNo, out)
 	}
 	if out.Status != sched.StatusStopped {
 		// Cut executions (cache hits, depth bounds) are prefixes of
@@ -281,21 +328,24 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 		e.res.MaxPreemptions = out.Preemptions
 	}
 
-	if e.opt.SampleEvery <= 1 || e.res.Executions%e.opt.SampleEvery == 0 {
+	if e.opt.SampleEvery <= 1 || execNo%e.opt.SampleEvery == 0 {
 		e.res.Curve = append(e.res.Curve, CoveragePoint{
-			Executions: e.res.Executions,
+			Executions: execNo,
 			States:     e.states.Len(),
 		})
 	}
 
 	if e.met != nil {
 		e.met.ObserveExecution(e.curBound)
+		if e.worker >= 0 {
+			e.met.ObserveWorkerExecution(e.worker)
+		}
 		e.met.States.Store(int64(e.states.Len()))
 		e.met.Classes.Store(int64(e.classes.Len()))
 	}
 	if e.sink != nil {
 		e.sink.ExecutionDone(obs.ExecutionEvent{
-			Execution:   e.res.Executions,
+			Execution:   execNo,
 			Status:      out.Status.String(),
 			Steps:       out.Steps,
 			Preemptions: out.Preemptions,
@@ -306,7 +356,7 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 		})
 	}
 
-	e.recordBugs(out)
+	e.recordBugs(out, execNo)
 
 	if out.Status == sched.StatusReplayDiverged {
 		// Nondeterminism outside the scheduler invalidates the whole
@@ -314,10 +364,10 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 		panic(fmt.Sprintf("core: %s", out.Message))
 	}
 
-	if e.opt.MaxExecutions > 0 && e.res.Executions >= e.opt.MaxExecutions {
-		e.done = true
+	if e.opt.MaxExecutions > 0 && execNo >= e.opt.MaxExecutions {
+		e.halt()
 	}
-	return out, e.done
+	return out, e.Done()
 }
 
 // branchController instruments a strategy's controller with the
@@ -372,8 +422,10 @@ func (p *pointForwarder) OnPoint(pi sched.PointInfo) {
 // recordBugs files bugs for a completed execution. A defect already seen
 // (same kind and message) only bumps its count: an exhaustive search of a
 // buggy program encounters the same failure along many interleavings and
-// must not accumulate one report per execution.
-func (e *Engine) recordBugs(out sched.Outcome) {
+// must not accumulate one report per execution. The exposing schedule is
+// cloned (and rendered for the event stream) only on the first sighting —
+// a count bump must stay allocation-free.
+func (e *Engine) recordBugs(out sched.Outcome, execNo int) {
 	file := func(kind BugKind, msg string) {
 		if e.bugSeen == nil {
 			e.bugSeen = make(map[bugKey]int)
@@ -382,7 +434,7 @@ func (e *Engine) recordBugs(out sched.Outcome) {
 		if i, seen := e.bugSeen[k]; seen {
 			e.res.Bugs[i].Count++
 			if e.opt.StopOnFirstBug {
-				e.done = true
+				e.halt()
 			}
 			return
 		}
@@ -393,7 +445,7 @@ func (e *Engine) recordBugs(out sched.Outcome) {
 			Preemptions:     out.Preemptions,
 			ContextSwitches: out.ContextSwitches,
 			Steps:           out.Steps,
-			Execution:       e.res.Executions,
+			Execution:       execNo,
 			Schedule:        out.Decisions.Clone(),
 			Count:           1,
 		})
@@ -405,13 +457,13 @@ func (e *Engine) recordBugs(out sched.Outcome) {
 				Kind:        kind.String(),
 				Message:     msg,
 				Preemptions: out.Preemptions,
-				Execution:   e.res.Executions,
+				Execution:   execNo,
 				Schedule:    out.Decisions.String(),
 				Steps:       out.Steps,
 			})
 		}
 		if e.opt.StopOnFirstBug {
-			e.done = true
+			e.halt()
 		}
 	}
 	if kind, msg, ok := classifyOutcome(out); ok {

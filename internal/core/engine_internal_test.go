@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"icb/internal/sched"
+)
+
+// TestRecordBugsDedupAllocFree pins the bug-dedup hot path: re-sighting an
+// already-filed defect must only bump its count — no schedule clone, no
+// event rendering, no allocation at all. An exhaustive search of a buggy
+// program hits the same defect along thousands of interleavings, so a
+// per-sighting clone would dominate the search's allocations.
+func TestRecordBugsDedupAllocFree(t *testing.T) {
+	e := NewEngine(func(t *sched.T) {}, Options{})
+	out := sched.Outcome{
+		Status:      sched.StatusAssertFailed,
+		Message:     "item 1 taken twice",
+		Preemptions: 2,
+		Decisions: sched.Schedule{
+			sched.ThreadDecision(0), sched.ThreadDecision(1), sched.ThreadDecision(0),
+		},
+	}
+	e.recordBugs(out, 1) // first sighting files the bug (and may allocate)
+	if len(e.res.Bugs) != 1 || e.res.Bugs[0].Count != 1 {
+		t.Fatalf("first sighting: bugs = %+v", e.res.Bugs)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.recordBugs(out, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate sighting allocates %.1f objects per run, want 0", allocs)
+	}
+	if e.res.Bugs[0].Count != 102 {
+		t.Errorf("count = %d, want 102", e.res.Bugs[0].Count)
+	}
+}

@@ -73,7 +73,12 @@ func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.S
 		path := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		ctrl := &icbController{
-			path:      path,
+			path: path,
+			// The extension phase appends one decision per scheduling point
+			// past the replayed prefix; starting at the prefix length plus a
+			// small headroom avoids the append-regrowth copies that
+			// otherwise dominate the controller's allocations.
+			cur:       make(sched.Schedule, 0, len(path)+16),
 			cache:     e.Cache(),
 			onPreempt: func(alt sched.Schedule) { *next = append(*next, alt) },
 			onLocal:   func(alt sched.Schedule) { stack = append(stack, alt) },

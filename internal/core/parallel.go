@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"icb/internal/hb"
+	"icb/internal/sched"
+)
+
+// ParallelICB is the multi-core realization of Algorithm 1: it shards each
+// preemption bound's work queue across Workers worker engines and makes
+// them synchronize at bound boundaries. The stateless design makes this
+// sound — every work item is a replay schedule restartable from the
+// initial state, so items within one bound are independent and can be
+// drained in any order, including concurrently. The barrier between bound
+// c and c+1 is what preserves the two ICB guarantees:
+//
+//   - no execution with c+1 preemptions runs before every execution with
+//     at most c preemptions has run, so the first bug found still has the
+//     minimum number of preemptions over the whole program (at bound
+//     granularity: several bound-c bugs may race to be "first", but no
+//     bound-(c+1) bug can);
+//   - when the barrier for bound c is passed, every execution with at most
+//     c preemptions has been explored, so Result.BoundCompleted keeps its
+//     meaning verbatim.
+//
+// What is deterministic across worker counts: the bug set (kind+message),
+// BoundCompleted, Exhausted, and — because the explored execution set is
+// order-independent — the per-bound and final distinct-state and
+// execution-class counts. What is intentionally nondeterministic: the
+// execution order, the shape of the coverage growth curve, which
+// equivalent execution first claims a work item when state caching is on
+// (and hence cache hit/miss splits and execution counts under caching),
+// and which of several same-bound bugs is reported first.
+//
+// Workers <= 0 selects GOMAXPROCS. Workers == 1 delegates to the exact
+// sequential ICB code path, byte-identical in behavior and Result.
+type ParallelICB struct {
+	// Workers is the worker-engine count (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// NumWorkers returns the resolved worker count.
+func (p ParallelICB) NumWorkers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Name implements Strategy. The sequential degenerate case keeps the
+// canonical "icb" name so workers=1 results are indistinguishable from
+// the sequential strategy's.
+func (p ParallelICB) Name() string {
+	if w := p.NumWorkers(); w > 1 {
+		return fmt.Sprintf("icb-w%d", w)
+	}
+	return "icb"
+}
+
+// parSearch is the shared state of one parallel exploration: the
+// concurrent coverage sets, the shared work-item table, the stop flag and
+// the global execution counter, plus the worker engines themselves.
+type parSearch struct {
+	stop    atomic.Bool
+	execs   atomic.Int64
+	states  *hb.ShardedStateSet
+	classes *hb.ShardedStateSet
+	table   *sharedTable // nil when state caching is off
+	workers []*Engine
+
+	// Per-worker merge cursors: how many Result.Curve points and how much
+	// of each Bug's Count have already been folded into the parent at
+	// previous barriers.
+	curveDone []int
+	bugsDone  [][]int
+}
+
+// newParSearch converts the parent engine to shared concurrent coverage
+// structures and builds w worker engines around them.
+func newParSearch(parent *Engine, w int) *parSearch {
+	ps := &parSearch{
+		states:    hb.NewShardedStateSet(),
+		classes:   hb.NewShardedStateSet(),
+		curveDone: make([]int, w),
+		bugsDone:  make([][]int, w),
+	}
+	// The parent runs no executions itself; it reads the shared sets at
+	// barriers so coverage counters in bound events and BoundStats reflect
+	// all workers.
+	parent.states = ps.states
+	parent.classes = ps.classes
+	if parent.opt.StateCache {
+		ps.table = newSharedTable()
+	}
+	for i := 0; i < w; i++ {
+		ps.workers = append(ps.workers, newWorkerEngine(parent, i, ps))
+	}
+	return ps
+}
+
+// newWorkerEngine builds one worker: a full Engine with private
+// fingerprinter, race detector, observer slice and statistics, wired to
+// the search-wide shared structures. Telemetry objects (sink, metrics,
+// estimator, coverage recorder, trace observer) are shared as-is — every
+// implementation in package obs serializes internally.
+func newWorkerEngine(parent *Engine, worker int, ps *parSearch) *Engine {
+	e := &Engine{
+		prog:        parent.prog,
+		opt:         parent.opt,
+		states:      ps.states,
+		classes:     ps.classes,
+		sink:        parent.sink,
+		met:         parent.met,
+		est:         parent.est,
+		curBound:    -1,
+		worker:      worker,
+		stop:        &ps.stop,
+		sharedExecs: &ps.execs,
+	}
+	e.fp = hb.NewFingerprinter(func(s uint64) { ps.states.Add(s) })
+	if e.opt.StateCache {
+		e.cache = &Cache{fp: e.fp, shared: ps.table, sink: e.sink, met: e.met}
+	}
+	e.initExec()
+	e.res.BoundCompleted = -1
+	return e
+}
+
+// Explore implements Strategy: the bound-synchronized parallel drain.
+func (p ParallelICB) Explore(e *Engine) {
+	w := p.NumWorkers()
+	if w <= 1 {
+		ICB{}.Explore(e)
+		return
+	}
+	ps := newParSearch(e, w)
+	maxBound := e.Options().MaxPreemptions
+
+	workQueue := []sched.Schedule{nil}
+	currBound := 0
+
+	for {
+		e.BeginBound(currBound, len(workQueue))
+		for _, we := range ps.workers {
+			we.curBound = currBound
+		}
+
+		// Drain the bound: workers pull seed schedules off a shared index
+		// (work-stealing granularity = one seed's no-preempt subtree) and
+		// collect next-bound items into per-worker slices.
+		var (
+			idx       atomic.Int64
+			doneItems atomic.Int64
+			wg        sync.WaitGroup
+		)
+		total := len(workQueue)
+		nextByWorker := make([][]sched.Schedule, w)
+		for wi := range ps.workers {
+			wg.Add(1)
+			go func(wi int, we *Engine) {
+				defer wg.Done()
+				next := &nextByWorker[wi]
+				for !we.Done() {
+					i := int(idx.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					we.NoteFrontier(total - i - 1)
+					searchNoPreempt(we, workQueue[i], currBound, next)
+					we.NoteWork(int(doneItems.Add(1)), total)
+				}
+			}(wi, ps.workers[wi])
+		}
+		wg.Wait()
+
+		nextWork := mergeNextWork(nextByWorker)
+		ps.mergeInto(e)
+		if e.done {
+			return
+		}
+		e.NoteWork(total, total)
+		e.NoteFrontier(len(nextWork))
+		e.SetBoundCompleted(currBound)
+		if len(nextWork) == 0 {
+			e.MarkExhausted()
+			return
+		}
+		if maxBound >= 0 && currBound >= maxBound {
+			return
+		}
+		currBound++
+		workQueue = nextWork
+	}
+}
+
+// mergeNextWork concatenates the per-worker next-bound slices in worker
+// order and drops duplicate schedules. With state caching on, duplicates
+// cannot arise (the shared table's atomic check-and-set admits each work
+// item once); without caching every alternative is generated by exactly
+// one execution path. The dedup is a cheap once-per-bound safety net that
+// keeps the invariant explicit.
+func mergeNextWork(byWorker [][]sched.Schedule) []sched.Schedule {
+	n := 0
+	for _, s := range byWorker {
+		n += len(s)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]sched.Schedule, 0, n)
+	seen := make(map[string]struct{}, n)
+	for _, ws := range byWorker {
+		for _, s := range ws {
+			k := s.String()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// mergeInto folds the workers' results into the parent engine at a bound
+// barrier: cumulative executions, per-execution maxima, new coverage-curve
+// points (sorted by global execution index), newly seen bugs (deduplicated
+// across workers by kind+message, first-sightings ordered deterministically)
+// and count bumps for already-filed ones. It also propagates stopping.
+func (ps *parSearch) mergeInto(e *Engine) {
+	e.res.Executions = int(ps.execs.Load())
+
+	var newPoints []CoveragePoint
+	type sighting struct {
+		worker, index int
+	}
+	var fresh []sighting
+	stopped := false
+	for wi, we := range ps.workers {
+		if we.done {
+			stopped = true
+		}
+		if we.res.MaxSteps > e.res.MaxSteps {
+			e.res.MaxSteps = we.res.MaxSteps
+		}
+		if we.res.MaxBlocking > e.res.MaxBlocking {
+			e.res.MaxBlocking = we.res.MaxBlocking
+		}
+		if we.res.MaxPreemptions > e.res.MaxPreemptions {
+			e.res.MaxPreemptions = we.res.MaxPreemptions
+		}
+		newPoints = append(newPoints, we.res.Curve[ps.curveDone[wi]:]...)
+		ps.curveDone[wi] = len(we.res.Curve)
+
+		for bi := range we.res.Bugs {
+			wb := &we.res.Bugs[bi]
+			merged := 0
+			if bi < len(ps.bugsDone[wi]) {
+				merged = ps.bugsDone[wi][bi]
+			} else {
+				ps.bugsDone[wi] = append(ps.bugsDone[wi], 0)
+			}
+			if delta := wb.Count - merged; delta > 0 {
+				k := bugKey{kind: wb.Kind, msg: wb.Message}
+				if e.bugSeen == nil {
+					e.bugSeen = make(map[bugKey]int)
+				}
+				if pi, seen := e.bugSeen[k]; seen {
+					e.res.Bugs[pi].Count += delta
+				} else {
+					fresh = append(fresh, sighting{worker: wi, index: bi})
+				}
+				ps.bugsDone[wi][bi] = wb.Count
+			}
+		}
+	}
+
+	sort.Slice(newPoints, func(i, j int) bool { return newPoints[i].Executions < newPoints[j].Executions })
+	e.res.Curve = append(e.res.Curve, newPoints...)
+
+	// First sightings from this bound, ordered by (kind, message) so a full
+	// drain reports an identical bug list for every worker count. Workers
+	// may have sighted the same defect independently before the shared
+	// table/barrier could dedup it; fold those duplicates' counts together.
+	sort.Slice(fresh, func(i, j int) bool {
+		a := &ps.workers[fresh[i].worker].res.Bugs[fresh[i].index]
+		b := &ps.workers[fresh[j].worker].res.Bugs[fresh[j].index]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Message < b.Message
+	})
+	for _, s := range fresh {
+		wb := ps.workers[s.worker].res.Bugs[s.index]
+		k := bugKey{kind: wb.Kind, msg: wb.Message}
+		if pi, seen := e.bugSeen[k]; seen {
+			e.res.Bugs[pi].Count += wb.Count
+			continue
+		}
+		e.bugSeen[k] = len(e.res.Bugs)
+		e.res.Bugs = append(e.res.Bugs, wb)
+	}
+
+	// Work-item-table totals: the parent's Cache reports the summed
+	// per-worker counters (the table itself is shared, so Size is global).
+	if e.cache != nil {
+		hits, misses := 0, 0
+		for _, we := range ps.workers {
+			hits += we.cache.hits
+			misses += we.cache.misses
+		}
+		e.cache.hits, e.cache.misses = hits, misses
+		e.cache.shared = ps.table
+	}
+
+	if stopped || ps.stop.Load() {
+		e.done = true
+	}
+}

@@ -34,7 +34,10 @@ type AblationResult struct {
 	CachedExecs, UncachedExecs, SweepStates int
 }
 
-// AblationData measures every ablation.
+// AblationData measures every ablation. The ablations deliberately stay on
+// the sequential core.ICB{} regardless of cfg.Workers: they validate exact
+// Theorem 1 execution counts, and the cached-search comparison depends on
+// the deterministic table fill order only the sequential drain provides.
 func AblationData(cfg Config) (AblationResult, error) {
 	var r AblationResult
 

@@ -41,6 +41,11 @@ type Config struct {
 	Sample int
 	// Seed seeds the random-walk strategy.
 	Seed int64
+	// Workers is the worker count for the bound-synchronized parallel ICB
+	// search (0 or 1 = the sequential strategy). Table and figure shapes
+	// are unchanged by it: the bound barrier keeps per-bound coverage and
+	// bug sets deterministic across worker counts.
+	Workers int
 	// Metrics, when non-nil, receives live counters from every exploration
 	// the experiments run (icb-bench serves it over expvar).
 	Metrics *obs.Metrics
@@ -111,6 +116,10 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return Fig6(w, cfg)
 	case "ablate":
 		return Ablate(w, cfg)
+	case "parallel":
+		// Excluded from "all": a timing study, not a paper artifact.
+		// icb-bench calls Parallel directly to control the JSON path.
+		return Parallel(w, cfg, "")
 	case "all":
 		for _, n := range Experiments() {
 			if err := Run(n, w, cfg); err != nil {
@@ -121,6 +130,17 @@ func Run(name string, w io.Writer, cfg Config) error {
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (have %v)", name, Experiments())
+}
+
+// icb returns the configured ICB strategy: the sequential reference
+// implementation for Workers <= 1, the bound-synchronized parallel search
+// otherwise. Ablate deliberately bypasses this helper — its Theorem 1
+// validation counts executions one controller at a time.
+func (c Config) icb() core.Strategy {
+	if c.Workers > 1 {
+		return core.ParallelICB{Workers: c.Workers}
+	}
+	return core.ICB{}
 }
 
 // explore runs a strategy over a stateless program with shared settings,

@@ -252,3 +252,44 @@ func TestSeriesRowsShape(t *testing.T) {
 		t.Fatalf("carried value: %v", rows[2])
 	}
 }
+
+// TestParallelScaling: the scaling study's deterministic outputs must
+// agree across worker counts (ParallelData errors on divergence), every
+// row must find the seeded bug, and the JSON report must round-trip to
+// the named file.
+func TestParallelScaling(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "parallel.json")
+	var sb strings.Builder
+	if err := Parallel(&sb, Config{}, path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParallelData(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(parallelWorkerCounts) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(parallelWorkerCounts))
+	}
+	for _, r := range rep.Rows {
+		if r.Bugs == 0 {
+			t.Errorf("workers=%d: seeded bug not found", r.Workers)
+		}
+		if r.BoundCompleted != rep.Bound {
+			t.Errorf("workers=%d: bound completed %d, want %d", r.Workers, r.BoundCompleted, rep.Bound)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("workers=%d: speedup %v, want > 0", r.Workers, r.Speedup)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"gomaxprocs"`) {
+		t.Errorf("report JSON missing host fields: %s", data)
+	}
+	if !strings.Contains(sb.String(), "Parallel scaling") {
+		t.Errorf("renderer output: %q", sb.String())
+	}
+}

@@ -23,7 +23,7 @@ type BoundPercent struct {
 // boundSweep runs an exhaustive cached ICB search and converts its
 // per-bound coverage into percentages of the final (full) state count.
 func boundSweep(prog sched.Program, cfg Config) ([]BoundPercent, error) {
-	res := explore(prog, core.ICB{}, core.Options{MaxPreemptions: -1, StateCache: true}, cfg)
+	res := explore(prog, cfg.icb(), core.Options{MaxPreemptions: -1, StateCache: true}, cfg)
 	if !res.Exhausted {
 		return nil, fmt.Errorf("state space not exhausted")
 	}
@@ -67,7 +67,7 @@ func Fig2Data(cfg Config) []series {
 	cfg.fill()
 	prog := wsq.Program(wsq.Correct, wsq.Params{})
 	return growthCurves(prog, cfg, []core.Strategy{
-		core.ICB{},
+		cfg.icb(),
 		baseline.DFS{},
 		baseline.Random{Seed: cfg.Seed},
 		baseline.DFS{Depth: 40},
@@ -165,7 +165,7 @@ func Fig5Data(cfg Config) []series {
 	cfg.fill()
 	prog := Benchmarks()[3].Correct // APE
 	return growthCurves(prog, cfg, []core.Strategy{
-		core.ICB{},
+		cfg.icb(),
 		baseline.DFS{},
 		baseline.DFS{Depth: 30},
 		baseline.DFS{Depth: 45},
@@ -188,7 +188,7 @@ func Fig6Data(cfg Config) []series {
 	cfg.fill()
 	prog := Benchmarks()[4].Correct // Dryad
 	return growthCurves(prog, cfg, []core.Strategy{
-		core.ICB{},
+		cfg.icb(),
 		baseline.DFS{},
 		baseline.DFS{Depth: 20},
 		baseline.DFS{Depth: 30},

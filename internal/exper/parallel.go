@@ -1,0 +1,150 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+
+	"icb/internal/core"
+	"icb/internal/progs/wsq"
+)
+
+// ParallelRow is one worker-count measurement of the bound-synchronized
+// parallel search: wall clock, throughput, and the deterministic outputs
+// (states, bugs, bound) that must not move with the worker count.
+type ParallelRow struct {
+	Workers        int     `json:"workers"`
+	Executions     int     `json:"executions"`
+	DurationNS     int64   `json:"duration_ns"`
+	ExecsPerSec    float64 `json:"execs_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	States         int     `json:"states"`
+	Bugs           int     `json:"bugs"`
+	BoundCompleted int     `json:"bound_completed"`
+}
+
+// ParallelReport is the scaling study icb-bench writes to
+// BENCH_parallel.json: an exhaustive bound-2 search of the buggy
+// work-stealing queue at increasing worker counts. Speedup is relative to
+// the workers=1 row and is bounded above by min(workers, CPUs) — on a
+// single-CPU host every row contends for the same core and the study
+// degenerates to a goroutine-overhead measurement, which is why CPUs and
+// GOMAXPROCS are part of the record.
+type ParallelReport struct {
+	Benchmark  string        `json:"benchmark"`
+	Bug        string        `json:"bug"`
+	Bound      int           `json:"bound"`
+	CPUs       int           `json:"cpus"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Rows       []ParallelRow `json:"rows"`
+}
+
+// parallelWorkerCounts are the worker counts the scaling study measures.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelData measures the scaling study. Every row must agree on the
+// deterministic outputs — bug set, distinct states, completed bound — which
+// the caching-free exhaustive drain makes exactly comparable; a
+// disagreement is reported as an error rather than silently recorded.
+func ParallelData(cfg Config) (ParallelReport, error) {
+	cfg.fill()
+	rep := ParallelReport{
+		Benchmark:  "wsq",
+		Bug:        "steal-unlocked",
+		Bound:      2,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	var refBugs []string
+	for _, w := range parallelWorkerCounts {
+		prog := wsq.Program(wsq.StealUnlocked, wsq.Params{})
+		res := explore(prog, core.ParallelICB{Workers: w},
+			core.Options{MaxPreemptions: rep.Bound}, cfg)
+		row := ParallelRow{
+			Workers:        w,
+			Executions:     res.Executions,
+			DurationNS:     res.Duration.Nanoseconds(),
+			States:         res.States,
+			Bugs:           len(res.Bugs),
+			BoundCompleted: res.BoundCompleted,
+		}
+		if res.Duration > 0 {
+			row.ExecsPerSec = float64(res.Executions) / res.Duration.Seconds()
+		}
+		if len(rep.Rows) > 0 {
+			base := rep.Rows[0]
+			if row.DurationNS > 0 {
+				row.Speedup = float64(base.DurationNS) / float64(row.DurationNS)
+			}
+			if row.Executions != base.Executions || row.States != base.States ||
+				row.BoundCompleted != base.BoundCompleted {
+				return rep, fmt.Errorf(
+					"parallel: workers=%d diverged from workers=1: execs %d vs %d, states %d vs %d, bound %d vs %d",
+					w, row.Executions, base.Executions, row.States, base.States,
+					row.BoundCompleted, base.BoundCompleted)
+			}
+		} else {
+			row.Speedup = 1
+		}
+		bugs := bugKeys(res)
+		if refBugs == nil {
+			refBugs = bugs
+		} else if !reflect.DeepEqual(bugs, refBugs) {
+			return rep, fmt.Errorf("parallel: workers=%d found bug set %v, workers=1 found %v", w, bugs, refBugs)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// bugKeys projects a result's bugs onto sorted "kind|message" keys for
+// cross-run comparison.
+func bugKeys(res core.Result) []string {
+	keys := make([]string, 0, len(res.Bugs))
+	for i := range res.Bugs {
+		keys = append(keys, fmt.Sprintf("%s|%s", res.Bugs[i].Kind, res.Bugs[i].Message))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Parallel renders the scaling study and, when jsonPath is non-empty,
+// writes the report there as indented JSON.
+func Parallel(w io.Writer, cfg Config, jsonPath string) error {
+	rep, err := ParallelData(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Parallel scaling: %s/%s exhaustive bound-%d drain (%d CPUs, GOMAXPROCS=%d).\n",
+		rep.Benchmark, rep.Bug, rep.Bound, rep.CPUs, rep.GoMaxProcs)
+	fmt.Fprintf(w, "%-8s %12s %12s %14s %9s %8s %6s\n",
+		"workers", "executions", "wall (ms)", "execs/sec", "speedup", "states", "bugs")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-8d %12d %12.1f %14.0f %8.2fx %8d %6d\n",
+			r.Workers, r.Executions, float64(r.DurationNS)/1e6, r.ExecsPerSec, r.Speedup, r.States, r.Bugs)
+	}
+	if rep.CPUs == 1 {
+		fmt.Fprintln(w, "note: single-CPU host; speedup above 1.0x is unattainable here (workers time-share one core).")
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

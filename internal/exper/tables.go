@@ -41,7 +41,7 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 	for _, b := range Benchmarks() {
 		rec := coverage.NewRecorder(b.Name)
 		relabelCoverage(cfg, b.Name)
-		icbRes := explore(b.Correct, core.ICB{}, core.Options{
+		icbRes := explore(b.Correct, cfg.icb(), core.Options{
 			MaxPreemptions: 2,
 			StateCache:     true,
 			Coverage:       rec,
@@ -152,7 +152,7 @@ func Table2Data(cfg Config) ([]Table2Row, error) {
 		rec := coverage.NewRecorder(b.Name)
 		relabelCoverage(cfg, b.Name)
 		for i := range b.Bugs {
-			res := explore(b.Bugs[i].Program, core.ICB{}, core.Options{
+			res := explore(b.Bugs[i].Program, cfg.icb(), core.Options{
 				MaxPreemptions: 3,
 				StopOnFirstBug: true,
 				Coverage:       rec,

@@ -1,0 +1,82 @@
+package hb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Set is the common surface of the two state-set implementations: the
+// plain single-goroutine StateSet and the lock-striped ShardedStateSet.
+// The exploration engines hold this interface so a sequential search pays
+// no synchronization while a parallel search shares one concurrent set
+// across workers.
+type Set interface {
+	// Add inserts s and reports whether it was new.
+	Add(s uint64) bool
+	// Has reports membership.
+	Has(s uint64) bool
+	// Len returns the number of distinct states.
+	Len() int
+}
+
+var (
+	_ Set = (*StateSet)(nil)
+	_ Set = (*ShardedStateSet)(nil)
+)
+
+// stateShards is the stripe count of ShardedStateSet. Fingerprints are
+// splitmix64 outputs (full avalanche), so the low bits index uniformly;
+// 64 stripes keep contention negligible for any plausible worker count.
+const stateShards = 64
+
+type stateShard struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+	// Pad each shard to its own cache line so neighboring locks do not
+	// false-share under concurrent workers.
+	_ [40]byte
+}
+
+// ShardedStateSet is a lock-striped Set safe for concurrent use by many
+// exploration workers. Len is maintained as an atomic counter so the hot
+// read (coverage sampling after every execution) takes no locks; it is
+// exact whenever no Add is in flight (in particular at bound barriers).
+type ShardedStateSet struct {
+	shards [stateShards]stateShard
+	n      atomic.Int64
+}
+
+// NewShardedStateSet returns an empty concurrent set.
+func NewShardedStateSet() *ShardedStateSet {
+	s := &ShardedStateSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]struct{})
+	}
+	return s
+}
+
+// Add inserts v and reports whether it was new. Safe for concurrent use.
+func (s *ShardedStateSet) Add(v uint64) bool {
+	sh := &s.shards[v&(stateShards-1)]
+	sh.mu.Lock()
+	if _, ok := sh.m[v]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[v] = struct{}{}
+	sh.mu.Unlock()
+	s.n.Add(1)
+	return true
+}
+
+// Has reports membership. Safe for concurrent use.
+func (s *ShardedStateSet) Has(v uint64) bool {
+	sh := &s.shards[v&(stateShards-1)]
+	sh.mu.Lock()
+	_, ok := sh.m[v]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of distinct states inserted so far.
+func (s *ShardedStateSet) Len() int { return int(s.n.Load()) }

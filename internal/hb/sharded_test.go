@@ -1,0 +1,58 @@
+package hb
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedStateSetMatchesStateSet: concurrent insertion of an
+// overlapping key stream from many goroutines must yield exactly the
+// sequential set — same membership, same count.
+func TestShardedStateSetMatchesStateSet(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	ref := NewStateSet()
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			// Overlapping streams: every value appears in two goroutines.
+			ref.Add(Hash64(uint64(g/2)<<32 | uint64(i)))
+		}
+	}
+
+	ss := NewShardedStateSet()
+	var wg sync.WaitGroup
+	added := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if ss.Add(Hash64(uint64(g/2)<<32 | uint64(i))) {
+					added[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if ss.Len() != ref.Len() {
+		t.Errorf("sharded len = %d, sequential = %d", ss.Len(), ref.Len())
+	}
+	total := 0
+	for _, n := range added {
+		total += n
+	}
+	if total != ref.Len() {
+		t.Errorf("sum of successful Adds = %d, want %d (each key admitted exactly once)", total, ref.Len())
+	}
+	for i := 0; i < perG; i++ {
+		if !ss.Has(Hash64(uint64(0)<<32 | uint64(i))) {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+	if ss.Has(Hash64(1<<63 + 12345)) {
+		t.Errorf("phantom membership")
+	}
+}

@@ -256,8 +256,13 @@ type Metrics struct {
 
 	boundExecs [MaxTrackedBounds]atomic.Int64
 	boundNanos [MaxTrackedBounds]atomic.Int64
+	// workerExecs counts executions per parallel-search worker; a
+	// sequential search records nothing here. Workers beyond the cap fold
+	// into the last slot, flagged by truncated like deep bounds.
+	workerExecs [MaxTrackedWorkers]atomic.Int64
 	// truncated records that some observation was folded into the last
-	// slot because its bound was >= MaxTrackedBounds.
+	// slot because its bound was >= MaxTrackedBounds (or its worker index
+	// >= MaxTrackedWorkers).
 	truncated atomic.Bool
 
 	// est is the attached EstimateSource (or nil), stored atomically so
@@ -288,6 +293,35 @@ func (m *Metrics) ObserveExecution(bound int) {
 // ObserveBoundTime adds wall-clock nanoseconds to a bound's total.
 func (m *Metrics) ObserveBoundTime(bound int, ns int64) {
 	m.boundNanos[m.boundSlot(bound)].Add(ns)
+}
+
+// MaxTrackedWorkers caps the per-worker counter array; parallel searches
+// wider than this fold the excess workers into the last slot.
+const MaxTrackedWorkers = 64
+
+// ObserveWorkerExecution records one execution run by the given parallel
+// worker (0-based). The per-worker counters feed the dashboard's worker
+// utilization view.
+func (m *Metrics) ObserveWorkerExecution(worker int) {
+	if worker < 0 {
+		worker = 0
+	}
+	if worker >= MaxTrackedWorkers {
+		m.truncated.Store(true)
+		worker = MaxTrackedWorkers - 1
+	}
+	m.workerExecs[worker].Add(1)
+}
+
+// WorkerExecutions returns the execution count recorded for a worker.
+func (m *Metrics) WorkerExecutions(worker int) int64 {
+	if worker < 0 {
+		worker = 0
+	}
+	if worker >= MaxTrackedWorkers {
+		worker = MaxTrackedWorkers - 1
+	}
+	return m.workerExecs[worker].Load()
 }
 
 // SetEstimator attaches a schedule-space estimator; its per-bound
@@ -331,6 +365,15 @@ type BoundSnapshot struct {
 	DurationNS int64 `json:"duration_ns"`
 }
 
+// WorkerSnapshot is one parallel worker's share of a Snapshot: its
+// execution count and its share of all worker-attributed executions
+// (utilization; ~1/W each when work distributes evenly).
+type WorkerSnapshot struct {
+	Worker     int     `json:"worker"`
+	Executions int64   `json:"executions"`
+	Share      float64 `json:"share"`
+}
+
 // Snapshot is a plain-value copy of the counters, suitable for JSON
 // encoding (expvar.Func) or test assertions.
 type Snapshot struct {
@@ -347,6 +390,9 @@ type Snapshot struct {
 	// entry aggregates several bounds rather than describing one.
 	Truncated bool            `json:"truncated,omitempty"`
 	Bounds    []BoundSnapshot `json:"bounds,omitempty"`
+	// Workers carries per-worker execution counts of a parallel search
+	// (empty for sequential searches).
+	Workers []WorkerSnapshot `json:"workers,omitempty"`
 	// Estimates carries the per-bound schedule-space estimates of the
 	// attached estimator (empty when none is attached).
 	Estimates []BoundEstimate `json:"estimates,omitempty"`
@@ -376,6 +422,21 @@ func (m *Metrics) Snapshot() Snapshot {
 				Executions: n,
 				DurationNS: m.boundNanos[b].Load(),
 			})
+		}
+	}
+	var workerTotal int64
+	for w := 0; w < MaxTrackedWorkers; w++ {
+		workerTotal += m.workerExecs[w].Load()
+	}
+	if workerTotal > 0 {
+		for w := 0; w < MaxTrackedWorkers; w++ {
+			if n := m.workerExecs[w].Load(); n > 0 {
+				s.Workers = append(s.Workers, WorkerSnapshot{
+					Worker:     w,
+					Executions: n,
+					Share:      float64(n) / float64(workerTotal),
+				})
+			}
 		}
 	}
 	if p, _ := m.est.Load().(*EstimateSource); p != nil && *p != nil {
