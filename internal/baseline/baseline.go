@@ -102,13 +102,13 @@ func (c *dfsController) PickThread(info sched.PickInfo) (sched.TID, bool) {
 		return d.Thread, true
 	}
 	pick := info.Enabled[0]
-	if c.cache != nil && !c.cache.TryTake(sched.ThreadDecision(pick)) {
+	if c.cache != nil && !c.cache.TryTake(sched.ThreadDecision(pick), 0) {
 		c.cacheCut = true
 		return sched.NoTID, false
 	}
 	// Push siblings right-to-left so the leftmost subtree is explored next.
 	for i := len(info.Enabled) - 1; i >= 1; i-- {
-		if c.cache == nil || c.cache.TryTake(sched.ThreadDecision(info.Enabled[i])) {
+		if c.cache == nil || c.cache.TryTake(sched.ThreadDecision(info.Enabled[i]), 0) {
 			c.onAlt(c.cur.Extend(sched.ThreadDecision(info.Enabled[i])))
 		}
 	}
@@ -128,10 +128,10 @@ func (c *dfsController) PickData(t sched.TID, n int) int {
 		return d.Data
 	}
 	if c.cache != nil {
-		c.cache.TryTake(sched.DataDecision(0))
+		c.cache.TryTake(sched.DataDecision(0), 0)
 	}
 	for v := n - 1; v >= 1; v-- {
-		if c.cache == nil || c.cache.TryTake(sched.DataDecision(v)) {
+		if c.cache == nil || c.cache.TryTake(sched.DataDecision(v), 0) {
 			c.onAlt(c.cur.Extend(sched.DataDecision(v)))
 		}
 	}

@@ -12,10 +12,15 @@ import (
 // set of (state, decision) pairs whose exploration has been started or
 // enqueued. A state is identified by the canonical happens-before
 // fingerprint of the execution prefix (package hb), which is sound for
-// pruning because scheduling is the only nondeterminism in the model —
-// equal fingerprints imply equivalent executions, hence identical program
-// states and identical subtrees (up to 64-bit fingerprint collisions,
-// which we accept as the paper's checkers accept hash compaction).
+// pruning because scheduling and data choices are the only nondeterminism
+// in the model and both are part of the fingerprint — equal fingerprints
+// imply equivalent executions, hence identical program states and
+// identical subtrees (up to 64-bit fingerprint collisions, which we accept
+// as the paper's checkers accept hash compaction). Data choices earn their
+// place the hard way: a fuzzing campaign found a cached run missing a bug
+// outright because prefixes differing only in a Choose value shared a
+// fingerprint, so the cache cut a path to a genuinely different state (see
+// TestCachedICBSoundWithDataChoices and hb.Fingerprinter.OnChoice).
 //
 // Strategies consult TryTake in two places, mirroring Algorithm 1 exactly:
 //
@@ -28,11 +33,25 @@ import (
 // Decisions taken during replay are never checked: their work items were
 // registered when they were pushed.
 //
-// The table persists across bounds within one exploration, so a state
-// first reached at bound b is never re-expanded at a later bound — the
-// behavior of Algorithm 1's global table. (Exact per-bound execution
-// counts are only guaranteed without caching; the coverage experiments use
-// caching, the counting experiments do not.)
+// For a preemption-bounded search the key must include the preemptions
+// already spent reaching the state, not the state alone: two paths to the
+// same state with different preemption counts have different remaining
+// budgets, so their subtrees differ in what they can expose within the
+// current bound. Merging them (as a bare (state, decision) key would) lets
+// a cheap-budget path consume the registration and cut an
+// expensive-budget path whose no-preempt continuation would have exposed
+// a bug earlier — first found by a generated-program fuzzing campaign as
+// a cached run first sighting a bug at 2 preemptions whose true minimum
+// is 1, violating the minimal-preemption-first guarantee (see
+// TestCachedICBMinimalFirstWithBudgetSplit). Preemption-agnostic
+// strategies (DFS) pass 0 and get the maximal pruning of the plain
+// (state, decision) key.
+//
+// The table persists across bounds within one exploration, so a
+// (state, budget) pair first reached at bound b is never re-expanded at a
+// later bound — the behavior of Algorithm 1's global table. (Exact
+// per-bound execution counts are only guaranteed without caching; the
+// coverage experiments use caching, the counting experiments do not.)
 type Cache struct {
 	fp     *hb.Fingerprinter
 	table  map[cacheKey]struct{}
@@ -55,17 +74,22 @@ type cacheKey struct {
 	state uint64
 	kind  sched.DecisionKind
 	val   int32
+	// preempts is the number of preempting context switches spent reaching
+	// the state (always 0 for preemption-agnostic strategies).
+	preempts int32
 }
 
 func newCache(fp *hb.Fingerprinter) *Cache {
 	return &Cache{fp: fp, table: make(map[cacheKey]struct{})}
 }
 
-// TryTake registers the work item (current state, d) and reports whether
-// it was new. A false result means the item's subtree is already explored
-// or enqueued.
-func (c *Cache) TryTake(d sched.Decision) bool {
-	k := cacheKey{state: c.fp.Fingerprint(), kind: d.Kind}
+// TryTake registers the work item (current state, d, preemptions spent)
+// and reports whether it was new. A false result means the item's subtree
+// is already explored or enqueued. Preemption-bounded strategies must pass
+// the preemptions spent on the current path (see the soundness note in the
+// type docs); preemption-agnostic ones pass 0.
+func (c *Cache) TryTake(d sched.Decision, preempts int) bool {
+	k := cacheKey{state: c.fp.Fingerprint(), kind: d.Kind, preempts: int32(preempts)}
 	if d.Kind == sched.DecisionThread {
 		k.val = int32(d.Thread)
 	} else {

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"icb/internal/baseline"
+	"icb/internal/conc"
 	"icb/internal/core"
+	"icb/internal/sched"
 )
 
 func cachedOpts() core.Options {
@@ -52,4 +54,106 @@ func TestCachedDFSMatchesCachedICBStates(t *testing.T) {
 	if icbRes.States != dfsRes.States {
 		t.Fatalf("states: icb=%d dfs=%d", icbRes.States, dfsRes.States)
 	}
+}
+
+// budgetSplit is the minimal program — shrunk from seed 155 of the
+// differential fuzzing campaign (internal/fuzz) — on which a work-item
+// table keyed only on (state, decision) violates the
+// minimal-preemption-first guarantee. Two paths reach an equivalent
+// state having spent different numbers of preemptions; the cheap path
+// registers the work item first and cuts the expensive path, whose
+// preemption-free continuation is the one that exposes the bug. The
+// assertion's true minimum is 1 preemption (w1's CAS sets a=1, a
+// preemption lets w0 add twice, and w1's assert sees a=3); with the
+// defective key, cached ICB first sighted it only at bound 2.
+func budgetSplit(t *sched.T) {
+	a := conc.NewAtomicInt(t, "a", 0)
+	w0 := t.Go("w0", func(t *sched.T) {
+		a.Add(t, 1)
+		a.Add(t, 1)
+	})
+	w1 := t.Go("w1", func(t *sched.T) {
+		a.CompareAndSwap(t, 0, 1)
+		v := a.Load(t)
+		t.Assert(v <= 2, "a=%d exceeds 2", v)
+	})
+	t.Join(w0)
+	t.Join(w1)
+}
+
+func TestCachedICBMinimalFirstWithBudgetSplit(t *testing.T) {
+	plain := core.Explore(budgetSplit, core.ICB{}, icbOpts())
+	cached := core.Explore(budgetSplit, core.ICB{}, cachedOpts())
+	want := findBug(plain, core.BugAssert)
+	if want == nil || want.Preemptions != 1 {
+		t.Fatalf("uncached ICB: assertion bug not sighted at 1 preemption: %+v", plain.Bugs)
+	}
+	got := findBug(cached, core.BugAssert)
+	if got == nil {
+		t.Fatalf("cached ICB lost the assertion bug: %+v", cached.Bugs)
+	}
+	if got.Preemptions != want.Preemptions {
+		t.Fatalf("cached ICB first sighted the bug at %d preemptions, uncached at %d",
+			got.Preemptions, want.Preemptions)
+	}
+}
+
+// chooseOverlap is the minimal program — shrunk from seed 1045 of the
+// differential fuzzing campaign — on which a state fingerprint blind to
+// data choices makes the cache unsound outright. w1's store writes a
+// Choose(2) value; a fingerprint that records only the write op gives the
+// prefixes "stored 0" and "stored 1" the same state, so the cache lets the
+// first one to arrive consume the work-item registration and cuts the
+// other, losing the subtree where the stored 1 plus w0's two increments
+// drive the assertion to a=3. Before choices joined the fingerprint
+// (hb.Fingerprinter.OnChoice), cached ICB missed this bug entirely and
+// undercounted execution classes.
+func chooseOverlap(t *sched.T) {
+	a := conc.NewAtomicInt(t, "a", 0)
+	w0 := t.Go("w0", func(t *sched.T) {
+		a.Add(t, 1)
+		a.Add(t, 1)
+	})
+	w1 := t.Go("w1", func(t *sched.T) {
+		a.Store(t, int64(t.Choose(2)))
+		v := a.Load(t)
+		t.Assert(v <= 2, "a=%d exceeds 2", v)
+	})
+	t.Join(w0)
+	t.Join(w1)
+}
+
+func TestCachedICBSoundWithDataChoices(t *testing.T) {
+	plain := core.Explore(chooseOverlap, core.ICB{}, icbOpts())
+	cached := core.Explore(chooseOverlap, core.ICB{}, cachedOpts())
+	if !plain.Exhausted || !cached.Exhausted {
+		t.Fatalf("exhaustion: plain=%v cached=%v", plain.Exhausted, cached.Exhausted)
+	}
+	want := findBug(plain, core.BugAssert)
+	if want == nil {
+		t.Fatalf("uncached ICB: no assertion bug: %+v", plain.Bugs)
+	}
+	got := findBug(cached, core.BugAssert)
+	if got == nil {
+		t.Fatalf("cached ICB lost the assertion bug: %+v", cached.Bugs)
+	}
+	if got.Preemptions != want.Preemptions {
+		t.Fatalf("cached ICB first sighted the bug at %d preemptions, uncached at %d",
+			got.Preemptions, want.Preemptions)
+	}
+	if cached.States != plain.States {
+		t.Fatalf("states: cached=%d plain=%d", cached.States, plain.States)
+	}
+	if cached.ExecutionClasses != plain.ExecutionClasses {
+		t.Fatalf("classes: cached=%d plain=%d", cached.ExecutionClasses, plain.ExecutionClasses)
+	}
+}
+
+func findBug(res core.Result, kind core.BugKind) *core.Bug {
+	for i := range res.Bugs {
+		if res.Bugs[i].Kind == kind {
+			return &res.Bugs[i]
+		}
+	}
+	return nil
 }

@@ -466,7 +466,7 @@ func (e *Engine) recordBugs(out sched.Outcome, execNo int) {
 			e.halt()
 		}
 	}
-	if kind, msg, ok := classifyOutcome(out); ok {
+	if kind, msg, ok := ClassifyOutcome(out); ok {
 		file(kind, msg)
 	}
 	if e.det != nil && e.det.Racy() {

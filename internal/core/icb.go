@@ -107,21 +107,26 @@ type icbController struct {
 	pos   int
 	cur   sched.Schedule
 	cache *Cache
+	// preempts counts the preempting context switches along cur, including
+	// the replayed prefix: the work-item table is keyed by (state, decision,
+	// preemptions spent) so that paths with different remaining budgets are
+	// never merged (see the Cache soundness note).
+	preempts int
 
 	onPreempt func(sched.Schedule)
 	onLocal   func(sched.Schedule)
 }
 
-// take registers the decision about to be taken; a false result cuts the
-// execution (the Algorithm 1 table guard).
-func (c *icbController) take(d sched.Decision) bool {
-	return c.cache == nil || c.cache.TryTake(d)
+// take registers the decision about to be taken at p spent preemptions; a
+// false result cuts the execution (the Algorithm 1 table guard).
+func (c *icbController) take(d sched.Decision, p int) bool {
+	return c.cache == nil || c.cache.TryTake(d, p)
 }
 
-// push reports whether an alternative should be enqueued (skipping
-// duplicates already registered in the table).
-func (c *icbController) push(d sched.Decision) bool {
-	return c.cache == nil || c.cache.TryTake(d)
+// push reports whether an alternative at p spent preemptions should be
+// enqueued (skipping duplicates already registered in the table).
+func (c *icbController) push(d sched.Decision, p int) bool {
+	return c.cache == nil || c.cache.TryTake(d, p)
 }
 
 // PickThread implements sched.Controller.
@@ -135,6 +140,9 @@ func (c *icbController) PickThread(info sched.PickInfo) (sched.TID, bool) {
 		if !info.IsEnabled(d.Thread) {
 			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: fmt.Sprintf("enabled set %v", info.Enabled)})
 		}
+		if info.PrevEnabled && d.Thread != info.Prev {
+			c.preempts++ // replayed preempting switch (Appendix A)
+		}
 		c.cur = append(c.cur, d)
 		return d.Thread, true
 	}
@@ -142,11 +150,11 @@ func (c *icbController) PickThread(info sched.PickInfo) (sched.TID, bool) {
 		// Lines 26–32 of Algorithm 1: the running thread continues;
 		// scheduling any other enabled thread costs a preemption and is
 		// deferred to the next bound.
-		if !c.take(sched.ThreadDecision(info.Prev)) {
+		if !c.take(sched.ThreadDecision(info.Prev), c.preempts) {
 			return sched.NoTID, false
 		}
 		for _, u := range info.Enabled {
-			if u != info.Prev && c.push(sched.ThreadDecision(u)) {
+			if u != info.Prev && c.push(sched.ThreadDecision(u), c.preempts+1) {
 				c.onPreempt(c.cur.Extend(sched.ThreadDecision(u)))
 			}
 		}
@@ -156,11 +164,11 @@ func (c *icbController) PickThread(info sched.PickInfo) (sched.TID, bool) {
 	// Lines 33–37: the running thread yielded (blocked or exited); all
 	// enabled threads are explored within the current bound.
 	pick := info.Enabled[0]
-	if !c.take(sched.ThreadDecision(pick)) {
+	if !c.take(sched.ThreadDecision(pick), c.preempts) {
 		return sched.NoTID, false
 	}
 	for _, u := range info.Enabled[1:] {
-		if c.push(sched.ThreadDecision(u)) {
+		if c.push(sched.ThreadDecision(u), c.preempts) {
 			c.onLocal(c.cur.Extend(sched.ThreadDecision(u)))
 		}
 	}
@@ -184,9 +192,9 @@ func (c *icbController) PickData(t sched.TID, n int) int {
 	// thread decision, so registering value 0 cannot fail; register it so
 	// other paths reaching an equivalent state are cut at their preceding
 	// thread pick.
-	c.take(sched.DataDecision(0))
+	c.take(sched.DataDecision(0), c.preempts)
 	for v := 1; v < n; v++ {
-		if c.push(sched.DataDecision(v)) {
+		if c.push(sched.DataDecision(v), c.preempts) {
 			c.onLocal(c.cur.Extend(sched.DataDecision(v)))
 		}
 	}

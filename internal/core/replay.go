@@ -5,10 +5,10 @@ import (
 	"icb/internal/sched"
 )
 
-// classifyOutcome maps a buggy outcome status to its bug classification.
+// ClassifyOutcome maps a buggy outcome status to its bug classification.
 // Races are not outcome statuses — they come from the race detector and are
 // handled by the callers (recordBugs, ReplayBugs).
-func classifyOutcome(out sched.Outcome) (BugKind, string, bool) {
+func ClassifyOutcome(out sched.Outcome) (BugKind, string, bool) {
 	switch out.Status {
 	case sched.StatusDeadlock:
 		return BugDeadlock, out.Message, true
@@ -60,7 +60,7 @@ func ReplayBugs(prog sched.Program, schedule sched.Schedule, opt Options) (sched
 			Count:           1,
 		})
 	}
-	if kind, msg, ok := classifyOutcome(out); ok {
+	if kind, msg, ok := ClassifyOutcome(out); ok {
 		file(kind, msg)
 	}
 	if det != nil && det.Racy() {

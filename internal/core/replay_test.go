@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// mainFails is a bound-0 deterministic failure: any replay, including the
+// empty schedule's pure FirstEnabled run, hits it.
+func mainFails(t *sched.T) {
+	t.Assert(false, "fails on every schedule")
+}
+
+func TestReplayBugsEmptySchedule(t *testing.T) {
+	// Empty prefix on a correct program: a clean FirstEnabled run.
+	out, bugs := core.ReplayBugs(smallRacefree, nil, core.Options{CheckRaces: true})
+	if out.Status != sched.StatusTerminated || len(bugs) != 0 {
+		t.Fatalf("empty replay of a correct program: %v, bugs %v", out.Status, bugs)
+	}
+	// Empty prefix on a deterministic failure: the bug must still be filed.
+	out, bugs = core.ReplayBugs(mainFails, nil, core.Options{})
+	if out.Status != sched.StatusAssertFailed {
+		t.Fatalf("empty replay of mainFails: %v", out.Status)
+	}
+	if len(bugs) != 1 || bugs[0].Kind != core.BugAssert || bugs[0].Preemptions != 0 {
+		t.Fatalf("bugs from empty replay: %+v", bugs)
+	}
+}
+
+func TestMinimizeScheduleEmpty(t *testing.T) {
+	// An already-empty failing schedule has nothing to shrink.
+	got := core.MinimizeSchedule(mainFails, nil, core.Options{})
+	if len(got) != 0 {
+		t.Fatalf("minimizing an empty schedule grew it: %v", got)
+	}
+	// An empty schedule that does not fail is returned unchanged.
+	got = core.MinimizeSchedule(needsOne, nil, core.Options{})
+	if len(got) != 0 {
+		t.Fatalf("non-failing empty schedule was modified: %v", got)
+	}
+}
+
+// buggySchedule digs out needsOne's minimal failing schedule for the
+// longer-than-execution and divergence cases below.
+func buggySchedule(t *testing.T) sched.Schedule {
+	t.Helper()
+	opt := icbOpts()
+	opt.StopOnFirstBug = true
+	res := core.Explore(needsOne, core.ICB{}, opt)
+	bug := res.FirstBug()
+	if bug == nil {
+		t.Fatal("needsOne: no bug")
+	}
+	return bug.Schedule
+}
+
+func TestReplayScheduleLongerThanExecution(t *testing.T) {
+	schedule := buggySchedule(t)
+	// Pad far past the point where the execution ends: the assertion stops
+	// the run before the extra decisions are ever consulted, so the replay
+	// must behave exactly like the unpadded one rather than diverging.
+	padded := schedule.Clone()
+	for i := 0; i < 32; i++ {
+		padded = padded.Extend(sched.ThreadDecision(0))
+	}
+	out, bugs := core.ReplayBugs(needsOne, padded, core.Options{})
+	if out.Status != sched.StatusAssertFailed {
+		t.Fatalf("padded replay: %v (%s)", out.Status, out.Message)
+	}
+	if len(bugs) != 1 || bugs[0].Kind != core.BugAssert {
+		t.Fatalf("padded replay bugs: %+v", bugs)
+	}
+	// Minimization must strip the unreachable tail (and likely more).
+	minimized := core.MinimizeSchedule(needsOne, padded, core.Options{})
+	if len(minimized) > len(schedule) {
+		t.Fatalf("minimized padded schedule kept %d decisions, original bug needed %d",
+			len(minimized), len(schedule))
+	}
+	if out, bugs := core.ReplayBugs(needsOne, minimized, core.Options{}); len(bugs) == 0 {
+		t.Fatalf("minimized schedule no longer fails: %v", out.Status)
+	}
+}
+
+func TestReplayDivergenceMidRun(t *testing.T) {
+	schedule := buggySchedule(t)
+	if len(schedule) < 2 {
+		t.Fatalf("schedule too short to corrupt: %v", schedule)
+	}
+	// Corrupt a mid-run decision to a thread that never exists: the replay
+	// controller must flag divergence, and no bug may be filed from the
+	// aborted execution.
+	corrupt := schedule.Clone()
+	corrupt[len(corrupt)/2] = sched.ThreadDecision(99)
+	out, bugs := core.ReplayBugs(needsOne, corrupt, core.Options{})
+	if out.Status != sched.StatusReplayDiverged {
+		t.Fatalf("corrupted replay status: %v (%s)", out.Status, out.Message)
+	}
+	if len(bugs) != 0 {
+		t.Fatalf("diverged replay filed bugs: %+v", bugs)
+	}
+	if out.Message == "" {
+		t.Fatal("diverged replay carries no explanation")
+	}
+	// Minimization treats divergence as non-reproducing input: unchanged.
+	got := core.MinimizeSchedule(needsOne, corrupt, core.Options{})
+	if got.String() != corrupt.String() {
+		t.Fatalf("minimization altered a diverging schedule: %v -> %v", corrupt, got)
+	}
+}

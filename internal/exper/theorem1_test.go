@@ -1,0 +1,82 @@
+package exper
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/progs/txnmgr"
+	"icb/internal/zing"
+)
+
+// TestTheorem1PinsBenchmarkBounds pins Theorem 1's two-sided guarantee on
+// every seeded benchmark bug: ICB bounded to the bug's documented minimal
+// preemption count c exposes it (and sights it at exactly c, the
+// minimal-first property), while the bound-(c-1) search completes without
+// finding anything — certifying that c really is the minimum, not just a
+// bound at which the bug happens to appear.
+func TestTheorem1PinsBenchmarkBounds(t *testing.T) {
+	cfg := Config{}
+	for _, b := range Benchmarks() {
+		for i := range b.Bugs {
+			bug := b.Bugs[i]
+			t.Run(b.Name+"/"+bug.ID, func(t *testing.T) {
+				res := explore(bug.Program, core.ICB{}, core.Options{
+					MaxPreemptions: bug.Bound,
+					StopOnFirstBug: true,
+				}, cfg)
+				fb := res.FirstBug()
+				if fb == nil {
+					t.Fatalf("bound %d finds nothing; documented minimal bound is %d", bug.Bound, bug.Bound)
+				}
+				if fb.Preemptions != bug.Bound {
+					t.Fatalf("first bug sighted at %d preemptions, documented minimum is %d", fb.Preemptions, bug.Bound)
+				}
+				if fb.Kind.String() != bug.Kind {
+					t.Errorf("bug kind %q, documented %q", fb.Kind, bug.Kind)
+				}
+
+				if bug.Bound == 0 {
+					return // no smaller bound to certify against
+				}
+				below := explore(bug.Program, core.ICB{}, core.Options{
+					MaxPreemptions: bug.Bound - 1,
+				}, cfg)
+				if len(below.Bugs) != 0 {
+					t.Fatalf("bound %d exposed %v; the documented minimum %d is not minimal",
+						bug.Bound-1, below.Bugs[0].Kind, bug.Bound)
+				}
+				if below.BoundCompleted != bug.Bound-1 {
+					t.Fatalf("bound-%d search completed only bound %d; the no-bug result is not a certificate",
+						bug.Bound-1, below.BoundCompleted)
+				}
+			})
+		}
+	}
+}
+
+// TestTheorem1PinsTxnmgrBounds is the same pin for the transaction
+// manager's ZML variants, through the explicit-state checker.
+func TestTheorem1PinsTxnmgrBounds(t *testing.T) {
+	for _, bug := range txnmgr.Bugs() {
+		t.Run(bug.ID, func(t *testing.T) {
+			p, err := txnmgr.Compile(bug.Variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := zing.CheckICB(p, zing.Options{MaxPreemptions: bug.Bound, StopOnFirstBug: true})
+			fb := res.FirstBug()
+			if fb == nil {
+				t.Fatalf("bound %d finds nothing; documented minimal bound is %d", bug.Bound, bug.Bound)
+			}
+			if fb.Preemptions != bug.Bound {
+				t.Fatalf("first bug sighted at %d preemptions, documented minimum is %d", fb.Preemptions, bug.Bound)
+			}
+
+			below := zing.CheckICB(p, zing.Options{MaxPreemptions: bug.Bound - 1})
+			if fb := below.FirstBug(); fb != nil {
+				t.Fatalf("bound %d exposed a bug at %d preemptions; the documented minimum %d is not minimal",
+					bug.Bound-1, fb.Preemptions, bug.Bound)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package fuzz
+
+import "math/rand"
+
+// Generate derives a small random program spec from the seed. The mix is
+// weighted toward shapes that exercise the search's guarantees:
+//
+//   - ~20% "window" templates — k threads each open and immediately close
+//     a transient window while a checker asserts the windows are not all
+//     open simultaneously. Exposing the assertion needs exactly k
+//     preemptions (k in {1,2}), giving the harness an analytic minimal
+//     preemption count to check the oracle itself against.
+//   - ~10% lock-order-inversion templates (two threads, two mutexes,
+//     opposite acquisition order): a bound-1 deadlock.
+//   - ~10% condition-variable handshakes with an if-shaped wait: the
+//     signal-before-wait interleaving is a lost wakeup and deadlocks.
+//   - the rest is weighted "soup": random ops over a random resource mix,
+//     with mostly-balanced lock regions and occasional deliberate
+//     imbalance (self-lock, unlock-not-held) and unprotected data
+//     accesses, so organic deadlocks, assertion failures and races all
+//     appear in the population.
+//
+// Every generated thread is a straight-line op sequence, so every schedule
+// of every generated program terminates (a thread blocked forever turns
+// into a deadlock, never a livelock) and brute-force enumeration of the
+// schedule space is finite.
+func Generate(seed int64) *Spec {
+	r := rand.New(rand.NewSource(seed))
+	var s *Spec
+	switch p := r.Float64(); {
+	case p < 0.20:
+		s = genWindow(r)
+	case p < 0.30:
+		s = genLockOrder(r)
+	case p < 0.40:
+		s = genCondHandshake(r)
+	default:
+		s = genSoup(r)
+	}
+	s.Seed = seed
+	return s
+}
+
+// genWindow emits the paper's minimal-preemption pattern: a window thread
+// does atomics[0].Store(1); Store(0) while a checker thread asserts the
+// window is not open. The only way to fail the assertion is to preempt the
+// window thread inside its window, so the bug's minimal preemption count
+// is exactly 1 — recorded in ExpectWindowMin for the oracle cross-check.
+// (The k-window generalization needs k+1 threads and its full interleaving
+// space exceeds any practical brute-force budget already at k=2; the
+// 2- and 3-preemption analytic pins live in the benchmark Theorem-1
+// tests instead, where the bounds are hand-known.)
+func genWindow(r *rand.Rand) *Spec {
+	s := &Spec{Atomics: 1, ExpectWindowMin: 1}
+	window := []OpSpec{{Code: OpWindow, A: 0}}
+	if r.Intn(3) == 0 {
+		// A benign prefix store (closed again before the window opens)
+		// leaves the minimal count unchanged.
+		window = append([]OpSpec{{Code: OpAtomicStore, A: 0, V: 0}}, window...)
+	}
+	checker := []OpSpec{{Code: OpAssertWindows, V: 1}}
+	if r.Intn(2) == 0 {
+		// A benign read pad on the checker; the minimal count is unchanged
+		// (the pad is on the checker, not in the window).
+		checker = append([]OpSpec{{Code: OpAtomicLoad, A: 0}}, checker...)
+	}
+	s.Threads = append(s.Threads, window, checker)
+	return s
+}
+
+// genLockOrder emits the classic ABBA deadlock: needs one preemption
+// (between the first and second acquisition of either thread).
+func genLockOrder(r *rand.Rand) *Spec {
+	s := &Spec{Atomics: 1, Mutexes: 2}
+	body := func(first, second int) []OpSpec {
+		ops := []OpSpec{{Code: OpLock, A: first}}
+		if r.Intn(2) == 0 {
+			ops = append(ops, OpSpec{Code: OpAtomicAdd, A: 0, V: 1})
+		}
+		ops = append(ops,
+			OpSpec{Code: OpLock, A: second},
+			OpSpec{Code: OpUnlock, A: second},
+			OpSpec{Code: OpUnlock, A: first},
+		)
+		return ops
+	}
+	s.Threads = append(s.Threads, body(0, 1), body(1, 0))
+	if r.Intn(3) == 0 {
+		// A bystander thread enlarges the schedule space without touching
+		// the deadlock.
+		s.Threads = append(s.Threads, []OpSpec{{Code: OpAtomicStore, A: 0, V: 2}})
+	}
+	return s
+}
+
+// genCondHandshake emits a signal/wait pair with an if-shaped wait. The
+// composite ops keep the mutex discipline intact; the defect is semantic
+// (signal delivered before the waiter is parked is lost).
+func genCondHandshake(r *rand.Rand) *Spec {
+	s := &Spec{Atomics: 1, Mutexes: 1, Conds: 1}
+	waiter := []OpSpec{{Code: OpCondWait, A: 0}}
+	signaler := []OpSpec{{Code: OpCondSignal, A: 0}}
+	if r.Intn(2) == 0 {
+		signaler = append([]OpSpec{{Code: OpAtomicStore, A: 0, V: 1}}, signaler...)
+	}
+	s.Threads = append(s.Threads, waiter, signaler)
+	if r.Intn(3) == 0 {
+		s.Threads = append(s.Threads, []OpSpec{{Code: OpAtomicAdd, A: 0, V: 1}})
+	}
+	return s
+}
+
+// genSoup emits a random mix. Lock regions are kept mostly balanced via a
+// per-thread held stack; small probabilities of raw lock/unlock inject
+// organic bugs (self-deadlock, unlock-not-held failures).
+func genSoup(r *rand.Rand) *Spec {
+	s := &Spec{
+		Atomics: 1 + r.Intn(2),
+		Vars:    min(r.Intn(3), 1), // 2/3 of soups carry one data variable
+		Mutexes: 1 + r.Intn(2),
+	}
+	if r.Intn(3) == 0 {
+		s.Sems = 1
+		s.SemInit = r.Intn(2)
+	}
+	if r.Intn(4) == 0 {
+		s.Queues = 1
+	}
+	nThreads := 2
+	if r.Intn(3) == 0 {
+		nThreads = 3
+	}
+	budget := 4 + r.Intn(3) // total ops across all threads
+	for i := 0; i < nThreads; i++ {
+		n := 1 + budget/(nThreads-i)/2
+		if n > budget {
+			n = budget
+		}
+		budget -= n
+		s.Threads = append(s.Threads, genThread(r, s, n))
+	}
+	if r.Intn(4) == 0 {
+		s.Main = genThread(r, s, 1)
+	}
+	return s
+}
+
+// genThread emits n ops for one soup thread.
+func genThread(r *rand.Rand, s *Spec, n int) []OpSpec {
+	var ops []OpSpec
+	var held []int // balanced-lock stack
+	for len(ops) < n {
+		switch r.Intn(13) {
+		case 0, 1:
+			ops = append(ops, OpSpec{Code: OpAtomicAdd, A: r.Intn(s.Atomics), V: 1})
+		case 2:
+			ops = append(ops, OpSpec{Code: OpAtomicStore, A: r.Intn(s.Atomics), V: r.Intn(3)})
+		case 3:
+			ops = append(ops, OpSpec{Code: OpAtomicCAS, A: r.Intn(s.Atomics), V: 0, B: 1})
+		case 4, 12:
+			if s.Vars > 0 {
+				// Mostly race-prone: a raw data access. Sometimes guarded by
+				// mutex 0, modeling a correctly locked variable.
+				op := OpSpec{Code: OpVarStore, A: r.Intn(s.Vars), V: r.Intn(3)}
+				if r.Intn(2) == 0 {
+					op.Code = OpVarLoad
+				}
+				if r.Intn(2) == 0 {
+					ops = append(ops, OpSpec{Code: OpLock, A: 0}, op, OpSpec{Code: OpUnlock, A: 0})
+				} else {
+					ops = append(ops, op)
+				}
+			}
+		case 5:
+			// Balanced lock region around an atomic op.
+			m := r.Intn(s.Mutexes)
+			ops = append(ops,
+				OpSpec{Code: OpLock, A: m},
+				OpSpec{Code: OpAtomicAdd, A: r.Intn(s.Atomics), V: 1},
+				OpSpec{Code: OpUnlock, A: m},
+			)
+		case 6:
+			// Open a region (closed later, or left for an organic deadlock
+			// if the budget runs out first).
+			if len(held) < 2 && r.Intn(3) > 0 {
+				m := r.Intn(s.Mutexes)
+				held = append(held, m)
+				ops = append(ops, OpSpec{Code: OpLock, A: m})
+			} else if len(held) > 0 {
+				m := held[len(held)-1]
+				held = held[:len(held)-1]
+				ops = append(ops, OpSpec{Code: OpUnlock, A: m})
+			}
+		case 7:
+			if s.Sems > 0 {
+				if r.Intn(2) == 0 {
+					ops = append(ops, OpSpec{Code: OpSemAcquire})
+				} else {
+					ops = append(ops, OpSpec{Code: OpSemRelease})
+				}
+			}
+		case 8:
+			if s.Queues > 0 {
+				switch r.Intn(3) {
+				case 0:
+					ops = append(ops, OpSpec{Code: OpQueueSend, V: r.Intn(3)})
+				case 1:
+					ops = append(ops, OpSpec{Code: OpQueueRecv})
+				default:
+					ops = append(ops, OpSpec{Code: OpQueueTryRecv})
+				}
+			}
+		case 9:
+			ops = append(ops, OpSpec{Code: OpYield})
+		case 10:
+			if r.Intn(3) == 0 {
+				ops = append(ops, OpSpec{Code: OpChooseStore, A: r.Intn(s.Atomics), V: 2})
+			} else {
+				ops = append(ops, OpSpec{Code: OpAssertMax, A: r.Intn(s.Atomics), V: 2 + r.Intn(4)})
+			}
+		default:
+			// Rare deliberate imbalance: a raw unlock or a re-lock of a held
+			// mutex (self-deadlock) — organic bug injection.
+			if r.Intn(6) == 0 {
+				m := r.Intn(s.Mutexes)
+				if r.Intn(2) == 0 {
+					ops = append(ops, OpSpec{Code: OpUnlock, A: m})
+				} else {
+					ops = append(ops, OpSpec{Code: OpLock, A: m}, OpSpec{Code: OpLock, A: m})
+				}
+			}
+		}
+	}
+	// Close any regions still open so most soup threads are well-formed.
+	for i := len(held) - 1; i >= 0; i-- {
+		ops = append(ops, OpSpec{Code: OpUnlock, A: held[i]})
+	}
+	return ops
+}

@@ -1,0 +1,108 @@
+package fuzz
+
+// shrinkBudget caps the number of candidate re-checks per shrink; each
+// re-check recomputes the candidate's oracle and re-runs the violated
+// property's strategies, so the cap bounds the cost of minimizing one
+// discrepancy.
+const shrinkBudget = 150
+
+// Shrink greedily minimizes a spec that violates the named property:
+// whole threads first, then single ops, re-checking after every removal
+// and keeping any candidate on which the same property still fails. The
+// returned spec is 1-minimal under these removals (dropping any one more
+// thread or op makes the discrepancy disappear or the program too big to
+// oracle), which is what a human debugging the engine wants to read.
+func Shrink(spec *Spec, property string, lim Limits) *Spec {
+	lim.fill()
+	budget := shrinkBudget
+	stillFails := func(cand *Spec) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		discs, _, err := CheckProgram(cand, lim)
+		if err != nil {
+			return false // too big or un-oracleable: not a usable reduction
+		}
+		for _, d := range discs {
+			if d.Property == property {
+				return true
+			}
+		}
+		return false
+	}
+
+	best := spec.Clone()
+	// Removing ops can change the injected window bug's minimal preemption
+	// count; unless the expectation itself is what failed, drop the claim
+	// so the shrunk spec stays internally consistent.
+	keepExpect := property == "oracle-window-expectation"
+
+	for improved := true; improved && budget > 0; {
+		improved = false
+
+		// Pass 1: drop whole threads.
+		for i := 0; i < len(best.Threads) && budget > 0; i++ {
+			cand := best.Clone()
+			cand.Threads = append(cand.Threads[:i], cand.Threads[i+1:]...)
+			if !keepExpect {
+				cand.ExpectWindowMin = 0
+			}
+			if stillFails(cand) {
+				best = cand
+				improved = true
+				i--
+			}
+		}
+
+		// Pass 2: drop single ops, main included.
+		seqs := append([][]OpSpec{best.Main}, best.Threads...)
+		for si := 0; si < len(seqs) && budget > 0; si++ {
+			for oi := 0; oi < len(seqs[si]) && budget > 0; oi++ {
+				cand := best.Clone()
+				var seq *[]OpSpec
+				if si == 0 {
+					seq = &cand.Main
+				} else {
+					seq = &cand.Threads[si-1]
+				}
+				*seq = append((*seq)[:oi], (*seq)[oi+1:]...)
+				if !keepExpect {
+					cand.ExpectWindowMin = 0
+				}
+				if stillFails(cand) {
+					best = cand
+					improved = true
+					seqs = append([][]OpSpec{best.Main}, best.Threads...)
+					oi--
+				}
+			}
+		}
+	}
+	return best
+}
+
+// shrinkFor picks the first discrepancy's property and minimizes the spec
+// for it; the campaign calls this once per discrepant program.
+func shrinkFor(spec *Spec, discs []Discrepancy, lim Limits) *Spec {
+	if len(discs) == 0 {
+		return spec
+	}
+	return Shrink(spec, discs[0].Property, lim)
+}
+
+// verify re-checks a shrunk spec and returns the discrepancies of the
+// target property (used to confirm the reduction still reproduces).
+func verify(spec *Spec, property string, lim Limits) []Discrepancy {
+	discs, _, err := CheckProgram(spec, lim)
+	if err != nil {
+		return nil
+	}
+	var out []Discrepancy
+	for _, d := range discs {
+		if d.Property == property {
+			out = append(out, d)
+		}
+	}
+	return out
+}

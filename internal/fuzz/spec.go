@@ -1,0 +1,444 @@
+// Package fuzz is the differential fuzzing harness of the reproduction:
+// it generates small random modeled programs over the library's threading
+// API, computes ground truth for each by brute-force enumeration of every
+// schedule (the oracle), and cross-checks each search strategy against
+// that truth — ICB's bound-c completeness and minimal-preemption-first-bug
+// guarantees, DFS/CSB exhaustiveness, parallel-vs-sequential determinism,
+// cache transparency, replayability of every recorded buggy schedule, and
+// Goldilocks-vs-vector-clock race-detector agreement. Discrepancies are
+// shrunk to minimal program specs and persisted as repro artifacts.
+//
+// The approach follows how variable/thread-bounded searches are validated
+// in the literature (Bindal, Bansal & Lal, arXiv:1207.2544): a bounded
+// search is trusted because it agrees with exhaustive enumeration on a
+// large population of small programs, and the paper's theorems are checked
+// on exactly the population where checking is feasible.
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"icb/internal/conc"
+	"icb/internal/sched"
+)
+
+// OpCode enumerates the operations a generated thread can perform. Some
+// codes are composites (a short fixed sequence of accesses) so that
+// generation and shrinking preserve structural invariants — e.g. a
+// condition-variable wait always holds its mutex — without a separate
+// repair pass.
+type OpCode uint8
+
+const (
+	// OpAtomicStore: atomics[A].Store(V).
+	OpAtomicStore OpCode = iota
+	// OpAtomicAdd: atomics[A].Add(V).
+	OpAtomicAdd
+	// OpAtomicCAS: atomics[A].CompareAndSwap(V, B).
+	OpAtomicCAS
+	// OpAtomicLoad: atomics[A].Load(), value discarded.
+	OpAtomicLoad
+	// OpVarStore: vars[A].Store(V) — a data access, race-checked.
+	OpVarStore
+	// OpVarLoad: vars[A].Load(), value discarded.
+	OpVarLoad
+	// OpLock: mutexes[A].Lock().
+	OpLock
+	// OpUnlock: mutexes[A].Unlock(). Unlocking a mutex the thread does not
+	// hold fails the execution (an injectable bug).
+	OpUnlock
+	// OpSemAcquire: sems[A].Acquire().
+	OpSemAcquire
+	// OpSemRelease: sems[A].Release(1).
+	OpSemRelease
+	// OpQueueSend: queues[A].Send(V).
+	OpQueueSend
+	// OpQueueRecv: queues[A].Recv(), blocking.
+	OpQueueRecv
+	// OpQueueTryRecv: queues[A].TryRecv(), nonblocking.
+	OpQueueTryRecv
+	// OpYield: a voluntary scheduling point.
+	OpYield
+	// OpChooseStore: atomics[A].Store(t.Choose(V)) — data nondeterminism.
+	OpChooseStore
+	// OpAssertMax: t.Assert(atomics[A].Load() <= V).
+	OpAssertMax
+	// OpWindow: atomics[A].Store(1) immediately followed by
+	// atomics[A].Store(0) — a transient window that only an adversarial
+	// preemption can observe open.
+	OpWindow
+	// OpAssertWindows: load atomics[0..V-1] and assert they are not all 1.
+	// Combined with OpWindow threads over atomics 0..V-1 this is the
+	// paper's minimal-preemption pattern: exposing the failure requires
+	// exactly V preemptions.
+	OpAssertWindows
+	// OpCondSignal: lock the cond's mutex, set its flag, Signal, unlock.
+	OpCondSignal
+	// OpCondWait: lock the cond's mutex, Wait while the flag is unset,
+	// assert the flag, unlock. An if-shaped wait: signal-before-wait is a
+	// lost wakeup and deadlocks, a classic injectable defect.
+	OpCondWait
+
+	opCodeCount // number of op codes (generator bound)
+)
+
+var opCodeNames = [...]string{
+	OpAtomicStore:   "atomic-store",
+	OpAtomicAdd:     "atomic-add",
+	OpAtomicCAS:     "atomic-cas",
+	OpAtomicLoad:    "atomic-load",
+	OpVarStore:      "var-store",
+	OpVarLoad:       "var-load",
+	OpLock:          "lock",
+	OpUnlock:        "unlock",
+	OpSemAcquire:    "sem-acquire",
+	OpSemRelease:    "sem-release",
+	OpQueueSend:     "queue-send",
+	OpQueueRecv:     "queue-recv",
+	OpQueueTryRecv:  "queue-tryrecv",
+	OpYield:         "yield",
+	OpChooseStore:   "choose-store",
+	OpAssertMax:     "assert-max",
+	OpWindow:        "window",
+	OpAssertWindows: "assert-windows",
+	OpCondSignal:    "cond-signal",
+	OpCondWait:      "cond-wait",
+}
+
+// String returns the op-code mnemonic.
+func (c OpCode) String() string {
+	if int(c) < len(opCodeNames) {
+		return opCodeNames[c]
+	}
+	return fmt.Sprintf("op#%d", uint8(c))
+}
+
+// OpSpec is one operation of a generated thread. A, B and V parameterize
+// the op (see the OpCode docs); unused fields are zero. Out-of-range
+// object indices are reduced modulo the resource count at materialization
+// time and ops over absent resource kinds are skipped, so every Spec —
+// including hand-edited and shrunk ones — is executable.
+type OpSpec struct {
+	Code OpCode `json:"c"`
+	A    int    `json:"a,omitempty"`
+	B    int    `json:"b,omitempty"`
+	V    int    `json:"v,omitempty"`
+}
+
+// String renders the op compactly, e.g. "atomic-store(a0, 2)".
+func (o OpSpec) String() string {
+	return fmt.Sprintf("%s(a=%d b=%d v=%d)", o.Code, o.A, o.B, o.V)
+}
+
+// Spec is a complete, serializable description of a generated program:
+// resource counts and the op sequence of every thread. Materializing a
+// Spec (see Program) yields a deterministic sched.Program — all remaining
+// nondeterminism is the scheduler's, which is exactly the property the
+// replay-based search needs.
+type Spec struct {
+	// Seed is the generator seed the spec came from (0 for hand-built).
+	Seed int64 `json:"seed"`
+	// Resource counts: atomics, data vars, mutexes, semaphores, queues and
+	// condition variables. Cond i is bound to mutex i%Mutexes and owns the
+	// dedicated flag atomic Atomics+i.
+	Atomics int `json:"atomics"`
+	Vars    int `json:"vars,omitempty"`
+	Mutexes int `json:"mutexes,omitempty"`
+	Sems    int `json:"sems,omitempty"`
+	Queues  int `json:"queues,omitempty"`
+	Conds   int `json:"conds,omitempty"`
+	// SemInit is the initial permit count of every semaphore.
+	SemInit int `json:"sem_init,omitempty"`
+	// Main is run by the main thread before spawning the children.
+	Main []OpSpec `json:"main,omitempty"`
+	// Threads are the child threads' op sequences; main spawns them all in
+	// order, then joins them all in order.
+	Threads [][]OpSpec `json:"threads"`
+	// ExpectWindowMin, when positive, records that the generator injected
+	// the V-window assertion template with V = ExpectWindowMin and no
+	// interfering ops, so the oracle must find the "windows all open"
+	// assertion bug with exactly this minimal preemption count. It is the
+	// harness checking its own oracle against an analytic ground truth.
+	ExpectWindowMin int `json:"expect_window_min,omitempty"`
+}
+
+// windowsMessage is the assertion text of OpAssertWindows, the identity of
+// the injected known-minimal-preemption bug.
+const windowsMessage = "windows all open"
+
+// Clone returns an independent deep copy (the shrinker mutates copies).
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Main = append([]OpSpec(nil), s.Main...)
+	c.Threads = make([][]OpSpec, len(s.Threads))
+	for i, th := range s.Threads {
+		c.Threads[i] = append([]OpSpec(nil), th...)
+	}
+	return &c
+}
+
+// specJSON strips Spec's methods so the JSON round trip below does not
+// recurse back into MarshalText.
+type specJSON Spec
+
+// MarshalText renders the spec as indented JSON (spec.json artifacts).
+func (s *Spec) MarshalText() ([]byte, error) {
+	return json.MarshalIndent((*specJSON)(s), "", "  ")
+}
+
+// ParseSpec reads a spec.json artifact back.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s specJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return (*Spec)(&s), nil
+}
+
+// String renders a readable listing for discrepancy reports.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec seed=%d atomics=%d vars=%d mutexes=%d sems=%d(init %d) queues=%d conds=%d",
+		s.Seed, s.Atomics, s.Vars, s.Mutexes, s.Sems, s.SemInit, s.Queues, s.Conds)
+	if s.ExpectWindowMin > 0 {
+		fmt.Fprintf(&b, " expect-window-min=%d", s.ExpectWindowMin)
+	}
+	b.WriteByte('\n')
+	if len(s.Main) > 0 {
+		fmt.Fprintf(&b, "  main: %v\n", s.Main)
+	}
+	for i, th := range s.Threads {
+		fmt.Fprintf(&b, "  w%d: %v\n", i, th)
+	}
+	return b.String()
+}
+
+// Ops returns the total op count across main and all threads (shrinking
+// progress metric).
+func (s *Spec) Ops() int {
+	n := len(s.Main)
+	for _, th := range s.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// env is the per-execution materialized resource set. Everything is
+// allocated inside the program body, so each execution gets a fresh,
+// deterministic instance.
+type env struct {
+	atomics []*conc.AtomicInt
+	vars    []*conc.Int
+	mutexes []*conc.Mutex
+	sems    []*conc.Semaphore
+	queues  []*conc.Queue[int]
+	conds   []*conc.Cond
+	flags   []*conc.AtomicInt // cond flags, parallel to conds
+}
+
+// Program materializes the spec as a runnable modeled program. If sink is
+// non-nil, the main thread clears it at the top of every execution and, on
+// normal termination (after joining every child), writes a canonical
+// snapshot of the final shared state into it — the "reachable final
+// state" the oracle and the strategies are compared on. Pass nil when the
+// program is run by concurrent worker engines: the closure is then free of
+// any cross-execution shared state.
+func (s *Spec) Program(sink *string) sched.Program {
+	spec := s.Clone() // decouple from later shrinker mutations
+	return func(t *sched.T) {
+		if sink != nil {
+			*sink = ""
+		}
+		e := &env{}
+		for i := 0; i < spec.Atomics; i++ {
+			e.atomics = append(e.atomics, conc.NewAtomicInt(t, fmt.Sprintf("a%d", i), 0))
+		}
+		for i := 0; i < spec.Conds; i++ {
+			e.flags = append(e.flags, conc.NewAtomicInt(t, fmt.Sprintf("flag%d", i), 0))
+		}
+		for i := 0; i < spec.Vars; i++ {
+			e.vars = append(e.vars, conc.NewInt(t, fmt.Sprintf("v%d", i), 0))
+		}
+		for i := 0; i < spec.Mutexes; i++ {
+			e.mutexes = append(e.mutexes, conc.NewMutex(t, fmt.Sprintf("m%d", i)))
+		}
+		for i := 0; i < spec.Sems; i++ {
+			e.sems = append(e.sems, conc.NewSemaphore(t, fmt.Sprintf("s%d", i), spec.SemInit))
+		}
+		for i := 0; i < spec.Queues; i++ {
+			e.queues = append(e.queues, conc.NewQueue[int](t, fmt.Sprintf("q%d", i), 0))
+		}
+		for i := 0; i < spec.Conds; i++ {
+			m := e.mutexes[i%len(e.mutexes)] // generator guarantees Mutexes > 0 with Conds > 0
+			e.conds = append(e.conds, conc.NewCond(t, fmt.Sprintf("c%d", i), m))
+		}
+
+		for _, op := range spec.Main {
+			runOp(t, e, op)
+		}
+		var children []*sched.T
+		for i, ops := range spec.Threads {
+			ops := ops
+			children = append(children, t.Go(fmt.Sprintf("w%d", i), func(t *sched.T) {
+				for _, op := range ops {
+					runOp(t, e, op)
+				}
+			}))
+		}
+		for _, c := range children {
+			t.Join(c)
+		}
+		if sink != nil {
+			*sink = e.snapshot(t)
+		}
+	}
+}
+
+// idx reduces a generated object index into [0, n); n must be positive.
+func idx(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// runOp executes one op. Ops referring to a resource kind the spec does
+// not allocate are skipped, so shrinking resource counts never produces an
+// invalid program.
+func runOp(t *sched.T, e *env, op OpSpec) {
+	switch op.Code {
+	case OpAtomicStore:
+		if len(e.atomics) > 0 {
+			e.atomics[idx(op.A, len(e.atomics))].Store(t, int64(op.V))
+		}
+	case OpAtomicAdd:
+		if len(e.atomics) > 0 {
+			e.atomics[idx(op.A, len(e.atomics))].Add(t, int64(op.V))
+		}
+	case OpAtomicCAS:
+		if len(e.atomics) > 0 {
+			e.atomics[idx(op.A, len(e.atomics))].CompareAndSwap(t, int64(op.V), int64(op.B))
+		}
+	case OpAtomicLoad:
+		if len(e.atomics) > 0 {
+			e.atomics[idx(op.A, len(e.atomics))].Load(t)
+		}
+	case OpVarStore:
+		if len(e.vars) > 0 {
+			e.vars[idx(op.A, len(e.vars))].Store(t, op.V)
+		}
+	case OpVarLoad:
+		if len(e.vars) > 0 {
+			e.vars[idx(op.A, len(e.vars))].Load(t)
+		}
+	case OpLock:
+		if len(e.mutexes) > 0 {
+			e.mutexes[idx(op.A, len(e.mutexes))].Lock(t)
+		}
+	case OpUnlock:
+		if len(e.mutexes) > 0 {
+			e.mutexes[idx(op.A, len(e.mutexes))].Unlock(t)
+		}
+	case OpSemAcquire:
+		if len(e.sems) > 0 {
+			e.sems[idx(op.A, len(e.sems))].Acquire(t)
+		}
+	case OpSemRelease:
+		if len(e.sems) > 0 {
+			e.sems[idx(op.A, len(e.sems))].Release(t, 1)
+		}
+	case OpQueueSend:
+		if len(e.queues) > 0 {
+			e.queues[idx(op.A, len(e.queues))].Send(t, op.V)
+		}
+	case OpQueueRecv:
+		if len(e.queues) > 0 {
+			e.queues[idx(op.A, len(e.queues))].Recv(t)
+		}
+	case OpQueueTryRecv:
+		if len(e.queues) > 0 {
+			e.queues[idx(op.A, len(e.queues))].TryRecv(t)
+		}
+	case OpYield:
+		t.Yield()
+	case OpChooseStore:
+		if len(e.atomics) > 0 {
+			n := op.V
+			if n < 2 {
+				n = 2
+			}
+			e.atomics[idx(op.A, len(e.atomics))].Store(t, int64(t.Choose(n)))
+		}
+	case OpAssertMax:
+		if len(e.atomics) > 0 {
+			v := e.atomics[idx(op.A, len(e.atomics))].Load(t)
+			t.Assert(v <= int64(op.V), "a%d=%d exceeds %d", idx(op.A, len(e.atomics)), v, op.V)
+		}
+	case OpWindow:
+		if len(e.atomics) > 0 {
+			a := e.atomics[idx(op.A, len(e.atomics))]
+			a.Store(t, 1)
+			a.Store(t, 0)
+		}
+	case OpAssertWindows:
+		k := op.V
+		if k > len(e.atomics) {
+			k = len(e.atomics)
+		}
+		open := true
+		for i := 0; i < k; i++ {
+			if e.atomics[i].Load(t) != 1 {
+				open = false
+			}
+		}
+		if k > 0 {
+			t.Assert(!open, windowsMessage)
+		}
+	case OpCondSignal:
+		if len(e.conds) > 0 {
+			i := idx(op.A, len(e.conds))
+			c, f := e.conds[i], e.flags[i]
+			m := e.mutexes[i%len(e.mutexes)]
+			m.Lock(t)
+			f.Store(t, 1)
+			c.Signal(t)
+			m.Unlock(t)
+		}
+	case OpCondWait:
+		if len(e.conds) > 0 {
+			i := idx(op.A, len(e.conds))
+			c, f := e.conds[i], e.flags[i]
+			m := e.mutexes[i%len(e.mutexes)]
+			m.Lock(t)
+			if f.Load(t) == 0 {
+				c.Wait(t)
+			}
+			t.Assert(f.Load(t) == 1, "cond flag unset after wait")
+			m.Unlock(t)
+		}
+	}
+}
+
+// snapshot renders the final shared state canonically. It runs on the main
+// thread after every child has been joined, so the reads introduce no
+// races and no new interleavings beyond their own (deterministic)
+// accesses.
+func (e *env) snapshot(t *sched.T) string {
+	var b strings.Builder
+	for i, a := range e.atomics {
+		fmt.Fprintf(&b, "a%d=%d ", i, a.Load(t))
+	}
+	for i, f := range e.flags {
+		fmt.Fprintf(&b, "f%d=%d ", i, f.Load(t))
+	}
+	for i, v := range e.vars {
+		fmt.Fprintf(&b, "v%d=%d ", i, v.Load(t))
+	}
+	for i, q := range e.queues {
+		fmt.Fprintf(&b, "q%d=%d ", i, q.Len(t))
+	}
+	return strings.TrimRight(b.String(), " ")
+}

@@ -21,6 +21,11 @@
 // it — so the XOR of the records' hashes is a canonical set hash, and the
 // running XOR after each step is a canonical fingerprint of the state
 // reached by that prefix.
+//
+// Resolved data choices (Choose points) additionally contribute a record
+// (tid, per-thread choice index, value): a choice commits no event, but the
+// picked value is part of the state reached, and choices are thread-local,
+// so the record is canonical for equivalent executions.
 package hb
 
 import "icb/internal/sched"
@@ -30,8 +35,11 @@ import "icb/internal/sched"
 type Fingerprinter struct {
 	// lastSync[v] is the (tid, index) of the last access to sync var v.
 	lastSync []pred
-	cur      uint64
-	steps    int
+	// choices[t] counts the data choices thread t has resolved, giving each
+	// choice a deterministic per-thread position in the record multiset.
+	choices []int
+	cur     uint64
+	steps   int
 	// OnState, if non-nil, is invoked with the fingerprint after every step;
 	// exploration engines feed these into a StateSet to count visited
 	// states.
@@ -53,6 +61,7 @@ func NewFingerprinter(onState func(uint64)) *Fingerprinter {
 // Reset prepares the fingerprinter for a new execution.
 func (f *Fingerprinter) Reset() {
 	f.lastSync = f.lastSync[:0]
+	f.choices = f.choices[:0]
 	f.cur = 0
 	f.steps = 0
 }
@@ -73,6 +82,37 @@ func (f *Fingerprinter) OnEvent(ev sched.Event) {
 		f.OnState(f.Fingerprint())
 	}
 }
+
+// OnChoice implements sched.ChoiceObserver. A resolved data choice is not
+// a shared access and commits no event, but the picked value determines the
+// state reached: prefixes that differ only in a chosen value must not share
+// a fingerprint (a conflation the differential fuzzing harness caught as a
+// state cache cutting paths to genuinely different states). Choices are
+// thread-local, so equivalent executions have identical per-thread choice
+// sequences and the record (tid, per-thread choice index, value) keeps the
+// multiset XOR canonical.
+func (f *Fingerprinter) OnChoice(t sched.TID, n, v int) {
+	for int(t) >= len(f.choices) {
+		f.choices = append(f.choices, 0)
+	}
+	idx := f.choices[t]
+	f.choices[t] = idx + 1
+	h := uint64(14695981039346656037)
+	for _, w := range [...]uint64{
+		choiceTag,
+		uint64(t),
+		uint64(idx),
+		uint64(v),
+	} {
+		h ^= w
+		h *= 1099511628211
+	}
+	f.cur ^= mix64(h)
+}
+
+// choiceTag domain-separates choice records from event records, whose FNV
+// streams start with a TID.
+const choiceTag = 0xc401ce << 32
 
 // Fingerprint returns the canonical fingerprint of the prefix seen so far.
 // The step count is mixed in so that the empty XOR contributions of

@@ -132,6 +132,41 @@ func TestFingerprintPrefixDistinct(t *testing.T) {
 	}
 }
 
+// TestFingerprintChoiceSensitivity: resolved data choices are part of the
+// state identity. Prefixes that differ only in a chosen value, or only in
+// the order of one thread's choices, must not share a fingerprint; choices
+// by different threads must still commute (they are thread-local, so any
+// interleaving of them is equivalent).
+func TestFingerprintChoiceSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	evs := randomEvents(rng, 10, 2, 3)
+	run := func(choices ...[3]int) uint64 { // (tid, n, v) triples after the events
+		f := NewFingerprinter(nil)
+		for _, ev := range evs {
+			f.OnEvent(ev)
+		}
+		for _, c := range choices {
+			f.OnChoice(sched.TID(c[0]), c[1], c[2])
+		}
+		return f.Fingerprint()
+	}
+	base := run()
+	picked0 := run([3]int{0, 2, 0})
+	picked1 := run([3]int{0, 2, 1})
+	if picked0 == base || picked1 == base {
+		t.Fatal("a resolved choice left the fingerprint unchanged")
+	}
+	if picked0 == picked1 {
+		t.Fatal("prefixes differing only in the chosen value collide")
+	}
+	if run([3]int{0, 2, 0}, [3]int{0, 2, 1}) == run([3]int{0, 2, 1}, [3]int{0, 2, 0}) {
+		t.Fatal("one thread's choice sequence is order-insensitive")
+	}
+	if run([3]int{0, 2, 1}, [3]int{1, 2, 0}) != run([3]int{1, 2, 0}, [3]int{0, 2, 1}) {
+		t.Fatal("choices by different threads do not commute")
+	}
+}
+
 // TestFingerprintResetIsFresh: Reset must restore the initial state.
 func TestFingerprintResetIsFresh(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))

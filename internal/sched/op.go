@@ -171,3 +171,14 @@ type Observer interface {
 	// OnEvent is called after each step commits.
 	OnEvent(ev Event)
 }
+
+// ChoiceObserver optionally extends Observer: implementations additionally
+// receive every resolved data-choice (Choose) point. A choice is harness
+// nondeterminism resolved inline — it is not a shared-variable access and
+// never commits an Event — yet the picked value is part of what determines
+// the state reached, so observers that fingerprint execution prefixes must
+// implement this or conflate executions that differ only in a chosen value.
+type ChoiceObserver interface {
+	// OnChoice is called after thread t's Choose(n) resolves to v.
+	OnChoice(t TID, n, v int)
+}

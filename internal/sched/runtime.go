@@ -267,6 +267,11 @@ func (rt *Runtime) runSlice(t *T) (sliceEnd, tmsg) {
 				panic(fmt.Sprintf("sched: controller picked data value %d outside [0,%d)", v, n))
 			}
 			rt.decisions = append(rt.decisions, DataDecision(v))
+			for _, o := range rt.cfg.Observers {
+				if co, ok := o.(ChoiceObserver); ok {
+					co.OnChoice(m.t.id, n, v)
+				}
+			}
 			m.t.resume <- resumeMsg{chosen: v}
 		case msgExited:
 			m.t.goroutineLive = false

@@ -41,3 +41,47 @@ func TestDecisionUnmarshalRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// FuzzScheduleJSON fuzzes the two serialized schedule forms against each
+// other: any schedule the text parser accepts must survive the JSON round
+// trip unchanged, and any JSON that decodes as a schedule must re-encode
+// to a fixed point. Replay correctness depends on this format never
+// drifting (bundle.json stores schedules as JSON, reports as text).
+func FuzzScheduleJSON(f *testing.F) {
+	f.Add("t0 t2 d1 t0 d0 t17")
+	f.Add("t0")
+	f.Add("d3 d0 t1")
+	f.Add("")
+	f.Add(`["t0","d0"]`)
+	f.Add("t99999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		if in, err := sched.ParseSchedule(s); err == nil {
+			js, err := json.Marshal(in)
+			if err != nil {
+				t.Fatalf("marshal %q: %v", in, err)
+			}
+			var out sched.Schedule
+			if err := json.Unmarshal(js, &out); err != nil {
+				t.Fatalf("unmarshal %s: %v", js, err)
+			}
+			if out.String() != in.String() {
+				t.Fatalf("round trip changed the schedule: %q -> %q", in, out)
+			}
+		}
+		var s1 sched.Schedule
+		if err := json.Unmarshal([]byte(s), &s1); err != nil {
+			return
+		}
+		js, err := json.Marshal(s1)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded schedule: %v", err)
+		}
+		var s2 sched.Schedule
+		if err := json.Unmarshal(js, &s2); err != nil {
+			t.Fatalf("re-unmarshal %s: %v", js, err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("decode/encode not a fixed point: %q -> %q", s1, s2)
+		}
+	})
+}

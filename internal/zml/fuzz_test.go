@@ -228,3 +228,48 @@ func TestFuzzStateKeyConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzZMLExecution is the native fuzz target over the whole ZML pipeline:
+// arbitrary source is compiled (rejections are fine, crashes are not) and
+// accepted programs are executed to completion under a step budget with a
+// first-enabled scheduler. Along the way the state encoding must stay
+// self-consistent: a cloned state always carries the same key, since the
+// explicit-state checker dedups on it.
+func FuzzZMLExecution(f *testing.F) {
+	f.Add(genSource(1))
+	f.Add(genSource(7))
+	f.Add(genSource(42))
+	f.Add("proc main() {\n}\n")
+	f.Add("global int g0;\nglobal mutex m0;\nproc work(int id) {\n\tacquire m0;\n\tg0 = g0 + id;\n\trelease m0;\n}\nproc main() {\n\tspawn work(1);\n\tspawn work(2);\n}\n")
+	f.Add("global int g0;\nproc main() {\n\tassert g0 == 1;\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return // rejected input; only a panic is a finding
+		}
+		s, fail := p.NewState()
+		if fail != nil {
+			return
+		}
+		for steps := 0; s.Alive() > 0 && steps < 5000; steps++ {
+			picked := -1
+			for tid := range s.Threads {
+				if p.Enabled(s, tid) {
+					picked = tid
+					break
+				}
+			}
+			if picked == -1 {
+				break // deadlock: a modeled outcome, not a VM defect
+			}
+			if fail := p.Step(s, picked, 0); fail != nil {
+				return // modeled failure (assert, etc.): a valid outcome
+			}
+			if steps%64 == 0 {
+				if got, want := p.StateKey(s.Clone()), p.StateKey(s); got != want {
+					t.Fatalf("clone changed the state key at step %d:\n%q\nvs\n%q", steps, got, want)
+				}
+			}
+		}
+	})
+}
