@@ -39,12 +39,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, ablate, parallel, all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, ablate, parallel, profile, all")
 		budget   = flag.Int("budget", 2000, "execution budget per strategy for growth curves")
 		sample   = flag.Int("sample", 0, "curve sampling stride (0 = budget/50)")
 		seed     = flag.Int64("seed", 1, "random-walk seed")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker engines for icb searches (1 = sequential reference search)")
 		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "JSON output path for -exp parallel (empty = stdout table only)")
+		profOut  = flag.String("profile-out", "BENCH_profile.json", "JSON output path for -exp profile (empty = stdout table only)")
+		baseline = flag.String("baseline", "", "baseline BENCH_profile.json to compare -exp profile against; regressions exit nonzero")
+		tol      = flag.Float64("tolerance", 0, "ratio tolerance for -baseline wall-clock metrics (0 = default 5.0)")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files into this directory (runs every experiment)")
 		progress = flag.Bool("progress", false, "print live search progress to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -151,6 +154,14 @@ func main() {
 		// Run the scaling study directly so -parallel-out controls where
 		// the machine-readable report lands.
 		if err := exper.Parallel(os.Stdout, cfg, *parOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "profile" {
+		// Run the profiler study directly so -profile-out and -baseline
+		// control the report path and the regression gate.
+		if err := exper.Profile(os.Stdout, cfg, *profOut, *baseline, *tol); err != nil {
 			fatal(err)
 		}
 		return

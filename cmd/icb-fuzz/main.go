@@ -10,6 +10,13 @@
 //	icb-fuzz -seed 1 -n 500            # fixed-size deterministic campaign
 //	icb-fuzz -seed 1 -duration 55s     # time-boxed campaign (CI smoke)
 //	icb-fuzz -duration 10m -out art/   # nightly: time-derived seed, artifacts
+//	icb-fuzz -n 200 -events fuzz.ndjson -profile
+//
+// With -events, campaign progress (programs checked, oracle exec rate,
+// skip counts, discrepancies) streams to the same NDJSON event format the
+// search binaries write; with -profile, a search profiler aggregates every
+// strategy exploration of the campaign and its final snapshot joins that
+// stream.
 //
 // The process exits 1 when any discrepancy was found, 0 on a clean run.
 package main
@@ -21,9 +28,15 @@ import (
 	"time"
 
 	"icb/internal/fuzz"
+	"icb/internal/obs"
+	"icb/internal/obs/prof"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; returning (rather than os.Exit-ing) lets deferred
+// cleanups — notably the NDJSON flush — run before the process exits.
+func run() int {
 	var (
 		seed     = flag.Int64("seed", 0, "first generator seed; 0 derives one from the clock (printed for reruns)")
 		n        = flag.Int("n", 500, "number of programs to check (ignored with -duration)")
@@ -31,11 +44,13 @@ func main() {
 		out      = flag.String("out", "", "directory for discrepancy artifacts (specs, reports, repro bundles)")
 		maxExecs = flag.Int("oracle-max-execs", 0, "per-program oracle execution cap (default 6000); bigger programs are skipped")
 		quiet    = flag.Bool("q", false, "suppress progress output (discrepancies still print)")
+		events   = flag.String("events", "", "write the structured campaign event stream (NDJSON) to this file")
+		profile  = flag.Bool("profile", false, "attach the search profiler across all strategy runs; the final snapshot joins the event stream and prints at exit")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "icb-fuzz: unexpected arguments: %v\n", flag.Args())
-		os.Exit(2)
+		return 2
 	}
 
 	if *seed == 0 {
@@ -52,6 +67,26 @@ func main() {
 	if *quiet {
 		cfg.Log = nil
 	}
+	var prf *prof.Profiler
+	if *profile {
+		prf = prof.New(0)
+		cfg.Limits.Profiler = prf
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icb-fuzz: %v\n", err)
+			return 2
+		}
+		nd := obs.NewNDJSON(f)
+		defer func() {
+			if err := nd.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "icb-fuzz: events:", err)
+			}
+			f.Close()
+		}()
+		cfg.Sink = nd
+	}
 
 	fmt.Fprintf(os.Stderr, "icb-fuzz: seed=%d", *seed)
 	if *duration > 0 {
@@ -63,14 +98,26 @@ func main() {
 	stats, err := fuzz.Campaign(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "icb-fuzz: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(stats.Summary())
+	if prf != nil {
+		d := prf.Profile()
+		var total int64
+		for _, p := range d.Phases {
+			if p.Phase == obs.PhaseReplay || p.Phase == obs.PhaseExplore {
+				total += p.NS
+			}
+		}
+		fmt.Printf("profiler: %.1f ms of strategy execution time across the campaign (sampled phases 1-in-%d)\n",
+			float64(total)/1e6, d.SampleEvery)
+	}
 	if !stats.Clean() {
 		fmt.Fprintf(os.Stderr, "icb-fuzz: %d discrepancies (seed %d)\n", len(stats.Discrepancies), *seed)
 		if *out != "" {
 			fmt.Fprintf(os.Stderr, "icb-fuzz: artifacts under %s\n", *out)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

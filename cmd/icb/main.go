@@ -42,6 +42,7 @@ import (
 	"icb/internal/obs/coverage"
 	"icb/internal/obs/dash"
 	"icb/internal/obs/estimate"
+	"icb/internal/obs/prof"
 	"icb/internal/obs/repro"
 	obstrace "icb/internal/obs/trace"
 	"icb/internal/progs"
@@ -76,6 +77,8 @@ func run() int {
 		swimlane = flag.Bool("swimlane", false, "replay the first bug and print a thread-per-column diagram")
 		httpAddr = flag.String("http", "", "serve the live search dashboard on this address (e.g. :8080)")
 		reproDir = flag.String("repro-dir", "", "write a self-contained repro bundle for every found bug under this directory")
+		profile  = flag.Bool("profile", false, "attach the search profiler (phase timing, redundancy, time-to-first-bug)")
+		profOut  = flag.String("profile-out", "", "write the final profiler snapshot as JSON to this file (implies -profile)")
 		covFile  = flag.String("coverage", "", "merge this run's preemption-point coverage atlas into this JSON file")
 		covDiff  = flag.String("coverage-diff", "", "skip searching; print what atlas NEW adds over atlas OLD (\"old.json,new.json\")")
 		traceDir = flag.String("trace-dir", "", "write per-execution Chrome trace-event JSON (Perfetto) into this directory")
@@ -180,6 +183,11 @@ func run() int {
 	if *every {
 		opt.Mode = sched.ModeEveryAccess
 	}
+	var prf *prof.Profiler
+	if *profile || *profOut != "" {
+		prf = prof.New(0)
+		opt.Profiler = prf
+	}
 
 	var cov *coverage.Recorder
 	if *covFile != "" || *httpAddr != "" {
@@ -256,6 +264,9 @@ func run() int {
 	if *reproDir != "" {
 		rw = repro.NewWriter(*reproDir, prog,
 			repro.NewMeta(*progName, *bugID, *strategy, *seed, opt))
+		if prf != nil {
+			rw.SetProfile(prf)
+		}
 		sinks = append(sinks, rw)
 	}
 	opt.Sink = obs.Multi(sinks...)
@@ -291,15 +302,35 @@ func run() int {
 			fmt.Fprintf(human, "repro bundle: %s\n", p)
 		}
 	}
+	if prf != nil {
+		data := prf.Profile()
+		if *profOut != "" {
+			js, err := json.MarshalIndent(data, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "icb: profile:", err)
+				return 2
+			}
+			if err := os.WriteFile(*profOut, append(js, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "icb: profile:", err)
+				return 2
+			}
+			fmt.Fprintf(human, "profile: wrote %s\n", *profOut)
+		}
+		printProfile(human, data)
+	}
 	if bug := res.FirstBug(); bug != nil && *minimize {
 		min := core.MinimizeSchedule(prog, bug.Schedule, opt)
 		fmt.Fprintf(human, "minimized schedule: %d -> %d decisions\n", len(bug.Schedule), len(min))
 		bug.Schedule = min
 	}
 	if *jsonOut {
+		doc := jsonResult(res)
+		if prf != nil {
+			doc["profile"] = prf.Profile()
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonResult(res)); err != nil {
+		if err := enc.Encode(doc); err != nil {
 			fmt.Fprintln(os.Stderr, "icb:", err)
 			return 2
 		}
@@ -493,6 +524,41 @@ func parseStrategy(s string, seed int64, workers int) (core.Strategy, error) {
 		return baseline.DFS{Depth: n}, nil
 	}
 	return nil, fmt.Errorf("unknown strategy %q (want icb, dfs, db:<N>, idfs, random, pct:<d>)", s)
+}
+
+// printProfile renders a compact human summary of the profiler snapshot:
+// the replay/explore wall-clock split, per-bound redundancy, worker
+// contention (parallel searches only), and each distinct bug's
+// time-to-first-sighting.
+func printProfile(w io.Writer, d obs.ProfileData) {
+	var replay, explore int64
+	for _, p := range d.Phases {
+		switch p.Phase {
+		case obs.PhaseReplay:
+			replay = p.NS
+		case obs.PhaseExplore:
+			explore = p.NS
+		}
+	}
+	if total := replay + explore; total > 0 {
+		fmt.Fprintf(w, "profile: replay %.1f%% / explore %.1f%% of %.1f ms execution time (sampled phases 1-in-%d)\n",
+			100*float64(replay)/float64(total), 100*float64(explore)/float64(total),
+			float64(total)/1e6, d.SampleEvery)
+	}
+	for _, b := range d.Bounds {
+		fmt.Fprintf(w, "profile: bound %d: %d execs, %d new classes (%.1f%% redundant), %.1f ms\n",
+			b.Bound, b.Executions, b.NewClasses, 100*b.RedundantFrac, float64(b.DurationNS)/1e6)
+	}
+	for _, wk := range d.Workers {
+		fmt.Fprintf(w, "profile: worker %d: state-set waits %d (%.2f ms), table waits %d (%.2f ms), barrier %.2f ms, fetch stalls %d\n",
+			wk.Worker, wk.StateLockWaits, float64(wk.StateLockWaitNS)/1e6,
+			wk.TableLockWaits, float64(wk.TableLockWaitNS)/1e6,
+			float64(wk.BarrierWaitNS)/1e6, wk.FetchStalls)
+	}
+	for _, fb := range d.FirstBugs {
+		fmt.Fprintf(w, "profile: first sighting of %s %q: execution %d, bound %d, %.2f ms\n",
+			fb.Kind, fb.Message, fb.Execution, fb.Bound, float64(fb.TNS)/1e6)
+	}
 }
 
 func printResult(res core.Result) {

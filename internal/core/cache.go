@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"icb/internal/hb"
 	"icb/internal/obs"
@@ -68,6 +69,14 @@ type Cache struct {
 	// Telemetry, set by the engine; both nil when disabled.
 	sink obs.Sink
 	met  *obs.Metrics
+
+	// Profiling (both nil when off; a Cache is per-worker, so neither field
+	// races). probeNS, when non-nil, accumulates this execution's probe
+	// time — the engine installs it only on sampled executions. lockWait is
+	// the worker's shared-table contention observer, active on every
+	// profiled execution (contention counters are cumulative, not sampled).
+	probeNS  *int64
+	lockWait hb.Contention
 }
 
 type cacheKey struct {
@@ -89,6 +98,16 @@ func newCache(fp *hb.Fingerprinter) *Cache {
 // the preemptions spent on the current path (see the soundness note in the
 // type docs); preemption-agnostic ones pass 0.
 func (c *Cache) TryTake(d sched.Decision, preempts int) bool {
+	if c.probeNS == nil {
+		return c.tryTake(d, preempts)
+	}
+	t0 := time.Now()
+	ok := c.tryTake(d, preempts)
+	*c.probeNS += time.Since(t0).Nanoseconds()
+	return ok
+}
+
+func (c *Cache) tryTake(d sched.Decision, preempts int) bool {
 	k := cacheKey{state: c.fp.Fingerprint(), kind: d.Kind, preempts: int32(preempts)}
 	if d.Kind == sched.DecisionThread {
 		k.val = int32(d.Thread)
@@ -97,7 +116,7 @@ func (c *Cache) TryTake(d sched.Decision, preempts int) bool {
 	}
 	taken := false
 	if c.shared != nil {
-		taken = !c.shared.tryInsert(k)
+		taken = !c.shared.tryInsert(k, c.lockWait)
 	} else if _, ok := c.table[k]; ok {
 		taken = true
 	}
@@ -163,10 +182,21 @@ func newSharedTable() *sharedTable {
 	return t
 }
 
-// tryInsert registers k and reports whether it was new.
-func (t *sharedTable) tryInsert(k cacheKey) bool {
+// tryInsert registers k and reports whether it was new. With a non-nil
+// contention observer, an uncontended acquire takes the TryLock fast path
+// (no clock reading); only acquires that found the shard lock held are
+// timed and reported.
+func (t *sharedTable) tryInsert(k cacheKey, c hb.Contention) bool {
 	sh := &t.shards[k.state&(cacheShards-1)]
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		if c != nil {
+			t0 := time.Now()
+			sh.mu.Lock()
+			c.NoteWait(time.Since(t0).Nanoseconds())
+		} else {
+			sh.mu.Lock()
+		}
+	}
 	if _, ok := sh.m[k]; ok {
 		sh.mu.Unlock()
 		return false

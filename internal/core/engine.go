@@ -7,6 +7,7 @@ import (
 
 	"icb/internal/hb"
 	"icb/internal/obs"
+	"icb/internal/obs/prof"
 	"icb/internal/race"
 	"icb/internal/sched"
 )
@@ -62,6 +63,22 @@ type Engine struct {
 	boundStart      time.Time
 	boundStartExecs int
 
+	// Search profiler (nil when off). profObservers is the sampled-execution
+	// observer slice: the regular observers wrapped in timing shims;
+	// profExecs counts this engine's executions for the sampling decision;
+	// fpNS/raceNS/cacheProbeNS are the sampled execution's per-phase
+	// scratch accumulators (single-goroutine, flushed after each sampled
+	// run); classesAtBound and profBoundOpen drive the per-bound redundancy
+	// flush.
+	prof           *prof.Profiler
+	profObservers  []sched.Observer
+	profExecs      int
+	fpNS           int64
+	raceNS         int64
+	cacheProbeNS   int64
+	classesAtBound int
+	profBoundOpen  bool
+
 	res     Result
 	bugSeen map[bugKey]int // index into res.Bugs, for deduplication
 	done    bool
@@ -85,6 +102,7 @@ func NewEngine(prog sched.Program, opt Options) *Engine {
 		est:      opt.Estimator,
 		curBound: -1,
 		worker:   -1,
+		prof:     opt.Profiler,
 	}
 	e.fp = hb.NewFingerprinter(func(s uint64) { e.states.Add(s) })
 	if opt.StateCache {
@@ -94,6 +112,9 @@ func NewEngine(prog sched.Program, opt Options) *Engine {
 	}
 	if e.met != nil {
 		e.met.CurBound.Store(-1)
+		if e.prof != nil {
+			e.met.SetProfile(e.prof)
+		}
 	}
 	e.initExec()
 	e.res.BoundCompleted = -1
@@ -114,6 +135,42 @@ func (e *Engine) initExec() {
 	if e.det != nil {
 		e.observers = append(e.observers, e.det)
 	}
+	if e.prof != nil {
+		// The sampled-execution slice mirrors e.observers member for member,
+		// each wrapped in a timing shim, so a sampled execution observes the
+		// exact same event stream (the shim forwards OnChoice too — dropping
+		// it would change fingerprints and break cache soundness).
+		e.profObservers = append(e.profObservers, &timedObserver{inner: e.fp, ns: &e.fpNS})
+		if e.det != nil {
+			e.profObservers = append(e.profObservers, &timedObserver{inner: e.det, ns: &e.raceNS})
+		}
+	}
+}
+
+// timedObserver forwards every observation to inner, accumulating the time
+// spent inside it into *ns. Installed only on sampled executions, so the
+// two clock readings per event stay off the common path.
+type timedObserver struct {
+	inner sched.Observer
+	ns    *int64
+}
+
+// OnEvent implements sched.Observer.
+func (t *timedObserver) OnEvent(ev sched.Event) {
+	t0 := time.Now()
+	t.inner.OnEvent(ev)
+	*t.ns += time.Since(t0).Nanoseconds()
+}
+
+// OnChoice implements sched.ChoiceObserver by forwarding when (and only
+// when) the wrapped observer implements it, preserving the inner
+// observer's view of data choices.
+func (t *timedObserver) OnChoice(tid sched.TID, n, v int) {
+	if co, ok := t.inner.(sched.ChoiceObserver); ok {
+		t0 := time.Now()
+		co.OnChoice(tid, n, v)
+		*t.ns += time.Since(t0).Nanoseconds()
+	}
 }
 
 // Strategy is a search strategy: ICB (this package) or one of the
@@ -130,6 +187,9 @@ type Strategy interface {
 // Explore runs strategy s on prog and returns the accumulated result.
 func Explore(prog sched.Program, s Strategy, opt Options) Result {
 	e := NewEngine(prog, opt)
+	if e.prof != nil {
+		e.prof.Begin()
+	}
 	start := time.Now()
 	s.Explore(e)
 	e.res.Duration = time.Since(start)
@@ -139,6 +199,12 @@ func Explore(prog sched.Program, s Strategy, opt Options) Result {
 	if e.cache != nil {
 		e.res.CacheHits = e.cache.Hits()
 		e.res.CacheMisses = e.cache.Misses()
+	}
+	if e.prof != nil {
+		e.flushProfBound()
+		if e.sink != nil {
+			e.sink.Profile(obs.ProfileEvent{Profile: e.prof.Profile()})
+		}
 	}
 	if e.sink != nil {
 		e.sink.SearchDone(obs.SearchEvent{
@@ -198,6 +264,10 @@ func (e *Engine) BeginBound(bound, queue int) {
 	e.frontier = queue
 	e.boundStart = time.Now()
 	e.boundStartExecs = e.res.Executions
+	if e.prof != nil {
+		e.classesAtBound = e.classes.Len()
+		e.profBoundOpen = true
+	}
 	if e.met != nil {
 		e.met.CurBound.Store(int64(bound))
 		e.met.QueueDepth.Store(int64(queue))
@@ -231,6 +301,13 @@ func (e *Engine) CompleteBound(bound int) {
 	if e.met != nil {
 		e.met.ObserveBoundTime(bound, d.Nanoseconds())
 	}
+	if e.prof != nil && e.profBoundOpen {
+		e.prof.NoteBound(bound,
+			int64(e.res.Executions-e.boundStartExecs),
+			int64(e.classes.Len()-e.classesAtBound),
+			d.Nanoseconds())
+		e.profBoundOpen = false
+	}
 	if e.sink != nil {
 		e.sink.BoundComplete(obs.BoundEvent{
 			Bound:      bound,
@@ -240,6 +317,22 @@ func (e *Engine) CompleteBound(bound int) {
 			DurationNS: d.Nanoseconds(),
 		})
 	}
+}
+
+// flushProfBound closes the profiler's redundancy accounting for a bound
+// the strategy never completed (budget cut, StopOnFirstBug): without it a
+// search stopped mid-bound would lose every execution since the last bound
+// barrier. Called once at search end; a no-op when the last bound was
+// completed normally.
+func (e *Engine) flushProfBound() {
+	if e.prof == nil || !e.profBoundOpen || e.curBound < 0 {
+		return
+	}
+	e.prof.NoteBound(e.curBound,
+		int64(e.res.Executions-e.boundStartExecs),
+		int64(e.classes.Len()-e.classesAtBound),
+		time.Since(e.boundStart).Nanoseconds())
+	e.profBoundOpen = false
 }
 
 // NoteFrontier reports the strategy's current deferred-work-item count, so
@@ -285,13 +378,36 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 	if e.det != nil {
 		e.det.Reset()
 	}
+	// Profiling setup must inspect ctrl before the estimator wraps it: the
+	// replay/explore split marker lives on the ICB controller itself.
+	var (
+		profStart   time.Time
+		profSampled bool
+		profICB     *icbController
+	)
+	observers := e.observers
+	if e.prof != nil {
+		e.profExecs++
+		profSampled = e.prof.Sampled(e.profExecs)
+		if ic, ok := ctrl.(*icbController); ok {
+			ic.profClock = true
+			profICB = ic
+		}
+		if profSampled {
+			e.fpNS, e.raceNS, e.cacheProbeNS = 0, 0, 0
+			observers = e.profObservers
+			if e.cache != nil {
+				e.cache.probeNS = &e.cacheProbeNS
+			}
+		}
+	}
 	if e.est != nil {
 		ctrl = &branchController{inner: ctrl, est: e.est, bound: e.curBound}
 	}
 	cfg := sched.Config{
 		Mode:      e.opt.Mode,
 		MaxSteps:  e.opt.MaxSteps,
-		Observers: e.observers,
+		Observers: observers,
 	}
 	if e.opt.Coverage != nil {
 		cfg.PointObserver = &pointForwarder{rec: e.opt.Coverage, bound: e.curBound}
@@ -299,7 +415,36 @@ func (e *Engine) RunExecution(ctrl sched.Controller) (out sched.Outcome, done bo
 	if e.opt.TraceObserver != nil {
 		cfg.RecordTrace = true
 	}
+	if e.prof != nil {
+		profStart = time.Now()
+	}
 	out = sched.Run(e.prog, ctrl, cfg)
+	if e.prof != nil {
+		total := time.Since(profStart).Nanoseconds()
+		var replay int64
+		if profICB != nil {
+			if !profICB.replayDoneAt.IsZero() {
+				replay = profICB.replayDoneAt.Sub(profStart).Nanoseconds()
+			} else if len(profICB.path) > 0 {
+				// The execution never reached a decision past its replayed
+				// prefix (cut during replay or ended exactly at its end).
+				replay = total
+			}
+			if replay < 0 {
+				replay = 0
+			}
+			if replay > total {
+				replay = total
+			}
+		}
+		e.prof.ObserveExec(e.curBound, replay, total-replay)
+		if profSampled {
+			if e.cache != nil {
+				e.cache.probeNS = nil
+			}
+			e.prof.ObserveSampled(e.curBound, e.fpNS, e.raceNS, e.cacheProbeNS)
+		}
+	}
 	e.res.Executions++
 	// execNo is the search-global 1-based execution index: the local count
 	// for a sequential engine, a shared atomic for parallel workers (so bug
@@ -451,6 +596,9 @@ func (e *Engine) recordBugs(out sched.Outcome, execNo int) {
 		})
 		if e.met != nil {
 			e.met.Bugs.Add(1)
+		}
+		if e.prof != nil {
+			e.prof.NoteFirstBug(kind.String(), msg, execNo, e.curBound)
 		}
 		if e.sink != nil {
 			e.sink.BugFound(obs.BugEvent{

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"icb/internal/sched"
 )
@@ -115,6 +116,21 @@ type icbController struct {
 
 	onPreempt func(sched.Schedule)
 	onLocal   func(sched.Schedule)
+
+	// profClock, set by a profiling engine before the run, arms the
+	// replay/explore split: replayDoneAt is stamped once, at the first
+	// decision past the replayed prefix (zero when the execution never
+	// left it). One boolean check per decision when profiling is off.
+	profClock    bool
+	replayDoneAt time.Time
+}
+
+// markExplore stamps the replay→explore transition on the first
+// extension-phase decision of a profiled execution.
+func (c *icbController) markExplore() {
+	if c.profClock && c.replayDoneAt.IsZero() {
+		c.replayDoneAt = time.Now()
+	}
 }
 
 // take registers the decision about to be taken at p spent preemptions; a
@@ -146,6 +162,7 @@ func (c *icbController) PickThread(info sched.PickInfo) (sched.TID, bool) {
 		c.cur = append(c.cur, d)
 		return d.Thread, true
 	}
+	c.markExplore()
 	if info.PrevEnabled {
 		// Lines 26–32 of Algorithm 1: the running thread continues;
 		// scheduling any other enabled thread costs a preemption and is
@@ -188,6 +205,7 @@ func (c *icbController) PickData(t sched.TID, n int) int {
 		c.cur = append(c.cur, d)
 		return d.Data
 	}
+	c.markExplore()
 	// A choose point in the extension phase always follows a freshly taken
 	// thread decision, so registering value 0 cannot fail; register it so
 	// other paths reaching an equivalent state are cut at their preceding

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"icb/internal/obs"
+	"icb/internal/obs/prof"
 	"icb/internal/sched"
 )
 
@@ -69,6 +70,14 @@ type Options struct {
 	// preemption-point coverage atlas (package obs/coverage). nil (the
 	// default) leaves the sched-layer observation hook uninstalled.
 	Coverage PointRecorder
+	// Profiler, when non-nil, attaches the search profiler (package
+	// obs/prof): per-execution replay/explore phase timing, sampled
+	// fingerprint/race/cache sub-costs, per-bound redundancy accounting,
+	// parallel contention counters, and time-to-first-bug records. One
+	// profiler may be shared across many explorations (campaigns). nil (the
+	// default) leaves every hook uninstalled; the engine then pays one
+	// nil-check per execution and behaves identically to an unprofiled one.
+	Profiler *prof.Profiler
 	// TraceObserver, when non-nil, receives every execution's outcome with
 	// full trace recording forced on, so each execution can be rendered as
 	// a Chrome trace-event file (package obs/trace). Recording every trace

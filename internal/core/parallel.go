@@ -6,8 +6,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"icb/internal/hb"
+	"icb/internal/obs/prof"
 	"icb/internal/sched"
 )
 
@@ -121,10 +123,22 @@ func newWorkerEngine(parent *Engine, worker int, ps *parSearch) *Engine {
 		worker:      worker,
 		stop:        &ps.stop,
 		sharedExecs: &ps.execs,
+		prof:        parent.prof,
 	}
-	e.fp = hb.NewFingerprinter(func(s uint64) { ps.states.Add(s) })
+	if e.prof != nil {
+		// Contention-observed inserts: per-worker lock observers on the
+		// sharded state set and the shared work-item table (the profiler's
+		// two LockSites). Uncontended acquires stay clock-free.
+		sc := e.prof.Locks(worker, prof.LockStateSet)
+		e.fp = hb.NewFingerprinter(func(s uint64) { ps.states.AddObserved(s, sc) })
+	} else {
+		e.fp = hb.NewFingerprinter(func(s uint64) { ps.states.Add(s) })
+	}
 	if e.opt.StateCache {
 		e.cache = &Cache{fp: e.fp, shared: ps.table, sink: e.sink, met: e.met}
+		if e.prof != nil {
+			e.cache.lockWait = e.prof.Locks(worker, prof.LockWorkTable)
+		}
 	}
 	e.initExec()
 	e.res.BoundCompleted = -1
@@ -160,14 +174,27 @@ func (p ParallelICB) Explore(e *Engine) {
 		)
 		total := len(workQueue)
 		nextByWorker := make([][]sched.Schedule, w)
+		// finished[wi] is when worker wi ran out of work this bound; the
+		// gap to the slowest worker's arrival is its barrier-wait time.
+		// Written by each worker, read after wg.Wait (which orders them).
+		var finished []time.Time
+		if e.prof != nil {
+			finished = make([]time.Time, w)
+		}
 		for wi := range ps.workers {
 			wg.Add(1)
 			go func(wi int, we *Engine) {
 				defer wg.Done()
+				if finished != nil {
+					defer func() { finished[wi] = time.Now() }()
+				}
 				next := &nextByWorker[wi]
 				for !we.Done() {
 					i := int(idx.Add(1)) - 1
 					if i >= total {
+						if we.prof != nil {
+							we.prof.NoteFetchStall(wi)
+						}
 						return
 					}
 					we.NoteFrontier(total - i - 1)
@@ -177,6 +204,14 @@ func (p ParallelICB) Explore(e *Engine) {
 			}(wi, ps.workers[wi])
 		}
 		wg.Wait()
+		if e.prof != nil {
+			barrier := time.Now()
+			for wi := range finished {
+				if !finished[wi].IsZero() {
+					e.prof.NoteBarrierWait(wi, barrier.Sub(finished[wi]).Nanoseconds())
+				}
+			}
+		}
 
 		nextWork := mergeNextWork(nextByWorker)
 		ps.mergeInto(e)

@@ -22,10 +22,10 @@ func WriteCSV(dir string, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	rows := [][]string{{"program", "loc", "threads", "max_k", "max_b", "max_c", "sites", "time_ms"}}
+	rows := [][]string{{"program", "loc", "threads", "max_k", "max_b", "max_c", "sites", "redundant_pct", "time_ms"}}
 	for _, r := range t1 {
 		rows = append(rows, []string{r.Name, itoa(r.LOC), itoa(r.Threads), itoa(r.MaxK), itoa(r.MaxB), itoa(r.MaxC),
-			countCell(r.Sites), itoa(int(r.Time.Milliseconds()))})
+			countCell(r.Sites), pctCell(r.RedundantPct), itoa(int(r.Time.Milliseconds()))})
 	}
 	if err := writeCSVFile(dir, "table1.csv", rows); err != nil {
 		return err
@@ -35,11 +35,15 @@ func WriteCSV(dir string, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	rows = [][]string{{"program", "bugs", "c0", "c1", "c2", "c3", "psites", "time_ms"}}
+	rows = [][]string{{"program", "bugs", "c0", "c1", "c2", "c3", "psites",
+		"t0_us", "t1_us", "t2_us", "t3_us", "time_ms"}}
 	for _, r := range t2 {
 		rows = append(rows, []string{r.Name, itoa(r.Total),
 			itoa(r.AtBound[0]), itoa(r.AtBound[1]), itoa(r.AtBound[2]), itoa(r.AtBound[3]),
-			countCell(r.PSites), itoa(int(r.Time.Milliseconds()))})
+			countCell(r.PSites),
+			itoa(int(r.BoundTime[0].Microseconds())), itoa(int(r.BoundTime[1].Microseconds())),
+			itoa(int(r.BoundTime[2].Microseconds())), itoa(int(r.BoundTime[3].Microseconds())),
+			itoa(int(r.Time.Milliseconds()))})
 	}
 	if err := writeCSVFile(dir, "table2.csv", rows); err != nil {
 		return err

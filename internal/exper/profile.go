@@ -1,0 +1,341 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"icb/internal/core"
+	"icb/internal/obs"
+	"icb/internal/obs/prof"
+)
+
+// profileReportVersion identifies the BENCH_profile.json schema; bump it
+// when the report shape changes incompatibly, which makes CompareProfiles
+// refuse stale baselines instead of misreading them.
+const profileReportVersion = 1
+
+// ProfileBugRecord is one bug variant's time-to-first-bug measurement: a
+// dedicated StopOnFirstBug run (mirroring the Table 2 configuration) with
+// a fresh profiler, so Execution and TNS measure exactly the cost of
+// reaching that defect from a cold start.
+type ProfileBugRecord struct {
+	// ID is "<benchmark>/<variant>", e.g. "wsq/steal-unlocked".
+	ID string `json:"id"`
+	// Kind is the reported bug classification.
+	Kind string `json:"kind"`
+	// Bound is the preemption bound being drained at the first sighting.
+	Bound int `json:"bound"`
+	// Execution is the 1-based index of the exposing execution.
+	Execution int `json:"execution"`
+	// TNS is wall-clock nanoseconds from search start to the sighting.
+	TNS int64 `json:"t_ns"`
+}
+
+// ProfileBenchmark is one benchmark's profile: a fresh-profiler sequential
+// ICB sweep of the Correct variant (bound 2, state caching on — the
+// Table 1 configuration), so phase and redundancy numbers are isolated per
+// benchmark and deterministic in everything but wall clock.
+type ProfileBenchmark struct {
+	Name string `json:"name"`
+	// Executions, Classes, States, CacheHits, CacheMisses are the sweep's
+	// deterministic outputs (sequential search: exact across runs).
+	Executions  int `json:"executions"`
+	Classes     int `json:"classes"`
+	States      int `json:"states"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// RedundantFrac is 1 - Classes/Executions over the whole sweep.
+	RedundantFrac float64 `json:"redundant_frac"`
+	// DurationNS is the sweep's wall clock (host-dependent).
+	DurationNS int64 `json:"duration_ns"`
+	// Phases and Bounds are the profiler's phase breakdown and per-bound
+	// redundancy accounting for the sweep.
+	Phases []obs.ProfilePhase `json:"phases,omitempty"`
+	Bounds []obs.ProfileBound `json:"bounds,omitempty"`
+	// FirstBugs holds the benchmark's bug variants' time-to-first-bug runs.
+	FirstBugs []ProfileBugRecord `json:"first_bugs,omitempty"`
+}
+
+// ProfileReport is what `icb-bench -exp profile` writes to
+// BENCH_profile.json: per-benchmark phase timing, redundancy accounting,
+// and time-to-first-bug, plus the host facts needed to judge the
+// wall-clock numbers. Execution counts, class/state counts, redundant
+// fractions, and first-bug execution indices are deterministic (the runs
+// are sequential); only the *NS fields move between hosts, which is why
+// CompareProfiles checks them by ratio.
+type ProfileReport struct {
+	Version     int                `json:"version"`
+	HostCPUs    int                `json:"hostCPUs"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Budget      int                `json:"budget"`
+	SampleEvery int                `json:"sample_every"`
+	Benchmarks  []ProfileBenchmark `json:"benchmarks"`
+}
+
+// ProfileData measures the profile report: for every benchmark a
+// fresh-profiler bound-2 cached sweep of the Correct variant, then one
+// fresh-profiler StopOnFirstBug run per bug variant. Everything runs on
+// the sequential strategy regardless of cfg.Workers so the deterministic
+// fields are exact baseline material.
+func ProfileData(cfg Config) (ProfileReport, error) {
+	cfg.fill()
+	rep := ProfileReport{
+		Version:     profileReportVersion,
+		HostCPUs:    runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Budget:      cfg.Budget,
+		SampleEvery: prof.DefaultSampleEvery,
+	}
+	for _, b := range Benchmarks() {
+		p := prof.New(0)
+		res := explore(b.Correct, core.ICB{}, core.Options{
+			MaxPreemptions: 2,
+			StateCache:     true,
+			MaxExecutions:  cfg.Budget,
+			Profiler:       p,
+		}, cfg)
+		data := p.Profile()
+		pb := ProfileBenchmark{
+			Name:          b.Name,
+			Executions:    res.Executions,
+			Classes:       res.ExecutionClasses,
+			States:        res.States,
+			CacheHits:     res.CacheHits,
+			CacheMisses:   res.CacheMisses,
+			RedundantFrac: redundantPct(res) / 100,
+			DurationNS:    res.Duration.Nanoseconds(),
+			Phases:        data.Phases,
+			Bounds:        data.Bounds,
+		}
+		for i := range b.Bugs {
+			bp := prof.New(0)
+			bres := explore(b.Bugs[i].Program, core.ICB{}, core.Options{
+				MaxPreemptions: 3,
+				StopOnFirstBug: true,
+				Profiler:       bp,
+			}, cfg)
+			if bres.FirstBug() == nil {
+				return rep, fmt.Errorf("profile: %s/%s: bug not found within bound 3", b.Name, b.Bugs[i].ID)
+			}
+			bd := bp.Profile()
+			if len(bd.FirstBugs) == 0 {
+				return rep, fmt.Errorf("profile: %s/%s: bug found but profiler recorded no first sighting", b.Name, b.Bugs[i].ID)
+			}
+			fb := bd.FirstBugs[0]
+			pb.FirstBugs = append(pb.FirstBugs, ProfileBugRecord{
+				ID:        b.Name + "/" + b.Bugs[i].ID,
+				Kind:      fb.Kind,
+				Bound:     fb.Bound,
+				Execution: fb.Execution,
+				TNS:       fb.TNS,
+			})
+		}
+		rep.Benchmarks = append(rep.Benchmarks, pb)
+	}
+	return rep, nil
+}
+
+// DefaultProfileTolerance is the ratio beyond which a wall-clock metric
+// counts as a regression: generous on purpose, because shared and
+// single-core hosts have been observed to drift 2-3x between runs of an
+// unchanged tree. The wall-clock gate exists to catch order-of-magnitude
+// blowups; anything algorithmic shows up first in the deterministic
+// metrics (executions, classes, redundancy, first-bug index), which are
+// compared exactly.
+const DefaultProfileTolerance = 5.0
+
+// redundantSlack is the absolute headroom allowed on the deterministic
+// redundant fraction before it counts as a regression (it should not move
+// at all on an unchanged tree; any growth means the search re-explores
+// more equivalent executions than it used to).
+const redundantSlack = 0.05
+
+// CompareProfiles checks cur against a baseline report. It returns the
+// list of regressions — empty means the tree is no worse than the
+// baseline. Only regressions fail: a benchmark present in cur but not in
+// base is new coverage, and improvements in any metric pass silently.
+// Deterministic metrics (executions, redundant fraction, first-bug
+// execution index) only compare when the budgets match, since the budget
+// caps the sweep.
+func CompareProfiles(cur, base ProfileReport, tol float64) []string {
+	if tol <= 1 {
+		tol = DefaultProfileTolerance
+	}
+	var regs []string
+	if base.Version != cur.Version {
+		return []string{fmt.Sprintf("baseline schema version %d != current %d; regenerate the baseline", base.Version, cur.Version)}
+	}
+	sameBudget := base.Budget == cur.Budget
+	curBy := make(map[string]*ProfileBenchmark, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		curBy[cur.Benchmarks[i].Name] = &cur.Benchmarks[i]
+	}
+	for i := range base.Benchmarks {
+		bb := &base.Benchmarks[i]
+		cb, ok := curBy[bb.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: benchmark missing from current profile", bb.Name))
+			continue
+		}
+		if sameBudget && cb.Executions > bb.Executions {
+			regs = append(regs, fmt.Sprintf("%s: executions grew %d -> %d (search explores more to cover the same space)",
+				bb.Name, bb.Executions, cb.Executions))
+		}
+		if sameBudget && cb.RedundantFrac > bb.RedundantFrac+redundantSlack {
+			regs = append(regs, fmt.Sprintf("%s: redundant fraction grew %.3f -> %.3f",
+				bb.Name, bb.RedundantFrac, cb.RedundantFrac))
+		}
+		// ns/execution is the host-comparable cost unit; total wall clock
+		// scales with the execution count, which the checks above own.
+		if r, bad := nsPerExecRatio(cb, bb); bad && r > tol {
+			regs = append(regs, fmt.Sprintf("%s: ns/execution grew %.2fx (> %.2fx tolerance)", bb.Name, r, tol))
+		}
+		baseBugs := make(map[string]*ProfileBugRecord, len(bb.FirstBugs))
+		for j := range bb.FirstBugs {
+			baseBugs[bb.FirstBugs[j].ID] = &bb.FirstBugs[j]
+		}
+		for j := range cb.FirstBugs {
+			cfb := &cb.FirstBugs[j]
+			bfb, ok := baseBugs[cfb.ID]
+			if !ok {
+				continue // new bug variant: new coverage, not a regression
+			}
+			delete(baseBugs, cfb.ID)
+			if cfb.Bound > bfb.Bound {
+				regs = append(regs, fmt.Sprintf("%s: first sighting moved from bound %d to bound %d",
+					cfb.ID, bfb.Bound, cfb.Bound))
+			}
+			if float64(cfb.Execution) > float64(bfb.Execution)*tol {
+				regs = append(regs, fmt.Sprintf("%s: time-to-first-bug grew from execution %d to %d (> %.2fx tolerance)",
+					cfb.ID, bfb.Execution, cfb.Execution, tol))
+			}
+		}
+		for id := range baseBugs {
+			regs = append(regs, fmt.Sprintf("%s: bug variant missing from current profile", id))
+		}
+	}
+	sort.Strings(regs)
+	return regs
+}
+
+// nsPerExecRatio returns cur/base of per-execution wall clock, and whether
+// the ratio is meaningful (both sides measured nonzero durations).
+func nsPerExecRatio(cur, base *ProfileBenchmark) (float64, bool) {
+	if cur.Executions == 0 || base.Executions == 0 || cur.DurationNS <= 0 || base.DurationNS <= 0 {
+		return 0, false
+	}
+	c := float64(cur.DurationNS) / float64(cur.Executions)
+	b := float64(base.DurationNS) / float64(base.Executions)
+	if b <= 0 {
+		return 0, false
+	}
+	return c / b, true
+}
+
+// Profile runs the profile experiment and renders it to w. When jsonPath
+// is non-empty the report is written there as indented JSON; when
+// baselinePath is non-empty the report is compared against that baseline
+// and an error listing every regression is returned if any metric got
+// worse than the tolerance allows (tol <= 1 selects the default).
+func Profile(w io.Writer, cfg Config, jsonPath, baselinePath string, tol float64) error {
+	// Read the baseline before anything is written: jsonPath and
+	// baselinePath are the same file in the common "compare against the
+	// checked-in report, then refresh it" invocation.
+	var base ProfileReport
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("profile baseline: %w", err)
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("profile baseline %s: %w", baselinePath, err)
+		}
+	}
+	rep, err := ProfileData(cfg)
+	if err != nil {
+		return err
+	}
+	renderProfile(w, rep)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		regs := CompareProfiles(rep, base, tol)
+		if len(regs) > 0 {
+			fmt.Fprintf(w, "%d regression(s) vs %s:\n", len(regs), baselinePath)
+			for _, r := range regs {
+				fmt.Fprintf(w, "  %s\n", r)
+			}
+			return fmt.Errorf("profile: %d regression(s) vs baseline %s:\n  %s",
+				len(regs), baselinePath, strings.Join(regs, "\n  "))
+		}
+		fmt.Fprintf(w, "no regressions vs %s\n", baselinePath)
+	}
+	return nil
+}
+
+// renderProfile prints the human-readable profile: per benchmark the sweep
+// economics, the phase split, the per-bound redundancy, and every bug's
+// time-to-first-bug.
+func renderProfile(w io.Writer, rep ProfileReport) {
+	fmt.Fprintf(w, "Search profile: bound-2 cached sweeps + per-bug StopOnFirstBug runs "+
+		"(sequential, %d CPUs, GOMAXPROCS=%d, sampled phases 1-in-%d).\n",
+		rep.HostCPUs, rep.GoMaxProcs, rep.SampleEvery)
+	fmt.Fprintf(w, "%-22s %10s %10s %8s %6s %10s %8s %8s\n",
+		"Program", "execs", "classes", "red%", "hit%", "wall(ms)", "replay%", "explore%")
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		hitPct := 0.0
+		if probes := b.CacheHits + b.CacheMisses; probes > 0 {
+			hitPct = 100 * float64(b.CacheHits) / float64(probes)
+		}
+		replayPct, explorePct := phaseSplit(b.Phases)
+		fmt.Fprintf(w, "%-22s %10d %10d %8.1f %6.1f %10.1f %8.1f %8.1f\n",
+			b.Name, b.Executions, b.Classes, 100*b.RedundantFrac, hitPct,
+			float64(b.DurationNS)/1e6, replayPct, explorePct)
+		for _, bd := range b.Bounds {
+			fmt.Fprintf(w, "    bound %d: %6d execs, %6d new classes, %5.1f%% redundant, %8.1f ms\n",
+				bd.Bound, bd.Executions, bd.NewClasses, 100*bd.RedundantFrac, float64(bd.DurationNS)/1e6)
+		}
+		for _, fb := range b.FirstBugs {
+			fmt.Fprintf(w, "    first bug %-32s bound %d, execution %d, %8.2f ms\n",
+				fb.ID, fb.Bound, fb.Execution, float64(fb.TNS)/1e6)
+		}
+	}
+}
+
+// phaseSplit returns replay and explore as percentages of their sum.
+func phaseSplit(phases []obs.ProfilePhase) (replayPct, explorePct float64) {
+	var replay, explore int64
+	for _, p := range phases {
+		switch p.Phase {
+		case obs.PhaseReplay:
+			replay = p.NS
+		case obs.PhaseExplore:
+			explore = p.NS
+		}
+	}
+	if total := replay + explore; total > 0 {
+		replayPct = 100 * float64(replay) / float64(total)
+		explorePct = 100 * float64(explore) / float64(total)
+	}
+	return replayPct, explorePct
+}

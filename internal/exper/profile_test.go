@@ -1,0 +1,102 @@
+package exper
+
+// Tests of the profile baseline comparator: CompareProfiles is the CI
+// perf gate, so each regression class must fire on the metric it owns and
+// stay quiet on improvements and host-speed noise within tolerance.
+
+import (
+	"strings"
+	"testing"
+)
+
+func profFixture() ProfileReport {
+	return ProfileReport{
+		Version: profileReportVersion,
+		Budget:  2000,
+		Benchmarks: []ProfileBenchmark{{
+			Name:          "wsq",
+			Executions:    336,
+			RedundantFrac: 0.40,
+			DurationNS:    336 * 50_000,
+			FirstBugs: []ProfileBugRecord{
+				{ID: "wsq/steal-unlocked", Bound: 2, Execution: 46},
+			},
+		}},
+	}
+}
+
+func regsContaining(t *testing.T, regs []string, want string) {
+	t.Helper()
+	for _, r := range regs {
+		if strings.Contains(r, want) {
+			return
+		}
+	}
+	t.Errorf("no regression mentions %q in %v", want, regs)
+}
+
+func TestCompareProfilesClean(t *testing.T) {
+	base := profFixture()
+	cur := profFixture()
+	// Improvements and in-tolerance noise must pass: fewer executions,
+	// lower redundancy, slightly slower host, earlier bug, extra variant.
+	cur.Benchmarks[0].Executions = 300
+	cur.Benchmarks[0].RedundantFrac = 0.35
+	cur.Benchmarks[0].DurationNS = 300 * 150_000 // 3x ns/exec, under the 5x default
+	cur.Benchmarks[0].FirstBugs[0].Execution = 30
+	cur.Benchmarks[0].FirstBugs = append(cur.Benchmarks[0].FirstBugs,
+		ProfileBugRecord{ID: "wsq/new-variant", Bound: 1, Execution: 5})
+	if regs := CompareProfiles(cur, base, 0); len(regs) != 0 {
+		t.Errorf("improvements flagged as regressions: %v", regs)
+	}
+}
+
+func TestCompareProfilesRegressions(t *testing.T) {
+	base := profFixture()
+
+	cur := profFixture()
+	cur.Benchmarks[0].Executions = 400
+	regsContaining(t, CompareProfiles(cur, base, 0), "executions grew")
+
+	cur = profFixture()
+	cur.Benchmarks[0].RedundantFrac = 0.50
+	regsContaining(t, CompareProfiles(cur, base, 0), "redundant fraction grew")
+
+	cur = profFixture()
+	cur.Benchmarks[0].DurationNS = 336 * 600_000 // 12x ns/exec
+	regsContaining(t, CompareProfiles(cur, base, 0), "ns/execution grew")
+
+	cur = profFixture()
+	cur.Benchmarks[0].FirstBugs[0].Bound = 3
+	regsContaining(t, CompareProfiles(cur, base, 0), "moved from bound")
+
+	cur = profFixture()
+	cur.Benchmarks[0].FirstBugs[0].Execution = 460 // 10x
+	regsContaining(t, CompareProfiles(cur, base, 0), "time-to-first-bug grew")
+
+	cur = profFixture()
+	cur.Benchmarks[0].FirstBugs = nil
+	regsContaining(t, CompareProfiles(cur, base, 0), "bug variant missing")
+
+	cur = profFixture()
+	cur.Benchmarks = nil
+	regsContaining(t, CompareProfiles(cur, base, 0), "benchmark missing")
+
+	cur = profFixture()
+	cur.Version = profileReportVersion + 1
+	regsContaining(t, CompareProfiles(cur, base, 0), "schema version")
+}
+
+// TestCompareProfilesBudgetScaling: with a different execution budget the
+// deterministic counters are incomparable; only ratio metrics may fire.
+func TestCompareProfilesBudgetScaling(t *testing.T) {
+	base := profFixture()
+	cur := profFixture()
+	cur.Budget = 4000
+	cur.Benchmarks[0].Executions = 700
+	cur.Benchmarks[0].RedundantFrac = 0.60
+	cur.Benchmarks[0].DurationNS = 700 * 50_000
+	if regs := CompareProfiles(cur, base, 0); len(regs) != 0 {
+		t.Errorf("budget change flagged deterministic metrics: %v", regs)
+	}
+}

@@ -26,8 +26,22 @@ type Table1Row struct {
 	// reached (coverage-atlas sites); -1 for the explicit-state checker,
 	// which has no sched-layer points.
 	Sites int
+	// RedundantPct is the Mazurkiewicz-redundant fraction of the row's ICB
+	// sweep, in percent: how many executions revisited an already-seen HB
+	// execution class. -1 for the explicit-state checker (it visits states,
+	// not execution classes).
+	RedundantPct float64
 	// Time is the wall-clock cost of the row's measurement runs.
 	Time time.Duration
+}
+
+// redundantPct computes the percentage of a result's executions that
+// revisited an already-seen execution class.
+func redundantPct(res core.Result) float64 {
+	if res.Executions == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(res.ExecutionClasses)/float64(res.Executions))
 }
 
 // Table1Data measures the characteristics of every benchmark. For the
@@ -51,14 +65,15 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 			Coverage:      rec,
 		}, cfg)
 		row := Table1Row{
-			Name:    b.Name,
-			LOC:     b.LOC,
-			Threads: b.Threads,
-			MaxK:    max(icbRes.MaxSteps, rndRes.MaxSteps),
-			MaxB:    max(icbRes.MaxBlocking, rndRes.MaxBlocking),
-			MaxC:    max(icbRes.MaxPreemptions, rndRes.MaxPreemptions),
-			Sites:   coverage.Summarize(rec.Atlas()).Sites,
-			Time:    icbRes.Duration + rndRes.Duration,
+			Name:         b.Name,
+			LOC:          b.LOC,
+			Threads:      b.Threads,
+			MaxK:         max(icbRes.MaxSteps, rndRes.MaxSteps),
+			MaxB:         max(icbRes.MaxBlocking, rndRes.MaxBlocking),
+			MaxC:         max(icbRes.MaxPreemptions, rndRes.MaxPreemptions),
+			Sites:        coverage.Summarize(rec.Atlas()).Sites,
+			RedundantPct: redundantPct(icbRes),
+			Time:         icbRes.Duration + rndRes.Duration,
 		}
 		rows = append(rows, row)
 	}
@@ -67,14 +82,15 @@ func Table1Data(cfg Config) ([]Table1Row, error) {
 		return nil, err
 	}
 	rows = append(rows, Table1Row{
-		Name:    "Transaction Manager",
-		LOC:     len(splitLines(txnmgr.Source(txnmgr.Correct))),
-		Threads: 3,
-		MaxK:    zres.MaxSteps,
-		MaxB:    zres.MaxBlocking,
-		MaxC:    zres.MaxPreemptions,
-		Sites:   -1, // explicit-state checker: no sched-layer points
-		Time:    zres.Duration,
+		Name:         "Transaction Manager",
+		LOC:          len(splitLines(txnmgr.Source(txnmgr.Correct))),
+		Threads:      3,
+		MaxK:         zres.MaxSteps,
+		MaxB:         zres.MaxBlocking,
+		MaxC:         zres.MaxPreemptions,
+		Sites:        -1, // explicit-state checker: no sched-layer points
+		RedundantPct: -1,
+		Time:         zres.Duration,
 	})
 	return rows, nil
 }
@@ -102,13 +118,22 @@ func Table1(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintln(w, "Table 1: Characteristics of the benchmarks (this reproduction's models).")
 	fmt.Fprintln(w, "K = max total steps, B = max blocking ops per thread, c = max preemptions observed,")
-	fmt.Fprintln(w, "Sites = distinct scheduling points reached (coverage atlas; - for the ZML model).")
-	fmt.Fprintf(w, "%-22s %6s %8s %6s %6s %6s %6s %10s\n", "Program", "LOC", "Threads", "MaxK", "MaxB", "Maxc", "Sites", "Time")
+	fmt.Fprintln(w, "Sites = distinct scheduling points reached (coverage atlas; - for the ZML model),")
+	fmt.Fprintln(w, "Red% = executions of the bound-2 ICB sweep that revisited a seen execution class.")
+	fmt.Fprintf(w, "%-22s %6s %8s %6s %6s %6s %6s %6s %10s\n", "Program", "LOC", "Threads", "MaxK", "MaxB", "Maxc", "Sites", "Red%", "Time")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-22s %6d %8d %6d %6d %6d %6s %10s\n", r.Name, r.LOC, r.Threads, r.MaxK, r.MaxB, r.MaxC,
-			countCell(r.Sites), r.Time.Round(time.Millisecond))
+		fmt.Fprintf(w, "%-22s %6d %8d %6d %6d %6d %6s %6s %10s\n", r.Name, r.LOC, r.Threads, r.MaxK, r.MaxB, r.MaxC,
+			countCell(r.Sites), pctCell(r.RedundantPct), r.Time.Round(time.Millisecond))
 	}
 	return nil
+}
+
+// pctCell renders a percentage, with "-" for not-applicable (-1) values.
+func pctCell(p float64) string {
+	if p < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", p)
 }
 
 // Table2Row is one row of Table 2: how many of a benchmark's bugs are
@@ -124,6 +149,27 @@ type Table2Row struct {
 	PSites int
 	// Time is the total wall-clock time spent finding the row's bugs.
 	Time time.Duration
+	// BoundTime is the row's wall clock split by preemption bound, summed
+	// over the row's bug-finding runs: completed bounds contribute their
+	// measured BoundStats duration, and each run's remainder (the bound cut
+	// short by StopOnFirstBug) is attributed to the exposing bug's bound.
+	BoundTime [4]time.Duration
+}
+
+// accumulateBoundTime folds one StopOnFirstBug run's per-bound wall clock
+// into bt: measured durations for completed bounds, remainder to the
+// exposing bound.
+func accumulateBoundTime(bt *[4]time.Duration, res core.Result, bugBound int) {
+	var accounted time.Duration
+	for _, bs := range res.BoundStats {
+		if bs.Bound >= 0 && bs.Bound < len(bt) {
+			bt[bs.Bound] += bs.Duration
+		}
+		accounted += bs.Duration
+	}
+	if rem := res.Duration - accounted; rem > 0 && bugBound >= 0 && bugBound < len(bt) {
+		bt[bugBound] += rem
+	}
 }
 
 // countCell renders a coverage count, with "-" for rows measured by the
@@ -164,6 +210,7 @@ func Table2Data(cfg Config) ([]Table2Row, error) {
 			row.Total++
 			row.AtBound[bug.Preemptions]++
 			row.Time += res.Duration
+			accumulateBoundTime(&row.BoundTime, res, bug.Preemptions)
 		}
 		row.PSites = coverage.Summarize(rec.Atlas()).PSites
 		rows = append(rows, row)
@@ -184,6 +231,11 @@ func Table2Data(cfg Config) ([]Table2Row, error) {
 		tm.Total++
 		tm.AtBound[fb.Preemptions]++
 		tm.Time += res.Duration
+		// The explicit-state checker reports no per-bound durations; its
+		// whole run is attributed to the exposing bound.
+		if fb.Preemptions >= 0 && fb.Preemptions < len(tm.BoundTime) {
+			tm.BoundTime[fb.Preemptions] += res.Duration
+		}
 	}
 
 	// Paper order: Bluetooth, WSQ, Transaction Manager, APE, Dryad.
@@ -198,13 +250,18 @@ func Table2(w io.Writer, cfg Config) error {
 		return err
 	}
 	fmt.Fprintln(w, "Table 2: Bugs exposed in executions with exactly c preemptions.")
-	fmt.Fprintln(w, "PSites = distinct scheduling points exercised as preemption sites while bug-hunting.")
-	fmt.Fprintf(w, "%-22s %5s   %3s %3s %3s %3s %7s %10s\n", "Program", "Bugs", "0", "1", "2", "3", "PSites", "Time")
+	fmt.Fprintln(w, "PSites = distinct scheduling points exercised as preemption sites while bug-hunting;")
+	fmt.Fprintln(w, "t0..t3 = wall clock spent inside each bound (ms), the cost of the paper's economics claim.")
+	fmt.Fprintf(w, "%-22s %5s   %3s %3s %3s %3s %7s %8s %8s %8s %8s %10s\n",
+		"Program", "Bugs", "0", "1", "2", "3", "PSites", "t0(ms)", "t1(ms)", "t2(ms)", "t3(ms)", "Time")
 	total := 0
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-22s %5d   %3d %3d %3d %3d %7s %10s\n",
+		fmt.Fprintf(w, "%-22s %5d   %3d %3d %3d %3d %7s %8.1f %8.1f %8.1f %8.1f %10s\n",
 			r.Name, r.Total, r.AtBound[0], r.AtBound[1], r.AtBound[2], r.AtBound[3],
-			countCell(r.PSites), r.Time.Round(time.Millisecond))
+			countCell(r.PSites),
+			float64(r.BoundTime[0].Microseconds())/1e3, float64(r.BoundTime[1].Microseconds())/1e3,
+			float64(r.BoundTime[2].Microseconds())/1e3, float64(r.BoundTime[3].Microseconds())/1e3,
+			r.Time.Round(time.Millisecond))
 		total += r.Total
 	}
 	fmt.Fprintf(w, "Total bugs: %d (the paper's Table 2 rows also sum to 16 although its caption says 14;\n"+

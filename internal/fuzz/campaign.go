@@ -33,6 +33,13 @@ type CampaignConfig struct {
 	// LogEvery prints a progress line every this many programs (default
 	// 100).
 	LogEvery int
+	// Sink, when non-nil, receives structured campaign telemetry: an
+	// obs.CampaignEvent at every LogEvery checkpoint and once more (with
+	// Done set) at the end, plus — when Limits.Profiler is attached — a
+	// final obs.ProfileEvent aggregating every strategy exploration the
+	// campaign ran. This puts nightly fuzz runs on the same NDJSON stream
+	// the search binaries use.
+	Sink obs.Sink
 }
 
 // CampaignStats aggregates one run.
@@ -155,13 +162,40 @@ func Campaign(cfg CampaignConfig) (*CampaignStats, error) {
 				}
 			}
 		}
-		if cfg.Log != nil && (stats.Programs%cfg.LogEvery == 0) {
-			fmt.Fprintf(cfg.Log, "checked %d programs (%d skipped, %d buggy, %d oracle executions, %d discrepancies)\n",
-				stats.Programs, stats.Skipped, stats.Buggy, stats.Executions, len(stats.Discrepancies))
+		if stats.Programs%cfg.LogEvery == 0 {
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "checked %d programs (%d skipped, %d buggy, %d oracle executions, %d discrepancies)\n",
+					stats.Programs, stats.Skipped, stats.Buggy, stats.Executions, len(stats.Discrepancies))
+			}
+			if cfg.Sink != nil {
+				cfg.Sink.CampaignProgress(campaignEvent(stats, time.Since(start), false))
+			}
 		}
 	}
 	stats.Duration = time.Since(start)
+	if cfg.Sink != nil {
+		cfg.Sink.CampaignProgress(campaignEvent(stats, stats.Duration, true))
+		if cfg.Limits.Profiler != nil {
+			cfg.Sink.Profile(obs.ProfileEvent{Profile: cfg.Limits.Profiler.Profile()})
+		}
+	}
 	return stats, nil
+}
+
+// campaignEvent projects the running stats onto the structured event.
+func campaignEvent(s *CampaignStats, elapsed time.Duration, done bool) obs.CampaignEvent {
+	ev := obs.CampaignEvent{
+		Programs:      s.Programs,
+		Skipped:       s.Skipped,
+		Buggy:         s.Buggy,
+		Executions:    int64(s.Executions),
+		Discrepancies: len(s.Discrepancies),
+		Done:          done,
+	}
+	if elapsed > 0 {
+		ev.ExecsPerSec = float64(s.Executions) / elapsed.Seconds()
+	}
+	return ev
 }
 
 // WriteDiscrepancy persists one discrepant program under dir: the original

@@ -3,6 +3,7 @@ package hb
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Set is the common surface of the two state-set implementations: the
@@ -59,6 +60,41 @@ func NewShardedStateSet() *ShardedStateSet {
 func (s *ShardedStateSet) Add(v uint64) bool {
 	sh := &s.shards[v&(stateShards-1)]
 	sh.mu.Lock()
+	if _, ok := sh.m[v]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[v] = struct{}{}
+	sh.mu.Unlock()
+	s.n.Add(1)
+	return true
+}
+
+// Contention observes contended lock acquires on a striped structure.
+// Implemented (structurally) by the search profiler's per-worker lock
+// observers; this package defines only the interface so it stays free of
+// observability dependencies.
+type Contention interface {
+	// NoteWait records one acquire that found the lock held and waited ns
+	// nanoseconds for it.
+	NoteWait(ns int64)
+}
+
+// AddObserved is Add with contention accounting: an uncontended acquire
+// takes the TryLock fast path and costs no clock reading; only when the
+// shard lock is already held does it fall back to a timed blocking
+// acquire, reported to c. A nil c behaves like Add.
+func (s *ShardedStateSet) AddObserved(v uint64, c Contention) bool {
+	sh := &s.shards[v&(stateShards-1)]
+	if !sh.mu.TryLock() {
+		if c != nil {
+			t0 := time.Now()
+			sh.mu.Lock()
+			c.NoteWait(time.Since(t0).Nanoseconds())
+		} else {
+			sh.mu.Lock()
+		}
+	}
 	if _, ok := sh.m[v]; ok {
 		sh.mu.Unlock()
 		return false

@@ -230,6 +230,20 @@ func (b *broadcaster) CacheHit(ev obs.CacheEvent) {
 	}
 }
 
+// Profile implements obs.Sink.
+func (b *broadcaster) Profile(ev obs.ProfileEvent) {
+	if !b.idle() {
+		b.emit("profile", ev)
+	}
+}
+
+// CampaignProgress implements obs.Sink.
+func (b *broadcaster) CampaignProgress(ev obs.CampaignEvent) {
+	if !b.idle() {
+		b.emit("campaign_progress", ev)
+	}
+}
+
 // SearchDone implements obs.Sink.
 func (b *broadcaster) SearchDone(ev obs.SearchEvent) {
 	if !b.idle() {

@@ -161,6 +161,12 @@ func (e *Estimator) BugFound(obs.BugEvent) {}
 // CacheHit implements obs.Sink.
 func (e *Estimator) CacheHit(obs.CacheEvent) {}
 
+// Profile implements obs.Sink.
+func (e *Estimator) Profile(obs.ProfileEvent) {}
+
+// CampaignProgress implements obs.Sink.
+func (e *Estimator) CampaignProgress(obs.CampaignEvent) {}
+
 // SearchDone implements obs.Sink.
 func (e *Estimator) SearchDone(obs.SearchEvent) {}
 

@@ -101,6 +101,12 @@ func (n *NDJSON) BugFound(ev BugEvent) { n.emit("bug_found", ev) }
 // CacheHit implements Sink.
 func (n *NDJSON) CacheHit(ev CacheEvent) { n.emit("cache_hit", ev) }
 
+// Profile implements Sink.
+func (n *NDJSON) Profile(ev ProfileEvent) { n.emit("profile", ev) }
+
+// CampaignProgress implements Sink.
+func (n *NDJSON) CampaignProgress(ev CampaignEvent) { n.emit("campaign_progress", ev) }
+
 // SearchDone implements Sink.
 func (n *NDJSON) SearchDone(ev SearchEvent) { n.emit("search_done", ev) }
 

@@ -117,6 +117,15 @@ type Sink interface {
 	BugFound(BugEvent)
 	// CacheHit is called when the work-item table prunes a duplicate.
 	CacheHit(CacheEvent)
+	// Profile is called at most once per exploration, just before
+	// SearchDone, when a search profiler was attached; it carries the
+	// profiler's final snapshot. Campaign drivers that share one profiler
+	// across many explorations may emit it once per campaign instead.
+	Profile(ProfileEvent)
+	// CampaignProgress is called by multi-program campaign drivers
+	// (cmd/icb-fuzz) periodically and once more at the end; single-search
+	// binaries never call it.
+	CampaignProgress(CampaignEvent)
 	// SearchDone is called once, when the exploration returns.
 	SearchDone(SearchEvent)
 }
@@ -140,6 +149,12 @@ func (Nop) BugFound(BugEvent) {}
 
 // CacheHit implements Sink.
 func (Nop) CacheHit(CacheEvent) {}
+
+// Profile implements Sink.
+func (Nop) Profile(ProfileEvent) {}
+
+// CampaignProgress implements Sink.
+func (Nop) CampaignProgress(CampaignEvent) {}
 
 // SearchDone implements Sink.
 func (Nop) SearchDone(SearchEvent) {}
@@ -270,6 +285,8 @@ type Metrics struct {
 	est atomic.Value
 	// cov is the attached CoverageSource (or nil), same discipline as est.
 	cov atomic.Value
+	// prof is the attached ProfileSource (or nil), same discipline as est.
+	prof atomic.Value
 }
 
 func (m *Metrics) boundSlot(bound int) int {
@@ -336,6 +353,12 @@ func (m *Metrics) SetCoverage(src CoverageSource) {
 	m.cov.Store(&src)
 }
 
+// SetProfile attaches a search profiler; its snapshot is included in every
+// subsequent Snapshot.
+func (m *Metrics) SetProfile(src ProfileSource) {
+	m.prof.Store(&src)
+}
+
 // clampSlot is the read-side slot clamp: unlike the write side it does not
 // flag truncation (reading an out-of-range bound is not a lost sample).
 func clampSlot(bound int) int {
@@ -399,6 +422,9 @@ type Snapshot struct {
 	// Coverage carries the preemption-point coverage atlas of the attached
 	// coverage source (empty when none is attached).
 	Coverage []CoverageSite `json:"coverage,omitempty"`
+	// Profile carries the attached search profiler's snapshot (nil when no
+	// profiler is attached).
+	Profile *ProfileData `json:"profile,omitempty"`
 }
 
 // Snapshot copies the counters. Per-bound entries are trimmed to the
@@ -444,6 +470,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if p, _ := m.cov.Load().(*CoverageSource); p != nil && *p != nil {
 		s.Coverage = (*p).CoverageSites()
+	}
+	if p, _ := m.prof.Load().(*ProfileSource); p != nil && *p != nil {
+		d := (*p).Profile()
+		s.Profile = &d
 	}
 	return s
 }

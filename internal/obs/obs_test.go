@@ -16,12 +16,14 @@ import (
 
 // collector records every event it receives, for assertions.
 type collector struct {
-	execs    []obs.ExecutionEvent
-	starts   []obs.BoundEvent
-	dones    []obs.BoundEvent
-	bugs     []obs.BugEvent
-	cache    []obs.CacheEvent
-	searches []obs.SearchEvent
+	execs     []obs.ExecutionEvent
+	starts    []obs.BoundEvent
+	dones     []obs.BoundEvent
+	bugs      []obs.BugEvent
+	cache     []obs.CacheEvent
+	profiles  []obs.ProfileEvent
+	campaigns []obs.CampaignEvent
+	searches  []obs.SearchEvent
 }
 
 func (c *collector) ExecutionDone(e obs.ExecutionEvent) { c.execs = append(c.execs, e) }
@@ -29,7 +31,11 @@ func (c *collector) BoundStart(e obs.BoundEvent)        { c.starts = append(c.st
 func (c *collector) BoundComplete(e obs.BoundEvent)     { c.dones = append(c.dones, e) }
 func (c *collector) BugFound(e obs.BugEvent)            { c.bugs = append(c.bugs, e) }
 func (c *collector) CacheHit(e obs.CacheEvent)          { c.cache = append(c.cache, e) }
-func (c *collector) SearchDone(e obs.SearchEvent)       { c.searches = append(c.searches, e) }
+func (c *collector) Profile(e obs.ProfileEvent)         { c.profiles = append(c.profiles, e) }
+func (c *collector) CampaignProgress(e obs.CampaignEvent) {
+	c.campaigns = append(c.campaigns, e)
+}
+func (c *collector) SearchDone(e obs.SearchEvent) { c.searches = append(c.searches, e) }
 
 // TestCountersMatchResult checks the telemetry against the ground truth of
 // a real search: an ICB run of the work-stealing queue at bound 1.

@@ -1,0 +1,223 @@
+package prof
+
+// Unit tests of the profiler's counter mechanics: histogram bucketing,
+// sampling period, bound/worker slot folding with truncation flagging,
+// first-bug deduplication and capacity, lock observers, and the snapshot's
+// shape invariants.
+
+import (
+	"sync"
+	"testing"
+
+	"icb/internal/obs"
+)
+
+func TestSampledPeriod(t *testing.T) {
+	p := New(0)
+	if p.SampleEvery() != DefaultSampleEvery {
+		t.Fatalf("SampleEvery() = %d, want default %d", p.SampleEvery(), DefaultSampleEvery)
+	}
+	var sampled int
+	for n := 1; n <= 80; n++ {
+		if p.Sampled(n) {
+			sampled++
+		}
+	}
+	if sampled != 80/DefaultSampleEvery {
+		t.Errorf("80 executions: %d sampled, want %d", sampled, 80/DefaultSampleEvery)
+	}
+	if every := New(1); !every.Sampled(1) || !every.Sampled(2) {
+		t.Error("sampleEvery=1 must sample every execution")
+	}
+}
+
+// TestHistogramBuckets: an observation of n nanoseconds lands in the log2
+// bucket whose inclusive lower edge is the largest power of two <= n (edge
+// 0 for n == 0), spanning [lo, 2*lo).
+func TestHistogramBuckets(t *testing.T) {
+	p := New(0)
+	// 0 -> bucket edge 0; 1 -> edge 1; 7 -> edge 4; 8 -> edge 8;
+	// 1023 -> edge 512; 1024 -> edge 1024. Explore time 0 keeps the
+	// explore phase out of the way of exact counting below.
+	for _, ns := range []int64{0, 1, 7, 8, 1023, 1024} {
+		p.ObserveExec(0, ns, 0)
+	}
+	d := p.Profile()
+	var replay *obs.ProfilePhase
+	for i := range d.Phases {
+		if d.Phases[i].Phase == obs.PhaseReplay {
+			replay = &d.Phases[i]
+		}
+	}
+	if replay == nil {
+		t.Fatal("no replay phase in snapshot")
+	}
+	if replay.Count != 6 || replay.NS != 0+1+7+8+1023+1024 {
+		t.Fatalf("replay totals: count=%d ns=%d", replay.Count, replay.NS)
+	}
+	want := map[int64]int64{0: 1, 1: 1, 4: 1, 8: 1, 512: 1, 1024: 1}
+	got := map[int64]int64{}
+	for _, b := range replay.Buckets {
+		got[b.LoNS] = b.Count
+	}
+	for lo, n := range want {
+		if got[lo] != n {
+			t.Errorf("bucket lo=%d: count %d, want %d (all: %v)", lo, got[lo], n, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("%d non-empty buckets, want %d: %v", len(got), len(want), got)
+	}
+}
+
+func TestNegativeDurationsDropped(t *testing.T) {
+	p := New(0)
+	p.ObserveExec(0, -5, -5)
+	p.NoteBarrierWait(0, -1)
+	d := p.Profile()
+	if len(d.Phases) != 0 {
+		t.Errorf("negative observations must be dropped, got phases %+v", d.Phases)
+	}
+	if len(d.Workers) != 0 {
+		t.Errorf("negative barrier wait must be dropped, got workers %+v", d.Workers)
+	}
+}
+
+func TestNoteBoundRedundancy(t *testing.T) {
+	p := New(0)
+	p.NoteBound(0, 4, 4, 100) // fully productive
+	p.NoteBound(1, 10, 4, 200)
+	p.NoteBound(1, 10, 1, 300) // second flush of the same bound accumulates
+	d := p.Profile()
+	if len(d.Bounds) != 2 {
+		t.Fatalf("%d bounds, want 2: %+v", len(d.Bounds), d.Bounds)
+	}
+	b0, b1 := d.Bounds[0], d.Bounds[1]
+	if b0.Bound != 0 || b0.Executions != 4 || b0.NewClasses != 4 || b0.RedundantFrac != 0 || b0.DurationNS != 100 {
+		t.Errorf("bound 0: %+v", b0)
+	}
+	if b1.Bound != 1 || b1.Executions != 20 || b1.NewClasses != 5 || b1.DurationNS != 500 {
+		t.Errorf("bound 1: %+v", b1)
+	}
+	if want := 1 - 5.0/20.0; b1.RedundantFrac != want {
+		t.Errorf("bound 1 redundant frac = %v, want %v", b1.RedundantFrac, want)
+	}
+}
+
+// TestBoundFoldingAndTruncation: bounds at or beyond the capacity fold
+// into the last slot and set the snapshot's Truncated flag; negative
+// bounds clamp to slot 0 without truncation.
+func TestBoundFoldingAndTruncation(t *testing.T) {
+	p := New(0)
+	p.NoteBound(-1, 1, 1, 0)
+	if p.Profile().Truncated {
+		t.Error("negative bound must clamp without truncation")
+	}
+	p.NoteBound(maxBounds+5, 1, 1, 0)
+	p.NoteBound(maxBounds-1, 2, 2, 0)
+	d := p.Profile()
+	if !d.Truncated {
+		t.Error("bound beyond capacity must set Truncated")
+	}
+	last := d.Bounds[len(d.Bounds)-1]
+	if last.Bound != maxBounds-1 || last.Executions != 3 {
+		t.Errorf("overflow bound must fold into last slot: %+v", last)
+	}
+}
+
+func TestFirstBugDedupAndCap(t *testing.T) {
+	p := New(0)
+	p.Begin()
+	p.NoteFirstBug("deadlock", "cycle", 7, 1)
+	p.NoteFirstBug("deadlock", "cycle", 9, 2)   // duplicate (kind, message)
+	p.NoteFirstBug("data race", "cycle", 11, 1) // same message, new kind
+	d := p.Profile()
+	if len(d.FirstBugs) != 2 {
+		t.Fatalf("%d first-bug records, want 2: %+v", len(d.FirstBugs), d.FirstBugs)
+	}
+	fb := d.FirstBugs[0]
+	if fb.Kind != "deadlock" || fb.Execution != 7 || fb.Bound != 1 {
+		t.Errorf("first sighting must win: %+v", fb)
+	}
+	if fb.TNS < 0 {
+		t.Errorf("negative time-to-bug %d", fb.TNS)
+	}
+
+	for i := 0; i < maxFirstBugs+10; i++ {
+		p.NoteFirstBug("assertion failure", string(rune('a'+i%26))+string(rune('0'+i/26)), i, 0)
+	}
+	d = p.Profile()
+	if len(d.FirstBugs) != maxFirstBugs {
+		t.Errorf("%d records, want cap %d", len(d.FirstBugs), maxFirstBugs)
+	}
+	if !d.Truncated {
+		t.Error("exceeding the first-bug cap must set Truncated")
+	}
+}
+
+func TestLockObservers(t *testing.T) {
+	p := New(0)
+	p.Locks(0, LockStateSet).NoteWait(10)
+	p.Locks(0, LockStateSet).NoteWait(30)
+	p.Locks(0, LockWorkTable).NoteWait(5)
+	p.Locks(2, LockWorkTable).NoteWait(7)
+	p.NoteBarrierWait(2, 100)
+	p.NoteFetchStall(2)
+	d := p.Profile()
+	if len(d.Workers) != 2 {
+		t.Fatalf("%d workers, want 2: %+v", len(d.Workers), d.Workers)
+	}
+	w0, w2 := d.Workers[0], d.Workers[1]
+	if w0.Worker != 0 || w0.StateLockWaits != 2 || w0.StateLockWaitNS != 40 ||
+		w0.TableLockWaits != 1 || w0.TableLockWaitNS != 5 {
+		t.Errorf("worker 0: %+v", w0)
+	}
+	if w2.Worker != 2 || w2.TableLockWaits != 1 || w2.TableLockWaitNS != 7 ||
+		w2.BarrierWaitNS != 100 || w2.FetchStalls != 1 {
+		t.Errorf("worker 2: %+v", w2)
+	}
+	p.NoteFetchStall(maxWorkers + 3)
+	if !p.Profile().Truncated {
+		t.Error("worker beyond capacity must set Truncated")
+	}
+}
+
+// TestConcurrentUpdatesAndSnapshots hammers every mutation path from many
+// goroutines while snapshotting; run with -race. Totals must tie out.
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	p := New(2)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := p.Locks(g, LockStateSet)
+			for i := 0; i < perG; i++ {
+				p.ObserveExec(g%3, 2, 3)
+				p.ObserveSampled(g%3, 1, 1, 1)
+				p.NoteBound(g%3, 1, 1, 1)
+				lo.NoteWait(1)
+				p.NoteFirstBug("deadlock", "shared", i, g%3)
+				_ = p.Profile()
+			}
+		}(g)
+	}
+	wg.Wait()
+	d := p.Profile()
+	var execs int64
+	for _, b := range d.Bounds {
+		execs += b.Executions
+	}
+	if want := int64(goroutines * perG); execs != want {
+		t.Errorf("bound executions sum to %d, want %d", execs, want)
+	}
+	if len(d.FirstBugs) != 1 {
+		t.Errorf("%d first-bug records for one (kind, message), want 1", len(d.FirstBugs))
+	}
+	for _, ph := range d.Phases {
+		if ph.Phase == obs.PhaseReplay && ph.Count != goroutines*perG {
+			t.Errorf("replay count %d, want %d", ph.Count, goroutines*perG)
+		}
+	}
+}

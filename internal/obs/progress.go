@@ -136,6 +136,23 @@ func (p *Progress) CacheHit(ev CacheEvent) {
 	p.mu.Unlock()
 }
 
+// Profile implements Sink: the snapshot is a terminal artifact, not a
+// progress signal, so the reporter prints nothing for it.
+func (p *Progress) Profile(ProfileEvent) {}
+
+// CampaignProgress implements Sink: one line per report, rate-limited by
+// the emitting campaign driver rather than here.
+func (p *Progress) CampaignProgress(ev CampaignEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	state := ""
+	if ev.Done {
+		state = " done"
+	}
+	fmt.Fprintf(p.w, "[campaign%s] programs=%d buggy=%d skipped=%d execs=%d (%.0f/s) discrepancies=%d\n",
+		state, ev.Programs, ev.Buggy, ev.Skipped, ev.Executions, ev.ExecsPerSec, ev.Discrepancies)
+}
+
 // SearchDone implements Sink. When state caching ran (any table lookups at
 // all), the final line carries the hit/miss totals so the one-line summary
 // of a long search records how much the table pruned.

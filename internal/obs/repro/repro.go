@@ -15,6 +15,10 @@
 //	              in Perfetto (package obs/trace)
 //	report.txt    a short human-readable summary with the exact
 //	              icb -replay invocation that reproduces the bug
+//	profile.json  the search profiler's snapshot at the moment the bug
+//	              was bundled (only when the search ran with -profile):
+//	              how much search — executions, wall clock per phase,
+//	              redundant re-exploration — the bug cost to reach
 //
 // Load reads a bundle back (from the directory or the bundle.json path) and
 // Replay feeds its schedule through sched.ReplayController with the
@@ -151,6 +155,7 @@ type Writer struct {
 	n     int
 	paths []string
 	err   error
+	prof  obs.ProfileSource
 }
 
 // NewWriter returns a Writer placing one bundle directory per bug under
@@ -164,6 +169,15 @@ func NewWriter(dir string, prog sched.Program, meta Meta) *Writer {
 func (w *Writer) SetClock(now func() time.Time) {
 	w.mu.Lock()
 	w.now = now
+	w.mu.Unlock()
+}
+
+// SetProfile attaches a search profiler; each bundle then includes a
+// profile.json snapshot taken at the moment the bug was bundled, recording
+// what the search spent to reach it.
+func (w *Writer) SetProfile(p obs.ProfileSource) {
+	w.mu.Lock()
+	w.prof = p
 	w.mu.Unlock()
 }
 
@@ -265,6 +279,15 @@ func (w *Writer) write(b *Bundle) error {
 	}
 	if err := os.WriteFile(b.TracePath(), append(tj, '\n'), 0o644); err != nil {
 		return err
+	}
+	if w.prof != nil {
+		pj, err := json.MarshalIndent(w.prof.Profile(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(b.Dir, "profile.json"), append(pj, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	return os.WriteFile(filepath.Join(b.Dir, "report.txt"), []byte(b.report()), 0o644)
 }

@@ -39,6 +39,20 @@ func (t Tee) CacheHit(ev CacheEvent) {
 	}
 }
 
+// Profile implements Sink.
+func (t Tee) Profile(ev ProfileEvent) {
+	for _, s := range t {
+		s.Profile(ev)
+	}
+}
+
+// CampaignProgress implements Sink.
+func (t Tee) CampaignProgress(ev CampaignEvent) {
+	for _, s := range t {
+		s.CampaignProgress(ev)
+	}
+}
+
 // SearchDone implements Sink.
 func (t Tee) SearchDone(ev SearchEvent) {
 	for _, s := range t {
