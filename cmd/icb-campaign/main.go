@@ -1,0 +1,261 @@
+// Command icb-campaign inspects the durable campaign ledgers that icb
+// -journal-dir writes: it lists runs, diffs two runs for regressions, and
+// renders cross-run trends.
+//
+// Usage:
+//
+//	icb-campaign list <journal-dir>...
+//	icb-campaign diff [-tolerance 0.05] [-wall-tolerance 0] <journal-dir>
+//	icb-campaign diff <journal-dir> <run-id-old> <run-id-new>
+//	icb-campaign diff -baseline baseline.json <journal-dir>
+//	icb-campaign trend [-json] <journal-dir>...
+//
+// diff compares the two most recent comparable runs (same config hash) by
+// default, a named pair when two run ids are given, or the newest run
+// against a checked-in baseline RunRecord with -baseline — the shape CI
+// gates use. Exit status is machine-readable: 0 clean, 1 at least one
+// regression found, 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"icb/internal/obs"
+	"icb/internal/obs/journal"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		return 2
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "list":
+		return list(args)
+	case "diff":
+		return diff(args)
+	case "trend":
+		return trend(args)
+	}
+	fmt.Fprintf(os.Stderr, "icb-campaign: unknown command %q\n", cmd)
+	usage()
+	return 2
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  icb-campaign list <journal-dir>...
+  icb-campaign diff [-tolerance F] [-wall-tolerance F] [-baseline FILE] <journal-dir> [run-old run-new]
+  icb-campaign trend [-json] <journal-dir>...
+
+exit status: 0 clean, 1 regression found (diff), 2 usage or I/O error
+`)
+}
+
+// readDirs loads and concatenates the ledgers of every named journal
+// directory, in start-time order.
+func readDirs(dirs []string) ([]obs.RunRecord, error) {
+	var runs []obs.RunRecord
+	for _, dir := range dirs {
+		rs, err := journal.ReadRuns(dir)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, rs...)
+	}
+	sort.SliceStable(runs, func(i, j int) bool {
+		return runs[i].StartUnixNS < runs[j].StartUnixNS
+	})
+	return runs, nil
+}
+
+func list(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	runs, err := readDirs(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		return 2
+	}
+	if len(runs) == 0 {
+		fmt.Println("no runs recorded")
+		return 0
+	}
+	fmt.Printf("%-42s %-19s %-10s %-8s %10s %8s %6s %s\n",
+		"RUN", "START", "PROGRAM", "CONFIG", "EXECS", "SECS", "BUGS", "NOTES")
+	for i := range runs {
+		r := &runs[i]
+		var notes []string
+		if r.Resumed {
+			notes = append(notes, "resumed")
+		}
+		if r.Interrupted {
+			notes = append(notes, "interrupted")
+		}
+		if r.Exhausted {
+			notes = append(notes, "exhausted")
+		}
+		if r.BoundCompleted >= 0 {
+			notes = append(notes, fmt.Sprintf("bound<=%d", r.BoundCompleted))
+		}
+		fmt.Printf("%-42s %-19s %-10s %-8s %10d %8.2f %6d %s\n",
+			r.RunID,
+			time.Unix(0, r.StartUnixNS).UTC().Format("2006-01-02T15:04:05"),
+			r.Program, short(r.ConfigHash), r.Executions,
+			float64(r.DurationNS)/1e9, len(r.Bugs), strings.Join(notes, ","))
+	}
+	return 0
+}
+
+func short(h string) string {
+	if len(h) > 8 {
+		return h[:8]
+	}
+	return h
+}
+
+func diff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	tol := fs.Float64("tolerance", 0.05, "fractional slack on deterministic metrics before a change counts as a regression")
+	wallTol := fs.Float64("wall-tolerance", 0, "fractional slack on wall-clock metrics (0 = don't gate wall-clock at all)")
+	baseline := fs.String("baseline", "", "compare the newest run against this RunRecord JSON file instead of a prior ledger entry")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
+	if len(args) != 1 && len(args) != 3 {
+		usage()
+		return 2
+	}
+	runs, err := journal.ReadRuns(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		return 2
+	}
+	var old, cur *obs.RunRecord
+	switch {
+	case *baseline != "":
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+			return 2
+		}
+		old = &obs.RunRecord{}
+		if err := json.Unmarshal(data, old); err != nil {
+			fmt.Fprintf(os.Stderr, "icb-campaign: corrupt baseline %s: %v\n", *baseline, err)
+			return 2
+		}
+		if len(runs) == 0 {
+			fmt.Fprintf(os.Stderr, "icb-campaign: %s has no runs to compare against the baseline\n", args[0])
+			return 2
+		}
+		cur = &runs[len(runs)-1]
+	case len(args) == 3:
+		old, cur = findRun(runs, args[1]), findRun(runs, args[2])
+		if old == nil || cur == nil {
+			fmt.Fprintf(os.Stderr, "icb-campaign: run id not found in %s\n", args[0])
+			return 2
+		}
+	default:
+		// The two most recent runs sharing the newest run's config.
+		if len(runs) < 2 {
+			fmt.Fprintf(os.Stderr, "icb-campaign: %s has %d run(s); diff needs two\n", args[0], len(runs))
+			return 2
+		}
+		cur = &runs[len(runs)-1]
+		for i := len(runs) - 2; i >= 0; i-- {
+			if runs[i].ConfigHash == cur.ConfigHash {
+				old = &runs[i]
+				break
+			}
+		}
+		if old == nil {
+			fmt.Fprintf(os.Stderr, "icb-campaign: no earlier run shares config %s with %s\n", cur.ConfigHash, cur.RunID)
+			return 2
+		}
+	}
+	regs, err := journal.Diff(old, cur, *tol, *wallTol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		return 2
+	}
+	fmt.Printf("comparing %s -> %s (config %s, tolerance %.0f%%)\n",
+		old.RunID, cur.RunID, short(cur.ConfigHash), *tol*100)
+	if len(regs) == 0 {
+		fmt.Println("no regressions")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s: %s\n", r.Metric, r.Detail)
+	}
+	return 1
+}
+
+func findRun(runs []obs.RunRecord, id string) *obs.RunRecord {
+	for i := range runs {
+		if runs[i].RunID == id {
+			return &runs[i]
+		}
+	}
+	return nil
+}
+
+func trend(args []string) int {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "print the trend points as a JSON array instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	runs, err := readDirs(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		return 2
+	}
+	points := journal.Trend(runs)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(points); err != nil {
+			fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+			return 2
+		}
+		return 0
+	}
+	if len(points) == 0 {
+		fmt.Println("no runs recorded")
+		return 0
+	}
+	fmt.Printf("%-42s %-8s %10s %10s %8s %9s %6s %10s %7s\n",
+		"RUN", "CONFIG", "EXECS", "EXECS/S", "STATES", "ΔSTATES", "BUGS", "1ST-BUG@", "ATLAS")
+	for _, p := range points {
+		firstBug := "-"
+		if p.FirstBugExecution > 0 {
+			firstBug = fmt.Sprintf("%d", p.FirstBugExecution)
+			if p.DeltaFirstBugExecution != 0 {
+				firstBug += fmt.Sprintf("(%+d)", p.DeltaFirstBugExecution)
+			}
+		}
+		fmt.Printf("%-42s %-8s %10d %10.0f %8d %+9d %6d %10s %7d\n",
+			p.RunID, short(p.ConfigHash), p.Executions, p.ExecsPerSec,
+			p.States, p.DeltaStates, p.Bugs, firstBug, p.AtlasSites)
+	}
+	return 0
+}

@@ -25,12 +25,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"icb/internal/fuzz"
 	"icb/internal/obs"
+	"icb/internal/obs/journal"
 	"icb/internal/obs/prof"
 )
+
+// exitInterrupted is the exit status of a campaign stopped by
+// SIGINT/SIGTERM after a graceful flush (128 + SIGINT).
+const exitInterrupted = 130
 
 func main() { os.Exit(run()) }
 
@@ -46,6 +54,7 @@ func run() int {
 		quiet    = flag.Bool("q", false, "suppress progress output (discrepancies still print)")
 		events   = flag.String("events", "", "write the structured campaign event stream (NDJSON) to this file")
 		profile  = flag.Bool("profile", false, "attach the search profiler across all strategy runs; the final snapshot joins the event stream and prints at exit")
+		jrnlDir  = flag.String("journal-dir", "", "append this campaign's run record (and event segment) to the journal under this directory")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -72,6 +81,7 @@ func run() int {
 		prf = prof.New(0)
 		cfg.Limits.Profiler = prf
 	}
+	var sinks []obs.Sink
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
@@ -85,8 +95,48 @@ func run() int {
 			}
 			f.Close()
 		}()
-		cfg.Sink = nd
+		sinks = append(sinks, nd)
 	}
+	var jw *journal.Writer
+	if *jrnlDir != "" {
+		var err error
+		jw, err = journal.New(journal.Config{
+			Dir:   *jrnlDir,
+			Meta:  journal.Meta{Program: "fuzz", Strategy: "fuzz", Workers: 1, MaxBound: -1, Seed: *seed},
+			Every: -1, // no search state to checkpoint; ledger + segment only
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icb-fuzz: %v\n", err)
+			return 2
+		}
+		defer func() {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "icb-fuzz: journal:", err)
+			}
+		}()
+		sinks = append(sinks, jw)
+	}
+	if len(sinks) > 0 {
+		cfg.Sink = obs.Multi(sinks...)
+	}
+
+	// First signal: graceful stop at the next program boundary — stats,
+	// event stream and the journal ledger still flush; exit 130. Second
+	// signal: force quit.
+	stop := &atomic.Bool{}
+	cfg.Stop = stop
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	var interrupted atomic.Bool
+	go func() {
+		s := <-sigc
+		interrupted.Store(true)
+		stop.Store(true)
+		fmt.Fprintf(os.Stderr, "icb-fuzz: %v: finishing the current program and flushing (repeat to force quit)\n", s)
+		<-sigc
+		os.Exit(exitInterrupted)
+	}()
 
 	fmt.Fprintf(os.Stderr, "icb-fuzz: seed=%d", *seed)
 	if *duration > 0 {
@@ -101,6 +151,23 @@ func run() int {
 		return 1
 	}
 	fmt.Print(stats.Summary())
+	if jw != nil {
+		// Fuzz campaigns join the same cross-run ledger the search binaries
+		// use: executions are the oracle's, and discrepancies play the bug
+		// role so icb-campaign diff flags a newly discrepant strategy.
+		rec := &obs.RunRecord{
+			DurationNS:     stats.Duration.Nanoseconds(),
+			Executions:     stats.Executions,
+			Interrupted:    interrupted.Load(),
+			BoundCompleted: -1,
+		}
+		for _, d := range stats.Discrepancies {
+			rec.Bugs = append(rec.Bugs, obs.RunBug{Kind: d.Property, Message: d.Detail})
+		}
+		if err := jw.FinishRun(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "icb-fuzz: journal:", err)
+		}
+	}
 	if prf != nil {
 		d := prf.Profile()
 		var total int64
@@ -118,6 +185,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "icb-fuzz: artifacts under %s\n", *out)
 		}
 		return 1
+	}
+	if interrupted.Load() {
+		return exitInterrupted
 	}
 	return 0
 }

@@ -30,9 +30,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"icb/internal/baseline"
@@ -42,12 +46,17 @@ import (
 	"icb/internal/obs/coverage"
 	"icb/internal/obs/dash"
 	"icb/internal/obs/estimate"
+	"icb/internal/obs/journal"
 	"icb/internal/obs/prof"
 	"icb/internal/obs/repro"
 	obstrace "icb/internal/obs/trace"
 	"icb/internal/progs"
 	"icb/internal/sched"
 )
+
+// exitInterrupted is the exit status of a run stopped by SIGINT/SIGTERM
+// after a graceful flush (128 + SIGINT, the shell convention).
+const exitInterrupted = 130
 
 func main() { os.Exit(run()) }
 
@@ -82,6 +91,10 @@ func run() int {
 		covFile  = flag.String("coverage", "", "merge this run's preemption-point coverage atlas into this JSON file")
 		covDiff  = flag.String("coverage-diff", "", "skip searching; print what atlas NEW adds over atlas OLD (\"old.json,new.json\")")
 		traceDir = flag.String("trace-dir", "", "write per-execution Chrome trace-event JSON (Perfetto) into this directory")
+		jrnlDir  = flag.String("journal-dir", "", "durable campaign journal: checkpoints, event segments and the runs.ndjson ledger go under this directory")
+		history  = flag.String("history", "", "comma-separated extra journal directories for the dashboard's campaign-history panel")
+		resume   = flag.String("resume", "", "resume an interrupted campaign from this journal directory (config comes from its checkpoint)")
+		ckEvery  = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -journal-dir (default 2s; negative: barrier/final snapshots only)")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -104,6 +117,37 @@ func run() int {
 	if *list {
 		listBenchmarks()
 		return 0
+	}
+
+	// -resume restores an interrupted campaign: the checkpoint's metadata is
+	// the configuration of record (a snapshot's replay schedules are only
+	// meaningful against the exact program and flags that produced them), so
+	// it overrides any search flags given alongside.
+	var resumeCk *journal.Checkpoint
+	if *resume != "" {
+		ck, err := journal.LoadCheckpoint(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icb:", err)
+			return 2
+		}
+		if ck.Completed() {
+			fmt.Fprintf(human, "campaign in %s already ran to completion (run %s: %d executions, %d bugs); nothing to resume\n",
+				*resume, ck.RunID, ck.State.Result.Executions, len(ck.State.Result.Bugs))
+			if len(ck.State.Result.Bugs) > 0 {
+				return 1
+			}
+			return 0
+		}
+		resumeCk = ck
+		m := ck.Meta
+		*progName, *bugID, *strategy = m.Program, m.Bug, m.Strategy
+		*bound, *execs, *seed, *workers = m.MaxBound, m.MaxExecutions, m.Seed, m.Workers
+		*cache, *noRaces, *goldi = m.StateCache, !m.CheckRaces, m.Goldilocks
+		*every, *first = m.EveryAccess, m.FirstBug
+		*jrnlDir = *resume
+		fmt.Fprintf(human, "resuming campaign %s: run %s stopped at bound %d after %d executions (%d seeds + %d deferred remaining)\n",
+			*resume, ck.RunID, ck.State.Bound, ck.State.Result.Executions,
+			len(ck.State.SeedQueue), len(ck.State.NextWork))
 	}
 
 	// -replay with a path is a repro bundle: it names its own program and
@@ -183,6 +227,17 @@ func run() int {
 	if *every {
 		opt.Mode = sched.ModeEveryAccess
 	}
+	// The stop flag is always wired so SIGINT/SIGTERM end any strategy at
+	// the next execution boundary instead of killing the process mid-write.
+	stop := &atomic.Bool{}
+	opt.Stop = stop
+	if resumeCk != nil {
+		opt.Resume = &resumeCk.State
+		if err := core.ValidateResume(&resumeCk.State, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "icb:", err)
+			return 2
+		}
+	}
 	var prf *prof.Profiler
 	if *profile || *profOut != "" {
 		prf = prof.New(0)
@@ -190,9 +245,10 @@ func run() int {
 	}
 
 	var cov *coverage.Recorder
-	if *covFile != "" || *httpAddr != "" {
-		// The atlas backs both the -coverage store and the dashboard's
-		// heatmap panel, so it is attached whenever either consumer is on.
+	if *covFile != "" || *httpAddr != "" || *jrnlDir != "" {
+		// The atlas backs the -coverage store, the dashboard's heatmap panel
+		// and the journal's cross-run atlas, so it is attached whenever any
+		// of those consumers is on.
 		cov = coverage.NewRecorder(*progName)
 		opt.Coverage = cov
 	}
@@ -233,12 +289,31 @@ func run() int {
 		}()
 		sinks = append(sinks, nd)
 	}
-	if *httpAddr != "" {
-		met := &obs.Metrics{}
-		met.SetEstimator(est)
-		met.SetCoverage(cov)
+	// The live counter set backs both the dashboard and the journal's
+	// per-checkpoint metric snapshots.
+	var met *obs.Metrics
+	if *httpAddr != "" || *jrnlDir != "" {
+		met = &obs.Metrics{}
+		if est != nil {
+			met.SetEstimator(est)
+		}
+		if cov != nil {
+			met.SetCoverage(cov)
+		}
 		opt.Metrics = met
+	}
+	if *httpAddr != "" {
 		ds := dash.New(met)
+		var jdirs []string
+		if *jrnlDir != "" {
+			jdirs = append(jdirs, *jrnlDir)
+		}
+		for _, d := range strings.Split(*history, ",") {
+			if d = strings.TrimSpace(d); d != "" && d != *jrnlDir {
+				jdirs = append(jdirs, d)
+			}
+		}
+		ds.SetJournalDirs(jdirs)
 		sinks = append(sinks, ds.Sink())
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -260,6 +335,43 @@ func run() int {
 			srv.Shutdown(ctx)
 		}()
 	}
+	var jw *journal.Writer
+	if *jrnlDir != "" {
+		metaWorkers := 1
+		if *strategy == "icb" {
+			metaWorkers = *workers
+		}
+		jcfg := journal.Config{
+			Dir: *jrnlDir,
+			Meta: journal.Meta{
+				Program: *progName, Bug: *bugID, Strategy: *strategy,
+				Workers: metaWorkers, MaxBound: *bound, MaxExecutions: *execs,
+				Seed: *seed, StateCache: *cache, CheckRaces: !*noRaces,
+				Goldilocks: *goldi, EveryAccess: *every, FirstBug: *first,
+			},
+			Every:   *ckEvery,
+			Metrics: met,
+		}
+		if resumeCk != nil {
+			jcfg.ParentRunID = resumeCk.RunID
+		}
+		if prf != nil {
+			jcfg.Profile = prf
+		}
+		var err error
+		if jw, err = journal.New(jcfg); err != nil {
+			fmt.Fprintln(os.Stderr, "icb:", err)
+			return 2
+		}
+		defer func() {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "icb: journal:", err)
+			}
+		}()
+		opt.Checkpoint = jw
+		sinks = append(sinks, jw)
+		fmt.Fprintf(human, "journal: %s (run %s)\n", *jrnlDir, jw.RunID())
+	}
 	var rw *repro.Writer
 	if *reproDir != "" {
 		rw = repro.NewWriter(*reproDir, prog,
@@ -270,8 +382,52 @@ func run() int {
 		sinks = append(sinks, rw)
 	}
 	opt.Sink = obs.Multi(sinks...)
+	if resumeCk != nil {
+		opt.Sink.Resumed(obs.ResumeEvent{
+			Dir:         *resume,
+			ParentRunID: resumeCk.RunID,
+			Bound:       resumeCk.State.Bound,
+			Executions:  resumeCk.State.Result.Executions,
+			Bugs:        len(resumeCk.State.Result.Bugs),
+			SeedQueue:   len(resumeCk.State.SeedQueue),
+			NextWork:    len(resumeCk.State.NextWork),
+		})
+	}
+
+	// First signal: graceful stop — the strategy checkpoints and returns, the
+	// journal and event stream flush, and the process exits 130. Second
+	// signal: force quit.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	var interrupted atomic.Bool
+	go func() {
+		s := <-sigc
+		interrupted.Store(true)
+		stop.Store(true)
+		fmt.Fprintf(os.Stderr, "icb: %v: stopping at the next execution boundary (repeat to force quit)\n", s)
+		<-sigc
+		os.Exit(exitInterrupted)
+	}()
 
 	res := core.Explore(prog, strat, opt)
+	if jw != nil {
+		rec := journal.BuildRunRecord(res)
+		rec.Interrupted = interrupted.Load()
+		if cov != nil {
+			runAtlas := cov.Atlas()
+			merged, added, err := coverage.MergeFile(filepath.Join(*jrnlDir, journal.AtlasName), runAtlas)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "icb: journal atlas:", err)
+			} else {
+				rec.AtlasSites = coverage.Summarize(merged).Sites
+				rec.AtlasNewSites = added
+			}
+		}
+		if err := jw.FinishRun(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "icb: journal:", err)
+		}
+	}
 	if cov != nil && *covFile != "" {
 		run := cov.Atlas()
 		merged, added, err := coverage.MergeFile(*covFile, run)
@@ -353,6 +509,9 @@ func run() int {
 			fmt.Fprintln(human)
 			fmt.Fprint(human, sched.Swimlane(out))
 		}
+	}
+	if interrupted.Load() {
+		return exitInterrupted
 	}
 	if len(res.Bugs) > 0 {
 		return 1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -138,6 +139,79 @@ func (c *Cache) tryTake(d sched.Decision, preempts int) bool {
 		c.met.CacheMisses.Add(1)
 	}
 	return true
+}
+
+// export serializes the registered work items for a search checkpoint,
+// sorted so that identical tables serialize to identical bytes. Reads the
+// shared table stripe by stripe when attached to one; callers checkpoint
+// only at execution boundaries and bound barriers, where no tryInsert is
+// in flight.
+func (c *Cache) export() []CacheKeyState {
+	var out []CacheKeyState
+	add := func(k cacheKey) {
+		out = append(out, CacheKeyState{
+			State:    k.state,
+			Kind:     int(k.kind),
+			Val:      k.val,
+			Preempts: k.preempts,
+		})
+	}
+	if c.shared != nil {
+		for i := range c.shared.shards {
+			sh := &c.shared.shards[i]
+			sh.mu.Lock()
+			for k := range sh.m {
+				add(k)
+			}
+			sh.mu.Unlock()
+		}
+	} else {
+		for k := range c.table {
+			add(k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Val != b.Val {
+			return a.Val < b.Val
+		}
+		return a.Preempts < b.Preempts
+	})
+	return out
+}
+
+// restore loads a checkpoint's work-item table and lookup counters into
+// this cache (or its attached shared table). Restoring the exact table is
+// what makes a resumed search behave identically: replayed decisions never
+// consult the table, and every alternative the old process had already
+// enqueued is registered, so the resumed search prunes exactly what the
+// uninterrupted one would have.
+func (c *Cache) restore(keys []CacheKeyState, hits, misses int) {
+	for _, ks := range keys {
+		k := cacheKey{
+			state:    ks.State,
+			kind:     sched.DecisionKind(ks.Kind),
+			val:      ks.Val,
+			preempts: ks.Preempts,
+		}
+		if c.shared != nil {
+			c.shared.tryInsert(k, nil)
+		} else {
+			c.table[k] = struct{}{}
+		}
+	}
+	c.hits = hits
+	c.misses = misses
+	if c.met != nil {
+		c.met.CacheHits.Store(int64(hits))
+		c.met.CacheMisses.Store(int64(misses))
+	}
 }
 
 // Hits returns the number of pruned duplicates, for diagnostics.

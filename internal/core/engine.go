@@ -82,6 +82,9 @@ type Engine struct {
 	res     Result
 	bugSeen map[bugKey]int // index into res.Bugs, for deduplication
 	done    bool
+	// ckptSeq numbers the checkpoints captured this process life (for the
+	// event stream; the on-disk ordinal is the journal writer's).
+	ckptSeq int
 }
 
 // bugKey identifies a defect for deduplication across executions.
@@ -116,8 +119,17 @@ func NewEngine(prog sched.Program, opt Options) *Engine {
 			e.met.SetProfile(e.prof)
 		}
 	}
+	// An external stop flag (signal handling) rides the same plumbing as the
+	// parallel search-wide abort; ParallelICB later shares this exact flag
+	// with every worker engine.
+	if opt.Stop != nil {
+		e.stop = opt.Stop
+	}
 	e.initExec()
 	e.res.BoundCompleted = -1
+	if opt.Resume != nil {
+		e.importState(opt.Resume)
+	}
 	return e
 }
 
@@ -190,9 +202,12 @@ func Explore(prog sched.Program, s Strategy, opt Options) Result {
 	if e.prof != nil {
 		e.prof.Begin()
 	}
+	// A resumed engine carries the prior process lives' wall time in
+	// res.Duration (restored by importState); the total keeps accumulating.
+	base := e.res.Duration
 	start := time.Now()
 	s.Explore(e)
-	e.res.Duration = time.Since(start)
+	e.res.Duration = base + time.Since(start)
 	e.res.Strategy = s.Name()
 	e.res.States = e.states.Len()
 	e.res.ExecutionClasses = e.classes.Len()

@@ -33,44 +33,110 @@ func (ICB) Explore(e *Engine) {
 	workQueue := []sched.Schedule{nil}
 	var nextWork []sched.Schedule
 	currBound := 0
+	resumed := e.Options().Resume
+	if resumed != nil {
+		// Re-enter Algorithm 1's loop exactly where the snapshot left it:
+		// the seed queue is the interrupted bound's remaining work in drain
+		// order (see SearchState), so the executions that follow are the
+		// executions the uninterrupted search would have run next.
+		currBound = resumed.Bound
+		workQueue = resumed.SeedQueue
+		nextWork = resumed.NextWork
+		if len(workQueue) == 0 && len(nextWork) == 0 {
+			// A final snapshot of a finished search: nothing to do.
+			return
+		}
+		if len(workQueue) == 0 {
+			// Snapshot taken at a bound barrier with the old bound's queue
+			// fully drained but the frontier not yet promoted.
+			currBound++
+			workQueue = nextWork
+			nextWork = nil
+		}
+		if maxBound >= 0 && currBound > maxBound {
+			// The end-of-budget snapshot: its frontier needs more budget than
+			// this search allows, so the restored result is already final.
+			return
+		}
+	}
 
 	for {
 		// Drain the current bound. Each popped schedule seeds a
 		// no-new-preemption depth-first exploration (the Search procedure).
 		e.BeginBound(currBound, len(workQueue))
+		if resumed != nil && currBound == resumed.Bound {
+			// The resumed bound began in an earlier process life; its
+			// eventual BoundStat must count executions from all of them.
+			e.restoreBoundBaseline(resumed.BoundStartExecs)
+		}
 		for head := 0; head < len(workQueue); head++ {
 			if e.Done() {
+				e.CaptureCheckpoint(currBound, workQueue[head:], nextWork, true)
 				return
 			}
 			e.NoteWork(head, len(workQueue))
 			e.NoteFrontier(len(workQueue) - head - 1 + len(nextWork))
-			searchNoPreempt(e, workQueue[head], currBound, &nextWork)
+			tail := workQueue[head+1:]
+			leftover, stopped := searchNoPreempt(e, workQueue[head], currBound, &nextWork,
+				func(stack []sched.Schedule) {
+					e.CaptureCheckpoint(currBound, resumeSeeds(stack, tail), nextWork, false)
+				})
+			if stopped {
+				e.CaptureCheckpoint(currBound, resumeSeeds(leftover, tail), nextWork, true)
+				return
+			}
 		}
 		if e.Done() {
+			e.CaptureCheckpoint(currBound, nil, nextWork, true)
 			return
 		}
 		e.NoteWork(len(workQueue), len(workQueue))
 		e.NoteFrontier(len(nextWork))
 		e.SetBoundCompleted(currBound)
+		// The barrier re-anchor is semantically a no-op (the next BeginBound
+		// stores the same value); it keeps the barrier snapshot below
+		// consistent for a resume into the next bound.
+		e.restoreBoundBaseline(e.Executions())
 		if len(nextWork) == 0 {
 			e.MarkExhausted()
+			e.CaptureCheckpoint(currBound, nil, nil, true)
 			return
 		}
 		if maxBound >= 0 && currBound >= maxBound {
+			// Budget reached with work deferred: the final snapshot carries
+			// the next bound's full queue, so a resume with a higher bound
+			// can continue the same campaign.
+			e.CaptureCheckpoint(currBound+1, nextWork, nil, true)
 			return
 		}
 		currBound++
 		workQueue = nextWork
 		nextWork = nil
+		// Bound-barrier snapshot: crash recovery never loses more than the
+		// current bound's progress even when no periodic checkpoint was due.
+		e.CaptureCheckpoint(currBound, workQueue, nil, false)
 	}
 }
 
 // searchNoPreempt explores all executions reachable from the given replay
 // schedule without introducing further preemptions, pushing the executions
 // that would need one more preemption onto next.
-func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.Schedule) {
+//
+// ck, when non-nil, is invoked with the current local stack at execution
+// boundaries where a periodic checkpoint is due. When the engine stops
+// mid-drain (budget, first bug, external stop), searchNoPreempt returns the
+// unexplored remainder of the stack with stopped=true; flattened through
+// resumeSeeds it becomes the seed queue a resumed search drains in the
+// exact order this one would have.
+func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.Schedule, ck func(stack []sched.Schedule)) (leftover []sched.Schedule, stopped bool) {
 	stack := []sched.Schedule{start}
 	for len(stack) > 0 {
+		if e.Done() {
+			return stack, true
+		}
+		if ck != nil && e.checkpointDue() {
+			ck(stack)
+		}
 		path := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		ctrl := &icbController{
@@ -84,9 +150,17 @@ func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.S
 			onPreempt: func(alt sched.Schedule) { *next = append(*next, alt) },
 			onLocal:   func(alt sched.Schedule) { stack = append(stack, alt) },
 		}
+		before := e.Executions()
 		out, done := e.RunExecution(ctrl)
 		if done {
-			return
+			if e.Executions() == before {
+				// The engine was already stopping and never ran the popped
+				// schedule (an external stop can land between the boundary
+				// check above and the run); put it back so the checkpoint
+				// does not lose its subtree.
+				stack = append(stack, path)
+			}
+			return stack, true
 		}
 		if out.Status == sched.StatusStopped {
 			// Cut by the work-item cache: the subtree was already explored.
@@ -97,6 +171,7 @@ func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.S
 				bound, out.Preemptions, out.Decisions))
 		}
 	}
+	return nil, false
 }
 
 // icbController replays a schedule prefix and then follows the

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"icb/internal/obs"
@@ -84,6 +85,23 @@ type Options struct {
 	// costs one event-log allocation per step; leave nil on hot exhaustive
 	// runs.
 	TraceObserver OutcomeObserver
+	// Checkpoint, when non-nil, receives search-state snapshots: periodic
+	// ones at execution boundaries (whenever Due reports true), one at every
+	// bound barrier, and a final one when the search stops. nil (the
+	// default) disables checkpointing; the engine then pays one nil-check
+	// per execution boundary.
+	Checkpoint CheckpointSink
+	// Resume, when non-nil, restores a previously captured snapshot before
+	// the first execution: the search re-enters Algorithm 1's loop at the
+	// snapshot's bound with its remaining seed queue, coverage sets, bug
+	// list and work-item table. The options must describe the same program
+	// and configuration that produced the snapshot (see ValidateResume).
+	Resume *SearchState
+	// Stop, when non-nil, is polled at every execution boundary; setting it
+	// stops the search cleanly (final checkpoint, partial Result), the
+	// mechanism behind SIGINT/SIGTERM handling. In a parallel search the
+	// same flag is shared by every worker.
+	Stop *atomic.Bool
 }
 
 // PointRecorder accumulates preemption-point coverage: one call per
@@ -134,28 +152,30 @@ func (k BugKind) String() string {
 	return "bug"
 }
 
-// Bug is one found defect with everything needed to reproduce it.
+// Bug is one found defect with everything needed to reproduce it. The JSON
+// tags serve the search checkpoint (SearchState), which round-trips the
+// whole Result; command-line surfaces shape their own output documents.
 type Bug struct {
 	// Kind classifies the bug.
-	Kind BugKind
+	Kind BugKind `json:"kind"`
 	// Message is the assertion/panic/deadlock/race description.
-	Message string
+	Message string `json:"message"`
 	// Preemptions is the number of preempting context switches in the
 	// exposing execution. Under ICB this is minimal over all ways to expose
 	// bugs in the program explored so far.
-	Preemptions int
+	Preemptions int `json:"preemptions"`
 	// ContextSwitches is the total number of context switches (the Dryad
 	// bug of Fig. 3 takes 1 preemption but 6 nonpreempting switches).
-	ContextSwitches int
+	ContextSwitches int `json:"context_switches"`
 	// Steps is the length of the exposing execution.
-	Steps int
+	Steps int `json:"steps"`
 	// Execution is the 1-based index of the exposing execution.
-	Execution int
+	Execution int `json:"execution"`
 	// Schedule replays the exposing execution exactly.
-	Schedule sched.Schedule
+	Schedule sched.Schedule `json:"schedule"`
 	// Count is the number of executions that exposed this same defect
 	// (same kind and message); only the first one's schedule is kept.
-	Count int
+	Count int `json:"count"`
 }
 
 // String renders a one-line bug summary.
@@ -190,20 +210,20 @@ func itoa(n int) string {
 // and 6): after Executions executions, States distinct states had been
 // visited.
 type CoveragePoint struct {
-	Executions int
-	States     int
+	Executions int `json:"executions"`
+	States     int `json:"states"`
 }
 
 // BoundCoverage records cumulative coverage at the completion of one
 // preemption bound (Figures 1 and 4).
 type BoundCoverage struct {
 	// Bound is the completed preemption bound.
-	Bound int
+	Bound int `json:"bound"`
 	// States is the cumulative number of distinct states visited by all
 	// executions with at most Bound preemptions.
-	States int
+	States int `json:"states"`
 	// Executions is the cumulative execution count.
-	Executions int
+	Executions int `json:"executions"`
 }
 
 // BoundStat records the cost of one completed preemption bound (or, for
@@ -211,55 +231,57 @@ type BoundCoverage struct {
 // bound took and how long it ran.
 type BoundStat struct {
 	// Bound is the bound the stats concern.
-	Bound int
+	Bound int `json:"bound"`
 	// Executions is the number of executions run within this bound.
-	Executions int
+	Executions int `json:"executions"`
 	// CumExecutions is the cumulative execution count at bound completion.
-	CumExecutions int
+	CumExecutions int `json:"cum_executions"`
 	// States is the cumulative distinct-state count at bound completion.
-	States int
+	States int `json:"states"`
 	// Duration is the wall-clock time spent draining the bound.
-	Duration time.Duration
+	Duration time.Duration `json:"duration_ns"`
 }
 
-// Result summarizes an exploration.
+// Result summarizes an exploration. The JSON tags serve the search
+// checkpoint (SearchState), which persists and restores the whole Result
+// across process lives.
 type Result struct {
 	// Strategy is the name of the search strategy used.
-	Strategy string
+	Strategy string `json:"strategy"`
 	// Executions is the number of executions run.
-	Executions int
+	Executions int `json:"executions"`
 	// Bugs lists the found bugs in discovery order.
-	Bugs []Bug
+	Bugs []Bug `json:"bugs,omitempty"`
 	// States is the number of distinct visited states (happens-before
 	// prefix fingerprints, §4.3).
-	States int
+	States int `json:"states"`
 	// ExecutionClasses is the number of distinct complete-execution
 	// fingerprints (partial-order equivalence classes of executions).
-	ExecutionClasses int
+	ExecutionClasses int `json:"execution_classes"`
 	// MaxSteps, MaxBlocking, MaxPreemptions are the K, B, c maxima of
 	// Table 1 over all executions.
-	MaxSteps       int
-	MaxBlocking    int
-	MaxPreemptions int
+	MaxSteps       int `json:"max_steps"`
+	MaxBlocking    int `json:"max_blocking"`
+	MaxPreemptions int `json:"max_preemptions"`
 	// BoundCompleted is the highest preemption bound fully explored: the
 	// coverage guarantee "any remaining bug needs at least BoundCompleted+1
 	// preemptions". -1 if no bound was completed. Only ICB sets this.
-	BoundCompleted int
+	BoundCompleted int `json:"bound_completed"`
 	// Exhausted reports that the search space was fully explored.
-	Exhausted bool
+	Exhausted bool `json:"exhausted"`
 	// Curve is the coverage growth curve (cumulative states per execution).
-	Curve []CoveragePoint
+	Curve []CoveragePoint `json:"curve,omitempty"`
 	// BoundCurve is the per-bound cumulative coverage (ICB only).
-	BoundCurve []BoundCoverage
+	BoundCurve []BoundCoverage `json:"bound_curve,omitempty"`
 	// Duration is the total wall-clock time of the exploration.
-	Duration time.Duration
+	Duration time.Duration `json:"duration_ns"`
 	// CacheHits and CacheMisses count work-item-table lookups (zero when
 	// StateCache is off). A hit is a pruned duplicate.
-	CacheHits   int
-	CacheMisses int
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
 	// BoundStats records per-bound execution counts and wall times, in
 	// completion order (bounded strategies only).
-	BoundStats []BoundStat
+	BoundStats []BoundStat `json:"bound_stats,omitempty"`
 }
 
 // FirstBug returns the first found bug, or nil.

@@ -68,7 +68,10 @@ func (p ParallelICB) Name() string {
 // concurrent coverage sets, the shared work-item table, the stop flag and
 // the global execution counter, plus the worker engines themselves.
 type parSearch struct {
-	stop    atomic.Bool
+	// stop is the search-wide abort flag shared by every worker: the
+	// parent's external flag (Options.Stop, signal handling) when one was
+	// provided, a private one otherwise.
+	stop    *atomic.Bool
 	execs   atomic.Int64
 	states  *hb.ShardedStateSet
 	classes *hb.ShardedStateSet
@@ -80,17 +83,37 @@ type parSearch struct {
 	// previous barriers.
 	curveDone []int
 	bugsDone  [][]int
+
+	// baseHits/baseMisses are the work-item-table counters restored from a
+	// resume snapshot; the barrier merge adds the workers' per-life counts
+	// on top (worker counters start at zero every process life).
+	baseHits   int
+	baseMisses int
 }
 
 // newParSearch converts the parent engine to shared concurrent coverage
-// structures and builds w worker engines around them.
+// structures and builds w worker engines around them. A parent restored
+// from a resume snapshot (NewEngine imported it into the sequential
+// structures) has its coverage sets, work-item table and execution count
+// migrated into the shared concurrent ones.
 func newParSearch(parent *Engine, w int) *parSearch {
 	ps := &parSearch{
+		stop:      parent.stop,
 		states:    hb.NewShardedStateSet(),
 		classes:   hb.NewShardedStateSet(),
 		curveDone: make([]int, w),
 		bugsDone:  make([][]int, w),
 	}
+	if ps.stop == nil {
+		ps.stop = new(atomic.Bool)
+	}
+	for _, s := range parent.states.Elems() {
+		ps.states.Add(s)
+	}
+	for _, s := range parent.classes.Elems() {
+		ps.classes.Add(s)
+	}
+	ps.execs.Store(int64(parent.res.Executions))
 	// The parent runs no executions itself; it reads the shared sets at
 	// barriers so coverage counters in bound events and BoundStats reflect
 	// all workers.
@@ -98,6 +121,11 @@ func newParSearch(parent *Engine, w int) *parSearch {
 	parent.classes = ps.classes
 	if parent.opt.StateCache {
 		ps.table = newSharedTable()
+		for k := range parent.cache.table {
+			ps.table.tryInsert(k, nil)
+		}
+		ps.baseHits = parent.cache.hits
+		ps.baseMisses = parent.cache.misses
 	}
 	for i := 0; i < w; i++ {
 		ps.workers = append(ps.workers, newWorkerEngine(parent, i, ps))
@@ -121,7 +149,7 @@ func newWorkerEngine(parent *Engine, worker int, ps *parSearch) *Engine {
 		est:         parent.est,
 		curBound:    -1,
 		worker:      worker,
-		stop:        &ps.stop,
+		stop:        ps.stop,
 		sharedExecs: &ps.execs,
 		prof:        parent.prof,
 	}
@@ -157,9 +185,34 @@ func (p ParallelICB) Explore(e *Engine) {
 
 	workQueue := []sched.Schedule{nil}
 	currBound := 0
+	// carry holds next-bound items restored from a resume snapshot; it is
+	// folded into the first barrier's merge and then retired.
+	var carry []sched.Schedule
+	resumed := e.Options().Resume
+	if resumed != nil {
+		currBound = resumed.Bound
+		workQueue = resumed.SeedQueue
+		carry = resumed.NextWork
+		if len(workQueue) == 0 && len(carry) == 0 {
+			return
+		}
+		if len(workQueue) == 0 {
+			currBound++
+			workQueue = carry
+			carry = nil
+		}
+		if maxBound >= 0 && currBound > maxBound {
+			// The end-of-budget snapshot: its frontier needs more budget than
+			// this search allows, so the restored result is already final.
+			return
+		}
+	}
 
 	for {
 		e.BeginBound(currBound, len(workQueue))
+		if resumed != nil && currBound == resumed.Bound {
+			e.restoreBoundBaseline(resumed.BoundStartExecs)
+		}
 		for _, we := range ps.workers {
 			we.curBound = currBound
 		}
@@ -174,6 +227,10 @@ func (p ParallelICB) Explore(e *Engine) {
 		)
 		total := len(workQueue)
 		nextByWorker := make([][]sched.Schedule, w)
+		// leftoverByWorker collects each worker's unexplored local stack when
+		// the search stops mid-bound, so the final checkpoint captures the
+		// exact remaining frontier: flattened stacks plus unclaimed seeds.
+		leftoverByWorker := make([][]sched.Schedule, w)
 		// finished[wi] is when worker wi ran out of work this bound; the
 		// gap to the slowest worker's arrival is its barrier-wait time.
 		// Written by each worker, read after wg.Wait (which orders them).
@@ -198,7 +255,10 @@ func (p ParallelICB) Explore(e *Engine) {
 						return
 					}
 					we.NoteFrontier(total - i - 1)
-					searchNoPreempt(we, workQueue[i], currBound, next)
+					if left, stopped := searchNoPreempt(we, workQueue[i], currBound, next, nil); stopped {
+						leftoverByWorker[wi] = left
+						return
+					}
 					we.NoteWork(int(doneItems.Add(1)), total)
 				}
 			}(wi, ps.workers[wi])
@@ -213,23 +273,44 @@ func (p ParallelICB) Explore(e *Engine) {
 			}
 		}
 
-		nextWork := mergeNextWork(nextByWorker)
+		nextWork := mergeNextWork(append([][]sched.Schedule{carry}, nextByWorker...))
+		carry = nil
 		ps.mergeInto(e)
 		if e.done {
+			// Stop-point snapshot: the exact remaining frontier is the
+			// workers' unexplored local stacks (flattened, worker order)
+			// followed by the seeds no worker claimed. Within a bound the
+			// drain order is already nondeterministic, so any order
+			// preserves the parallel guarantees (bug set, BoundCompleted).
+			var seeds []sched.Schedule
+			for _, stack := range leftoverByWorker {
+				seeds = append(seeds, resumeSeeds(stack, nil)...)
+			}
+			if claimed := int(idx.Load()); claimed < total {
+				seeds = append(seeds, workQueue[claimed:]...)
+			}
+			e.CaptureCheckpoint(currBound, seeds, nextWork, true)
 			return
 		}
 		e.NoteWork(total, total)
 		e.NoteFrontier(len(nextWork))
 		e.SetBoundCompleted(currBound)
+		e.restoreBoundBaseline(e.Executions())
 		if len(nextWork) == 0 {
 			e.MarkExhausted()
+			e.CaptureCheckpoint(currBound, nil, nil, true)
 			return
 		}
 		if maxBound >= 0 && currBound >= maxBound {
+			e.CaptureCheckpoint(currBound+1, nextWork, nil, true)
 			return
 		}
 		currBound++
 		workQueue = nextWork
+		// Bound-barrier snapshot: a crash never loses more than the current
+		// bound's progress (workers do not checkpoint mid-bound; a signal
+		// stop produces the exact stop-point snapshot above instead).
+		e.CaptureCheckpoint(currBound, workQueue, nil, false)
 	}
 }
 
@@ -349,7 +430,7 @@ func (ps *parSearch) mergeInto(e *Engine) {
 			hits += we.cache.hits
 			misses += we.cache.misses
 		}
-		e.cache.hits, e.cache.misses = hits, misses
+		e.cache.hits, e.cache.misses = ps.baseHits+hits, ps.baseMisses+misses
 		e.cache.shared = ps.table
 	}
 

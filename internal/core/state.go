@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"icb/internal/obs"
+	"icb/internal/sched"
+)
+
+// SearchState is the serializable state of an ICB search at an execution
+// boundary: everything a fresh process needs to continue the exploration
+// exactly where the old one stopped. The stateless design makes the
+// snapshot small and exact — work items are replay schedules, visited
+// states are 64-bit fingerprints, and no scheduler or heap state needs
+// capturing because every execution restarts from the initial state.
+//
+// A sequential search resumed from a SearchState produces a Result
+// identical to the uninterrupted run's (up to wall-clock durations): the
+// seed queue preserves the exact exploration order, the restored work-item
+// table prunes exactly what the original process would have pruned, and
+// the restored coverage sets continue the same counters. A parallel search
+// resumed from a barrier (or stop-point) snapshot preserves the bug set,
+// BoundCompleted and the state/class counts; execution order within a
+// bound is nondeterministic across worker counts either way.
+type SearchState struct {
+	// Bound is the preemption bound being drained when the snapshot was
+	// taken; the resumed search re-enters Algorithm 1's loop at this bound.
+	Bound int `json:"bound"`
+	// BoundStartExecs is Result.Executions at the moment the bound began
+	// (possibly in an earlier process life), so the resumed bound's
+	// BoundStat counts executions from every life it spanned.
+	BoundStartExecs int `json:"bound_start_execs"`
+	// SeedQueue holds the current bound's remaining work items in exact
+	// drain order: the in-progress seed's local no-preempt stack (top
+	// first) followed by the untouched tail of the bound's queue.
+	SeedQueue []sched.Schedule `json:"seed_queue"`
+	// NextWork holds the work items already deferred to bound Bound+1.
+	NextWork []sched.Schedule `json:"next_work,omitempty"`
+	// Result is the accumulated exploration result so far (durations are
+	// the old process's and keep growing after resume).
+	Result Result `json:"result"`
+	// States and Classes are the visited-state and execution-class
+	// fingerprint sets, sorted ascending for byte-stable serialization.
+	States  []uint64 `json:"states,omitempty"`
+	Classes []uint64 `json:"classes,omitempty"`
+	// CacheKeys, CacheHits and CacheMisses restore the Algorithm 1
+	// work-item table (empty/zero when state caching is off). The table
+	// contents matter for exactness: alternatives already enqueued are
+	// registered, and replay never re-checks them, so the restored table
+	// prunes exactly the duplicates the original process would have.
+	CacheKeys   []CacheKeyState `json:"cache_keys,omitempty"`
+	CacheHits   int             `json:"cache_hits,omitempty"`
+	CacheMisses int             `json:"cache_misses,omitempty"`
+}
+
+// CacheKeyState is one serialized work-item-table registration.
+type CacheKeyState struct {
+	State uint64 `json:"s"`
+	// Kind is the decision kind (0 = thread, 1 = data choice).
+	Kind int `json:"k"`
+	// Val is the thread id or data value of the decision.
+	Val int32 `json:"v"`
+	// Preempts is the preemption budget spent reaching the state.
+	Preempts int32 `json:"p"`
+}
+
+// CheckpointSink receives search-state snapshots from a running
+// exploration. Implemented by journal.Writer; the engine calls it
+// synchronously from the exploring goroutine, so implementations may
+// retain the snapshot without copying until Capture returns.
+type CheckpointSink interface {
+	// Due reports that a periodic checkpoint should be captured at the
+	// next execution boundary. It is called once per execution boundary
+	// and must be cheap (one atomic load).
+	Due() bool
+	// Capture persists one snapshot. final marks snapshots taken because
+	// the search is stopping (signal, budget, first bug) — the last state
+	// the process will ever write.
+	Capture(st *SearchState, final bool)
+}
+
+// checkpointDue reports that the attached checkpoint sink wants a snapshot
+// at the next execution boundary. One nil-check when checkpointing is off.
+func (e *Engine) checkpointDue() bool {
+	return e.opt.Checkpoint != nil && e.opt.Checkpoint.Due()
+}
+
+// CaptureCheckpoint exports the search state and hands it to the attached
+// checkpoint sink. seeds must be the current bound's remaining work items
+// in drain order; next the items deferred to the following bound. A no-op
+// without a sink. Strategies call it at execution boundaries (when due),
+// at bound barriers, and once more when stopping (final). A matching
+// obs.CheckpointEvent goes to the event sink so live surfaces (progress,
+// dashboard) see snapshots happen; the journal writer logs its own richer
+// record from Capture and ignores the event.
+func (e *Engine) CaptureCheckpoint(bound int, seeds, next []sched.Schedule, final bool) {
+	cs := e.opt.Checkpoint
+	if cs == nil {
+		return
+	}
+	st := e.exportState(bound, seeds, next)
+	cs.Capture(st, final)
+	e.ckptSeq++
+	if e.sink != nil {
+		e.sink.Checkpoint(obs.CheckpointEvent{
+			Seq:        e.ckptSeq,
+			Bound:      bound,
+			Executions: st.Result.Executions,
+			States:     len(st.States),
+			Classes:    len(st.Classes),
+			Bugs:       len(st.Result.Bugs),
+			SeedQueue:  len(seeds),
+			NextWork:   len(next),
+			Final:      final,
+		})
+	}
+}
+
+// exportState builds the serializable snapshot of this engine at an
+// execution boundary. The fingerprint sets are sorted so that identical
+// search states serialize to identical bytes.
+func (e *Engine) exportState(bound int, seeds, next []sched.Schedule) *SearchState {
+	st := &SearchState{
+		Bound:           bound,
+		BoundStartExecs: e.boundStartExecs,
+		SeedQueue:       seeds,
+		NextWork:        next,
+		Result:          e.res,
+		States:          sortedU64(e.states.Elems()),
+		Classes:         sortedU64(e.classes.Elems()),
+	}
+	if e.cache != nil {
+		st.CacheKeys = e.cache.export()
+		st.CacheHits = e.cache.hits
+		st.CacheMisses = e.cache.misses
+	}
+	return st
+}
+
+// importState restores a snapshot into a freshly constructed engine:
+// counters, coverage sets, bug dedup index and the work-item table. Called
+// by NewEngine before any execution runs.
+func (e *Engine) importState(st *SearchState) {
+	e.res = st.Result
+	for _, s := range st.States {
+		e.states.Add(s)
+	}
+	for _, s := range st.Classes {
+		e.classes.Add(s)
+	}
+	for i := range e.res.Bugs {
+		b := &e.res.Bugs[i]
+		if e.bugSeen == nil {
+			e.bugSeen = make(map[bugKey]int)
+		}
+		e.bugSeen[bugKey{kind: b.Kind, msg: b.Message}] = i
+	}
+	if e.cache != nil {
+		e.cache.restore(st.CacheKeys, st.CacheHits, st.CacheMisses)
+	}
+	if e.met != nil {
+		e.met.Executions.Store(int64(e.res.Executions))
+		e.met.States.Store(int64(e.states.Len()))
+		e.met.Classes.Store(int64(e.classes.Len()))
+		e.met.Bugs.Store(int64(len(e.res.Bugs)))
+	}
+}
+
+// restoreBoundBaseline re-anchors the per-bound execution baseline after a
+// mid-bound resume, so the bound's eventual BoundStat counts executions
+// from every process life it spanned (its Duration only covers this one).
+func (e *Engine) restoreBoundBaseline(execs int) {
+	e.boundStartExecs = execs
+}
+
+// ValidateResume sanity-checks a snapshot against the options about to run
+// it. It cannot prove the program is the same one — the config hash in the
+// journal metadata does that — but it rejects the structurally impossible.
+func ValidateResume(st *SearchState, opt Options) error {
+	if st == nil {
+		return nil
+	}
+	if st.Bound < 0 {
+		return fmt.Errorf("core: resume state has negative bound %d", st.Bound)
+	}
+	// Bound MaxPreemptions+1 is legitimate: the end-of-budget snapshot
+	// carries the next bound's queue so a resume with a raised bound can
+	// continue the campaign; under the same budget it resumes to a no-op.
+	if opt.MaxPreemptions >= 0 && st.Bound > opt.MaxPreemptions+1 {
+		return fmt.Errorf("core: resume state is at bound %d but the search is bounded at %d", st.Bound, opt.MaxPreemptions)
+	}
+	if len(st.CacheKeys) > 0 && !opt.StateCache {
+		return fmt.Errorf("core: resume state carries a work-item table but state caching is off")
+	}
+	if opt.StateCache && st.Result.Executions > 0 && len(st.CacheKeys) == 0 {
+		return fmt.Errorf("core: state caching is on but the resume state has no work-item table")
+	}
+	return nil
+}
+
+func sortedU64(s []uint64) []uint64 {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// resumeSeeds flattens an interrupted no-preempt exploration into FIFO
+// seed order: the local stack is popped last-in-first-out and every item's
+// subtree is fully drained before the item below it, so reversing the
+// stack into a queue of independent seeds reproduces the exact exploration
+// order the uninterrupted search would have followed.
+func resumeSeeds(stack, tail []sched.Schedule) []sched.Schedule {
+	out := make([]sched.Schedule, 0, len(stack)+len(tail))
+	for i := len(stack) - 1; i >= 0; i-- {
+		out = append(out, stack[i])
+	}
+	return append(out, tail...)
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"icb/internal/obs"
@@ -33,6 +34,10 @@ type CampaignConfig struct {
 	// LogEvery prints a progress line every this many programs (default
 	// 100).
 	LogEvery int
+	// Stop, when non-nil, ends the campaign at the next program boundary
+	// once set (the command layer sets it from SIGINT/SIGTERM so a
+	// time-boxed run still flushes its stats and event stream).
+	Stop *atomic.Bool
 	// Sink, when non-nil, receives structured campaign telemetry: an
 	// obs.CampaignEvent at every LogEvery checkpoint and once more (with
 	// Done set) at the end, plus — when Limits.Profiler is attached — a
@@ -117,6 +122,9 @@ func Campaign(cfg CampaignConfig) (*CampaignStats, error) {
 	}
 
 	for i := 0; ; i++ {
+		if cfg.Stop != nil && cfg.Stop.Load() {
+			break
+		}
 		if cfg.Duration > 0 {
 			if time.Now().After(deadline) {
 				break

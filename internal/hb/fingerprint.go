@@ -187,3 +187,13 @@ func (ss *StateSet) Has(s uint64) bool {
 
 // Len returns the number of distinct states.
 func (ss *StateSet) Len() int { return len(ss.m) }
+
+// Elems returns the stored fingerprints in unspecified order. Callers that
+// serialize the slice (search checkpoints) sort it themselves.
+func (ss *StateSet) Elems() []uint64 {
+	out := make([]uint64, 0, len(ss.m))
+	for s := range ss.m {
+		out = append(out, s)
+	}
+	return out
+}

@@ -18,6 +18,11 @@ type Set interface {
 	Has(s uint64) bool
 	// Len returns the number of distinct states.
 	Len() int
+	// Elems returns the stored fingerprints in unspecified order (search
+	// checkpoints sort before serializing). Not safe to call concurrently
+	// with Add on the sharded implementation; checkpoints only read it at
+	// execution boundaries and bound barriers, where no Add is in flight.
+	Elems() []uint64
 }
 
 var (
@@ -116,3 +121,19 @@ func (s *ShardedStateSet) Has(v uint64) bool {
 
 // Len returns the number of distinct states inserted so far.
 func (s *ShardedStateSet) Len() int { return int(s.n.Load()) }
+
+// Elems returns the stored fingerprints in unspecified order. It takes the
+// shard locks one at a time, so it is consistent only when no Add is in
+// flight (bound barriers, stop points).
+func (s *ShardedStateSet) Elems() []uint64 {
+	out := make([]uint64, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for v := range sh.m {
+			out = append(out, v)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -7,6 +7,22 @@ import (
 	"sort"
 )
 
+// CorruptError reports an atlas file whose contents could not be
+// interpreted: unparseable JSON or a version newer than this binary
+// understands. Callers distinguish it (errors.As) from a missing file or
+// plain I/O failure, because the right reactions differ — a missing atlas
+// starts empty, a corrupt one must be left untouched for inspection.
+type CorruptError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("coverage: corrupt atlas %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
 // AtlasVersion is the on-disk schema version of the atlas JSON file.
 const AtlasVersion = 1
 
@@ -228,17 +244,40 @@ func Summarize(a Atlas) Stats {
 	return st
 }
 
-// Save writes the atlas as indented JSON to path (0644, truncating).
+// Save writes the atlas as indented JSON to path atomically: marshal,
+// write a sibling temp file, fsync, rename. A crash mid-save leaves the
+// previous file intact instead of a truncated half-write.
 func Save(path string, a Atlas) error {
 	a.Version = AtlasVersion
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
-// Load reads an atlas from path.
+// Load reads an atlas from path. An unreadable file surfaces as the
+// underlying I/O error; an uninterpretable one as a *CorruptError.
 func Load(path string) (Atlas, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -246,17 +285,22 @@ func Load(path string) (Atlas, error) {
 	}
 	var a Atlas
 	if err := json.Unmarshal(data, &a); err != nil {
-		return Atlas{}, fmt.Errorf("coverage: parsing %s: %w", path, err)
+		return Atlas{}, &CorruptError{Path: path, Err: err}
 	}
 	if a.Version > AtlasVersion {
-		return Atlas{}, fmt.Errorf("coverage: %s has atlas version %d, this binary understands <= %d", path, a.Version, AtlasVersion)
+		return Atlas{}, &CorruptError{Path: path,
+			Err: fmt.Errorf("atlas version %d, this binary understands <= %d", a.Version, AtlasVersion)}
 	}
 	return a, nil
 }
 
 // MergeFile merges atlas a into the file at path: if the file exists it is
 // loaded and a is merged in; either way the result is saved back and
-// returned together with the number of sites the file gained.
+// returned together with the number of sites the file gained. A corrupt
+// existing file fails the merge with the *CorruptError and leaves the file
+// exactly as it was — never overwritten with partial data — so a campaign
+// pointed at a damaged atlas reports the damage instead of erasing the
+// evidence.
 func MergeFile(path string, a Atlas) (merged Atlas, added int, err error) {
 	prev, lerr := Load(path)
 	if lerr != nil {

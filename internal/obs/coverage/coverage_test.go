@@ -1,6 +1,8 @@
 package coverage_test
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -218,6 +220,53 @@ func TestLoadRejectsFutureVersion(t *testing.T) {
 	}
 	if _, err := coverage.Load(path); err == nil {
 		t.Error("Load accepted an atlas from a future version")
+	}
+}
+
+// TestMergeFileCorruptionFailsGracefully pins the no-partial-mutation
+// guarantee: merging into a corrupt atlas file returns a *CorruptError and
+// leaves the damaged file byte-for-byte untouched for inspection, with no
+// stray temp file alongside it.
+func TestMergeFileCorruptionFailsGracefully(t *testing.T) {
+	atlas, _ := explore(t, 1)
+	dir := t.TempDir()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"garbage", `{"version": 1, "sites": [truncated`},
+		{"future-version", `{"version": ` + strconv.Itoa(coverage.AtlasVersion+5) + `, "sites": []}`},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.name+".json")
+		if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := coverage.MergeFile(path, atlas)
+		var ce *coverage.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: MergeFile returned %v, want *CorruptError", tc.name, err)
+		}
+		if ce.Path != path {
+			t.Errorf("%s: CorruptError.Path = %q, want %q", tc.name, ce.Path, path)
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(after, []byte(tc.body)) {
+			t.Errorf("%s: MergeFile mutated the corrupt file", tc.name)
+		}
+		if _, err := os.Stat(path + ".tmp"); err == nil {
+			t.Errorf("%s: stray temp file left behind", tc.name)
+		}
+	}
+
+	// A plain I/O failure (path is a directory) is not a CorruptError.
+	_, _, err := coverage.MergeFile(dir, atlas)
+	var ce *coverage.CorruptError
+	if err == nil || errors.As(err, &ce) {
+		t.Errorf("unreadable path: got %v, want a non-corrupt I/O error", err)
 	}
 }
 

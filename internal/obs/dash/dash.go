@@ -8,8 +8,14 @@
 //	                   estimates, as one JSON object (obs.Snapshot)
 //	GET /api/events    the structured event stream bridged to Server-Sent
 //	                   Events; each obs event kind becomes an SSE event
+//	GET /api/runs      the campaign history: every RunRecord from the
+//	                   attached journal directories plus the cross-run
+//	                   trend points, re-read per request so finished runs
+//	                   appear without a restart
 //	GET /              an embedded single-page view with per-bound progress
-//	                   bars, an exec/sec sparkline, and a live event log
+//	                   bars, an exec/sec sparkline, a live event log, and —
+//	                   with journal directories attached — a campaign
+//	                   history panel
 //
 // The Server's Sink bridges engine events to SSE subscribers; when nobody
 // is connected it drops events after one atomic load, so attaching the
@@ -23,11 +29,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"icb/internal/obs"
+	"icb/internal/obs/journal"
 )
 
 //go:embed index.html
@@ -43,6 +51,9 @@ type Server struct {
 	met *obs.Metrics
 	bc  *broadcaster
 	mux *http.ServeMux
+
+	mu          sync.Mutex
+	journalDirs []string
 }
 
 // New returns a dashboard over met (which may be nil; snapshots are then
@@ -52,8 +63,48 @@ func New(met *obs.Metrics) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/api/snapshot", s.snapshot)
 	s.mux.HandleFunc("/api/events", s.events)
+	s.mux.HandleFunc("/api/runs", s.runs)
 	s.mux.HandleFunc("/", s.index)
 	return s
+}
+
+// SetJournalDirs attaches the journal directories whose campaign ledgers
+// back /api/runs and the history panel. The ledgers are re-read on every
+// request (they are small, append-only NDJSON files), so records appended
+// by this run — or by concurrent runs sharing a directory — show up live.
+func (s *Server) SetJournalDirs(dirs []string) {
+	s.mu.Lock()
+	s.journalDirs = append([]string(nil), dirs...)
+	s.mu.Unlock()
+}
+
+// runs serves GET /api/runs: the concatenated ledgers of the attached
+// journal directories in start-time order, plus the cross-run trend.
+func (s *Server) runs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	dirs := s.journalDirs
+	s.mu.Unlock()
+	var records []obs.RunRecord
+	var errs []string
+	for _, dir := range dirs {
+		rs, err := journal.ReadRuns(dir)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		records = append(records, rs...)
+	}
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].StartUnixNS < records[j].StartUnixNS
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	json.NewEncoder(w).Encode(map[string]any{
+		"dirs":   dirs,
+		"runs":   records,
+		"trend":  journal.Trend(records),
+		"errors": errs,
+	})
 }
 
 // Handler returns the dashboard's HTTP handler (a dedicated ServeMux —
@@ -241,6 +292,27 @@ func (b *broadcaster) Profile(ev obs.ProfileEvent) {
 func (b *broadcaster) CampaignProgress(ev obs.CampaignEvent) {
 	if !b.idle() {
 		b.emit("campaign_progress", ev)
+	}
+}
+
+// Checkpoint implements obs.Sink.
+func (b *broadcaster) Checkpoint(ev obs.CheckpointEvent) {
+	if !b.idle() {
+		b.emit("checkpoint", ev)
+	}
+}
+
+// Resumed implements obs.Sink.
+func (b *broadcaster) Resumed(ev obs.ResumeEvent) {
+	if !b.idle() {
+		b.emit("resume", ev)
+	}
+}
+
+// RunRecorded implements obs.Sink.
+func (b *broadcaster) RunRecorded(ev obs.RunEvent) {
+	if !b.idle() {
+		b.emit("run_record", ev)
 	}
 }
 

@@ -167,6 +167,15 @@ func (e *Estimator) Profile(obs.ProfileEvent) {}
 // CampaignProgress implements obs.Sink.
 func (e *Estimator) CampaignProgress(obs.CampaignEvent) {}
 
+// Checkpoint implements obs.Sink.
+func (e *Estimator) Checkpoint(obs.CheckpointEvent) {}
+
+// Resumed implements obs.Sink.
+func (e *Estimator) Resumed(obs.ResumeEvent) {}
+
+// RunRecorded implements obs.Sink.
+func (e *Estimator) RunRecorded(obs.RunEvent) {}
+
 // SearchDone implements obs.Sink.
 func (e *Estimator) SearchDone(obs.SearchEvent) {}
 

@@ -1,0 +1,228 @@
+package journal
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/exper"
+	"icb/internal/obs"
+	"icb/internal/sched"
+)
+
+// wsqStealUnlocked returns the paper's work-stealing-queue benchmark with
+// the steal-unlocked bug seeded — the workload the Table-1 row pins.
+func wsqStealUnlocked(t *testing.T) sched.Program {
+	t.Helper()
+	b := exper.Benchmarks()[2]
+	bug := b.FindBug("steal-unlocked")
+	if b.Name != "Work Stealing Queue" || bug == nil {
+		t.Fatalf("benchmark table changed: got %q, steal-unlocked=%v", b.Name, bug)
+	}
+	return bug.Program
+}
+
+// capSink captures a JSON-serialized snapshot at every execution boundary
+// (plus barriers and the final capture), exactly as a journal writer with
+// a zero periodic interval would. Serializing at capture time both
+// deep-copies the state (the engine mutates its slices afterwards) and
+// exercises the checkpoint.json round trip.
+type capSink struct {
+	snaps  [][]byte
+	finals []bool
+}
+
+func (c *capSink) Due() bool { return true }
+
+func (c *capSink) Capture(st *core.SearchState, final bool) {
+	js, err := json.Marshal(st)
+	if err != nil {
+		panic(err)
+	}
+	c.snaps = append(c.snaps, js)
+	c.finals = append(c.finals, final)
+}
+
+func wsqOptions() core.Options {
+	return core.Options{
+		MaxPreemptions: 2,
+		CheckRaces:     true,
+		StopOnFirstBug: false,
+	}
+}
+
+// normalize zeroes the wall-clock fields, the only Result fields a resumed
+// run may legitimately differ in.
+func normalize(res core.Result) core.Result {
+	res.Duration = 0
+	for i := range res.BoundStats {
+		res.BoundStats[i].Duration = 0
+	}
+	return res
+}
+
+// TestResumeEveryBoundaryIdentical is the pinned exactness test: a
+// sequential wsq bound-2 search checkpointed at every execution boundary
+// must, resumed from any of those snapshots, produce a Result identical to
+// the uninterrupted run's (wall-clock durations aside). This is the
+// property that makes -resume trustworthy: a crash at any instant loses
+// nothing but time.
+func TestResumeEveryBoundaryIdentical(t *testing.T) {
+	prog := wsqStealUnlocked(t)
+
+	cs := &capSink{}
+	opt := wsqOptions()
+	opt.Checkpoint = cs
+	ref := normalize(core.Explore(prog, core.ICB{}, opt))
+	if ref.Executions == 0 || len(ref.Bugs) == 0 {
+		t.Fatalf("reference run found nothing: %+v", ref)
+	}
+	if len(cs.snaps) < ref.Executions {
+		t.Fatalf("captured %d snapshots over %d executions; want one per boundary", len(cs.snaps), ref.Executions)
+	}
+	t.Logf("reference: %d executions, %d bugs, %d snapshots", ref.Executions, len(ref.Bugs), len(cs.snaps))
+
+	for i, js := range cs.snaps {
+		var st core.SearchState
+		if err := json.Unmarshal(js, &st); err != nil {
+			t.Fatalf("snapshot %d does not round-trip: %v", i, err)
+		}
+		ropt := wsqOptions()
+		ropt.Resume = &st
+		if err := core.ValidateResume(&st, ropt); err != nil {
+			t.Fatalf("snapshot %d rejected: %v", i, err)
+		}
+		got := normalize(core.Explore(prog, core.ICB{}, ropt))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("resume from snapshot %d (bound %d, exec %d) diverged:\n got %+v\nwant %+v",
+				i, st.Bound, st.Result.Executions, got, ref)
+		}
+	}
+}
+
+// TestResumeEveryBoundaryIdenticalCached repeats the exactness test with
+// the Algorithm 1 work-item table on: the restored table must prune
+// exactly what the uninterrupted run's would have.
+func TestResumeEveryBoundaryIdenticalCached(t *testing.T) {
+	prog := wsqStealUnlocked(t)
+
+	cs := &capSink{}
+	opt := wsqOptions()
+	opt.StateCache = true
+	opt.Checkpoint = cs
+	ref := normalize(core.Explore(prog, core.ICB{}, opt))
+
+	// Every 7th snapshot keeps the cached variant fast while still probing
+	// boundaries across all bounds.
+	for i := 0; i < len(cs.snaps); i += 7 {
+		var st core.SearchState
+		if err := json.Unmarshal(cs.snaps[i], &st); err != nil {
+			t.Fatalf("snapshot %d does not round-trip: %v", i, err)
+		}
+		ropt := wsqOptions()
+		ropt.StateCache = true
+		ropt.Resume = &st
+		got := normalize(core.Explore(prog, core.ICB{}, ropt))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("cached resume from snapshot %d (bound %d, exec %d) diverged:\n got %+v\nwant %+v",
+				i, st.Bound, st.Result.Executions, got, ref)
+		}
+	}
+}
+
+// stopAfter flips the stop flag once the search has run n executions.
+type stopAfter struct {
+	obs.Nop
+	n    int
+	seen atomic.Int64
+	stop *atomic.Bool
+}
+
+func (s *stopAfter) ExecutionDone(obs.ExecutionEvent) {
+	if s.seen.Add(1) == int64(s.n) {
+		s.stop.Store(true)
+	}
+}
+
+// TestParallelResumeBugSetIdentical interrupts a 4-worker parallel search
+// mid-bound and resumes it (still parallel): the union of bugs over the
+// two lives must equal the uninterrupted run's bug set, and the completed
+// bound and coverage counts must match. Execution order within a bound is
+// worker-schedule dependent, so exact per-execution equality is not
+// guaranteed — the bug set and bound guarantee are.
+func TestParallelResumeBugSetIdentical(t *testing.T) {
+	prog := wsqStealUnlocked(t)
+	par := core.ParallelICB{Workers: 4}
+
+	ref := core.Explore(prog, par, wsqOptions())
+
+	cs := &capSink{}
+	stop := &atomic.Bool{}
+	opt := wsqOptions()
+	opt.Checkpoint = cs
+	opt.Stop = stop
+	opt.Sink = &stopAfter{n: ref.Executions / 3, stop: stop}
+	interrupted := core.Explore(prog, par, opt)
+	if interrupted.Executions >= ref.Executions {
+		t.Skipf("search finished (%d execs) before the stop landed; nothing interrupted to resume", interrupted.Executions)
+	}
+	if len(cs.snaps) == 0 || !cs.finals[len(cs.snaps)-1] {
+		t.Fatalf("interrupted run captured no final snapshot (snaps=%d)", len(cs.snaps))
+	}
+
+	var st core.SearchState
+	if err := json.Unmarshal(cs.snaps[len(cs.snaps)-1], &st); err != nil {
+		t.Fatalf("final snapshot does not round-trip: %v", err)
+	}
+	ropt := wsqOptions()
+	ropt.Resume = &st
+	got := core.Explore(prog, par, ropt)
+
+	key := func(b core.Bug) string { return b.Kind.String() + "\x00" + b.Message }
+	want := make([]string, 0, len(ref.Bugs))
+	for _, b := range ref.Bugs {
+		want = append(want, key(b))
+	}
+	have := make([]string, 0, len(got.Bugs))
+	for _, b := range got.Bugs {
+		have = append(have, key(b))
+	}
+	sort.Strings(want)
+	sort.Strings(have)
+	if !reflect.DeepEqual(have, want) {
+		t.Errorf("bug sets differ after parallel resume:\n got %q\nwant %q", have, want)
+	}
+	if got.BoundCompleted != ref.BoundCompleted {
+		t.Errorf("BoundCompleted = %d, want %d", got.BoundCompleted, ref.BoundCompleted)
+	}
+	if got.States != ref.States || got.ExecutionClasses != ref.ExecutionClasses {
+		t.Errorf("coverage counts: states %d classes %d, want %d and %d",
+			got.States, got.ExecutionClasses, ref.States, ref.ExecutionClasses)
+	}
+	if got.Executions != ref.Executions {
+		t.Errorf("Executions = %d, want %d", got.Executions, ref.Executions)
+	}
+}
+
+// TestValidateResumeRejections spot-checks the structural guards.
+func TestValidateResumeRejections(t *testing.T) {
+	opt := wsqOptions()
+	if err := core.ValidateResume(&core.SearchState{Bound: -2}, opt); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if err := core.ValidateResume(&core.SearchState{Bound: 9}, opt); err == nil {
+		t.Error("bound beyond the budget accepted")
+	}
+	st := &core.SearchState{Bound: 1, CacheKeys: []core.CacheKeyState{{State: 1}}}
+	if err := core.ValidateResume(st, opt); err == nil {
+		t.Error("work-item table accepted without state caching on")
+	}
+	opt.StateCache = true
+	st = &core.SearchState{Bound: 1, Result: core.Result{Executions: 10}}
+	if err := core.ValidateResume(st, opt); err == nil {
+		t.Error("cached resume accepted without a work-item table")
+	}
+}

@@ -11,8 +11,10 @@ import (
 // NDJSONSchemaVersion is the version stamped on every NDJSON line (and the
 // stream header). Bump it when the envelope or an event payload changes
 // incompatibly, so offline consumers can detect streams they do not
-// understand.
-const NDJSONSchemaVersion = 2
+// understand. v3 added the campaign-durability events (checkpoint, resume,
+// run_record); the envelope and every v2 event payload are unchanged, so
+// v2 consumers that skip unknown event names read v3 streams correctly.
+const NDJSONSchemaVersion = 3
 
 // NDJSON writes the event stream as newline-delimited JSON, one object per
 // line, for offline analysis (jq, pandas, ...). The first line is a header
@@ -20,8 +22,8 @@ const NDJSONSchemaVersion = 2
 // name, a monotonic sequence number, the schema version, and the
 // milliseconds since the writer was created:
 //
-//	{"event":"header","seq":0,"v":2,"t_ms":0,"data":{"build":"icb v0.0.0-... go1.24"}}
-//	{"event":"bound_start","seq":1,"v":2,"t_ms":12,"data":{"bound":1,"queue":42,...}}
+//	{"event":"header","seq":0,"v":3,"t_ms":0,"data":{"build":"icb v0.0.0-... go1.24"}}
+//	{"event":"bound_start","seq":1,"v":3,"t_ms":12,"data":{"bound":1,"queue":42,...}}
 //
 // seq increases by exactly 1 per line, so a consumer can detect dropped or
 // reordered lines (e.g. after truncated copies or interleaved appends).
@@ -106,6 +108,15 @@ func (n *NDJSON) Profile(ev ProfileEvent) { n.emit("profile", ev) }
 
 // CampaignProgress implements Sink.
 func (n *NDJSON) CampaignProgress(ev CampaignEvent) { n.emit("campaign_progress", ev) }
+
+// Checkpoint implements Sink.
+func (n *NDJSON) Checkpoint(ev CheckpointEvent) { n.emit("checkpoint", ev) }
+
+// Resumed implements Sink.
+func (n *NDJSON) Resumed(ev ResumeEvent) { n.emit("resume", ev) }
+
+// RunRecorded implements Sink.
+func (n *NDJSON) RunRecorded(ev RunEvent) { n.emit("run_record", ev) }
 
 // SearchDone implements Sink.
 func (n *NDJSON) SearchDone(ev SearchEvent) { n.emit("search_done", ev) }

@@ -126,6 +126,15 @@ type Sink interface {
 	// (cmd/icb-fuzz) periodically and once more at the end; single-search
 	// binaries never call it.
 	CampaignProgress(CampaignEvent)
+	// Checkpoint is called each time a search-state snapshot is persisted
+	// (journaled runs only).
+	Checkpoint(CheckpointEvent)
+	// Resumed is called once, before the first execution, when a search
+	// restarts from a persisted snapshot.
+	Resumed(ResumeEvent)
+	// RunRecorded is called once per run appended to a campaign ledger,
+	// after SearchDone.
+	RunRecorded(RunEvent)
 	// SearchDone is called once, when the exploration returns.
 	SearchDone(SearchEvent)
 }
@@ -155,6 +164,15 @@ func (Nop) Profile(ProfileEvent) {}
 
 // CampaignProgress implements Sink.
 func (Nop) CampaignProgress(CampaignEvent) {}
+
+// Checkpoint implements Sink.
+func (Nop) Checkpoint(CheckpointEvent) {}
+
+// Resumed implements Sink.
+func (Nop) Resumed(ResumeEvent) {}
+
+// RunRecorded implements Sink.
+func (Nop) RunRecorded(RunEvent) {}
 
 // SearchDone implements Sink.
 func (Nop) SearchDone(SearchEvent) {}

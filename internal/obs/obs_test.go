@@ -23,6 +23,9 @@ type collector struct {
 	cache     []obs.CacheEvent
 	profiles  []obs.ProfileEvent
 	campaigns []obs.CampaignEvent
+	ckpts     []obs.CheckpointEvent
+	resumes   []obs.ResumeEvent
+	runs      []obs.RunEvent
 	searches  []obs.SearchEvent
 }
 
@@ -35,7 +38,10 @@ func (c *collector) Profile(e obs.ProfileEvent)         { c.profiles = append(c.
 func (c *collector) CampaignProgress(e obs.CampaignEvent) {
 	c.campaigns = append(c.campaigns, e)
 }
-func (c *collector) SearchDone(e obs.SearchEvent) { c.searches = append(c.searches, e) }
+func (c *collector) Checkpoint(e obs.CheckpointEvent) { c.ckpts = append(c.ckpts, e) }
+func (c *collector) Resumed(e obs.ResumeEvent)        { c.resumes = append(c.resumes, e) }
+func (c *collector) RunRecorded(e obs.RunEvent)       { c.runs = append(c.runs, e) }
+func (c *collector) SearchDone(e obs.SearchEvent)     { c.searches = append(c.searches, e) }
 
 // TestCountersMatchResult checks the telemetry against the ground truth of
 // a real search: an ICB run of the work-stealing queue at bound 1.

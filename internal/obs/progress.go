@@ -153,6 +153,30 @@ func (p *Progress) CampaignProgress(ev CampaignEvent) {
 		state, ev.Programs, ev.Buggy, ev.Skipped, ev.Executions, ev.ExecsPerSec, ev.Discrepancies)
 }
 
+// Checkpoint implements Sink: only final checkpoints are worth a line (the
+// periodic ones would swamp the report on a short checkpoint interval).
+func (p *Progress) Checkpoint(ev CheckpointEvent) {
+	if !ev.Final {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[checkpoint] #%d bound=%d execs=%d seeds=%d next=%d (final)\n",
+		ev.Seq, ev.Bound, ev.Executions, ev.SeedQueue, ev.NextWork)
+}
+
+// Resumed implements Sink.
+func (p *Progress) Resumed(ev ResumeEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[resume] from %s bound=%d execs=%d seeds=%d next=%d bugs=%d\n",
+		ev.Dir, ev.Bound, ev.Executions, ev.SeedQueue, ev.NextWork, ev.Bugs)
+}
+
+// RunRecorded implements Sink: the ledger append is a terminal artifact,
+// not a progress signal.
+func (p *Progress) RunRecorded(RunEvent) {}
+
 // SearchDone implements Sink. When state caching ran (any table lookups at
 // all), the final line carries the hit/miss totals so the one-line summary
 // of a long search records how much the table pruned.

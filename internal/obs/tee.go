@@ -53,6 +53,27 @@ func (t Tee) CampaignProgress(ev CampaignEvent) {
 	}
 }
 
+// Checkpoint implements Sink.
+func (t Tee) Checkpoint(ev CheckpointEvent) {
+	for _, s := range t {
+		s.Checkpoint(ev)
+	}
+}
+
+// Resumed implements Sink.
+func (t Tee) Resumed(ev ResumeEvent) {
+	for _, s := range t {
+		s.Resumed(ev)
+	}
+}
+
+// RunRecorded implements Sink.
+func (t Tee) RunRecorded(ev RunEvent) {
+	for _, s := range t {
+		s.RunRecorded(ev)
+	}
+}
+
 // SearchDone implements Sink.
 func (t Tee) SearchDone(ev SearchEvent) {
 	for _, s := range t {
