@@ -23,6 +23,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -35,7 +36,13 @@ import (
 	"icb/internal/obs/coverage"
 	"icb/internal/obs/dash"
 	"icb/internal/obs/estimate"
+	"icb/internal/obs/health"
+	"icb/internal/obs/logx"
 )
+
+// log carries structured diagnostics to stderr; the experiment tables keep
+// writing to stdout. Configured in main from -log-json / -log-level.
+var log = slog.Default()
 
 func main() {
 	var (
@@ -57,7 +64,10 @@ func main() {
 	var httpAddr string
 	flag.StringVar(&httpAddr, "http", "", "serve the live search dashboard on this address (e.g. :6060)")
 	flag.StringVar(&httpAddr, "metrics-addr", "", "alias for -http (kept for compatibility)")
+	var lo logx.Options
+	lo.Flags(flag.CommandLine)
 	flag.Parse()
+	log = logx.New("icb-bench", lo)
 
 	if *version {
 		fmt.Println("icb-bench", obs.BuildInfo())
@@ -114,6 +124,11 @@ func main() {
 
 		ds := dash.New(m)
 		sinks = append(sinks, ds.Sink())
+		probe := health.New(0)
+		probe.MarkStarted()
+		ds.Mount("/healthz", probe.Healthz())
+		ds.Mount("/readyz", probe.Readyz())
+		sinks = append(sinks, probe)
 		// Dedicated mux: the dashboard plus /debug/vars for expvar
 		// scrapers, with the snapshot published under the "icb" key.
 		// Publish is process-global, but the handler serving it is ours.
@@ -129,10 +144,10 @@ func main() {
 		srv := &http.Server{Handler: mux}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "icb-bench: dashboard:", err)
+				log.Error("dashboard server failed", "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "icb-bench: dashboard at http://%s/ (expvar at /debug/vars)\n", ln.Addr())
+		log.Info("dashboard serving", "url", fmt.Sprintf("http://%s/", ln.Addr()), "expvar", "/debug/vars")
 		defer func() {
 			// Drain open SSE streams with a deadline so a finished bench
 			// run exits promptly even with a browser still attached.
@@ -172,6 +187,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "icb-bench:", err)
+	log.Error("fatal", "err", err)
 	os.Exit(1)
 }

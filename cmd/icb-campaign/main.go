@@ -1,6 +1,7 @@
 // Command icb-campaign inspects the durable campaign ledgers that icb
-// -journal-dir writes: it lists runs, diffs two runs for regressions, and
-// renders cross-run trends.
+// -journal-dir writes — it lists runs, diffs two runs for regressions, and
+// renders cross-run trends — and, with serve, aggregates a live fleet of
+// icb workers into one merged dashboard.
 //
 // Usage:
 //
@@ -9,32 +10,61 @@
 //	icb-campaign diff <journal-dir> <run-id-old> <run-id-new>
 //	icb-campaign diff -baseline baseline.json <journal-dir>
 //	icb-campaign trend [-json] <journal-dir>...
+//	icb-campaign serve [-http addr] [-peers url,...] [-journal-dir dir] [-interval 2s] [-events file]
 //
 // diff compares the two most recent comparable runs (same config hash) by
 // default, a named pair when two run ids are given, or the newest run
 // against a checked-in baseline RunRecord with -baseline — the shape CI
 // gates use. Exit status is machine-readable: 0 clean, 1 at least one
 // regression found, 2 usage or I/O error.
+//
+// serve polls each worker's /api/snapshot and /metrics, merges them into a
+// fleet-wide view, and serves the standard dashboard UI (plus /metrics,
+// /healthz, /readyz) over the merged snapshot. Workers are named
+// explicitly with -peers and/or discovered from a shared -journal-dir,
+// where every icb -http -journal-dir worker advertises itself under
+// <dir>/peers.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"icb/internal/obs"
+	"icb/internal/obs/dash"
+	"icb/internal/obs/fleet"
+	"icb/internal/obs/health"
 	"icb/internal/obs/journal"
+	"icb/internal/obs/logx"
+)
+
+// log carries structured diagnostics to stderr; listings, diffs, and trend
+// tables stay on stdout as program output. Configured in run from
+// -log-json / -log-level; logOpts is shared with the serve FlagSet so the
+// flags are accepted both before and after the subcommand.
+var (
+	log     = slog.Default()
+	logOpts logx.Options
 )
 
 func main() { os.Exit(run()) }
 
 func run() int {
 	flag.Usage = usage
+	logOpts.Flags(flag.CommandLine)
 	flag.Parse()
+	log = logx.New("icb-campaign", logOpts)
 	if flag.NArg() < 1 {
 		usage()
 		return 2
@@ -47,20 +77,136 @@ func run() int {
 		return diff(args)
 	case "trend":
 		return trend(args)
+	case "serve":
+		return serve(args)
 	}
-	fmt.Fprintf(os.Stderr, "icb-campaign: unknown command %q\n", cmd)
+	log.Error("unknown command", "command", cmd)
 	usage()
 	return 2
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage:
+	fmt.Fprintf(flag.CommandLine.Output(), `usage:
   icb-campaign list <journal-dir>...
   icb-campaign diff [-tolerance F] [-wall-tolerance F] [-baseline FILE] <journal-dir> [run-old run-new]
   icb-campaign trend [-json] <journal-dir>...
+  icb-campaign serve [-http ADDR] [-peers URL,...] [-journal-dir DIR] [-interval D] [-events FILE]
 
 exit status: 0 clean, 1 regression found (diff), 2 usage or I/O error
 `)
+}
+
+// serve runs the fleet aggregator: poll every worker dashboard, merge the
+// snapshots, and serve the merged view until SIGINT/SIGTERM.
+func serve(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	httpAddr := fs.String("http", "127.0.0.1:8090", "serve the merged fleet dashboard on this address")
+	peersFlag := fs.String("peers", "", "comma-separated worker dashboard base URLs (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082)")
+	jrnlDir := fs.String("journal-dir", "", "shared journal directory: discover workers advertised under <dir>/peers and serve its run history on /api/runs")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	events := fs.String("events", "", "append fleet NDJSON events (fleet_snapshot, peer_status) to this file")
+	logOpts.Flags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log = logx.New("icb-campaign", logOpts)
+	if fs.NArg() > 0 {
+		log.Error("serve: unexpected arguments", "args", fmt.Sprint(fs.Args()))
+		return 2
+	}
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 && *jrnlDir == "" {
+		log.Error("serve needs -peers and/or -journal-dir to find workers")
+		usage()
+		return 2
+	}
+
+	var nd *obs.NDJSON
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Error("cannot create events file", "path", *events, "err", err)
+			return 2
+		}
+		nd = obs.NewNDJSON(f)
+		defer func() {
+			if err := nd.Close(); err != nil {
+				log.Error("event stream flush failed", "err", err)
+			}
+			f.Close()
+		}()
+	}
+
+	// The dashboard serves the aggregator's merged snapshot; the poll
+	// callbacks bridge fleet events onto NDJSON and SSE. ds is assigned
+	// before the first poll round (Run is called last), so the closures'
+	// forward references are safe.
+	probe := health.New(0)
+	var ds *dash.Server
+	agg := fleet.New(fleet.Options{
+		Peers:      peers,
+		JournalDir: *jrnlDir,
+		Interval:   *interval,
+		Log:        log,
+		OnFleetSnapshot: func(ev obs.FleetSnapshotEvent) {
+			probe.Beat()
+			if nd != nil {
+				nd.FleetSnapshot(ev)
+			}
+			ds.Publish("fleet_snapshot", ev)
+		},
+		OnPeerStatus: func(ev obs.PeerStatusEvent) {
+			if nd != nil {
+				nd.PeerStatus(ev)
+			}
+			ds.Publish("peer_status", ev)
+		},
+	})
+	ds = dash.NewWithSource(agg.Merged)
+	if *jrnlDir != "" {
+		ds.SetJournalDirs([]string{*jrnlDir})
+	}
+	// Ready once at least one poll round has completed: before that the
+	// merged view is empty, not a fleet.
+	probe.AddReadyCheck(func() error {
+		if agg.Rounds() == 0 {
+			return fmt.Errorf("no poll round completed yet")
+		}
+		return nil
+	})
+	ds.Mount("/healthz", probe.Healthz())
+	ds.Mount("/readyz", probe.Readyz())
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Error("fleet dashboard listen failed", "addr", *httpAddr, "err", err)
+		return 2
+	}
+	srv := &http.Server{Handler: ds.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Error("fleet dashboard server failed", "err", err)
+		}
+	}()
+	log.Info("fleet dashboard serving",
+		"url", fleet.BaseURL(ln.Addr().String()),
+		"peers", len(peers), "journal_dir", *jrnlDir, "interval", interval.String())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	probe.MarkStarted()
+	agg.Run(ctx) // blocks; polls immediately, then every interval
+	probe.MarkDone()
+	log.Info("fleet aggregator stopping")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), time.Second)
+	defer shutdownCancel()
+	srv.Shutdown(shutdownCtx)
+	return 0
 }
 
 // readDirs loads and concatenates the ledgers of every named journal
@@ -87,7 +233,7 @@ func list(args []string) int {
 	}
 	runs, err := readDirs(args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		log.Error("cannot read journal", "err", err)
 		return 2
 	}
 	if len(runs) == 0 {
@@ -142,7 +288,7 @@ func diff(args []string) int {
 	}
 	runs, err := journal.ReadRuns(args[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		log.Error("cannot read journal", "dir", args[0], "err", err)
 		return 2
 	}
 	var old, cur *obs.RunRecord
@@ -150,29 +296,29 @@ func diff(args []string) int {
 	case *baseline != "":
 		data, err := os.ReadFile(*baseline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+			log.Error("cannot read baseline", "err", err)
 			return 2
 		}
 		old = &obs.RunRecord{}
 		if err := json.Unmarshal(data, old); err != nil {
-			fmt.Fprintf(os.Stderr, "icb-campaign: corrupt baseline %s: %v\n", *baseline, err)
+			log.Error("corrupt baseline", "path", *baseline, "err", err)
 			return 2
 		}
 		if len(runs) == 0 {
-			fmt.Fprintf(os.Stderr, "icb-campaign: %s has no runs to compare against the baseline\n", args[0])
+			log.Error("no runs to compare against the baseline", "dir", args[0])
 			return 2
 		}
 		cur = &runs[len(runs)-1]
 	case len(args) == 3:
 		old, cur = findRun(runs, args[1]), findRun(runs, args[2])
 		if old == nil || cur == nil {
-			fmt.Fprintf(os.Stderr, "icb-campaign: run id not found in %s\n", args[0])
+			log.Error("run id not found", "dir", args[0])
 			return 2
 		}
 	default:
 		// The two most recent runs sharing the newest run's config.
 		if len(runs) < 2 {
-			fmt.Fprintf(os.Stderr, "icb-campaign: %s has %d run(s); diff needs two\n", args[0], len(runs))
+			log.Error("diff needs two runs", "dir", args[0], "runs", len(runs))
 			return 2
 		}
 		cur = &runs[len(runs)-1]
@@ -183,13 +329,13 @@ func diff(args []string) int {
 			}
 		}
 		if old == nil {
-			fmt.Fprintf(os.Stderr, "icb-campaign: no earlier run shares config %s with %s\n", cur.ConfigHash, cur.RunID)
+			log.Error("no earlier run shares the newest run's config", "config", cur.ConfigHash, "run", cur.RunID)
 			return 2
 		}
 	}
 	regs, err := journal.Diff(old, cur, *tol, *wallTol)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		log.Error("diff failed", "err", err)
 		return 2
 	}
 	fmt.Printf("comparing %s -> %s (config %s, tolerance %.0f%%)\n",
@@ -226,7 +372,7 @@ func trend(args []string) int {
 	}
 	runs, err := readDirs(args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+		log.Error("cannot read journal", "err", err)
 		return 2
 	}
 	points := journal.Trend(runs)
@@ -234,7 +380,7 @@ func trend(args []string) int {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(points); err != nil {
-			fmt.Fprintln(os.Stderr, "icb-campaign:", err)
+			log.Error("trend encoding failed", "err", err)
 			return 2
 		}
 		return 0

@@ -22,8 +22,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -32,9 +36,17 @@ import (
 
 	"icb/internal/fuzz"
 	"icb/internal/obs"
+	"icb/internal/obs/dash"
+	"icb/internal/obs/health"
 	"icb/internal/obs/journal"
+	"icb/internal/obs/logx"
 	"icb/internal/obs/prof"
 )
+
+// log carries structured diagnostics to stderr; campaign summaries and
+// discrepancy reports remain program output. Configured in run from
+// -log-json / -log-level.
+var log = slog.Default()
 
 // exitInterrupted is the exit status of a campaign stopped by
 // SIGINT/SIGTERM after a graceful flush (128 + SIGINT).
@@ -55,10 +67,14 @@ func run() int {
 		events   = flag.String("events", "", "write the structured campaign event stream (NDJSON) to this file")
 		profile  = flag.Bool("profile", false, "attach the search profiler across all strategy runs; the final snapshot joins the event stream and prints at exit")
 		jrnlDir  = flag.String("journal-dir", "", "append this campaign's run record (and event segment) to the journal under this directory")
+		httpAddr = flag.String("http", "", "serve the live campaign dashboard (and /metrics, /healthz, /readyz) on this address")
 	)
+	var lo logx.Options
+	lo.Flags(flag.CommandLine)
 	flag.Parse()
+	log = logx.New("icb-fuzz", lo)
 	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "icb-fuzz: unexpected arguments: %v\n", flag.Args())
+		log.Error("unexpected arguments", "args", fmt.Sprint(flag.Args()))
 		return 2
 	}
 
@@ -85,17 +101,49 @@ func run() int {
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "icb-fuzz: %v\n", err)
+			log.Error("cannot create events file", "path", *events, "err", err)
 			return 2
 		}
 		nd := obs.NewNDJSON(f)
 		defer func() {
 			if err := nd.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "icb-fuzz: events:", err)
+				log.Error("event stream flush failed", "err", err)
 			}
 			f.Close()
 		}()
 		sinks = append(sinks, nd)
+	}
+	var probe *health.Probe
+	if *httpAddr != "" {
+		// The fuzzer has no engine-side Metrics; a bridge sink mirrors the
+		// periodic campaign progress into one so /api/snapshot and /metrics
+		// read live counters (oracle executions; discrepancies as bugs).
+		met := &obs.Metrics{}
+		sinks = append(sinks, campaignMetrics{met: met})
+		ds := dash.New(met)
+		sinks = append(sinks, ds.Sink())
+		probe = health.New(0)
+		probe.AddReadyCheck(health.CheckWritable(*jrnlDir))
+		ds.Mount("/healthz", probe.Healthz())
+		ds.Mount("/readyz", probe.Readyz())
+		sinks = append(sinks, probe)
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Error("dashboard listen failed", "addr", *httpAddr, "err", err)
+			return 2
+		}
+		srv := &http.Server{Handler: ds.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Error("dashboard server failed", "err", err)
+			}
+		}()
+		log.Info("dashboard serving", "url", fmt.Sprintf("http://%s/", ln.Addr()))
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
 	}
 	var jw *journal.Writer
 	if *jrnlDir != "" {
@@ -106,14 +154,15 @@ func run() int {
 			Every: -1, // no search state to checkpoint; ledger + segment only
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "icb-fuzz: %v\n", err)
+			log.Error("journal open failed", "dir", *jrnlDir, "err", err)
 			return 2
 		}
 		defer func() {
 			if err := jw.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "icb-fuzz: journal:", err)
+				log.Error("journal close failed", "err", err)
 			}
 		}()
+		log = log.With("run", jw.RunID())
 		sinks = append(sinks, jw)
 	}
 	if len(sinks) > 0 {
@@ -133,21 +182,23 @@ func run() int {
 		s := <-sigc
 		interrupted.Store(true)
 		stop.Store(true)
-		fmt.Fprintf(os.Stderr, "icb-fuzz: %v: finishing the current program and flushing (repeat to force quit)\n", s)
+		log.Warn("finishing the current program and flushing (repeat to force quit)", "signal", s.String())
 		<-sigc
 		os.Exit(exitInterrupted)
 	}()
 
-	fmt.Fprintf(os.Stderr, "icb-fuzz: seed=%d", *seed)
 	if *duration > 0 {
-		fmt.Fprintf(os.Stderr, " duration=%s\n", *duration)
+		log.Info("campaign starting", "seed", *seed, "duration", duration.String())
 	} else {
-		fmt.Fprintf(os.Stderr, " n=%d\n", *n)
+		log.Info("campaign starting", "seed", *seed, "n", *n)
+	}
+	if probe != nil {
+		probe.MarkStarted()
 	}
 
 	stats, err := fuzz.Campaign(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "icb-fuzz: %v\n", err)
+		log.Error("campaign failed", "err", err)
 		return 1
 	}
 	fmt.Print(stats.Summary())
@@ -165,7 +216,7 @@ func run() int {
 			rec.Bugs = append(rec.Bugs, obs.RunBug{Kind: d.Property, Message: d.Detail})
 		}
 		if err := jw.FinishRun(rec); err != nil {
-			fmt.Fprintln(os.Stderr, "icb-fuzz: journal:", err)
+			log.Error("journal run record failed", "err", err)
 		}
 	}
 	if prf != nil {
@@ -180,9 +231,9 @@ func run() int {
 			float64(total)/1e6, d.SampleEvery)
 	}
 	if !stats.Clean() {
-		fmt.Fprintf(os.Stderr, "icb-fuzz: %d discrepancies (seed %d)\n", len(stats.Discrepancies), *seed)
+		log.Error("discrepancies found", "count", len(stats.Discrepancies), "seed", *seed)
 		if *out != "" {
-			fmt.Fprintf(os.Stderr, "icb-fuzz: artifacts under %s\n", *out)
+			log.Info("artifacts written", "dir", *out)
 		}
 		return 1
 	}
@@ -190,4 +241,19 @@ func run() int {
 		return exitInterrupted
 	}
 	return 0
+}
+
+// campaignMetrics bridges the periodic CampaignProgress events into an
+// obs.Metrics so the dashboard and /metrics track a fuzz campaign: the
+// oracle's enumerated executions play the execution counter, strategy
+// discrepancies play the bug counter.
+type campaignMetrics struct {
+	obs.Nop
+	met *obs.Metrics
+}
+
+// CampaignProgress implements obs.Sink.
+func (c campaignMetrics) CampaignProgress(ev obs.CampaignEvent) {
+	c.met.Executions.Store(ev.Executions)
+	c.met.Bugs.Store(int64(ev.Discrepancies))
 }

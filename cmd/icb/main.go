@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,7 +47,10 @@ import (
 	"icb/internal/obs/coverage"
 	"icb/internal/obs/dash"
 	"icb/internal/obs/estimate"
+	"icb/internal/obs/fleet"
+	"icb/internal/obs/health"
 	"icb/internal/obs/journal"
+	"icb/internal/obs/logx"
 	"icb/internal/obs/prof"
 	"icb/internal/obs/repro"
 	obstrace "icb/internal/obs/trace"
@@ -57,6 +61,11 @@ import (
 // exitInterrupted is the exit status of a run stopped by SIGINT/SIGTERM
 // after a graceful flush (128 + SIGINT, the shell convention).
 const exitInterrupted = 130
+
+// log carries structured diagnostics to stderr (program output — results,
+// progress, reports — keeps its own writers). Configured in run from the
+// -log-json / -log-level flags.
+var log = slog.Default()
 
 func main() { os.Exit(run()) }
 
@@ -95,9 +104,13 @@ func run() int {
 		history  = flag.String("history", "", "comma-separated extra journal directories for the dashboard's campaign-history panel")
 		resume   = flag.String("resume", "", "resume an interrupted campaign from this journal directory (config comes from its checkpoint)")
 		ckEvery  = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval with -journal-dir (default 2s; negative: barrier/final snapshots only)")
+		hold     = flag.Bool("hold", false, "with -http: keep serving the dashboard after the search completes, until SIGINT/SIGTERM (fleet workers)")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
+	var lo logx.Options
+	lo.Flags(flag.CommandLine)
 	flag.Parse()
+	log = logx.New("icb", lo)
 
 	if *version {
 		fmt.Println("icb", obs.BuildInfo())
@@ -127,7 +140,7 @@ func run() int {
 	if *resume != "" {
 		ck, err := journal.LoadCheckpoint(*resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "icb:", err)
+			log.Error("resume failed", "dir", *resume, "err", err)
 			return 2
 		}
 		if ck.Completed() {
@@ -157,7 +170,7 @@ func run() int {
 		if _, statErr := os.Stat(*replay); statErr == nil {
 			var err error
 			if bundle, err = repro.Load(*replay); err != nil {
-				fmt.Fprintln(os.Stderr, "icb:", err)
+				log.Error("repro bundle load failed", "path", *replay, "err", err)
 				return 2
 			}
 			*progName = bundle.Meta.Program
@@ -167,15 +180,15 @@ func run() int {
 
 	b := findBenchmark(*progName)
 	if b == nil {
-		fmt.Fprintf(os.Stderr, "icb: unknown program %q; use -list\n", *progName)
+		log.Error("unknown program; use -list", "prog", *progName)
 		return 2
 	}
 	prog := b.Correct
 	if *bugID != "" {
 		bug := b.FindBug(*bugID)
 		if bug == nil {
-			fmt.Fprintf(os.Stderr, "icb: %s has no bug variant %q; use -list\n", b.Name, *bugID)
-			os.Exit(2)
+			log.Error("unknown bug variant; use -list", "prog", b.Name, "bug", *bugID)
+			return 2
 		}
 		prog = bug.Program
 		fmt.Fprintf(human, "checking %s with seeded bug %q (documented bound %d)\n", b.Name, bug.ID, bug.Bound)
@@ -189,7 +202,7 @@ func run() int {
 	if *replay != "" {
 		schedule, err := sched.ParseSchedule(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "icb:", err)
+			log.Error("bad replay schedule", "err", err)
 			return 2
 		}
 		mode := sched.ModeSyncOnly
@@ -213,7 +226,7 @@ func run() int {
 
 	strat, err := parseStrategy(*strategy, *seed, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icb:", err)
+		log.Error("bad strategy", "err", err)
 		return 2
 	}
 	opt := core.Options{
@@ -234,7 +247,7 @@ func run() int {
 	if resumeCk != nil {
 		opt.Resume = &resumeCk.State
 		if err := core.ValidateResume(&resumeCk.State, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "icb:", err)
+			log.Error("resume validation failed", "err", err)
 			return 2
 		}
 	}
@@ -277,13 +290,13 @@ func run() int {
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "icb:", err)
+			log.Error("cannot create events file", "path", *events, "err", err)
 			return 2
 		}
 		nd = obs.NewNDJSON(f)
 		defer func() {
 			if err := nd.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "icb: events:", err)
+				log.Error("event stream flush failed", "err", err)
 			}
 			f.Close()
 		}()
@@ -302,6 +315,10 @@ func run() int {
 		}
 		opt.Metrics = met
 	}
+	// The health probe rides the event stream whenever an HTTP surface
+	// exists to serve it.
+	var probe *health.Probe
+	var dashURL string
 	if *httpAddr != "" {
 		ds := dash.New(met)
 		var jdirs []string
@@ -315,18 +332,24 @@ func run() int {
 		}
 		ds.SetJournalDirs(jdirs)
 		sinks = append(sinks, ds.Sink())
+		probe = health.New(0)
+		probe.AddReadyCheck(health.CheckWritable(*jrnlDir))
+		ds.Mount("/healthz", probe.Healthz())
+		ds.Mount("/readyz", probe.Readyz())
+		sinks = append(sinks, probe)
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "icb: dashboard:", err)
+			log.Error("dashboard listen failed", "addr", *httpAddr, "err", err)
 			return 2
 		}
+		dashURL = fleet.BaseURL(ln.Addr().String())
 		srv := &http.Server{Handler: ds.Handler()}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "icb: dashboard:", err)
+				log.Error("dashboard server failed", "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "icb: dashboard at http://%s/\n", ln.Addr())
+		log.Info("dashboard serving", "url", dashURL)
 		defer func() {
 			// Graceful drain with a deadline: lingering SSE streams must
 			// not keep a finished search alive.
@@ -360,17 +383,36 @@ func run() int {
 		}
 		var err error
 		if jw, err = journal.New(jcfg); err != nil {
-			fmt.Fprintln(os.Stderr, "icb:", err)
+			log.Error("journal open failed", "dir", *jrnlDir, "err", err)
 			return 2
 		}
 		defer func() {
 			if err := jw.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "icb: journal:", err)
+				log.Error("journal close failed", "err", err)
 			}
 		}()
 		opt.Checkpoint = jw
 		sinks = append(sinks, jw)
+		// Every further record names the run, so fleet-wide log streams
+		// attribute lines to workers.
+		log = log.With("run", jw.RunID())
 		fmt.Fprintf(human, "journal: %s (run %s)\n", *jrnlDir, jw.RunID())
+	}
+	// A worker that both journals and serves HTTP advertises itself for
+	// file-based fleet discovery: icb-campaign serve -journal-dir <dir>
+	// finds it without an explicit -peers list.
+	if dashURL != "" && *jrnlDir != "" {
+		runID := ""
+		if jw != nil {
+			runID = jw.RunID()
+		}
+		unadvertise, err := fleet.Advertise(*jrnlDir, runID, dashURL)
+		if err != nil {
+			log.Warn("fleet advertise failed", "dir", *jrnlDir, "err", err)
+		} else {
+			defer unadvertise()
+			log.Info("advertised to fleet", "dir", *jrnlDir, "url", dashURL)
+		}
 	}
 	var rw *repro.Writer
 	if *reproDir != "" {
@@ -401,14 +443,20 @@ func run() int {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 	var interrupted atomic.Bool
+	sigReceived := make(chan struct{})
 	go func() {
 		s := <-sigc
 		interrupted.Store(true)
 		stop.Store(true)
-		fmt.Fprintf(os.Stderr, "icb: %v: stopping at the next execution boundary (repeat to force quit)\n", s)
+		close(sigReceived)
+		log.Warn("stopping at the next execution boundary (repeat to force quit)", "signal", s.String())
 		<-sigc
 		os.Exit(exitInterrupted)
 	}()
+
+	if probe != nil {
+		probe.MarkStarted()
+	}
 
 	res := core.Explore(prog, strat, opt)
 	if jw != nil {
@@ -418,21 +466,21 @@ func run() int {
 			runAtlas := cov.Atlas()
 			merged, added, err := coverage.MergeFile(filepath.Join(*jrnlDir, journal.AtlasName), runAtlas)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "icb: journal atlas:", err)
+				log.Error("journal atlas merge failed", "err", err)
 			} else {
 				rec.AtlasSites = coverage.Summarize(merged).Sites
 				rec.AtlasNewSites = added
 			}
 		}
 		if err := jw.FinishRun(rec); err != nil {
-			fmt.Fprintln(os.Stderr, "icb: journal:", err)
+			log.Error("journal run record failed", "err", err)
 		}
 	}
 	if cov != nil && *covFile != "" {
 		run := cov.Atlas()
 		merged, added, err := coverage.MergeFile(*covFile, run)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "icb: coverage:", err)
+			log.Error("coverage merge failed", "file", *covFile, "err", err)
 			return 2
 		}
 		rs, ms := coverage.Summarize(run), coverage.Summarize(merged)
@@ -441,7 +489,7 @@ func run() int {
 	}
 	if tw != nil {
 		if err := tw.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "icb: trace:", err)
+			log.Error("trace writer failed", "err", err)
 		}
 		written, skipped := tw.Written()
 		fmt.Fprintf(human, "traces: %d written to %s", written, *traceDir)
@@ -452,7 +500,7 @@ func run() int {
 	}
 	if rw != nil {
 		if err := rw.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "icb: repro:", err)
+			log.Error("repro writer failed", "err", err)
 		}
 		for _, p := range rw.Bundles() {
 			fmt.Fprintf(human, "repro bundle: %s\n", p)
@@ -463,11 +511,11 @@ func run() int {
 		if *profOut != "" {
 			js, err := json.MarshalIndent(data, "", "  ")
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "icb: profile:", err)
+				log.Error("profile encoding failed", "err", err)
 				return 2
 			}
 			if err := os.WriteFile(*profOut, append(js, '\n'), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "icb: profile:", err)
+				log.Error("profile write failed", "path", *profOut, "err", err)
 				return 2
 			}
 			fmt.Fprintf(human, "profile: wrote %s\n", *profOut)
@@ -487,7 +535,7 @@ func run() int {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintln(os.Stderr, "icb:", err)
+			log.Error("result encoding failed", "err", err)
 			return 2
 		}
 	} else {
@@ -510,7 +558,14 @@ func run() int {
 			fmt.Fprint(human, sched.Swimlane(out))
 		}
 	}
-	if interrupted.Load() {
+	// -hold keeps a fleet worker's telemetry surface up after its search
+	// budget completes, so the aggregator and scrapers read final counters
+	// instead of connection-refused. A signal releases it (and is the
+	// normal fleet shutdown, so it does not count as an interruption).
+	if *hold && *httpAddr != "" {
+		log.Info("search complete; holding dashboard until signal (-hold)")
+		<-sigReceived
+	} else if interrupted.Load() {
 		return exitInterrupted
 	}
 	if len(res.Bugs) > 0 {
@@ -559,17 +614,17 @@ func replayBundle(b *repro.Bundle, prog sched.Program, human io.Writer, trace bo
 func coverageDiff(arg string) int {
 	oldPath, newPath, ok := strings.Cut(arg, ",")
 	if !ok || oldPath == "" || newPath == "" {
-		fmt.Fprintln(os.Stderr, "icb: -coverage-diff wants \"old.json,new.json\"")
+		log.Error(`-coverage-diff wants "old.json,new.json"`)
 		return 2
 	}
 	oldA, err := coverage.Load(oldPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icb:", err)
+		log.Error("atlas load failed", "path", oldPath, "err", err)
 		return 2
 	}
 	newA, err := coverage.Load(newPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "icb:", err)
+		log.Error("atlas load failed", "path", newPath, "err", err)
 		return 2
 	}
 	d := coverage.Diff(oldA, newA)

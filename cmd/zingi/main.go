@@ -11,14 +11,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
 
+	"icb/internal/obs/logx"
 	"icb/internal/progs/txnmgr"
 	"icb/internal/zing"
 	"icb/internal/zml"
 )
+
+// log carries structured diagnostics to stderr; check results and
+// disassembly stay on stdout as program output.
+var log = slog.Default()
 
 func main() {
 	var (
@@ -31,17 +37,20 @@ func main() {
 		dump     = flag.Bool("dump", false, "disassemble the compiled program instead of checking")
 		format   = flag.Bool("fmt", false, "pretty-print the model in canonical form instead of checking")
 	)
+	var lo logx.Options
+	lo.Flags(flag.CommandLine)
 	flag.Parse()
+	log = logx.New("zingi", lo)
 
 	source, name, err := loadSource(*src, *model)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "zingi:", err)
+		log.Error("cannot load model", "err", err)
 		os.Exit(2)
 	}
 	if *format {
 		out, err := zml.Format(source)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "zingi: %s: %v\n", name, err)
+			log.Error("format failed", "model", name, "err", err)
 			os.Exit(2)
 		}
 		fmt.Print(out)
@@ -49,7 +58,7 @@ func main() {
 	}
 	prog, err := zml.Compile(source)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "zingi: %s: %v\n", name, err)
+		log.Error("compile failed", "model", name, "err", err)
 		os.Exit(2)
 	}
 	if *dump {
@@ -65,7 +74,7 @@ func main() {
 	case "dfs":
 		res = zing.CheckDFS(prog, opt)
 	default:
-		fmt.Fprintf(os.Stderr, "zingi: unknown strategy %q (want icb or dfs)\n", *strategy)
+		log.Error("unknown strategy (want icb or dfs)", "strategy", *strategy)
 		os.Exit(2)
 	}
 

@@ -294,6 +294,11 @@ func TestParallelScaling(t *testing.T) {
 		if !rep.SpeedupValid && r.Speedup != 0 {
 			t.Errorf("workers=%d: speedup %v claimed on a serial host", r.Workers, r.Speedup)
 		}
+		// The validity flag rides on every row too, so tooling reading
+		// .rows[] in isolation sees it.
+		if r.SpeedupValid != rep.SpeedupValid {
+			t.Errorf("workers=%d: row speedup_valid %v != report %v", r.Workers, r.SpeedupValid, rep.SpeedupValid)
+		}
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -301,6 +306,9 @@ func TestParallelScaling(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"gomaxprocs"`) {
 		t.Errorf("report JSON missing host fields: %s", data)
+	}
+	if strings.Count(string(data), `"speedup_valid"`) != len(rep.Rows)+1 {
+		t.Errorf("report JSON should carry speedup_valid on the report and every row: %s", data)
 	}
 	if !strings.Contains(sb.String(), "Parallel scaling") {
 		t.Errorf("renderer output: %q", sb.String())

@@ -17,14 +17,19 @@ import (
 // parallel search: wall clock, throughput, and the deterministic outputs
 // (states, bugs, bound) that must not move with the worker count.
 type ParallelRow struct {
-	Workers        int     `json:"workers"`
-	Executions     int     `json:"executions"`
-	DurationNS     int64   `json:"duration_ns"`
-	ExecsPerSec    float64 `json:"execs_per_sec"`
-	Speedup        float64 `json:"speedup"`
-	States         int     `json:"states"`
-	Bugs           int     `json:"bugs"`
-	BoundCompleted int     `json:"bound_completed"`
+	Workers     int     `json:"workers"`
+	Executions  int     `json:"executions"`
+	DurationNS  int64   `json:"duration_ns"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	// SpeedupValid mirrors the report-level flag onto every row, so
+	// tooling that reads rows in isolation (a jq pipeline over .rows[])
+	// cannot misread a single-core host's coordination overhead as
+	// scaling data: when false, Speedup is 0 and means nothing.
+	SpeedupValid   bool `json:"speedup_valid"`
+	States         int  `json:"states"`
+	Bugs           int  `json:"bugs"`
+	BoundCompleted int  `json:"bound_completed"`
 }
 
 // ParallelReport is the scaling study icb-bench writes to
@@ -75,6 +80,7 @@ func ParallelData(cfg Config) (ParallelReport, error) {
 			Workers:        w,
 			Executions:     res.Executions,
 			DurationNS:     res.Duration.Nanoseconds(),
+			SpeedupValid:   rep.SpeedupValid,
 			States:         res.States,
 			Bugs:           len(res.Bugs),
 			BoundCompleted: res.BoundCompleted,

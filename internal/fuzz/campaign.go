@@ -39,7 +39,10 @@ type CampaignConfig struct {
 	// time-boxed run still flushes its stats and event stream).
 	Stop *atomic.Bool
 	// Sink, when non-nil, receives structured campaign telemetry: an
-	// obs.CampaignEvent at every LogEvery checkpoint and once more (with
+	// obs.CampaignEvent at every program boundary (a program takes far
+	// longer than an execution, so this is not a hot path — and live
+	// surfaces like -http's /metrics would otherwise sit stale for the
+	// LogEvery≈100 programs between console lines) and once more (with
 	// Done set) at the end, plus — when Limits.Profiler is attached — a
 	// final obs.ProfileEvent aggregating every strategy exploration the
 	// campaign ran. This puts nightly fuzz runs on the same NDJSON stream
@@ -170,14 +173,12 @@ func Campaign(cfg CampaignConfig) (*CampaignStats, error) {
 				}
 			}
 		}
-		if stats.Programs%cfg.LogEvery == 0 {
-			if cfg.Log != nil {
-				fmt.Fprintf(cfg.Log, "checked %d programs (%d skipped, %d buggy, %d oracle executions, %d discrepancies)\n",
-					stats.Programs, stats.Skipped, stats.Buggy, stats.Executions, len(stats.Discrepancies))
-			}
-			if cfg.Sink != nil {
-				cfg.Sink.CampaignProgress(campaignEvent(stats, time.Since(start), false))
-			}
+		if cfg.Log != nil && stats.Programs%cfg.LogEvery == 0 {
+			fmt.Fprintf(cfg.Log, "checked %d programs (%d skipped, %d buggy, %d oracle executions, %d discrepancies)\n",
+				stats.Programs, stats.Skipped, stats.Buggy, stats.Executions, len(stats.Discrepancies))
+		}
+		if cfg.Sink != nil {
+			cfg.Sink.CampaignProgress(campaignEvent(stats, time.Since(start), false))
 		}
 	}
 	stats.Duration = time.Since(start)

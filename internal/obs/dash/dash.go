@@ -36,6 +36,7 @@ import (
 
 	"icb/internal/obs"
 	"icb/internal/obs/journal"
+	"icb/internal/obs/promexp"
 )
 
 //go:embed index.html
@@ -48,9 +49,10 @@ const heartbeatEvery = 15 * time.Second
 // Server is the dashboard: construct with New, mount Handler on an
 // http.Server, and register Sink with the exploration.
 type Server struct {
-	met *obs.Metrics
-	bc  *broadcaster
-	mux *http.ServeMux
+	met     *obs.Metrics
+	snapSrc func() obs.Snapshot // overrides met when set (fleet aggregator)
+	bc      *broadcaster
+	mux     *http.ServeMux
 
 	mu          sync.Mutex
 	journalDirs []string
@@ -59,13 +61,44 @@ type Server struct {
 // New returns a dashboard over met (which may be nil; snapshots are then
 // empty until a Metrics is attached to the search).
 func New(met *obs.Metrics) *Server {
-	s := &Server{met: met, bc: newBroadcaster()}
+	s := &Server{met: met, bc: newBroadcaster(met)}
+	s.init()
+	return s
+}
+
+// NewWithSource returns a dashboard over an arbitrary snapshot source
+// instead of a local Metrics — the fleet aggregator uses it to serve the
+// standard UI and /metrics over its merged fleet-wide view.
+func NewWithSource(src func() obs.Snapshot) *Server {
+	s := &Server{snapSrc: src, bc: newBroadcaster(nil)}
+	s.init()
+	return s
+}
+
+func (s *Server) init() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/api/snapshot", s.snapshot)
 	s.mux.HandleFunc("/api/events", s.events)
 	s.mux.HandleFunc("/api/runs", s.runs)
+	s.mux.Handle("/metrics", promexp.Handler(s.snap))
 	s.mux.HandleFunc("/", s.index)
-	return s
+}
+
+// Mount registers an extra handler (e.g. health probes) on the dashboard
+// mux. Call before serving; ServeMux registration is not concurrency-safe
+// with requests.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// Publish broadcasts one extra SSE event that does not originate from the
+// obs.Sink stream (the fleet aggregator's fleet_snapshot / peer_status).
+// Like the Sink bridge it is a live view: with no subscriber connected the
+// event is discarded after one atomic load.
+func (s *Server) Publish(name string, data any) {
+	if !s.bc.idle() {
+		s.bc.emit(name, data)
+	}
 }
 
 // SetJournalDirs attaches the journal directories whose campaign ledgers
@@ -122,6 +155,9 @@ func (s *Server) Sink() obs.Sink { return s.bc }
 func (s *Server) Subscribers() int { return int(s.bc.nsubs.Load()) }
 
 func (s *Server) snap() obs.Snapshot {
+	if s.snapSrc != nil {
+		return s.snapSrc()
+	}
 	if s.met == nil {
 		return obs.Snapshot{}
 	}
@@ -193,15 +229,18 @@ type sseEvent struct {
 
 // broadcaster is the obs.Sink half of the bridge: it fans events out to
 // the current SSE subscribers, dropping per-subscriber when a channel is
-// full so the exploring goroutine never blocks on a slow browser.
+// full so the exploring goroutine never blocks on a slow browser. Drops
+// are counted in met.SSEDropped (when a Metrics is attached), so the loss
+// is visible in /api/snapshot and /metrics instead of silent.
 type broadcaster struct {
 	mu    sync.Mutex
 	subs  map[chan sseEvent]struct{}
 	nsubs atomic.Int64
+	met   *obs.Metrics // drop counter sink; may be nil
 }
 
-func newBroadcaster() *broadcaster {
-	return &broadcaster{subs: make(map[chan sseEvent]struct{})}
+func newBroadcaster(met *obs.Metrics) *broadcaster {
+	return &broadcaster{subs: make(map[chan sseEvent]struct{}), met: met}
 }
 
 // subscriberBuffer absorbs bursts (a fast search emits thousands of
@@ -241,6 +280,9 @@ func (b *broadcaster) emit(name string, data any) {
 		select {
 		case ch <- sseEvent{name: name, data: js}:
 		default: // slow subscriber: drop rather than stall the search
+			if b.met != nil {
+				b.met.SSEDropped.Add(1)
+			}
 		}
 	}
 	b.mu.Unlock()

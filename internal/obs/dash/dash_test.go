@@ -3,6 +3,7 @@ package dash_test
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"icb/internal/obs"
 	"icb/internal/obs/dash"
 	"icb/internal/obs/estimate"
+	"icb/internal/obs/promexp"
 )
 
 // TestDashSnapshotEndpoint checks GET /api/snapshot serves the metrics —
@@ -217,6 +219,203 @@ func TestDashSubscriberUnregistersOnDisconnect(t *testing.T) {
 	}); allocs != 0 {
 		t.Errorf("post-disconnect event bridge allocates %.1f per event, want 0", allocs)
 	}
+}
+
+// TestDashMetricsEndpoint checks the dashboard mux serves the Prometheus
+// exposition at /metrics and that the payload passes the in-repo lint.
+func TestDashMetricsEndpoint(t *testing.T) {
+	met := &obs.Metrics{}
+	met.ObserveExecution(1)
+	met.ObserveExecution(1)
+	met.Bugs.Add(1)
+	srv := httptest.NewServer(dash.New(met).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != promexp.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, promexp.ContentType)
+	}
+	var body strings.Builder
+	if _, err := io.Copy(&body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := body.String()
+	if !strings.Contains(out, "icb_executions_total 2\n") || !strings.Contains(out, "icb_bugs_total 1\n") {
+		t.Errorf("/metrics missing counters:\n%s", out)
+	}
+	if probs := promexp.Lint(strings.NewReader(out)); len(probs) > 0 {
+		t.Errorf("/metrics payload fails lint: %v", probs)
+	}
+}
+
+// TestDashSSEDroppedCounted checks the drop-on-slow path is no longer
+// silent: a subscriber that never reads its stream eventually forces drops,
+// which surface in Metrics.SSEDropped, /api/snapshot, and /metrics.
+func TestDashSSEDroppedCounted(t *testing.T) {
+	met := &obs.Metrics{}
+	ds := dash.New(met)
+	srv := httptest.NewServer(ds.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	waitFor(t, "subscriber to register", func() bool { return ds.Subscribers() == 1 })
+
+	// Never read resp.Body: the handler stalls once the socket buffers
+	// fill, its channel backs up past subscriberBuffer, and every further
+	// emission drops. Emit until the counter moves.
+	sink := ds.Sink()
+	deadline := time.Now().Add(10 * time.Second)
+	for met.SSEDropped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no drops recorded on a never-reading subscriber")
+		}
+		sink.BugFound(obs.BugEvent{Kind: "deadlock", Message: strings.Repeat("x", 256)})
+	}
+
+	if snap := met.Snapshot(); snap.SSEDropped == 0 {
+		t.Errorf("Snapshot.SSEDropped = 0 after drops")
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var body strings.Builder
+	if _, err := io.Copy(&body, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), "icb_sse_dropped_events_total") {
+		t.Errorf("/metrics missing icb_sse_dropped_events_total:\n%s", body.String())
+	}
+	for _, line := range strings.Split(body.String(), "\n") {
+		if strings.HasPrefix(line, "icb_sse_dropped_events_total ") && strings.HasSuffix(line, " 0") {
+			t.Errorf("dropped-events counter still zero: %q", line)
+		}
+	}
+}
+
+// TestDashNewWithSource checks a source-backed dashboard (the fleet
+// aggregator's mode) serves the provided snapshot on /api/snapshot and
+// renders its fleet families on /metrics.
+func TestDashNewWithSource(t *testing.T) {
+	merged := obs.Snapshot{
+		Executions: 1100,
+		Bugs:       2,
+		Peers: []obs.PeerStatus{
+			{Peer: "http://127.0.0.1:1", Up: true, Executions: 600},
+			{Peer: "http://127.0.0.1:2", Up: false, Err: "dial", Executions: 500},
+		},
+	}
+	srv := httptest.NewServer(dash.NewWithSource(func() obs.Snapshot { return merged }).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Executions != 1100 || len(snap.Peers) != 2 {
+		t.Errorf("snapshot = %+v, want merged view with 2 peers", snap)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var body strings.Builder
+	if _, err := io.Copy(&body, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := body.String()
+	for _, want := range []string{"icb_executions_total 1100\n", "icb_fleet_peers 2\n", "icb_fleet_peers_up 1\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet /metrics missing %q:\n%s", want, out)
+		}
+	}
+	if probs := promexp.Lint(strings.NewReader(out)); len(probs) > 0 {
+		t.Errorf("fleet /metrics fails lint: %v", probs)
+	}
+}
+
+// TestDashMountAndPublish checks the two fleet hooks: Mount registers an
+// extra endpoint on the dashboard mux, and Publish broadcasts a custom SSE
+// event to subscribers.
+func TestDashMountAndPublish(t *testing.T) {
+	ds := dash.New(nil)
+	ds.Mount("/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(ds.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("mounted /healthz = %d, want 200", resp.StatusCode)
+	}
+
+	eresp, err := http.Get(srv.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	waitFor(t, "subscriber to register", func() bool { return ds.Subscribers() == 1 })
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ds.Publish("peer_status", obs.PeerStatusEvent{Peer: "http://w1", Up: true})
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(eresp.Body)
+	deadline := time.Now().Add(10 * time.Second)
+	for sc.Scan() {
+		if time.Now().After(deadline) {
+			t.Fatal("no peer_status event within deadline")
+		}
+		if sc.Text() == "event: peer_status" {
+			if !sc.Scan() {
+				t.Fatal("event line without a data line")
+			}
+			data, ok := strings.CutPrefix(sc.Text(), "data: ")
+			if !ok {
+				t.Fatalf("malformed SSE data line %q", sc.Text())
+			}
+			var ev obs.PeerStatusEvent
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Peer != "http://w1" || !ev.Up {
+				t.Errorf("peer_status = %+v", ev)
+			}
+			return
+		}
+	}
+	t.Fatalf("stream ended without peer_status: %v", sc.Err())
 }
 
 // TestDashSinkCheapWithoutSubscribers pins the idle cost of attaching the

@@ -1,0 +1,58 @@
+package obs
+
+// This file holds the fleet-telemetry data models: the per-peer status the
+// campaign aggregator embeds in merged snapshots and the two NDJSON v4
+// event payloads it emits (fleet_snapshot, peer_status). Like the profiler
+// and run-ledger shapes they live in package obs so every surface that
+// renders them (NDJSON streams, the dashboard, /metrics) shares one shape
+// without importing the aggregator's polling machinery (obs/fleet).
+
+// PeerStatus is one fleet worker's condition as last observed by the
+// aggregator: reachability plus the headline counters its dashboard
+// reported. Embedded in merged Snapshots (Snapshot.Peers) and rendered as
+// per-peer panels and icb_fleet_peer_* metrics.
+type PeerStatus struct {
+	// Peer is the worker's base URL (the aggregator's identity for it).
+	Peer string `json:"peer"`
+	// Up reports the last poll round reached the worker.
+	Up bool `json:"up"`
+	// Err is the last poll error ("" while up).
+	Err string `json:"error,omitempty"`
+	// LastSeenUnixNS is the wall-clock time of the last successful poll
+	// (0 when the worker has never been reached).
+	LastSeenUnixNS int64 `json:"last_seen_unix_ns,omitempty"`
+	// Executions, Bugs, CurBound and Workers are the worker's own headline
+	// counters at the last successful poll; they persist over a down peer
+	// so the merged totals do not dip when a worker dies mid-campaign.
+	Executions int64 `json:"executions"`
+	Bugs       int64 `json:"bugs"`
+	CurBound   int64 `json:"cur_bound"`
+	Workers    int   `json:"workers,omitempty"`
+}
+
+// FleetSnapshotEvent summarizes one aggregator poll round: how much of the
+// fleet answered and the merged headline counters. Emitted on the fleet
+// NDJSON stream (and SSE) once per poll round.
+type FleetSnapshotEvent struct {
+	// Peers and PeersUp are the fleet size and how many answered the round.
+	Peers   int `json:"peers"`
+	PeersUp int `json:"peers_up"`
+	// Executions, States, Bugs are the merged cumulative counters.
+	Executions int64 `json:"executions"`
+	States     int64 `json:"states"`
+	Bugs       int64 `json:"bugs"`
+}
+
+// PeerStatusEvent reports one worker's up/down transition (not every poll:
+// only edges), so the stream records when a peer joined, died, or came
+// back without one line per poll per peer.
+type PeerStatusEvent struct {
+	// Peer is the worker's base URL.
+	Peer string `json:"peer"`
+	// Up is the new state.
+	Up bool `json:"up"`
+	// Err is the poll error that flipped the peer down ("" on up).
+	Err string `json:"error,omitempty"`
+	// Executions is the worker's last known execution counter.
+	Executions int64 `json:"executions,omitempty"`
+}

@@ -1,0 +1,69 @@
+// Package logx is the shared structured-logging setup of the cmd/
+// binaries: one place that turns the `-log-json` / `-log-level` flag pair
+// into a configured *slog.Logger, so all five tools log the same way. On a
+// terminal (or with -log-json=false) records render as slog text; under
+// -log-json every record is one JSON object, greppable and ingestible by
+// the same tooling that reads the NDJSON event stream. Program *output*
+// (search reports, JSON results, progress lines) is not logging and keeps
+// writing to stdout/stderr directly; logx carries diagnostics — the
+// messages that used to be scattered fmt.Fprintf(os.Stderr, ...) calls,
+// now banned in cmd/ by the CI lint.
+package logx
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Options are the command-line knobs; bind with Flags, then call New.
+type Options struct {
+	// JSON selects the JSON handler (default: text).
+	JSON bool
+	// Level is the minimum level name: debug, info, warn, or error.
+	Level string
+}
+
+// Flags binds the standard -log-json / -log-level flags on fs. The
+// current field values are the defaults, so a binary with subcommands can
+// bind the same Options on the global FlagSet and again on a subcommand's
+// (icb-campaign serve): either position on the command line works and the
+// later parse inherits what the earlier one set.
+func (o *Options) Flags(fs *flag.FlagSet) {
+	if o.Level == "" {
+		o.Level = "info"
+	}
+	fs.BoolVar(&o.JSON, "log-json", o.JSON, "log diagnostics as JSON (one object per line)")
+	fs.StringVar(&o.Level, "log-level", o.Level, "minimum log level (debug|info|warn|error)")
+}
+
+// ParseLevel maps a level name to its slog.Level; unknown names fall back
+// to info so a typo loosens nothing and silences nothing.
+func ParseLevel(name string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// New builds the logger: stderr, the selected handler and level, and the
+// given program name as a `bin` attr on every record (the structured
+// replacement for the "icb: " message prefix). Extra attrs — run ID,
+// worker index — attach with the returned logger's With.
+func New(bin string, o Options) *slog.Logger {
+	var h slog.Handler
+	opts := &slog.HandlerOptions{Level: ParseLevel(o.Level)}
+	if o.JSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h).With(slog.String("bin", bin))
+}

@@ -1,0 +1,67 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"info":    slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+		" Error ": slog.LevelError,
+		"bogus":   slog.LevelInfo,
+		"":        slog.LevelInfo,
+	}
+	for name, want := range cases {
+		if got := ParseLevel(name); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFlags(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o.Flags(fs)
+	if err := fs.Parse([]string{"-log-json", "-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.JSON || o.Level != "debug" {
+		t.Errorf("parsed options = %+v", o)
+	}
+}
+
+// TestJSONRecordShape builds a logger the way New does (but onto a buffer)
+// and checks every record carries the bin attr and parses as one JSON
+// object per line.
+func TestJSONRecordShape(t *testing.T) {
+	var buf bytes.Buffer
+	h := slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo})
+	log := slog.New(h).With(slog.String("bin", "icb"), slog.String("run", "r1"))
+
+	log.Debug("hidden")
+	log.Info("dashboard up", slog.String("addr", "127.0.0.1:1"))
+	log.Warn("slow subscriber", slog.Int("dropped", 3))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d records, want 2 (debug filtered):\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("record is not JSON: %v\n%s", err, ln)
+		}
+		if rec["bin"] != "icb" || rec["run"] != "r1" {
+			t.Errorf("record missing bin/run attrs: %s", ln)
+		}
+	}
+}

@@ -12,9 +12,11 @@ import (
 // stream header). Bump it when the envelope or an event payload changes
 // incompatibly, so offline consumers can detect streams they do not
 // understand. v3 added the campaign-durability events (checkpoint, resume,
-// run_record); the envelope and every v2 event payload are unchanged, so
-// v2 consumers that skip unknown event names read v3 streams correctly.
-const NDJSONSchemaVersion = 3
+// run_record); v4 the fleet-telemetry events (fleet_snapshot, peer_status)
+// the campaign aggregator emits. The envelope and every earlier event
+// payload are unchanged, so consumers that skip unknown event names read
+// newer streams correctly.
+const NDJSONSchemaVersion = 4
 
 // NDJSON writes the event stream as newline-delimited JSON, one object per
 // line, for offline analysis (jq, pandas, ...). The first line is a header
@@ -22,8 +24,8 @@ const NDJSONSchemaVersion = 3
 // name, a monotonic sequence number, the schema version, and the
 // milliseconds since the writer was created:
 //
-//	{"event":"header","seq":0,"v":3,"t_ms":0,"data":{"build":"icb v0.0.0-... go1.24"}}
-//	{"event":"bound_start","seq":1,"v":3,"t_ms":12,"data":{"bound":1,"queue":42,...}}
+//	{"event":"header","seq":0,"v":4,"t_ms":0,"data":{"build":"icb v0.0.0-... go1.24"}}
+//	{"event":"bound_start","seq":1,"v":4,"t_ms":12,"data":{"bound":1,"queue":42,...}}
 //
 // seq increases by exactly 1 per line, so a consumer can detect dropped or
 // reordered lines (e.g. after truncated copies or interleaved appends).
@@ -120,6 +122,15 @@ func (n *NDJSON) RunRecorded(ev RunEvent) { n.emit("run_record", ev) }
 
 // SearchDone implements Sink.
 func (n *NDJSON) SearchDone(ev SearchEvent) { n.emit("search_done", ev) }
+
+// FleetSnapshot records one fleet poll round (v4). Only the campaign
+// aggregator emits it, so it is a direct method rather than part of the
+// Sink interface: single-search sinks never see fleet events.
+func (n *NDJSON) FleetSnapshot(ev FleetSnapshotEvent) { n.emit("fleet_snapshot", ev) }
+
+// PeerStatus records one fleet worker's up/down transition (v4); a direct
+// method for the same reason as FleetSnapshot.
+func (n *NDJSON) PeerStatus(ev PeerStatusEvent) { n.emit("peer_status", ev) }
 
 // Flush drains the write buffer and returns the first error encountered
 // by any write so far.

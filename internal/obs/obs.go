@@ -286,6 +286,11 @@ type Metrics struct {
 	Bugs atomic.Int64
 	// CurBound is the bound currently being drained (-1 outside bounds).
 	CurBound atomic.Int64
+	// SSEDropped counts dashboard events dropped on slow SSE subscribers
+	// (incremented by the dashboard's event bridge, not the engine). Slow
+	// browsers lose events by design; this makes the loss visible instead
+	// of silent.
+	SSEDropped atomic.Int64
 
 	boundExecs [MaxTrackedBounds]atomic.Int64
 	boundNanos [MaxTrackedBounds]atomic.Int64
@@ -426,6 +431,8 @@ type Snapshot struct {
 	QueueDepth  int64 `json:"queue_depth"`
 	Bugs        int64 `json:"bugs"`
 	CurBound    int64 `json:"cur_bound"`
+	// SSEDropped counts dashboard events dropped on slow SSE subscribers.
+	SSEDropped int64 `json:"sse_dropped_events,omitempty"`
 	// Truncated reports that at least one observation fell at a bound >=
 	// MaxTrackedBounds and was folded into the last Bounds entry, so that
 	// entry aggregates several bounds rather than describing one.
@@ -443,6 +450,9 @@ type Snapshot struct {
 	// Profile carries the attached search profiler's snapshot (nil when no
 	// profiler is attached).
 	Profile *ProfileData `json:"profile,omitempty"`
+	// Peers carries the fleet aggregator's per-peer status (only in merged
+	// fleet snapshots; empty for single-process searches).
+	Peers []PeerStatus `json:"peers,omitempty"`
 }
 
 // Snapshot copies the counters. Per-bound entries are trimmed to the
@@ -457,6 +467,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		QueueDepth:  m.QueueDepth.Load(),
 		Bugs:        m.Bugs.Load(),
 		CurBound:    m.CurBound.Load(),
+		SSEDropped:  m.SSEDropped.Load(),
 		Truncated:   m.truncated.Load(),
 	}
 	for b := 0; b < MaxTrackedBounds; b++ {

@@ -1,0 +1,485 @@
+package promexp
+
+// An in-repo implementation of the checks `promtool check metrics` runs
+// over an exposition payload. The repo vendors no dependencies, so instead
+// of shipping promtool we re-implement its lint rules and hold Write's
+// output to them in tests — any exporter change that would fail a real
+// promtool run fails `go test` first.
+//
+// Implemented rules:
+//   - samples must parse: valid metric/label names, float values, balanced
+//     quoting, escaped label values
+//   - every family needs # HELP and # TYPE before its first sample, with a
+//     known type (counter, gauge, histogram, summary, untyped)
+//   - a family's samples must be contiguous (no interleaving)
+//   - counters must end in _total; non-counters must not
+//   - no duplicate series (same name and label set)
+//   - histograms: _bucket samples carry an `le` label, bucket counts are
+//     cumulative (non-decreasing in le order), an +Inf bucket exists and
+//     equals _count, and _sum/_count are present
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// Lint parses one exposition payload and returns every problem found, one
+// message per line-level or family-level violation; nil means the payload
+// would pass `promtool check metrics`.
+func Lint(r io.Reader) []string {
+	l := &linter{
+		families: map[string]*familyInfo{},
+		seen:     map[string]int{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		l.line(lineNo, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errf(lineNo, "read: %v", err)
+	}
+	l.finish()
+	return l.problems
+}
+
+// familyInfo accumulates one metric family's metadata and samples.
+type familyInfo struct {
+	name   string
+	help   bool
+	typ    string
+	line   int // line of the # TYPE (or first mention)
+	closed bool
+	// histSeries groups histogram samples by their label set minus `le`,
+	// in observation order.
+	histSeries map[string]*histSeries
+	histOrder  []string
+}
+
+type histSeries struct {
+	buckets []bucket // in exposition order
+	sum     bool
+	count   float64
+	hasCnt  bool
+}
+
+type bucket struct {
+	le    float64
+	leRaw string
+	v     float64
+	line  int
+}
+
+type linter struct {
+	problems []string
+	families map[string]*familyInfo
+	// current is the family whose samples we are inside of; a sample from
+	// any other already-known family is an interleaving violation.
+	current string
+	// seen maps name+sorted-labels to the line that first exposed it, for
+	// duplicate-series detection.
+	seen map[string]int
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.problems = append(l.problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, raw string) {
+	if strings.TrimSpace(raw) == "" {
+		return
+	}
+	if strings.HasPrefix(raw, "#") {
+		l.comment(n, raw)
+		return
+	}
+	l.sample(n, raw)
+}
+
+// comment handles # HELP / # TYPE lines (other comments are ignored, as in
+// the format spec).
+func (l *linter) comment(n int, raw string) {
+	fields := strings.SplitN(raw, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return // free-form comment
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name %q in %s", name, fields[1])
+		return
+	}
+	fam := l.enter(n, name)
+	switch fields[1] {
+	case "HELP":
+		if fam.help {
+			l.errf(n, "second HELP for %s", name)
+		}
+		fam.help = true
+	case "TYPE":
+		if fam.typ != "" {
+			l.errf(n, "second TYPE for %s", name)
+			return
+		}
+		if len(fields) < 4 || !validTypes[fields[3]] {
+			got := ""
+			if len(fields) >= 4 {
+				got = fields[3]
+			}
+			l.errf(n, "unknown type %q for %s", got, name)
+			return
+		}
+		fam.typ = fields[3]
+		fam.line = n
+	}
+}
+
+// enter switches the cursor to a family, creating it on first mention and
+// flagging re-entry into a family that was already closed by a later one.
+func (l *linter) enter(n int, name string) *familyInfo {
+	if l.current != "" && l.current != name {
+		l.families[l.current].closed = true
+	}
+	l.current = name
+	fam := l.families[name]
+	if fam == nil {
+		fam = &familyInfo{name: name, line: n, histSeries: map[string]*histSeries{}}
+		l.families[name] = fam
+	} else if fam.closed {
+		l.errf(n, "family %s is interleaved (its samples/metadata are not contiguous)", name)
+		fam.closed = false
+	}
+	return fam
+}
+
+func (l *linter) sample(n int, raw string) {
+	name, labels, value, ok := parseSample(raw)
+	if !ok {
+		l.errf(n, "unparseable sample %q", raw)
+		return
+	}
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name %q", name)
+		return
+	}
+	for _, lb := range labels {
+		if !validLabelName(lb[0]) {
+			l.errf(n, "invalid label name %q on %s", lb[0], name)
+		}
+	}
+	v, err := parseValue(value)
+	if err != nil {
+		l.errf(n, "invalid value %q on %s", value, name)
+		return
+	}
+
+	famName := name
+	// Histogram (and summary) samples attach to their base family.
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f := l.families[base]; f != nil && (f.typ == "histogram" || f.typ == "summary") {
+				famName = base
+			}
+			break
+		}
+	}
+	fam := l.enter(n, famName)
+	if fam.typ == "" {
+		l.errf(n, "sample for %s before any # TYPE", famName)
+	}
+	if !fam.help {
+		l.errf(n, "sample for %s before any # HELP", famName)
+	}
+
+	// Duplicate-series detection over the full sample name + label set.
+	key := seriesKey(name, labels)
+	if prev, dup := l.seen[key]; dup {
+		l.errf(n, "duplicate sample %s (first at line %d)", key, prev)
+	} else {
+		l.seen[key] = n
+	}
+
+	// _total suffix discipline.
+	isTotal := strings.HasSuffix(name, "_total")
+	switch fam.typ {
+	case "counter":
+		if !isTotal {
+			l.errf(n, "counter %s must end in _total", name)
+		}
+	case "gauge", "untyped":
+		if isTotal {
+			l.errf(n, "non-counter %s must not end in _total", name)
+		}
+	}
+
+	if fam.typ == "histogram" && famName != name {
+		l.histSample(n, fam, name, labels, v)
+	}
+}
+
+// histSample files one histogram child sample under its le-less series.
+func (l *linter) histSample(n int, fam *familyInfo, name string, labels labels, v float64) {
+	var leRaw string
+	rest := labels[:0:0]
+	for _, lb := range labels {
+		if lb[0] == "le" {
+			leRaw = lb[1]
+			continue
+		}
+		rest = append(rest, lb)
+	}
+	key := seriesKey(fam.name, rest)
+	hs := fam.histSeries[key]
+	if hs == nil {
+		hs = &histSeries{}
+		fam.histSeries[key] = hs
+		fam.histOrder = append(fam.histOrder, key)
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if leRaw == "" {
+			l.errf(n, "histogram bucket %s has no le label", key)
+			return
+		}
+		le, err := parseValue(leRaw)
+		if err != nil {
+			l.errf(n, "histogram bucket %s has unparseable le=%q", key, leRaw)
+			return
+		}
+		hs.buckets = append(hs.buckets, bucket{le: le, leRaw: leRaw, v: v, line: n})
+	case strings.HasSuffix(name, "_sum"):
+		hs.sum = true
+	case strings.HasSuffix(name, "_count"):
+		hs.count, hs.hasCnt = v, true
+	}
+}
+
+// finish runs the whole-family checks that need the complete payload.
+func (l *linter) finish() {
+	if l.current != "" {
+		l.families[l.current].closed = true
+	}
+	names := make([]string, 0, len(l.families))
+	for n := range l.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := l.families[n]
+		if fam.typ != "histogram" {
+			continue
+		}
+		for _, key := range fam.histOrder {
+			hs := fam.histSeries[key]
+			l.checkHistogram(fam.line, key, hs)
+		}
+	}
+}
+
+func (l *linter) checkHistogram(line int, key string, hs *histSeries) {
+	if len(hs.buckets) == 0 {
+		l.errf(line, "histogram %s has no buckets", key)
+		return
+	}
+	hasInf := false
+	prevLE := math.Inf(-1)
+	prevV := math.Inf(-1)
+	for _, b := range hs.buckets {
+		if b.le <= prevLE {
+			l.errf(b.line, "histogram %s buckets not in increasing le order (le=%s)", key, b.leRaw)
+		}
+		if b.v < prevV {
+			l.errf(b.line, "histogram %s bucket counts not cumulative (le=%s)", key, b.leRaw)
+		}
+		prevLE, prevV = b.le, b.v
+		if math.IsInf(b.le, +1) {
+			hasInf = true
+			if hs.hasCnt && b.v != hs.count {
+				l.errf(b.line, "histogram %s +Inf bucket %g != _count %g", key, b.v, hs.count)
+			}
+		}
+	}
+	if !hasInf {
+		l.errf(line, "histogram %s has no +Inf bucket", key)
+	}
+	if !hs.sum {
+		l.errf(line, "histogram %s has no _sum", key)
+	}
+	if !hs.hasCnt {
+		l.errf(line, "histogram %s has no _count", key)
+	}
+}
+
+// ReadValues parses an exposition payload and returns the value of every
+// label-less series by name — enough for a scraper (the fleet aggregator)
+// to read another process's headline counters without a metrics library.
+// Labeled series are skipped; malformed lines are ignored (Lint is the
+// strict reader).
+func ReadValues(r io.Reader) (map[string]float64, error) {
+	vals := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, ls, value, ok := parseSample(line)
+		if !ok || len(ls) > 0 {
+			continue
+		}
+		v, err := parseValue(value)
+		if err != nil {
+			continue
+		}
+		vals[name] = v
+	}
+	return vals, sc.Err()
+}
+
+// parseSample splits one sample line into name, labels, and the value
+// token. Timestamps (a trailing integer) are accepted and ignored.
+func parseSample(raw string) (name string, ls labels, value string, ok bool) {
+	raw = strings.TrimSpace(raw)
+	brace := strings.IndexByte(raw, '{')
+	if brace < 0 {
+		fields := strings.Fields(raw)
+		if len(fields) < 2 || len(fields) > 3 {
+			return "", nil, "", false
+		}
+		return fields[0], nil, fields[1], true
+	}
+	name = raw[:brace]
+	rest := raw[brace+1:]
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, "", false
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", nil, "", false
+		}
+		lval, tail, ok := unquoteLabel(rest[1:])
+		if !ok {
+			return "", nil, "", false
+		}
+		ls = append(ls, label{lname, lval})
+		rest = strings.TrimLeft(tail, " \t")
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", false
+	}
+	return name, ls, fields[0], true
+}
+
+// unquoteLabel consumes an escaped label value up to its closing quote,
+// returning the decoded value and the remainder after the quote.
+func unquoteLabel(s string) (val, rest string, ok bool) {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return sb.String(), s[i+1:], true
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", false
+			}
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\', '"':
+				sb.WriteByte(s[i])
+			default:
+				return "", "", false
+			}
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", "", false
+}
+
+// parseValue parses a sample or le value, accepting the format's special
+// +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func seriesKey(name string, ls labels) string {
+	if len(ls) == 0 {
+		return name
+	}
+	sorted := ls.clone()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, lb := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", lb[0], lb[1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

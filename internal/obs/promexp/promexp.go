@@ -1,0 +1,266 @@
+// Package promexp renders the obs telemetry in the Prometheus text
+// exposition format (the subset shared with OpenMetrics), so every icb
+// process is scrapable like any production service: mount Handler on the
+// dashboard mux and point a Prometheus scraper (or curl) at /metrics.
+//
+// The package is dependency-free by design — the repo vendors nothing —
+// so correctness is enforced the other way around: Lint (lint.go) is an
+// in-repo parser implementing the checks `promtool check metrics` runs
+// (type declarations, counter `_total` suffixes, histogram bucket
+// invariants, duplicate series), and the tests hold Write's output to it.
+//
+// Naming follows the Prometheus conventions: one `icb_` namespace,
+// base-unit suffixes (`_seconds`, `_ratio`), `_total` on counters only.
+// Everything is rendered from one obs.Snapshot, so the exporter serves
+// single searches and the fleet aggregator's merged view identically —
+// a merged snapshot's Peers additionally yields the icb_fleet_* families.
+package promexp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"icb/internal/obs"
+)
+
+// ContentType is the Content-Type of the exposition format served by
+// Handler (the Prometheus text format version promtool understands).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves GET /metrics over a snapshot source. The source is
+// invoked per scrape, so the handler always renders live counters.
+func Handler(src func() obs.Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		w.Header().Set("Cache-Control", "no-store")
+		Write(w, src())
+	})
+}
+
+// Write renders one snapshot as exposition text. Families with no data
+// (e.g. worker counters of a sequential search) are omitted entirely
+// rather than rendered at zero, matching how the dashboard treats them.
+func Write(w io.Writer, s obs.Snapshot) {
+	b := newBuilder(w)
+
+	b.family("icb_executions_total", "Completed (or cut) executions.", "counter")
+	b.sample("icb_executions_total", nil, float64(s.Executions))
+	b.family("icb_states_total", "Distinct states reached.", "counter")
+	b.sample("icb_states_total", nil, float64(s.States))
+	if s.Classes > 0 {
+		b.family("icb_execution_classes_total", "Distinct happens-before execution classes reached.", "counter")
+		b.sample("icb_execution_classes_total", nil, float64(s.Classes))
+	}
+	b.family("icb_cache_hits_total", "Work-item-table lookups that pruned a duplicate.", "counter")
+	b.sample("icb_cache_hits_total", nil, float64(s.CacheHits))
+	b.family("icb_cache_misses_total", "Work-item-table lookups that found new work.", "counter")
+	b.sample("icb_cache_misses_total", nil, float64(s.CacheMisses))
+	b.family("icb_bugs_total", "Distinct defects found.", "counter")
+	b.sample("icb_bugs_total", nil, float64(s.Bugs))
+	b.family("icb_sse_dropped_events_total", "Dashboard events dropped on slow SSE subscribers.", "counter")
+	b.sample("icb_sse_dropped_events_total", nil, float64(s.SSEDropped))
+
+	b.family("icb_queue_depth", "Deferred work items known to the engine.", "gauge")
+	b.sample("icb_queue_depth", nil, float64(s.QueueDepth))
+	b.family("icb_current_bound", "Preemption bound currently being drained (-1 outside bounds).", "gauge")
+	b.sample("icb_current_bound", nil, float64(s.CurBound))
+
+	if len(s.Bounds) > 0 {
+		b.family("icb_bound_executions_total", "Executions run at each preemption bound.", "counter")
+		for _, bs := range s.Bounds {
+			b.sample("icb_bound_executions_total", labels{{"bound", itoa(bs.Bound)}}, float64(bs.Executions))
+		}
+		b.family("icb_bound_duration_seconds_total", "Wall-clock seconds spent draining each bound.", "counter")
+		for _, bs := range s.Bounds {
+			b.sample("icb_bound_duration_seconds_total", labels{{"bound", itoa(bs.Bound)}}, float64(bs.DurationNS)/1e9)
+		}
+	}
+
+	if len(s.Workers) > 0 {
+		b.family("icb_worker_executions_total", "Executions run by each parallel worker.", "counter")
+		for _, ws := range s.Workers {
+			b.sample("icb_worker_executions_total", labels{{"worker", itoa(ws.Worker)}}, float64(ws.Executions))
+		}
+		b.family("icb_worker_utilization_ratio", "Each worker's share of all worker-attributed executions.", "gauge")
+		for _, ws := range s.Workers {
+			b.sample("icb_worker_utilization_ratio", labels{{"worker", itoa(ws.Worker)}}, ws.Share)
+		}
+	}
+
+	if len(s.Estimates) > 0 {
+		b.family("icb_bound_explored_ratio", "Estimated fraction of each bound's schedule space already explored.", "gauge")
+		for _, e := range s.Estimates {
+			b.sample("icb_bound_explored_ratio", labels{{"bound", itoa(e.Bound)}}, e.Fraction)
+		}
+		b.family("icb_bound_eta_seconds", "Projected remaining wall-clock seconds per bound at the current rate.", "gauge")
+		for _, e := range s.Estimates {
+			b.sample("icb_bound_eta_seconds", labels{{"bound", itoa(e.Bound)}}, float64(e.ETANanos)/1e9)
+		}
+		b.family("icb_bound_estimated_executions", "Estimated total executions each bound holds.", "gauge")
+		for _, e := range s.Estimates {
+			b.sample("icb_bound_estimated_executions", labels{{"bound", itoa(e.Bound)}}, e.EstTotal)
+		}
+	}
+
+	if p := s.Profile; p != nil {
+		writeProfile(b, p)
+	}
+	if len(s.Peers) > 0 {
+		writeFleet(b, s.Peers)
+	}
+}
+
+// writeProfile renders the attached search profiler: per-phase totals as
+// counters and, when the profiler recorded latency buckets, per-phase
+// histograms converted from its log2(ns) buckets, plus the min
+// time-to-first-bug gauge the fleet view aggregates.
+func writeProfile(b *builder, p *obs.ProfileData) {
+	if len(p.Phases) > 0 {
+		b.family("icb_profile_phase_seconds_total", "Wall-clock seconds observed per profiler phase (sampled phases are undersampled by sample_every).", "counter")
+		for _, ph := range p.Phases {
+			b.sample("icb_profile_phase_seconds_total", labels{{"phase", ph.Phase}}, float64(ph.NS)/1e9)
+		}
+		var withBuckets []obs.ProfilePhase
+		for _, ph := range p.Phases {
+			if len(ph.Buckets) > 0 {
+				withBuckets = append(withBuckets, ph)
+			}
+		}
+		if len(withBuckets) > 0 {
+			b.family("icb_profile_phase_duration_seconds", "Per-observation latency distribution of each profiler phase.", "histogram")
+			for _, ph := range withBuckets {
+				writeHistogram(b, "icb_profile_phase_duration_seconds", labels{{"phase", ph.Phase}}, ph)
+			}
+		}
+	}
+	// The minimum over distinct defects is the fleet's headline
+	// time-to-first-bug; per-defect detail stays in /api/snapshot.
+	var minNS int64 = -1
+	for _, fb := range p.FirstBugs {
+		if minNS < 0 || fb.TNS < minNS {
+			minNS = fb.TNS
+		}
+	}
+	if minNS >= 0 {
+		b.family("icb_first_bug_seconds", "Wall-clock seconds from search start to the earliest distinct defect's first sighting.", "gauge")
+		b.sample("icb_first_bug_seconds", nil, float64(minNS)/1e9)
+	}
+}
+
+// writeHistogram converts one phase's log2(ns) buckets — each spanning
+// [lo, 2*lo) — into a cumulative Prometheus histogram in seconds. The
+// +Inf bucket and _count are the bucket-count sum (every observation falls
+// in some bucket), keeping the histogram invariants promtool checks.
+func writeHistogram(b *builder, name string, base labels, ph obs.ProfilePhase) {
+	var cum int64
+	for _, bk := range ph.Buckets {
+		cum += bk.Count
+		le := fmt.Sprintf("%g", float64(2*bk.LoNS)/1e9)
+		b.sample(name+"_bucket", append(base.clone(), label{"le", le}), float64(cum))
+	}
+	b.sample(name+"_bucket", append(base.clone(), label{"le", "+Inf"}), float64(cum))
+	b.sample(name+"_sum", base, float64(ph.NS)/1e9)
+	b.sample(name+"_count", base, float64(cum))
+}
+
+// writeFleet renders the aggregator's per-peer families. Peer identity is
+// the worker's base URL, carried as a label value (escaped by the builder).
+func writeFleet(b *builder, peers []obs.PeerStatus) {
+	sorted := append([]obs.PeerStatus(nil), peers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Peer < sorted[j].Peer })
+	var up int
+	for _, p := range sorted {
+		if p.Up {
+			up++
+		}
+	}
+	b.family("icb_fleet_peers", "Workers known to the fleet aggregator.", "gauge")
+	b.sample("icb_fleet_peers", nil, float64(len(sorted)))
+	b.family("icb_fleet_peers_up", "Workers that answered the last poll round.", "gauge")
+	b.sample("icb_fleet_peers_up", nil, float64(up))
+	b.family("icb_fleet_peer_up", "Per-worker reachability (1 = last poll succeeded).", "gauge")
+	for _, p := range sorted {
+		b.sample("icb_fleet_peer_up", labels{{"peer", p.Peer}}, boolVal(p.Up))
+	}
+	b.family("icb_fleet_peer_executions", "Each worker's execution counter at its last successful poll.", "gauge")
+	for _, p := range sorted {
+		b.sample("icb_fleet_peer_executions", labels{{"peer", p.Peer}}, float64(p.Executions))
+	}
+	b.family("icb_fleet_peer_bugs", "Each worker's distinct-defect counter at its last successful poll.", "gauge")
+	for _, p := range sorted {
+		b.sample("icb_fleet_peer_bugs", labels{{"peer", p.Peer}}, float64(p.Bugs))
+	}
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// label is one name/value pair; labels render in the given order.
+type label [2]string
+
+type labels []label
+
+func (ls labels) clone() labels { return append(labels(nil), ls...) }
+
+// builder writes exposition lines. It is deliberately dumb — formatting
+// only; family ordering and naming discipline live in the callers, and
+// Lint holds the result to the format rules.
+type builder struct {
+	w io.Writer
+}
+
+func newBuilder(w io.Writer) *builder { return &builder{w: w} }
+
+// family writes the # HELP / # TYPE preamble of one metric family.
+func (b *builder) family(name, help, typ string) {
+	fmt.Fprintf(b.w, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(b.w, "# TYPE %s %s\n", name, typ)
+}
+
+// sample writes one series line: name{labels} value.
+func (b *builder) sample(name string, ls labels, v float64) {
+	if len(ls) == 0 {
+		fmt.Fprintf(b.w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l[0])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l[1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	fmt.Fprintf(b.w, "%s %s\n", sb.String(), formatValue(v))
+}
+
+// formatValue renders a sample value; %g keeps integers exact (float64
+// holds every counter we track) and floats compact.
+func formatValue(v float64) string { return fmt.Sprintf("%g", v) }
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are fine).
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,283 @@
+package promexp_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"icb/internal/obs"
+	"icb/internal/obs/promexp"
+)
+
+// fullSnapshot exercises every family the exporter can render: bounds,
+// workers, estimates, a profiler with histogram buckets and a first bug,
+// and a merged fleet view with a label value needing escaping.
+func fullSnapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Executions:  1234,
+		States:      567,
+		Classes:     89,
+		CacheHits:   40,
+		CacheMisses: 60,
+		QueueDepth:  7,
+		Bugs:        2,
+		CurBound:    3,
+		SSEDropped:  5,
+		Bounds: []obs.BoundSnapshot{
+			{Bound: 0, Executions: 1, DurationNS: 1e6},
+			{Bound: 1, Executions: 233, DurationNS: 4e8},
+			{Bound: 2, Executions: 1000, DurationNS: 9e9},
+		},
+		Workers: []obs.WorkerSnapshot{
+			{Worker: 0, Executions: 600, Share: 0.6},
+			{Worker: 1, Executions: 400, Share: 0.4},
+		},
+		Estimates: []obs.BoundEstimate{
+			{Bound: 2, Executions: 1000, EstTotal: 4000, Fraction: 0.25, ETANanos: 30e9},
+		},
+		Profile: &obs.ProfileData{
+			SampleEvery: 16,
+			Phases: []obs.ProfilePhase{
+				{Phase: obs.PhaseReplay, Count: 1234, NS: 5e9, Buckets: []obs.ProfileBucket{
+					{LoNS: 1024, Count: 100},
+					{LoNS: 2048, Count: 900},
+					{LoNS: 8192, Count: 234},
+				}},
+				{Phase: obs.PhaseExplore, Count: 1234, NS: 4e9},
+			},
+			FirstBugs: []obs.ProfileFirstBug{
+				{Kind: "deadlock", Message: "ab-ba", Execution: 42, TNS: 7e9},
+				{Kind: "race", Message: "w-w", Execution: 9, TNS: 2e9},
+			},
+		},
+		Peers: []obs.PeerStatus{
+			{Peer: `http://127.0.0.1:8081`, Up: true, Executions: 700, Bugs: 1},
+			{Peer: "http://host\"quoted\\slash:8082", Up: false, Err: "dial", Executions: 534, Bugs: 1},
+		},
+	}
+}
+
+func render(t *testing.T, s obs.Snapshot) string {
+	t.Helper()
+	var sb strings.Builder
+	promexp.Write(&sb, s)
+	return sb.String()
+}
+
+// TestWriteLintClean is the promtool substitute the acceptance criteria
+// name: the full exporter output must pass every lint rule.
+func TestWriteLintClean(t *testing.T) {
+	out := render(t, fullSnapshot())
+	if probs := promexp.Lint(strings.NewReader(out)); len(probs) > 0 {
+		t.Fatalf("exporter output fails lint:\n%s\n--- payload ---\n%s", strings.Join(probs, "\n"), out)
+	}
+}
+
+// TestWriteMinimalLintClean checks the sparse shape too: a fresh search
+// with no bounds/workers/profile must also be lint-clean.
+func TestWriteMinimalLintClean(t *testing.T) {
+	out := render(t, obs.Snapshot{CurBound: -1})
+	if probs := promexp.Lint(strings.NewReader(out)); len(probs) > 0 {
+		t.Fatalf("minimal output fails lint:\n%s\n--- payload ---\n%s", strings.Join(probs, "\n"), out)
+	}
+	for _, want := range []string{
+		"icb_executions_total 0\n",
+		"icb_current_bound -1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("minimal output missing %q", want)
+		}
+	}
+	for _, absent := range []string{"icb_worker_", "icb_bound_", "icb_fleet_", "icb_profile_"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("minimal output should omit %s families", absent)
+		}
+	}
+}
+
+func TestWriteFamilies(t *testing.T) {
+	out := render(t, fullSnapshot())
+	for _, want := range []string{
+		"icb_executions_total 1234\n",
+		"icb_sse_dropped_events_total 5\n",
+		`icb_bound_executions_total{bound="2"} 1000`,
+		`icb_worker_executions_total{worker="1"} 400`,
+		`icb_worker_utilization_ratio{worker="0"} 0.6`,
+		`icb_bound_explored_ratio{bound="2"} 0.25`,
+		`icb_bound_eta_seconds{bound="2"} 30`,
+		"icb_profile_phase_seconds_total{phase=\"replay\"} 5\n",
+		"icb_fleet_peers 2\n",
+		"icb_fleet_peers_up 1\n",
+		`icb_fleet_peer_up{peer="http://127.0.0.1:8081"} 1`,
+		`icb_fleet_peer_executions{peer="http://127.0.0.1:8081"} 700`,
+		// Escaped label value: " -> \" and \ -> \\.
+		`icb_fleet_peer_up{peer="http://host\"quoted\\slash:8082"} 0`,
+		// Min over FirstBugs: 2e9 ns = 2 s.
+		"icb_first_bug_seconds 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- payload ---\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteHistogram pins the log2(ns) -> cumulative-seconds conversion:
+// bucket [lo, 2*lo) becomes le = 2*lo/1e9, counts accumulate, +Inf equals
+// _count equals the bucket-count sum.
+func TestWriteHistogram(t *testing.T) {
+	out := render(t, fullSnapshot())
+	for _, want := range []string{
+		`icb_profile_phase_duration_seconds_bucket{phase="replay",le="2.048e-06"} 100`,
+		`icb_profile_phase_duration_seconds_bucket{phase="replay",le="4.096e-06"} 1000`,
+		`icb_profile_phase_duration_seconds_bucket{phase="replay",le="1.6384e-05"} 1234`,
+		`icb_profile_phase_duration_seconds_bucket{phase="replay",le="+Inf"} 1234`,
+		`icb_profile_phase_duration_seconds_sum{phase="replay"} 5`,
+		`icb_profile_phase_duration_seconds_count{phase="replay"} 1234`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram output missing %q\n--- payload ---\n%s", want, out)
+		}
+	}
+	// The bucketless explore phase must not emit histogram children.
+	if strings.Contains(out, `icb_profile_phase_duration_seconds_bucket{phase="explore"`) {
+		t.Errorf("explore phase has no buckets but emitted histogram samples")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	h := promexp.Handler(func() obs.Snapshot { return fullSnapshot() })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != promexp.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, promexp.ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "icb_executions_total 1234") {
+		t.Errorf("handler body missing counters:\n%s", rec.Body.String())
+	}
+}
+
+// TestLintCatchesViolations seeds each class of malformed payload and
+// asserts the lint parser flags it — the guard that keeps the lint itself
+// honest, since a vacuous parser would pass everything.
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		want    string // substring of some problem
+	}{
+		{
+			"counter without _total",
+			"# HELP x_executions n.\n# TYPE x_executions counter\nx_executions 1\n",
+			"must end in _total",
+		},
+		{
+			"gauge with _total",
+			"# HELP x_depth_total n.\n# TYPE x_depth_total gauge\nx_depth_total 1\n",
+			"must not end in _total",
+		},
+		{
+			"sample before TYPE",
+			"x_thing 1\n",
+			"before any # TYPE",
+		},
+		{
+			"missing HELP",
+			"# TYPE x_thing gauge\nx_thing 1\n",
+			"before any # HELP",
+		},
+		{
+			"unknown type",
+			"# HELP x_t n.\n# TYPE x_t countr\nx_t 1\n",
+			"unknown type",
+		},
+		{
+			"duplicate series",
+			"# HELP x_g n.\n# TYPE x_g gauge\nx_g{a=\"1\"} 1\nx_g{a=\"1\"} 2\n",
+			"duplicate sample",
+		},
+		{
+			"interleaved families",
+			"# HELP x_a n.\n# TYPE x_a gauge\nx_a 1\n" +
+				"# HELP x_b n.\n# TYPE x_b gauge\nx_b 1\n" +
+				"x_a 2\n",
+			"interleaved",
+		},
+		{
+			"invalid metric name",
+			"# HELP x-bad n.\n# TYPE x-bad gauge\nx-bad 1\n",
+			"invalid metric name",
+		},
+		{
+			"invalid label name",
+			"# HELP x_l n.\n# TYPE x_l gauge\nx_l{__reserved=\"v\"} 1\n",
+			"invalid label name",
+		},
+		{
+			"unparseable value",
+			"# HELP x_v n.\n# TYPE x_v gauge\nx_v one\n",
+			"invalid value",
+		},
+		{
+			"unterminated label quoting",
+			"# HELP x_q n.\n# TYPE x_q gauge\nx_q{a=\"oops} 1\n",
+			"unparseable sample",
+		},
+		{
+			"histogram without +Inf",
+			"# HELP x_h n.\n# TYPE x_h histogram\n" +
+				"x_h_bucket{le=\"1\"} 1\nx_h_sum 1\nx_h_count 1\n",
+			"no +Inf bucket",
+		},
+		{
+			"histogram non-cumulative",
+			"# HELP x_h n.\n# TYPE x_h histogram\n" +
+				"x_h_bucket{le=\"1\"} 5\nx_h_bucket{le=\"2\"} 3\nx_h_bucket{le=\"+Inf\"} 5\n" +
+				"x_h_sum 1\nx_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"histogram +Inf != count",
+			"# HELP x_h n.\n# TYPE x_h histogram\n" +
+				"x_h_bucket{le=\"+Inf\"} 5\nx_h_sum 1\nx_h_count 7\n",
+			"+Inf bucket 5 != _count 7",
+		},
+		{
+			"histogram missing sum",
+			"# HELP x_h n.\n# TYPE x_h histogram\n" +
+				"x_h_bucket{le=\"+Inf\"} 5\nx_h_count 5\n",
+			"no _sum",
+		},
+		{
+			"histogram bucket without le",
+			"# HELP x_h n.\n# TYPE x_h histogram\n" +
+				"x_h_bucket 5\nx_h_bucket{le=\"+Inf\"} 5\nx_h_sum 1\nx_h_count 5\n",
+			"no le label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			probs := promexp.Lint(strings.NewReader(tc.payload))
+			for _, p := range probs {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Errorf("lint missed %q; got %v", tc.want, probs)
+		})
+	}
+}
+
+// TestLintCleanPayload guards against over-eager linting: a handwritten
+// well-formed payload with every family type passes.
+func TestLintCleanPayload(t *testing.T) {
+	payload := "# HELP a_total c.\n# TYPE a_total counter\na_total 3\n" +
+		"# HELP b g.\n# TYPE b gauge\nb{x=\"1\"} 2\nb{x=\"2\"} 4\n" +
+		"# HELP h hh.\n# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.5\nh_count 2\n"
+	if probs := promexp.Lint(strings.NewReader(payload)); len(probs) > 0 {
+		t.Fatalf("clean payload flagged: %v", probs)
+	}
+}
