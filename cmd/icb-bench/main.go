@@ -46,14 +46,15 @@ var log = slog.Default()
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, ablate, parallel, profile, all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, ablate, parallel, profile, bpor, all")
 		budget   = flag.Int("budget", 2000, "execution budget per strategy for growth curves")
 		sample   = flag.Int("sample", 0, "curve sampling stride (0 = budget/50)")
 		seed     = flag.Int64("seed", 1, "random-walk seed")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker engines for icb searches (1 = sequential reference search)")
 		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "JSON output path for -exp parallel (empty = stdout table only)")
 		profOut  = flag.String("profile-out", "BENCH_profile.json", "JSON output path for -exp profile (empty = stdout table only)")
-		baseline = flag.String("baseline", "", "baseline BENCH_profile.json to compare -exp profile against; regressions exit nonzero")
+		bporOut  = flag.String("bpor-out", "BENCH_bpor.json", "JSON output path for -exp bpor (empty = stdout table only)")
+		baseline = flag.String("baseline", "", "baseline report to compare -exp profile or -exp bpor against; regressions exit nonzero")
 		tol      = flag.Float64("tolerance", 0, "ratio tolerance for -baseline wall-clock metrics (0 = default 5.0)")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files into this directory (runs every experiment)")
 		progress = flag.Bool("progress", false, "print live search progress to stderr")
@@ -177,6 +178,14 @@ func main() {
 		// Run the profiler study directly so -profile-out and -baseline
 		// control the report path and the regression gate.
 		if err := exper.Profile(os.Stdout, cfg, *profOut, *baseline, *tol); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "bpor" {
+		// Run the reduction study directly so -bpor-out and -baseline
+		// control the report path and the regression gate.
+		if err := exper.BPOR(os.Stdout, cfg, *bporOut, *baseline); err != nil {
 			fatal(err)
 		}
 		return

@@ -79,6 +79,7 @@ func run() int {
 		bound    = flag.Int("bound", -1, "preemption bound for icb (-1 = run to exhaustion)")
 		execs    = flag.Int("execs", 0, "execution budget (0 = unlimited)")
 		cache    = flag.Bool("cache", false, "enable the Algorithm 1 work-item table (state caching)")
+		bpor     = flag.Bool("bpor", false, "enable bounded partial-order reduction (sleep sets + targeted backtracking) for the icb strategy")
 		noRaces  = flag.Bool("noraces", false, "disable the per-execution data-race detector")
 		goldi    = flag.Bool("goldilocks", false, "use the Goldilocks lockset race detector")
 		first    = flag.Bool("first", true, "stop at the first bug")
@@ -156,7 +157,7 @@ func run() int {
 		*progName, *bugID, *strategy = m.Program, m.Bug, m.Strategy
 		*bound, *execs, *seed, *workers = m.MaxBound, m.MaxExecutions, m.Seed, m.Workers
 		*cache, *noRaces, *goldi = m.StateCache, !m.CheckRaces, m.Goldilocks
-		*every, *first = m.EveryAccess, m.FirstBug
+		*every, *first, *bpor = m.EveryAccess, m.FirstBug, m.BPOR
 		*jrnlDir = *resume
 		fmt.Fprintf(human, "resuming campaign %s: run %s stopped at bound %d after %d executions (%d seeds + %d deferred remaining)\n",
 			*resume, ck.RunID, ck.State.Bound, ck.State.Result.Executions,
@@ -236,6 +237,7 @@ func run() int {
 		UseGoldilocks:  *goldi,
 		StopOnFirstBug: *first,
 		StateCache:     *cache,
+		BPOR:           *bpor,
 	}
 	if *every {
 		opt.Mode = sched.ModeEveryAccess
@@ -371,6 +373,7 @@ func run() int {
 				Workers: metaWorkers, MaxBound: *bound, MaxExecutions: *execs,
 				Seed: *seed, StateCache: *cache, CheckRaces: !*noRaces,
 				Goldilocks: *goldi, EveryAccess: *every, FirstBug: *first,
+				BPOR: *bpor,
 			},
 			Every:   *ckEvery,
 			Metrics: met,
@@ -683,6 +686,8 @@ func jsonResult(res core.Result) map[string]any {
 		"duration_ms":       float64(res.Duration.Microseconds()) / 1e3,
 		"cache_hits":        res.CacheHits,
 		"cache_misses":      res.CacheMisses,
+		"bpor":              res.BPOR,
+		"bpor_pruned":       res.BPORPruned,
 		"bound_stats":       bounds,
 		"bugs":              bugs,
 	}
@@ -780,6 +785,9 @@ func printResult(res core.Result) {
 		res.Strategy, res.Executions, res.States, res.ExecutionClasses, res.Exhausted)
 	fmt.Printf("maxK=%d maxB=%d maxPreemptions=%d boundCompleted=%d\n",
 		res.MaxSteps, res.MaxBlocking, res.MaxPreemptions, res.BoundCompleted)
+	if res.BPOR {
+		fmt.Printf("bpor: on, %d work items pruned\n", res.BPORPruned)
+	}
 	if len(res.Bugs) == 0 {
 		if res.BoundCompleted >= 0 {
 			fmt.Printf("no bugs: every execution with at most %d preemptions is correct\n", res.BoundCompleted)

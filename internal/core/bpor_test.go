@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// bporPrograms are the small fixed programs BPOR is compared against plain
+// ICB on: buggy and correct, lock-heavy and yield-heavy, one needing two
+// preemptions (so the conservative backtracking points matter).
+var bporPrograms = []struct {
+	name string
+	prog sched.Program
+}{
+	{"needsOne", needsOne},
+	{"needsTwo", needsTwo},
+	{"yielders", yielders},
+	{"smallRacefree", smallRacefree},
+}
+
+// TestBPORMatchesPlainICB is the core equivalence check: with and without
+// the reduction, an exhaustive ICB search must report the same bug set,
+// the same execution-class count, the same completed bound — while running
+// at most as many executions.
+func TestBPORMatchesPlainICB(t *testing.T) {
+	for _, cache := range []bool{false, true} {
+		for _, tc := range bporPrograms {
+			name := tc.name
+			if cache {
+				name += "/cache"
+			}
+			t.Run(name, func(t *testing.T) {
+				opt := icbOpts()
+				opt.StateCache = cache
+				plain := core.Explore(tc.prog, core.ICB{}, opt)
+				opt.BPOR = true
+				red := core.Explore(tc.prog, core.ICB{}, opt)
+
+				if !red.BPOR {
+					t.Fatal("Result.BPOR not set on a -bpor run")
+				}
+				if got, want := bugList(red), bugList(plain); !equalStrings(got, want) {
+					t.Errorf("bug sets differ: bpor=%v plain=%v", got, want)
+				}
+				if red.ExecutionClasses != plain.ExecutionClasses {
+					t.Errorf("ExecutionClasses = %d, plain = %d", red.ExecutionClasses, plain.ExecutionClasses)
+				}
+				if !red.Exhausted {
+					t.Error("bpor search did not exhaust")
+				}
+				if red.Executions > plain.Executions {
+					t.Errorf("bpor ran %d executions, plain %d — reduction made it worse",
+						red.Executions, plain.Executions)
+				}
+			})
+		}
+	}
+}
+
+// TestBPORFirstSightingMinimal checks the minimal-preemption-first
+// guarantee survives the reduction: the first sighting of each bug carries
+// the program's true minimal preemption count.
+func TestBPORFirstSightingMinimal(t *testing.T) {
+	for _, tc := range []struct {
+		prog sched.Program
+		want int
+	}{
+		{needsOne, 1},
+		{needsTwo, 2},
+	} {
+		opt := icbOpts()
+		opt.BPOR = true
+		opt.StopOnFirstBug = true
+		res := core.Explore(tc.prog, core.ICB{}, opt)
+		bug := res.FirstBug()
+		if bug == nil {
+			t.Fatal("no bug found under bpor")
+		}
+		if bug.Preemptions != tc.want {
+			t.Fatalf("bpor first sighting at %d preemptions, want %d", bug.Preemptions, tc.want)
+		}
+		// The exposing schedule must replay to the same failure.
+		if _, bugs := core.ReplayBugs(tc.prog, bug.Schedule, icbOpts()); len(bugs) == 0 {
+			t.Fatalf("bpor bug schedule %v does not replay", bug.Schedule)
+		}
+	}
+}
+
+// TestBPORSavesExecutions pins that the reduction actually prunes on a
+// program with independent work: fewer executions than plain ICB, a
+// positive BPORPruned, and identical classes.
+func TestBPORSavesExecutions(t *testing.T) {
+	opt := icbOpts()
+	opt.MaxPreemptions = 2
+	plain := core.Explore(smallRacefree, core.ICB{}, opt)
+	opt.BPOR = true
+	red := core.Explore(smallRacefree, core.ICB{}, opt)
+	if red.Executions >= plain.Executions {
+		t.Errorf("bpor executions = %d, plain = %d: no saving", red.Executions, plain.Executions)
+	}
+	if red.BPORPruned <= 0 {
+		t.Errorf("BPORPruned = %d, want > 0", red.BPORPruned)
+	}
+	if red.ExecutionClasses != plain.ExecutionClasses {
+		t.Errorf("ExecutionClasses = %d, plain = %d", red.ExecutionClasses, plain.ExecutionClasses)
+	}
+}
+
+// TestBPORParallelMatchesSequential checks the shared registration table
+// under concurrent workers preserves the deterministic outcomes (bug set,
+// classes, exhaustion); execution counts may differ run to run.
+func TestBPORParallelMatchesSequential(t *testing.T) {
+	opt := icbOpts()
+	opt.BPOR = true
+	seq := core.Explore(needsTwo, core.ICB{}, opt)
+	par := core.Explore(needsTwo, core.ParallelICB{Workers: 3}, opt)
+	if got, want := bugList(par), bugList(seq); !equalStrings(got, want) {
+		t.Errorf("parallel bug set %v != sequential %v", got, want)
+	}
+	if par.ExecutionClasses != seq.ExecutionClasses {
+		t.Errorf("parallel classes = %d, sequential = %d", par.ExecutionClasses, seq.ExecutionClasses)
+	}
+	if !par.Exhausted {
+		t.Error("parallel bpor search did not exhaust")
+	}
+}
+
+// TestBPORResumeRejectsMixing pins the checkpoint guard: a snapshot taken
+// with the reduction cannot seed a search without it, and vice versa.
+func TestBPORResumeRejectsMixing(t *testing.T) {
+	st := &core.SearchState{BPOR: true}
+	if err := core.ValidateResume(st, core.Options{}); err == nil {
+		t.Error("BPOR snapshot accepted by a non-BPOR search")
+	}
+	if err := core.ValidateResume(&core.SearchState{}, core.Options{BPOR: true}); err == nil {
+		t.Error("non-BPOR snapshot accepted by a BPOR search")
+	}
+	if err := core.ValidateResume(st, core.Options{BPOR: true}); err != nil {
+		t.Errorf("matching BPOR snapshot rejected: %v", err)
+	}
+}
+
+func bugList(r core.Result) []string {
+	var out []string
+	for _, b := range r.Bugs {
+		out = append(out, b.Kind.String()+": "+b.Message)
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[string]int{}
+	for _, s := range a {
+		seen[s]++
+	}
+	for _, s := range b {
+		if seen[s] == 0 {
+			return false
+		}
+		seen[s]--
+	}
+	return true
+}

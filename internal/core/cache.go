@@ -99,17 +99,26 @@ func newCache(fp *hb.Fingerprinter) *Cache {
 // the preemptions spent on the current path (see the soundness note in the
 // type docs); preemption-agnostic ones pass 0.
 func (c *Cache) TryTake(d sched.Decision, preempts int) bool {
+	return c.TryTakeAt(c.fp.Fingerprint(), d, preempts)
+}
+
+// TryTakeAt is TryTake keyed on an explicit state fingerprint instead of
+// the fingerprinter's current state. The BPOR layer uses it to register
+// backtracking work items at earlier points of the current execution: the
+// emission happens after the conflicting step ran, but the work item
+// belongs to the state recorded when the earlier point was passed.
+func (c *Cache) TryTakeAt(state uint64, d sched.Decision, preempts int) bool {
 	if c.probeNS == nil {
-		return c.tryTake(d, preempts)
+		return c.tryTake(state, d, preempts)
 	}
 	t0 := time.Now()
-	ok := c.tryTake(d, preempts)
+	ok := c.tryTake(state, d, preempts)
 	*c.probeNS += time.Since(t0).Nanoseconds()
 	return ok
 }
 
-func (c *Cache) tryTake(d sched.Decision, preempts int) bool {
-	k := cacheKey{state: c.fp.Fingerprint(), kind: d.Kind, preempts: int32(preempts)}
+func (c *Cache) tryTake(state uint64, d sched.Decision, preempts int) bool {
+	k := cacheKey{state: state, kind: d.Kind, preempts: int32(preempts)}
 	if d.Kind == sched.DecisionThread {
 		k.val = int32(d.Thread)
 	} else {

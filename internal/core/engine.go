@@ -41,6 +41,11 @@ type Engine struct {
 
 	cache *Cache
 
+	// bpor, when non-nil, is the search-global state of the bounded
+	// partial-order reduction (Options.BPOR); shared by every worker engine
+	// of a parallel search like the cache's table.
+	bpor *bporState
+
 	// Parallel-search plumbing, all nil/negative on a sequential engine so
 	// the hot path pays one nil-check each. stop is the search-wide abort
 	// flag shared by every worker (StopOnFirstBug, execution budget);
@@ -112,6 +117,9 @@ func NewEngine(prog sched.Program, opt Options) *Engine {
 		e.cache = newCache(e.fp)
 		e.cache.sink = e.sink
 		e.cache.met = e.met
+	}
+	if opt.BPOR {
+		e.bpor = newBPORState()
 	}
 	if e.met != nil {
 		e.met.CurBound.Store(-1)
@@ -221,6 +229,13 @@ func Explore(prog sched.Program, s Strategy, opt Options) Result {
 			e.sink.Profile(obs.ProfileEvent{Profile: e.prof.Profile()})
 		}
 	}
+	if e.bpor != nil {
+		e.res.BPOR = true
+		e.res.BPORPruned = e.bpor.netTotal()
+		if e.sink != nil {
+			e.sink.BPORStats(e.bpor.statsEvent(e.res.Executions))
+		}
+	}
 	if e.sink != nil {
 		e.sink.SearchDone(obs.SearchEvent{
 			Strategy:       e.res.Strategy,
@@ -321,6 +336,9 @@ func (e *Engine) CompleteBound(bound int) {
 			int64(e.res.Executions-e.boundStartExecs),
 			int64(e.classes.Len()-e.classesAtBound),
 			d.Nanoseconds())
+		if e.bpor != nil {
+			e.prof.NotePruned(bound, e.bpor.prunedNet(bound))
+		}
 		e.profBoundOpen = false
 	}
 	if e.sink != nil {
@@ -347,6 +365,9 @@ func (e *Engine) flushProfBound() {
 		int64(e.res.Executions-e.boundStartExecs),
 		int64(e.classes.Len()-e.classesAtBound),
 		time.Since(e.boundStart).Nanoseconds())
+	if e.bpor != nil {
+		e.prof.NotePruned(e.curBound, e.bpor.prunedNet(e.curBound))
+	}
 	e.profBoundOpen = false
 }
 
@@ -381,6 +402,10 @@ func (e *Engine) Options() Options { return e.opt }
 
 // Cache returns the work-item table, or nil when caching is disabled.
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// BPOR returns the search-global partial-order-reduction state, or nil
+// when the reduction is off.
+func (e *Engine) BPOR() *bporState { return e.bpor }
 
 // RunExecution runs one execution of the program under ctrl, records its
 // coverage and statistics, files any bug, and returns the outcome. done

@@ -150,6 +150,9 @@ func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.S
 			onPreempt: func(alt sched.Schedule) { *next = append(*next, alt) },
 			onLocal:   func(alt sched.Schedule) { stack = append(stack, alt) },
 		}
+		if b := e.BPOR(); b != nil {
+			ctrl.bpor = newBPORExec(b, bound)
+		}
 		before := e.Executions()
 		out, done := e.RunExecution(ctrl)
 		if done {
@@ -159,16 +162,42 @@ func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.S
 				// check above and the run); put it back so the checkpoint
 				// does not lose its subtree.
 				stack = append(stack, path)
+			} else if ctrl.bpor != nil {
+				// The execution ran to completion before the stop landed;
+				// flush its buffered backtracking items so the leftover
+				// stack (and any checkpoint built from it) is complete.
+				ctrl.bporFlush()
 			}
 			return stack, true
 		}
 		if out.Status == sched.StatusStopped {
-			// Cut by the work-item cache: the subtree was already explored.
+			// Cut by the work-item cache: the subtree was already explored,
+			// but the replayed prefix's scans may have queued backtracking
+			// items that are not covered by it.
+			if ctrl.bpor != nil {
+				ctrl.bporFlush()
+			}
 			continue
 		}
+		if ctrl.bpor != nil {
+			switch out.Status {
+			case sched.StatusAssertFailed, sched.StatusPanic, sched.StatusStepLimit:
+				// The execution was truncated before the surviving threads'
+				// remaining steps could run their backtracking scans; fall
+				// back to blind branching along it (see bporExpandTruncated).
+				ctrl.bporExpandTruncated()
+			}
+			ctrl.bporFlush()
+		}
 		if out.Preemptions != bound {
-			panic(fmt.Sprintf("icb: execution at bound %d had %d preemptions (schedule %v)",
-				bound, out.Preemptions, out.Decisions))
+			// Under BPOR a backtracking work item can cost fewer preemptions
+			// than the bound being drained (reversing a race may remove the
+			// preemption the original path spent); plain ICB generates each
+			// bound's work at exactly that bound.
+			if ctrl.bpor == nil || out.Preemptions > bound {
+				panic(fmt.Sprintf("icb: execution at bound %d had %d preemptions (schedule %v)",
+					bound, out.Preemptions, out.Decisions))
+			}
 		}
 	}
 	return nil, false
@@ -191,6 +220,11 @@ type icbController struct {
 
 	onPreempt func(sched.Schedule)
 	onLocal   func(sched.Schedule)
+
+	// bpor, when non-nil, activates bounded partial-order reduction for
+	// this execution: sleep sets and targeted backtracking replace the
+	// blind expansion of the extension phase (see bpor.go).
+	bpor *bporExec
 
 	// profClock, set by a profiling engine before the run, arms the
 	// replay/explore split: replayDoneAt is stamped once, at the first
@@ -231,13 +265,24 @@ func (c *icbController) PickThread(info sched.PickInfo) (sched.TID, bool) {
 		if !info.IsEnabled(d.Thread) {
 			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: fmt.Sprintf("enabled set %v", info.Enabled)})
 		}
+		if c.bpor != nil {
+			// Before the preemption increment: recorded point costs are the
+			// preemptions spent before this decision.
+			c.bporReplayThread(info, d.Thread)
+		}
 		if info.PrevEnabled && d.Thread != info.Prev {
 			c.preempts++ // replayed preempting switch (Appendix A)
 		}
 		c.cur = append(c.cur, d)
+		if c.bpor != nil {
+			c.bpor.note(d)
+		}
 		return d.Thread, true
 	}
 	c.markExplore()
+	if c.bpor != nil {
+		return c.bporExtendThread(info)
+	}
 	if info.PrevEnabled {
 		// Lines 26–32 of Algorithm 1: the running thread continues;
 		// scheduling any other enabled thread costs a preemption and is
@@ -278,6 +323,9 @@ func (c *icbController) PickData(t sched.TID, n int) int {
 			panic(&sched.ReplayError{Pos: c.pos - 1, Want: d, Got: fmt.Sprintf("a data choice over %d values", n)})
 		}
 		c.cur = append(c.cur, d)
+		if c.bpor != nil {
+			c.bpor.note(d)
+		}
 		return d.Data
 	}
 	c.markExplore()
@@ -292,5 +340,11 @@ func (c *icbController) PickData(t sched.TID, n int) int {
 		}
 	}
 	c.cur = append(c.cur, sched.DataDecision(0))
+	if c.bpor != nil {
+		// Data decisions extend the registration-key prefix (they are part
+		// of the decision sequence) but are never scheduling points of the
+		// reduction: no bporPoint, no sleep interaction.
+		c.bpor.note(sched.DataDecision(0))
+	}
 	return 0
 }

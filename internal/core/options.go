@@ -48,6 +48,18 @@ type Options struct {
 	// SampleEvery controls how often a coverage-curve point is recorded (in
 	// executions); 0 means every execution.
 	SampleEvery int
+	// BPOR enables bounded partial-order reduction on the ICB search (see
+	// bpor.go): sleep sets suppress re-exploration of already-covered
+	// first-steps within a bound, and the blind next-bound expansion at
+	// preemptible points is replaced by dependency-targeted backtracking
+	// points plus the conservative points at the prior context switch that
+	// preemption bounding requires for soundness. The explored execution
+	// set shrinks while the per-bound trace coverage — and with it the bug
+	// set, the ExecutionClasses count and the minimal-preemption first
+	// sighting — is preserved; exact per-bound execution counts are not
+	// (Theorem 1 counting experiments run with BPOR off). Ignored by
+	// non-ICB strategies.
+	BPOR bool
 	// StateCache enables the work-item table of Algorithm 1 (see Cache):
 	// subtrees rooted at already-visited (state, decision) pairs are pruned.
 	// Indispensable for exhaustive coverage runs; leave off when exact
@@ -282,6 +294,15 @@ type Result struct {
 	// BoundStats records per-bound execution counts and wall times, in
 	// completion order (bounded strategies only).
 	BoundStats []BoundStat `json:"bound_stats,omitempty"`
+	// BPOR records that bounded partial-order reduction was active, so
+	// result documents and repro bundles are never mistaken for plain-ICB
+	// ones (execution counts are not comparable across the two).
+	BPOR bool `json:"bpor,omitempty"`
+	// BPORPruned is the number of work items the reduction suppressed
+	// relative to blind expansion (net of the backtracking items it added
+	// instead, floored at zero per bound). Each suppressed item is at least
+	// one execution the search did not run.
+	BPORPruned int64 `json:"bpor_pruned,omitempty"`
 }
 
 // FirstBug returns the first found bug, or nil.

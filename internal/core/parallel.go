@@ -152,6 +152,12 @@ func newWorkerEngine(parent *Engine, worker int, ps *parSearch) *Engine {
 		stop:        ps.stop,
 		sharedExecs: &ps.execs,
 		prof:        parent.prof,
+		// The BPOR registration table is search-global like the work-item
+		// table: workers share the parent's (its own mutex serializes them).
+		// Registration order then depends on worker interleaving, so — as
+		// with caching — execution counts under the reduction vary across
+		// runs while the bug set, BoundCompleted and the class counts do not.
+		bpor: parent.bpor,
 	}
 	if e.prof != nil {
 		// Contention-observed inserts: per-worker lock observers on the

@@ -52,6 +52,30 @@ type SearchState struct {
 	CacheKeys   []CacheKeyState `json:"cache_keys,omitempty"`
 	CacheHits   int             `json:"cache_hits,omitempty"`
 	CacheMisses int             `json:"cache_misses,omitempty"`
+	// BPOR records that the snapshot was taken by a search with bounded
+	// partial-order reduction enabled; BPORSeen is its registration table
+	// (taken and enqueued (prefix, decision) pairs with their order),
+	// sorted by key for byte-stable serialization. A BPOR snapshot cannot
+	// resume into a non-BPOR search or vice versa: the two prune different
+	// work items, so mixing them double-explores or loses subtrees.
+	BPOR     bool            `json:"bpor,omitempty"`
+	BPORSeen []BPORSeenEntry `json:"bpor_seen,omitempty"`
+	// BPORCounters carries the reduction's accounting (per-bound
+	// suppressed/emitted, sleep-blocked runs) across a resume, so pruned
+	// totals keep accumulating instead of restarting at zero.
+	BPORCounters *BPORCounters `json:"bpor_counters,omitempty"`
+}
+
+// BPORCounters is the serialized pruning accounting of a BPOR search.
+type BPORCounters struct {
+	// Suppressed and Emitted are per-bound (index = bound, trailing zeros
+	// trimmed): blind sibling pushes suppressed, backtracking items
+	// emitted in their place.
+	Suppressed []int64 `json:"suppressed,omitempty"`
+	Emitted    []int64 `json:"emitted,omitempty"`
+	// SleepBlocked counts free scheduling points whose enabled threads
+	// were all asleep (the execution continued redundantly past them).
+	SleepBlocked int64 `json:"sleep_blocked,omitempty"`
 }
 
 // CacheKeyState is one serialized work-item-table registration.
@@ -135,6 +159,11 @@ func (e *Engine) exportState(bound int, seeds, next []sched.Schedule) *SearchSta
 		st.CacheHits = e.cache.hits
 		st.CacheMisses = e.cache.misses
 	}
+	if e.bpor != nil {
+		st.BPOR = true
+		st.BPORSeen = e.bpor.export()
+		st.BPORCounters = e.bpor.exportCounters()
+	}
 	return st
 }
 
@@ -158,6 +187,10 @@ func (e *Engine) importState(st *SearchState) {
 	}
 	if e.cache != nil {
 		e.cache.restore(st.CacheKeys, st.CacheHits, st.CacheMisses)
+	}
+	if e.bpor != nil {
+		e.bpor.restore(st.BPORSeen)
+		e.bpor.restoreCounters(st.BPORCounters)
 	}
 	if e.met != nil {
 		e.met.Executions.Store(int64(e.res.Executions))
@@ -195,6 +228,12 @@ func ValidateResume(st *SearchState, opt Options) error {
 	}
 	if opt.StateCache && st.Result.Executions > 0 && len(st.CacheKeys) == 0 {
 		return fmt.Errorf("core: state caching is on but the resume state has no work-item table")
+	}
+	if st.BPOR != opt.BPOR {
+		if st.BPOR {
+			return fmt.Errorf("core: resume state was captured with partial-order reduction (-bpor) but the search runs without it")
+		}
+		return fmt.Errorf("core: resume state was captured without partial-order reduction but the search runs with -bpor")
 	}
 	return nil
 }

@@ -1,0 +1,357 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"icb/internal/core"
+	"icb/internal/sched"
+)
+
+// bporReportVersion identifies the BENCH_bpor.json schema; bump it when
+// the report shape changes incompatibly, which makes CompareBPOR refuse
+// stale baselines instead of misreading them.
+const bporReportVersion = 1
+
+// bporBoundFor picks the preemption bound for one benchmark's reduction
+// sweep. Bound 2 everywhere it completes within a sane budget; Dryad's
+// bound-2 space is out of reach uncached (hundreds of thousands of
+// executions), so it is measured at bound 1, where the sweep completes
+// and the reduction's savings are still visible.
+func bporBoundFor(name string) int {
+	if name == "Dryad Channels" {
+		return 1
+	}
+	return 2
+}
+
+// BPORBugRecord is one bug variant's first-sighting comparison: a
+// StopOnFirstBug run at the bug's documented minimal bound, once plain
+// and once with the reduction on. Theorem 1's minimal-first guarantee
+// must survive the reduction: same kind, same preemption count, and the
+// reduced search may not need more executions to get there.
+type BPORBugRecord struct {
+	// ID is "<benchmark>/<variant>", e.g. "wsq/steal-unlocked".
+	ID string `json:"id"`
+	// Kind is the reported bug classification (identical in both runs).
+	Kind string `json:"kind"`
+	// Preemptions is the first sighting's preemption count (identical in
+	// both runs, and equal to the documented minimal bound).
+	Preemptions int `json:"preemptions"`
+	// PlainExecution / BPORExecution are the 1-based exposing execution
+	// indices of the two runs.
+	PlainExecution int `json:"plain_execution"`
+	BPORExecution  int `json:"bpor_execution"`
+}
+
+// BPORBenchmark is one benchmark's reduction measurement: two sequential
+// uncached ICB sweeps of the Correct variant at the same bound — plain
+// and with BPOR — plus the per-bug first-sighting comparisons. Sequential
+// and uncached, so every field except wall clock is exactly reproducible.
+type BPORBenchmark struct {
+	Name string `json:"name"`
+	// Bound is the preemption bound both sweeps completed.
+	Bound int `json:"bound"`
+	// PlainExecutions / BPORExecutions are the two sweeps' execution
+	// counts; Saved is their difference and SavedFrac is Saved relative
+	// to the plain sweep.
+	PlainExecutions int     `json:"plain_executions"`
+	BPORExecutions  int     `json:"bpor_executions"`
+	Saved           int     `json:"saved"`
+	SavedFrac       float64 `json:"saved_frac"`
+	// Classes is the happens-before class count, identical in both sweeps
+	// (checked at generation time: the reduction may not lose classes).
+	Classes int `json:"classes"`
+	// Pruned is the reduced sweep's net suppressed work-item count
+	// (suppressed seeds minus backtrack items emitted in their place).
+	Pruned int64 `json:"pruned"`
+	// PlainDurationNS / BPORDurationNS are the sweeps' wall clocks
+	// (host-dependent; every other field is deterministic).
+	PlainDurationNS int64 `json:"plain_duration_ns"`
+	BPORDurationNS  int64 `json:"bpor_duration_ns"`
+	// FirstBugs holds the benchmark's bug variants' sighting comparisons.
+	FirstBugs []BPORBugRecord `json:"first_bugs,omitempty"`
+}
+
+// BPORReport is what `icb-bench -exp bpor` writes to BENCH_bpor.json:
+// per-benchmark executions-saved measurements with the soundness
+// invariants (equal classes, equal bug sets, preserved minimal first
+// sightings) already enforced at generation time, so a checked-in report
+// is itself a certificate that the reduction lost nothing on these
+// benchmarks.
+type BPORReport struct {
+	Version int `json:"version"`
+	// Budget is the per-sweep execution cap (sweeps must complete their
+	// bound within it; generation fails otherwise).
+	Budget     int             `json:"budget"`
+	Benchmarks []BPORBenchmark `json:"benchmarks"`
+}
+
+// BPORData measures the reduction report. For every benchmark it runs
+// the Correct variant twice at the benchmark's bound — plain ICB and
+// BPOR, both sequential and uncached so the comparison isolates what the
+// reduction alone saves — and then every bug variant twice under
+// StopOnFirstBug at the bug's documented minimal bound. Any lost class,
+// changed bug set, displaced first sighting, or execution-count increase
+// is an error, not a data point: a report only exists if the reduction
+// was sound on every benchmark.
+func BPORData(cfg Config) (BPORReport, error) {
+	cfg.fill()
+	// The uncached sweeps are larger than the cached growth-curve runs the
+	// default Budget is sized for (Dryad's bound-1 space alone is ~18k
+	// executions), so the cap scales up from it.
+	budget := cfg.Budget * 20
+	rep := BPORReport{Version: bporReportVersion, Budget: budget}
+	for _, b := range Benchmarks() {
+		bound := bporBoundFor(b.Name)
+		opt := core.Options{MaxPreemptions: bound, MaxExecutions: budget}
+		plain := explore(b.Correct, core.ICB{}, opt, cfg)
+		opt.BPOR = true
+		red := explore(b.Correct, core.ICB{}, opt, cfg)
+		if plain.BoundCompleted < bound || red.BoundCompleted < bound {
+			return rep, fmt.Errorf("bpor: %s: sweep did not complete bound %d within %d executions (plain reached %d, bpor %d); raise Budget",
+				b.Name, bound, budget, plain.BoundCompleted, red.BoundCompleted)
+		}
+		if !red.BPOR {
+			return rep, fmt.Errorf("bpor: %s: reduced run did not record BPOR as active", b.Name)
+		}
+		if red.ExecutionClasses != plain.ExecutionClasses {
+			return rep, fmt.Errorf("bpor: %s: reduction changed class count %d -> %d at bound %d (lost or invented happens-before classes)",
+				b.Name, plain.ExecutionClasses, red.ExecutionClasses, bound)
+		}
+		if d := diffBugSets(plain, red); d != "" {
+			return rep, fmt.Errorf("bpor: %s: reduction changed the bug set at bound %d: %s", b.Name, bound, d)
+		}
+		if red.Executions > plain.Executions {
+			return rep, fmt.Errorf("bpor: %s: reduction ran more executions than plain ICB (%d > %d)",
+				b.Name, red.Executions, plain.Executions)
+		}
+		pb := BPORBenchmark{
+			Name:            b.Name,
+			Bound:           bound,
+			PlainExecutions: plain.Executions,
+			BPORExecutions:  red.Executions,
+			Saved:           plain.Executions - red.Executions,
+			Classes:         plain.ExecutionClasses,
+			Pruned:          red.BPORPruned,
+			PlainDurationNS: plain.Duration.Nanoseconds(),
+			BPORDurationNS:  red.Duration.Nanoseconds(),
+		}
+		if plain.Executions > 0 {
+			pb.SavedFrac = float64(pb.Saved) / float64(plain.Executions)
+		}
+		for i := range b.Bugs {
+			bug := b.Bugs[i]
+			fb, err := bporFirstSighting(b.Name, bug.ID, bug.Program, bug.Bound, cfg)
+			if err != nil {
+				return rep, err
+			}
+			if fb.Kind != bug.Kind {
+				return rep, fmt.Errorf("bpor: %s/%s: first bug kind %q, documented %q", b.Name, bug.ID, fb.Kind, bug.Kind)
+			}
+			pb.FirstBugs = append(pb.FirstBugs, fb)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, pb)
+	}
+	return rep, nil
+}
+
+// bporFirstSighting runs one bug variant to its first sighting twice —
+// plain and reduced — and checks Theorem 1's guarantee survives the
+// reduction: same bug kind, same (minimal) preemption count, and no more
+// executions needed to reach it.
+func bporFirstSighting(bench, id string, prog sched.Program, bound int, cfg Config) (BPORBugRecord, error) {
+	rec := BPORBugRecord{ID: bench + "/" + id}
+	opt := core.Options{MaxPreemptions: bound, StopOnFirstBug: true}
+	plain := explore(prog, core.ICB{}, opt, cfg)
+	opt.BPOR = true
+	red := explore(prog, core.ICB{}, opt, cfg)
+	pfb, rfb := plain.FirstBug(), red.FirstBug()
+	if pfb == nil || rfb == nil {
+		return rec, fmt.Errorf("bpor: %s: bug not found within bound %d (plain found=%v, bpor found=%v)",
+			rec.ID, bound, pfb != nil, rfb != nil)
+	}
+	if rfb.Kind != pfb.Kind || rfb.Message != pfb.Message {
+		return rec, fmt.Errorf("bpor: %s: reduction changed the first bug: %v vs %v", rec.ID, rfb, pfb)
+	}
+	if rfb.Preemptions != pfb.Preemptions {
+		return rec, fmt.Errorf("bpor: %s: reduction displaced the first sighting from %d to %d preemptions",
+			rec.ID, pfb.Preemptions, rfb.Preemptions)
+	}
+	if rfb.Execution > pfb.Execution {
+		return rec, fmt.Errorf("bpor: %s: reduction delayed the first sighting from execution %d to %d",
+			rec.ID, pfb.Execution, rfb.Execution)
+	}
+	rec.Kind = pfb.Kind.String()
+	rec.Preemptions = pfb.Preemptions
+	rec.PlainExecution = pfb.Execution
+	rec.BPORExecution = rfb.Execution
+	return rec, nil
+}
+
+// diffBugSets compares the (kind, message) bug sets of two results and
+// returns a description of the difference, or "" when identical.
+func diffBugSets(plain, red core.Result) string {
+	keys := func(r core.Result) []string {
+		var ks []string
+		for i := range r.Bugs {
+			ks = append(ks, r.Bugs[i].Kind.String()+": "+r.Bugs[i].Message)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	p, q := keys(plain), keys(red)
+	if len(p) != len(q) {
+		return fmt.Sprintf("plain found %d bugs, reduced found %d", len(p), len(q))
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return fmt.Sprintf("plain has %q, reduced has %q", p[i], q[i])
+		}
+	}
+	return ""
+}
+
+// savedSlack is the absolute headroom allowed on the deterministic saved
+// fraction before it counts as a regression. It should not move at all on
+// an unchanged tree; shrinkage means the reduction prunes less than it
+// used to.
+const savedSlack = 0.02
+
+// CompareBPOR checks cur against a baseline report. It returns the list
+// of regressions — empty means the reduction is no weaker than the
+// baseline. The soundness invariants (classes, bug sets, sightings) are
+// enforced when a report is generated, so the comparison only polices
+// the savings: deterministic metrics compare exactly when the budgets
+// match, and improvements pass silently.
+func CompareBPOR(cur, base BPORReport) []string {
+	var regs []string
+	if base.Version != cur.Version {
+		return []string{fmt.Sprintf("baseline schema version %d != current %d; regenerate the baseline", base.Version, cur.Version)}
+	}
+	sameBudget := base.Budget == cur.Budget
+	curBy := make(map[string]*BPORBenchmark, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		curBy[cur.Benchmarks[i].Name] = &cur.Benchmarks[i]
+	}
+	for i := range base.Benchmarks {
+		bb := &base.Benchmarks[i]
+		cb, ok := curBy[bb.Name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: benchmark missing from current report", bb.Name))
+			continue
+		}
+		if cb.Bound != bb.Bound {
+			regs = append(regs, fmt.Sprintf("%s: measured at bound %d, baseline at bound %d; regenerate the baseline",
+				bb.Name, cb.Bound, bb.Bound))
+			continue
+		}
+		if sameBudget && cb.BPORExecutions > bb.BPORExecutions {
+			regs = append(regs, fmt.Sprintf("%s: reduced sweep grew %d -> %d executions (reduction prunes less)",
+				bb.Name, bb.BPORExecutions, cb.BPORExecutions))
+		}
+		if sameBudget && cb.SavedFrac < bb.SavedFrac-savedSlack {
+			regs = append(regs, fmt.Sprintf("%s: saved fraction shrank %.3f -> %.3f",
+				bb.Name, bb.SavedFrac, cb.SavedFrac))
+		}
+		baseBugs := make(map[string]*BPORBugRecord, len(bb.FirstBugs))
+		for j := range bb.FirstBugs {
+			baseBugs[bb.FirstBugs[j].ID] = &bb.FirstBugs[j]
+		}
+		for j := range cb.FirstBugs {
+			cfb := &cb.FirstBugs[j]
+			bfb, ok := baseBugs[cfb.ID]
+			if !ok {
+				continue // new bug variant: new coverage, not a regression
+			}
+			delete(baseBugs, cfb.ID)
+			if cfb.BPORExecution > bfb.BPORExecution {
+				regs = append(regs, fmt.Sprintf("%s: reduced first sighting moved from execution %d to %d",
+					cfb.ID, bfb.BPORExecution, cfb.BPORExecution))
+			}
+		}
+		for id := range baseBugs {
+			regs = append(regs, fmt.Sprintf("%s: bug variant missing from current report", id))
+		}
+	}
+	sort.Strings(regs)
+	return regs
+}
+
+// BPOR runs the reduction experiment and renders it to w. When jsonPath
+// is non-empty the report is written there as indented JSON; when
+// baselinePath is non-empty the report is compared against that baseline
+// and an error listing every regression is returned if the reduction got
+// weaker.
+func BPOR(w io.Writer, cfg Config, jsonPath, baselinePath string) error {
+	// Read the baseline before anything is written: jsonPath and
+	// baselinePath are the same file in the common "compare against the
+	// checked-in report, then refresh it" invocation.
+	var base BPORReport
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("bpor baseline: %w", err)
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("bpor baseline %s: %w", baselinePath, err)
+		}
+	}
+	rep, err := BPORData(cfg)
+	if err != nil {
+		return err
+	}
+	renderBPOR(w, rep)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	if baselinePath != "" {
+		regs := CompareBPOR(rep, base)
+		if len(regs) > 0 {
+			fmt.Fprintf(w, "%d regression(s) vs %s:\n", len(regs), baselinePath)
+			for _, r := range regs {
+				fmt.Fprintf(w, "  %s\n", r)
+			}
+			return fmt.Errorf("bpor: %d regression(s) vs baseline %s:\n  %s",
+				len(regs), baselinePath, strings.Join(regs, "\n  "))
+		}
+		fmt.Fprintf(w, "no regressions vs %s\n", baselinePath)
+	}
+	return nil
+}
+
+// renderBPOR prints the human-readable report: per benchmark the two
+// sweeps' economics and every bug's sighting comparison.
+func renderBPOR(w io.Writer, rep BPORReport) {
+	fmt.Fprintf(w, "Bounded partial-order reduction: plain vs BPOR ICB sweeps "+
+		"(sequential, uncached, per-sweep cap %d executions).\n", rep.Budget)
+	fmt.Fprintf(w, "%-22s %5s %10s %10s %8s %7s %8s %8s\n",
+		"Program", "bound", "plain", "bpor", "saved", "saved%", "classes", "pruned")
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		fmt.Fprintf(w, "%-22s %5d %10d %10d %8d %6.1f%% %8d %8d\n",
+			b.Name, b.Bound, b.PlainExecutions, b.BPORExecutions, b.Saved,
+			100*b.SavedFrac, b.Classes, b.Pruned)
+		for _, fb := range b.FirstBugs {
+			fmt.Fprintf(w, "    first bug %-32s %d preemptions, execution %d plain / %d bpor\n",
+				fb.ID, fb.Preemptions, fb.PlainExecution, fb.BPORExecution)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package exper
+
+// Tests of the reduction experiment: the Theorem-1 pin asserts the
+// reduction never costs a first sighting anything on the seeded
+// benchmarks, the comparator tests cover the CI perf gate, and
+// BenchmarkBPOR measures the sweeps the BENCH_bpor.json report is built
+// from.
+
+import (
+	"strings"
+	"testing"
+
+	"icb/internal/core"
+	"icb/internal/progs"
+)
+
+// TestBPORPinsFirstSightings pins the reduction against Theorem 1 on
+// every seeded benchmark bug: BPOR bounded to the bug's documented
+// minimal preemption count finds the identical first bug (same kind,
+// same message, sighted at exactly the minimal count) with no more
+// executions than the unreduced search needs.
+func TestBPORPinsFirstSightings(t *testing.T) {
+	cfg := Config{}
+	for _, b := range Benchmarks() {
+		for i := range b.Bugs {
+			bug := b.Bugs[i]
+			t.Run(b.Name+"/"+bug.ID, func(t *testing.T) {
+				opt := core.Options{MaxPreemptions: bug.Bound, StopOnFirstBug: true}
+				plain := explore(bug.Program, core.ICB{}, opt, cfg)
+				opt.BPOR = true
+				red := explore(bug.Program, core.ICB{}, opt, cfg)
+				pfb, rfb := plain.FirstBug(), red.FirstBug()
+				if pfb == nil {
+					t.Fatalf("plain ICB at bound %d finds nothing", bug.Bound)
+				}
+				if rfb == nil {
+					t.Fatalf("reduction at bound %d loses the bug plain ICB finds at execution %d",
+						bug.Bound, pfb.Execution)
+				}
+				if rfb.Kind != pfb.Kind || rfb.Message != pfb.Message {
+					t.Errorf("reduction changed the first bug: %v, plain found %v", rfb, pfb)
+				}
+				if rfb.Preemptions != bug.Bound {
+					t.Errorf("reduction sighted the bug at %d preemptions, documented minimum is %d",
+						rfb.Preemptions, bug.Bound)
+				}
+				if red.Executions > plain.Executions {
+					t.Errorf("reduction needed %d executions to the sighting, plain needed %d",
+						red.Executions, plain.Executions)
+				}
+			})
+		}
+	}
+}
+
+func bporFixture() BPORReport {
+	return BPORReport{
+		Version: bporReportVersion,
+		Budget:  40000,
+		Benchmarks: []BPORBenchmark{{
+			Name:            "wsq",
+			Bound:           2,
+			PlainExecutions: 336,
+			BPORExecutions:  300,
+			Saved:           36,
+			SavedFrac:       36.0 / 336,
+			Classes:         199,
+			FirstBugs: []BPORBugRecord{
+				{ID: "wsq/steal-unlocked", Preemptions: 2, PlainExecution: 46, BPORExecution: 44},
+			},
+		}},
+	}
+}
+
+func bporRegsContaining(t *testing.T, regs []string, want string) {
+	t.Helper()
+	for _, r := range regs {
+		if strings.Contains(r, want) {
+			return
+		}
+	}
+	t.Errorf("no regression mentions %q in %v", want, regs)
+}
+
+func TestCompareBPORClean(t *testing.T) {
+	base := bporFixture()
+	cur := bporFixture()
+	// Improvements must pass: a stronger reduction, an earlier sighting,
+	// and a new bug variant are all fine.
+	cur.Benchmarks[0].BPORExecutions = 250
+	cur.Benchmarks[0].Saved = 86
+	cur.Benchmarks[0].SavedFrac = 86.0 / 336
+	cur.Benchmarks[0].FirstBugs[0].BPORExecution = 30
+	cur.Benchmarks[0].FirstBugs = append(cur.Benchmarks[0].FirstBugs,
+		BPORBugRecord{ID: "wsq/new-variant", Preemptions: 1, PlainExecution: 9, BPORExecution: 7})
+	if regs := CompareBPOR(cur, base); len(regs) != 0 {
+		t.Errorf("improvements flagged as regressions: %v", regs)
+	}
+}
+
+func TestCompareBPORRegressions(t *testing.T) {
+	base := bporFixture()
+
+	cur := bporFixture()
+	cur.Benchmarks[0].BPORExecutions = 400
+	bporRegsContaining(t, CompareBPOR(cur, base), "reduced sweep grew")
+
+	cur = bporFixture()
+	cur.Benchmarks[0].SavedFrac = 0.01
+	bporRegsContaining(t, CompareBPOR(cur, base), "saved fraction shrank")
+
+	cur = bporFixture()
+	cur.Benchmarks[0].FirstBugs[0].BPORExecution = 60
+	bporRegsContaining(t, CompareBPOR(cur, base), "first sighting moved")
+
+	cur = bporFixture()
+	cur.Benchmarks[0].FirstBugs = nil
+	bporRegsContaining(t, CompareBPOR(cur, base), "bug variant missing")
+
+	cur = bporFixture()
+	cur.Benchmarks[0].Bound = 1
+	bporRegsContaining(t, CompareBPOR(cur, base), "measured at bound")
+
+	cur = bporFixture()
+	cur.Benchmarks = nil
+	bporRegsContaining(t, CompareBPOR(cur, base), "benchmark missing")
+
+	cur = bporFixture()
+	cur.Version = bporReportVersion + 1
+	bporRegsContaining(t, CompareBPOR(cur, base), "schema version")
+}
+
+// TestCompareBPORBudgetScaling: with a different per-sweep cap the
+// deterministic counters are incomparable and must stay quiet.
+func TestCompareBPORBudgetScaling(t *testing.T) {
+	base := bporFixture()
+	cur := bporFixture()
+	cur.Budget = 80000
+	cur.Benchmarks[0].BPORExecutions = 400
+	cur.Benchmarks[0].SavedFrac = 0.01
+	if regs := CompareBPOR(cur, base); len(regs) != 0 {
+		t.Errorf("budget change flagged deterministic metrics: %v", regs)
+	}
+}
+
+// BenchmarkBPOR measures the report's sweep pairs on the work-stealing
+// queue (fine-grained atomics) and Bluetooth (lock-heavy): a full bound-2
+// uncached sweep per iteration, with and without the reduction. The
+// on/off ratio of ns/op is the reduction's raw-speed win on that shape.
+func BenchmarkBPOR(b *testing.B) {
+	for _, name := range []string{"Work Stealing Queue", "Bluetooth"} {
+		var bench *progs.Benchmark
+		for _, cand := range Benchmarks() {
+			if cand.Name == name {
+				bench = cand
+			}
+		}
+		if bench == nil {
+			b.Fatalf("benchmark %q not seeded", name)
+		}
+		for _, bpor := range []bool{false, true} {
+			label := "/plain"
+			if bpor {
+				label = "/bpor"
+			}
+			b.Run(bench.Name+label, func(b *testing.B) {
+				var execs int
+				for i := 0; i < b.N; i++ {
+					res := explore(bench.Correct, core.ICB{}, core.Options{
+						MaxPreemptions: 2,
+						MaxExecutions:  40000,
+						BPOR:           bpor,
+					}, Config{})
+					execs = res.Executions
+				}
+				b.ReportMetric(float64(execs), "execs/sweep")
+			})
+		}
+	}
+}

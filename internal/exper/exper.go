@@ -129,6 +129,10 @@ func Run(name string, w io.Writer, cfg Config) error {
 		// Excluded from "all" for the same reason; icb-bench calls Profile
 		// directly to control the JSON and baseline paths.
 		return Profile(w, cfg, "", "", 0)
+	case "bpor":
+		// Excluded from "all" likewise; icb-bench calls BPOR directly to
+		// control the JSON and baseline paths.
+		return BPOR(w, cfg, "", "")
 	case "all":
 		for _, n := range Experiments() {
 			if err := Run(n, w, cfg); err != nil {

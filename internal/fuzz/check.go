@@ -92,6 +92,7 @@ func CheckAgainstTruth(spec *Spec, truth *Truth, lim Limits) []Discrepancy {
 	c.checkCSB(dfsRes)
 	c.checkParallel()
 	c.checkCache(icbRes)
+	c.checkBPOR(icbRes)
 	c.checkReplayAndMinimize(icbRes)
 	return c.discs
 }
@@ -471,6 +472,132 @@ func (c *checker) checkCache(icbRes *core.Result) {
 	}
 	if cachedRacy != uncachedRacy {
 		c.fail(prop, fmt.Sprintf("cached ICB racy=%v, uncached racy=%v", cachedRacy, uncachedRacy), nil)
+	}
+}
+
+// checkBPOR cross-checks bounded partial-order reduction against the plain
+// exhaustive uncached ICB run. The reduction claims to preserve everything
+// ICB guarantees while running fewer executions, so the checks are strict:
+// identical bug set (races included — races are determined by the
+// Mazurkiewicz class, which the reduction must cover) with identical
+// first-sighting preemption counts, identical execution-class count,
+// exhaustion, and never more executions or states. The sharp bound
+// boundary, the work-item cache composition and the parallel driver are
+// probed separately.
+func (c *checker) checkBPOR(icbRes *core.Result) {
+	const prop = "bpor-vs-plain"
+	if icbRes == nil || !icbRes.Exhausted {
+		return
+	}
+	var final string
+	prog := c.spec.Program(&final) // same shape as the plain reference run
+	opt := c.baseOpts()
+	opt.BPOR = true
+	res := c.explore(prog, core.ICB{}, opt, prop)
+	if res == nil {
+		return
+	}
+	if !res.BPOR {
+		c.fail(prop, "Result.BPOR not set on a reduction run", nil)
+	}
+	plain := fineBugs(icbRes)
+	c.compareReduced(prop, "BPOR ICB", res, icbRes, plain, true)
+
+	// The sharp boundary survives the reduction: bounded to the global
+	// minimal preemption count c* the first sighting is still minimal;
+	// bounded to c*-1 the search still finds nothing and still certifies
+	// the bound complete (a reduction that starves an intermediate bound's
+	// queue would exhaust early and betray lost coverage).
+	if cs := c.truth.MinPreemptions; cs >= 0 {
+		bopt := c.baseOpts()
+		bopt.BPOR = true
+		bopt.MaxPreemptions = cs
+		if bres := c.explore(prog, core.ICB{}, bopt, prop); bres != nil {
+			if fb := bres.FirstBug(); fb == nil {
+				c.fail(prop, fmt.Sprintf("BPOR ICB bound %d found no bug, oracle minimum is %d", cs, cs), nil)
+			} else if fb.Preemptions != cs {
+				c.fail(prop, fmt.Sprintf("BPOR ICB's first bug used %d preemptions, program minimum is %d",
+					fb.Preemptions, cs), fb.Schedule)
+			}
+		}
+		if cs > 0 {
+			bopt.MaxPreemptions = cs - 1
+			if bres := c.explore(prog, core.ICB{}, bopt, prop); bres != nil {
+				if len(bres.Bugs) != 0 {
+					c.fail(prop, fmt.Sprintf("BPOR ICB bound %d found bug [%v] below the oracle minimum %d",
+						cs-1, BugID{bres.Bugs[0].Kind, bres.Bugs[0].Message}, cs), bres.Bugs[0].Schedule)
+				}
+				if bres.BoundCompleted != cs-1 {
+					c.fail(prop, fmt.Sprintf("BPOR ICB bound %d completed bound %d instead",
+						cs-1, bres.BoundCompleted), nil)
+				}
+			}
+		}
+	}
+
+	// Composition with the work-item cache: pruning on top of pruning must
+	// still cover every class. Cache cuts change which exposing execution
+	// runs first, so per-bug first sightings are not compared here (the
+	// plain cache-transparency check owns that caveat).
+	copt := c.baseOpts()
+	copt.BPOR = true
+	copt.StateCache = true
+	if cres := c.explore(prog, core.ICB{}, copt, prop); cres != nil {
+		c.compareReduced(prop, "cached BPOR ICB", cres, icbRes, plain, false)
+	}
+
+	// Composition with the parallel driver: the shared registration table
+	// makes execution counts interleaving-dependent, but the deterministic
+	// outcomes — bug set, sightings, classes, exhaustion — must hold at any
+	// worker count.
+	popt := c.baseOpts()
+	popt.BPOR = true
+	if pres := c.explore(prog, core.ParallelICB{Workers: 2}, popt, prop); pres != nil {
+		c.compareReduced(prop, "2-worker BPOR ICB", pres, icbRes, plain, true)
+	}
+}
+
+// compareReduced holds one reduced run against the plain exhaustive ICB
+// reference: equal classes, equal bug set, exhaustion, and at most the
+// plain run's executions and states. sightings additionally compares each
+// bug's first-sighting preemption count.
+func (c *checker) compareReduced(prop, name string, res, icbRes *core.Result, plain map[BugID]core.Bug, sightings bool) {
+	if !res.Exhausted {
+		c.fail(prop, fmt.Sprintf("%s did not exhaust within %d executions", name, c.failsafe()), nil)
+		return
+	}
+	if res.ExecutionClasses != icbRes.ExecutionClasses {
+		c.fail(prop, fmt.Sprintf("%s covered %d execution classes, plain ICB %d",
+			name, res.ExecutionClasses, icbRes.ExecutionClasses), nil)
+	}
+	if res.Executions > icbRes.Executions {
+		c.fail(prop, fmt.Sprintf("%s ran %d executions, more than plain ICB's %d",
+			name, res.Executions, icbRes.Executions), nil)
+	}
+	if res.States > icbRes.States {
+		c.fail(prop, fmt.Sprintf("%s visited %d states, more than plain ICB's %d",
+			name, res.States, icbRes.States), nil)
+	}
+	if res.BoundCompleted > icbRes.BoundCompleted {
+		c.fail(prop, fmt.Sprintf("%s completed bound %d, beyond plain ICB's %d",
+			name, res.BoundCompleted, icbRes.BoundCompleted), nil)
+	}
+	got := fineBugs(res)
+	for id, b := range got {
+		p, ok := plain[id]
+		if !ok {
+			c.fail(prop, fmt.Sprintf("%s reported bug [%v] plain ICB never saw", name, id), b.Schedule)
+			continue
+		}
+		if sightings && b.Preemptions != p.Preemptions {
+			c.fail(prop, fmt.Sprintf("%s first sighted bug [%v] at %d preemptions, plain ICB at %d",
+				name, id, b.Preemptions, p.Preemptions), b.Schedule)
+		}
+	}
+	for id, p := range plain {
+		if _, ok := got[id]; !ok {
+			c.fail(prop, fmt.Sprintf("%s missed bug [%v]", name, id), p.Schedule)
+		}
 	}
 }
 

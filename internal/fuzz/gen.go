@@ -14,6 +14,11 @@ import "math/rand"
 //     opposite acquisition order): a bound-1 deadlock.
 //   - ~10% condition-variable handshakes with an if-shaped wait: the
 //     signal-before-wait interleaving is a lost wakeup and deadlocks.
+//   - ~12% independence templates — threads working on disjoint atomics,
+//     optionally joined by a cross-thread reader or an ABBA lock pair.
+//     Their schedule spaces are dominated by commuting reorderings, the
+//     worst case for plain ICB and the best for the partial-order
+//     reduction, so they drive the bpor-vs-plain cross-check hardest.
 //   - the rest is weighted "soup": random ops over a random resource mix,
 //     with mostly-balanced lock regions and occasional deliberate
 //     imbalance (self-lock, unlock-not-held) and unprotected data
@@ -34,6 +39,8 @@ func Generate(seed int64) *Spec {
 		s = genLockOrder(r)
 	case p < 0.40:
 		s = genCondHandshake(r)
+	case p < 0.52:
+		s = genIndep(r)
 	default:
 		s = genSoup(r)
 	}
@@ -106,6 +113,49 @@ func genCondHandshake(r *rand.Rand) *Spec {
 	s.Threads = append(s.Threads, waiter, signaler)
 	if r.Intn(3) == 0 {
 		s.Threads = append(s.Threads, []OpSpec{{Code: OpAtomicAdd, A: 0, V: 1}})
+	}
+	return s
+}
+
+// genIndep emits mostly-independent threads, each working on its own
+// atomic, optionally joined by a cross-thread reader (one conflict per
+// atomic) or an ABBA lock pair (a bound-1 deadlock whose minimal
+// interleaving must survive the reduction). Almost every schedule merely
+// reorders commuting steps, so these programs maximize what bounded
+// partial-order reduction can prune — and make lost classes or displaced
+// first sightings stand out immediately.
+func genIndep(r *rand.Rand) *Spec {
+	addon := r.Intn(3)
+	n := 2
+	if addon == 0 && r.Intn(2) == 0 {
+		n = 3 // no addon thread: afford a third worker within oracle budget
+	}
+	s := &Spec{Atomics: n}
+	for i := 0; i < n; i++ {
+		ops := []OpSpec{{Code: OpAtomicAdd, A: i, V: 1}}
+		if addon != 1 && r.Intn(2) == 0 {
+			ops = append(ops, OpSpec{Code: OpAtomicStore, A: i, V: r.Intn(3)})
+		}
+		s.Threads = append(s.Threads, ops)
+	}
+	switch addon {
+	case 1:
+		s.Mutexes = 2
+		abba := func(first, second int) []OpSpec {
+			return []OpSpec{
+				{Code: OpLock, A: first},
+				{Code: OpLock, A: second},
+				{Code: OpUnlock, A: second},
+				{Code: OpUnlock, A: first},
+			}
+		}
+		s.Threads = append(s.Threads, abba(0, 1), abba(1, 0))
+	case 2:
+		var ops []OpSpec
+		for i := 0; i < n; i++ {
+			ops = append(ops, OpSpec{Code: OpAtomicLoad, A: i})
+		}
+		s.Threads = append(s.Threads, ops)
 	}
 	return s
 }

@@ -1,0 +1,24 @@
+package hb
+
+import "icb/internal/sched"
+
+// Dependent reports whether two operations are dependent in the
+// Mazurkiewicz-trace sense: two executions that differ only by swapping
+// adjacent independent steps reach the same state, while swapping adjacent
+// dependent steps can change it. The relation is exactly
+// sched.Op.Conflicts — same variable, always for synchronization
+// operations, and on data variables only when at least one access writes.
+//
+// The bounded partial-order-reduction layer (package core) keys its
+// backtracking and sleep sets on this relation; it lives next to the
+// fingerprinter because the two must agree in one direction for the
+// reduction to preserve the class counters: Dependent is at least as fine
+// as the fingerprint's equivalence. For synchronization variables the
+// fingerprint records the exact per-variable access order, which Dependent
+// never commutes. For data variables the fingerprint deliberately drops
+// cross-thread order altogether (conflicting data accesses are the race
+// detector's department, §3.1), so Dependent is strictly finer there —
+// covering every Dependent-trace therefore covers every fingerprint class,
+// and a search pruned by this relation reports the same ExecutionClasses
+// count as an unpruned one.
+func Dependent(a, b sched.Op) bool { return a.Conflicts(b) }

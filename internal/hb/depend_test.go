@@ -1,0 +1,52 @@
+package hb
+
+import (
+	"testing"
+
+	"icb/internal/sched"
+)
+
+func op(kind sched.OpKind, v sched.VarID, class sched.VarClass) sched.Op {
+	return sched.Op{Kind: kind, Var: v, Class: class}
+}
+
+func TestDependentDistinctVarsCommute(t *testing.T) {
+	a := op(sched.OpWrite, 0, sched.ClassData)
+	b := op(sched.OpWrite, 1, sched.ClassData)
+	if Dependent(a, b) {
+		t.Fatalf("writes to distinct variables must be independent")
+	}
+	if Dependent(op(sched.OpAcquire, 2, sched.ClassSync), op(sched.OpAcquire, 3, sched.ClassSync)) {
+		t.Fatalf("acquires of distinct locks must be independent")
+	}
+}
+
+func TestDependentSyncAlwaysConflicts(t *testing.T) {
+	cases := [][2]sched.OpKind{
+		{sched.OpAcquire, sched.OpAcquire},
+		{sched.OpAcquire, sched.OpRelease},
+		{sched.OpWait, sched.OpSignal},
+		{sched.OpRead, sched.OpRead}, // even sync reads: the HB sync order is total per variable
+	}
+	for _, c := range cases {
+		a := op(c[0], 5, sched.ClassSync)
+		b := op(c[1], 5, sched.ClassSync)
+		if !Dependent(a, b) {
+			t.Errorf("sync ops %v and %v on the same variable must be dependent", a, b)
+		}
+		if !Dependent(b, a) {
+			t.Errorf("Dependent must be symmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func TestDependentDataNeedsAWrite(t *testing.T) {
+	r := op(sched.OpRead, 4, sched.ClassData)
+	w := op(sched.OpWrite, 4, sched.ClassData)
+	if Dependent(r, r) {
+		t.Fatalf("two data reads of one variable must commute")
+	}
+	if !Dependent(r, w) || !Dependent(w, r) || !Dependent(w, w) {
+		t.Fatalf("data accesses with a write on one variable must be dependent")
+	}
+}

@@ -358,6 +358,13 @@ func (b *broadcaster) RunRecorded(ev obs.RunEvent) {
 	}
 }
 
+// BPORStats implements obs.Sink.
+func (b *broadcaster) BPORStats(ev obs.BPORStatsEvent) {
+	if !b.idle() {
+		b.emit("bpor_stats", ev)
+	}
+}
+
 // SearchDone implements obs.Sink.
 func (b *broadcaster) SearchDone(ev obs.SearchEvent) {
 	if !b.idle() {

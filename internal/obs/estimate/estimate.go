@@ -176,6 +176,9 @@ func (e *Estimator) Resumed(obs.ResumeEvent) {}
 // RunRecorded implements obs.Sink.
 func (e *Estimator) RunRecorded(obs.RunEvent) {}
 
+// BPORStats implements obs.Sink.
+func (e *Estimator) BPORStats(obs.BPORStatsEvent) {}
+
 // SearchDone implements obs.Sink.
 func (e *Estimator) SearchDone(obs.SearchEvent) {}
 

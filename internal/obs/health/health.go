@@ -189,6 +189,9 @@ func (p *Probe) Resumed(obs.ResumeEvent) { p.Beat() }
 // RunRecorded implements obs.Sink.
 func (p *Probe) RunRecorded(obs.RunEvent) { p.Beat() }
 
+// BPORStats implements obs.Sink.
+func (p *Probe) BPORStats(obs.BPORStatsEvent) { p.Beat() }
+
 // SearchDone implements obs.Sink.
 func (p *Probe) SearchDone(obs.SearchEvent) {
 	p.Beat()

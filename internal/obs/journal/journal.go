@@ -85,6 +85,11 @@ type Meta struct {
 	Goldilocks  bool `json:"goldilocks,omitempty"`
 	EveryAccess bool `json:"every_access,omitempty"`
 	FirstBug    bool `json:"first_bug"`
+	// BPOR records that bounded partial-order reduction generated the
+	// frontier: a reduced run's work queues are not interchangeable with an
+	// unreduced run's, so the flag is part of the configuration hash
+	// (omitempty keeps hashes of pre-BPOR journals unchanged).
+	BPOR bool `json:"bpor,omitempty"`
 }
 
 // Hash returns the configuration fingerprint: 16 hex digits of FNV-64a
@@ -504,6 +509,9 @@ func (w *Writer) Resumed(ev obs.ResumeEvent) { w.events.Resumed(ev) }
 // RunRecorded implements obs.Sink. FinishRun logs the authoritative
 // record; duplicates from the fan-out are dropped.
 func (w *Writer) RunRecorded(obs.RunEvent) {}
+
+// BPORStats implements obs.Sink.
+func (w *Writer) BPORStats(ev obs.BPORStatsEvent) { w.events.BPORStats(ev) }
 
 // SearchDone implements obs.Sink.
 func (w *Writer) SearchDone(ev obs.SearchEvent) { w.events.SearchDone(ev) }

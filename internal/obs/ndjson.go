@@ -13,10 +13,11 @@ import (
 // incompatibly, so offline consumers can detect streams they do not
 // understand. v3 added the campaign-durability events (checkpoint, resume,
 // run_record); v4 the fleet-telemetry events (fleet_snapshot, peer_status)
-// the campaign aggregator emits. The envelope and every earlier event
-// payload are unchanged, so consumers that skip unknown event names read
-// newer streams correctly.
-const NDJSONSchemaVersion = 4
+// the campaign aggregator emits; v5 the bpor_stats event of searches run
+// with bounded partial-order reduction. The envelope and every earlier
+// event payload are unchanged, so consumers that skip unknown event names
+// read newer streams correctly.
+const NDJSONSchemaVersion = 5
 
 // NDJSON writes the event stream as newline-delimited JSON, one object per
 // line, for offline analysis (jq, pandas, ...). The first line is a header
@@ -119,6 +120,9 @@ func (n *NDJSON) Resumed(ev ResumeEvent) { n.emit("resume", ev) }
 
 // RunRecorded implements Sink.
 func (n *NDJSON) RunRecorded(ev RunEvent) { n.emit("run_record", ev) }
+
+// BPORStats implements Sink.
+func (n *NDJSON) BPORStats(ev BPORStatsEvent) { n.emit("bpor_stats", ev) }
 
 // SearchDone implements Sink.
 func (n *NDJSON) SearchDone(ev SearchEvent) { n.emit("search_done", ev) }

@@ -135,6 +135,10 @@ type Sink interface {
 	// RunRecorded is called once per run appended to a campaign ledger,
 	// after SearchDone.
 	RunRecorded(RunEvent)
+	// BPORStats is called at most once per exploration, just before
+	// SearchDone, when the search ran with bounded partial-order reduction;
+	// it carries the reduction's final accounting.
+	BPORStats(BPORStatsEvent)
 	// SearchDone is called once, when the exploration returns.
 	SearchDone(SearchEvent)
 }
@@ -173,6 +177,9 @@ func (Nop) Resumed(ResumeEvent) {}
 
 // RunRecorded implements Sink.
 func (Nop) RunRecorded(RunEvent) {}
+
+// BPORStats implements Sink.
+func (Nop) BPORStats(BPORStatsEvent) {}
 
 // SearchDone implements Sink.
 func (Nop) SearchDone(SearchEvent) {}

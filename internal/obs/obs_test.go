@@ -26,6 +26,7 @@ type collector struct {
 	ckpts     []obs.CheckpointEvent
 	resumes   []obs.ResumeEvent
 	runs      []obs.RunEvent
+	bpor      []obs.BPORStatsEvent
 	searches  []obs.SearchEvent
 }
 
@@ -41,6 +42,7 @@ func (c *collector) CampaignProgress(e obs.CampaignEvent) {
 func (c *collector) Checkpoint(e obs.CheckpointEvent) { c.ckpts = append(c.ckpts, e) }
 func (c *collector) Resumed(e obs.ResumeEvent)        { c.resumes = append(c.resumes, e) }
 func (c *collector) RunRecorded(e obs.RunEvent)       { c.runs = append(c.runs, e) }
+func (c *collector) BPORStats(e obs.BPORStatsEvent)   { c.bpor = append(c.bpor, e) }
 func (c *collector) SearchDone(e obs.SearchEvent)     { c.searches = append(c.searches, e) }
 
 // TestCountersMatchResult checks the telemetry against the ground truth of

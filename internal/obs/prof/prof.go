@@ -119,6 +119,7 @@ type Profiler struct {
 	boundExecs   [maxBounds]atomic.Int64
 	boundClasses [maxBounds]atomic.Int64
 	boundDurNS   [maxBounds]atomic.Int64
+	boundPruned  [maxBounds]atomic.Int64
 
 	workers [maxWorkers]workerCounters
 
@@ -207,6 +208,17 @@ func (p *Profiler) NoteBound(bound int, execs, newClasses, durNS int64) {
 	p.boundExecs[s].Add(execs)
 	p.boundClasses[s].Add(newClasses)
 	p.boundDurNS[s].Add(durNS)
+}
+
+// NotePruned records work items the partial-order-reduction layer
+// net-pruned at a bound (suppressed blind pushes minus emitted targeted
+// backtracking items). Called alongside NoteBound; it feeds the snapshot's
+// RedundantFracFull so the redundancy the reduction removed stays visible
+// next to the redundancy that remains.
+func (p *Profiler) NotePruned(bound int, n int64) {
+	if n > 0 {
+		p.boundPruned[boundSlot(bound, &p.truncated)].Add(n)
+	}
 }
 
 // NoteFirstBug records a defect's first sighting. Duplicate (kind,
@@ -346,6 +358,10 @@ func (p *Profiler) Profile() obs.ProfileData {
 			NewClasses:    classes,
 			RedundantFrac: 1 - float64(classes)/float64(execs),
 			DurationNS:    p.boundDurNS[b].Load(),
+		}
+		if pruned := p.boundPruned[b].Load(); pruned > 0 {
+			pb.Pruned = pruned
+			pb.RedundantFracFull = 1 - float64(classes)/float64(execs+pruned)
 		}
 		for ph := 0; ph < numPhases; ph++ {
 			if ns := p.boundPhaseNS[b][ph].Load(); ns > 0 {

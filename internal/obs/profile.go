@@ -66,6 +66,18 @@ type ProfileBound struct {
 	NewClasses int64 `json:"new_classes"`
 	// RedundantFrac is 1 - NewClasses/Executions (0 when Executions == 0).
 	RedundantFrac float64 `json:"redundant_frac"`
+	// Pruned is the number of work items the partial-order-reduction layer
+	// (core's BPOR) net-pruned at this bound: blind-expansion pushes it
+	// suppressed minus the targeted backtracking items it emitted instead.
+	// Zero when the reduction is off.
+	Pruned int64 `json:"pruned,omitempty"`
+	// RedundantFracFull is the redundancy over the work the bound would have
+	// held without the reduction: 1 - NewClasses/(Executions+Pruned). With
+	// the reduction off it equals RedundantFrac; with it on, the gap between
+	// the two is the redundancy the reduction removed, so the metrics tie
+	// out: RedundantFracFull(bpor on) ≈ RedundantFrac(bpor off) on the same
+	// program. Omitted (zero) when Pruned is zero.
+	RedundantFracFull float64 `json:"redundant_frac_full,omitempty"`
 	// DurationNS is the bound's wall-clock time.
 	DurationNS int64 `json:"duration_ns"`
 	// PhaseNS breaks the bound's execution time into phases (same
@@ -137,6 +149,44 @@ type ProfileSource interface {
 // ProfileEvent carries the final profiler snapshot of one exploration.
 type ProfileEvent struct {
 	Profile ProfileData `json:"profile"`
+}
+
+// BPORBoundStat is one preemption bound's partial-order-reduction
+// accounting within a BPORStatsEvent.
+type BPORBoundStat struct {
+	Bound int `json:"bound"`
+	// Suppressed is the number of work items plain ICB's blind expansion
+	// would have pushed at this bound that the reduction did not.
+	Suppressed int64 `json:"suppressed"`
+	// Emitted is the number of targeted backtracking items the reduction
+	// pushed instead.
+	Emitted int64 `json:"emitted"`
+	// Pruned is the bound's net saving: max(0, Suppressed-Emitted).
+	Pruned int64 `json:"pruned"`
+}
+
+// BPORStatsEvent reports the final accounting of a search that ran with
+// bounded partial-order reduction (core.Options.BPOR): how much of the
+// blind expansion the sleep sets and targeted backtracking replaced.
+type BPORStatsEvent struct {
+	// Executions is the search's total execution count (for computing the
+	// saving against a plain run).
+	Executions int `json:"executions"`
+	// Suppressed, Emitted and Pruned are the totals of the per-bound stats.
+	Suppressed int64 `json:"suppressed"`
+	Emitted    int64 `json:"emitted"`
+	Pruned     int64 `json:"pruned"`
+	// SleepBlocked counts free scheduling points whose enabled threads were
+	// all asleep. The execution continues redundantly past them (cutting
+	// would lose the suffix's backtracking scans); the count measures how
+	// often the sleep sets fully covered a branch point.
+	SleepBlocked int64 `json:"sleep_blocked"`
+	// SeenSize is the size of the (prefix, decision) registration table.
+	SeenSize int `json:"seen_size"`
+	// Truncated reports per-bound stats folded at the tracked-bound capacity.
+	Truncated bool `json:"truncated,omitempty"`
+	// Bounds holds the per-bound breakdown, ascending by bound.
+	Bounds []BPORBoundStat `json:"bounds,omitempty"`
 }
 
 // CampaignEvent reports the progress of a long-running multi-program

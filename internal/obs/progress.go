@@ -177,6 +177,15 @@ func (p *Progress) Resumed(ev ResumeEvent) {
 // not a progress signal.
 func (p *Progress) RunRecorded(RunEvent) {}
 
+// BPORStats implements Sink: one summary line for the reduction's final
+// accounting, just before the search-done line.
+func (p *Progress) BPORStats(ev BPORStatsEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[bpor] execs=%d pruned=%d (suppressed=%d emitted=%d) sleep-blocked=%d seen=%d\n",
+		ev.Executions, ev.Pruned, ev.Suppressed, ev.Emitted, ev.SleepBlocked, ev.SeenSize)
+}
+
 // SearchDone implements Sink. When state caching ran (any table lookups at
 // all), the final line carries the hit/miss totals so the one-line summary
 // of a long search records how much the table pruned.

@@ -69,6 +69,10 @@ type Meta struct {
 	// replays must run the same detector or race bugs cannot reproduce.
 	CheckRaces bool `json:"check_races"`
 	Goldilocks bool `json:"goldilocks,omitempty"`
+	// BPOR records that bounded partial-order reduction was active in the
+	// search that found the bug. Replaying the bundle's schedule does not
+	// depend on it, but re-searching under the same configuration does.
+	BPOR bool `json:"bpor,omitempty"`
 }
 
 // NewMeta captures a search configuration for bundles.
@@ -83,6 +87,7 @@ func NewMeta(program, bugVariant, strategy string, seed int64, opt core.Options)
 		MaxSteps:   opt.MaxSteps,
 		CheckRaces: opt.CheckRaces,
 		Goldilocks: opt.UseGoldilocks,
+		BPOR:       opt.BPOR,
 	}
 }
 
@@ -93,6 +98,7 @@ func (m Meta) Options() core.Options {
 		MaxSteps:       m.MaxSteps,
 		CheckRaces:     m.CheckRaces,
 		UseGoldilocks:  m.Goldilocks,
+		BPOR:           m.BPOR,
 	}
 	if m.Mode == sched.ModeEveryAccess.String() {
 		opt.Mode = sched.ModeEveryAccess

@@ -74,6 +74,13 @@ func (t Tee) RunRecorded(ev RunEvent) {
 	}
 }
 
+// BPORStats implements Sink.
+func (t Tee) BPORStats(ev BPORStatsEvent) {
+	for _, s := range t {
+		s.BPORStats(ev)
+	}
+}
+
 // SearchDone implements Sink.
 func (t Tee) SearchDone(ev SearchEvent) {
 	for _, s := range t {

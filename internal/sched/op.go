@@ -145,6 +145,30 @@ func (o Op) String() string {
 	return fmt.Sprintf("%s %s#%d", o.Kind, o.Class, o.Var)
 }
 
+// Conflicts reports whether two operations are dependent in the
+// Mazurkiewicz-trace sense: executing them in either order can reach
+// different states. Operations on distinct variables never conflict (each
+// step accesses exactly one shared variable, §2). On the same variable,
+// synchronization operations always conflict (acquire does not commute
+// with acquire or release, wait reorders against signal, and the sync
+// order of the happens-before relation is total per variable), while data
+// accesses conflict only when at least one of them writes: two reads of
+// the same data variable commute.
+//
+// This is the dependency relation the bounded partial-order-reduction
+// layer (core's BPOR) uses to decide which earlier steps a pending
+// operation could usefully be reordered against; hb.Dependent is the
+// package-hb alias of it.
+func (o Op) Conflicts(other Op) bool {
+	if o.Var != other.Var {
+		return false
+	}
+	if o.Class == ClassSync || other.Class == ClassSync {
+		return true
+	}
+	return o.Kind.IsWrite() || other.Kind.IsWrite()
+}
+
 // Event is one committed step of an execution: thread TID performed Op as
 // its Index-th step, the Step-th step of the execution overall (both
 // 0-based).
