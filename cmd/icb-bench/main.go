@@ -54,7 +54,8 @@ func main() {
 		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "JSON output path for -exp parallel (empty = stdout table only)")
 		profOut  = flag.String("profile-out", "BENCH_profile.json", "JSON output path for -exp profile (empty = stdout table only)")
 		bporOut  = flag.String("bpor-out", "BENCH_bpor.json", "JSON output path for -exp bpor (empty = stdout table only)")
-		baseline = flag.String("baseline", "", "baseline report to compare -exp profile or -exp bpor against; regressions exit nonzero")
+		baseline = flag.String("baseline", "", "baseline report to compare -exp profile, -exp bpor or -exp parallel against; regressions exit nonzero")
+		force    = flag.Bool("force", false, "allow -exp parallel to overwrite a speedup_valid baseline from a host that cannot measure speedups (GOMAXPROCS=1)")
 		tol      = flag.Float64("tolerance", 0, "ratio tolerance for -baseline wall-clock metrics (0 = default 5.0)")
 		csvDir   = flag.String("csv", "", "also write plot-ready CSV files into this directory (runs every experiment)")
 		progress = flag.Bool("progress", false, "print live search progress to stderr")
@@ -167,9 +168,10 @@ func main() {
 		return
 	}
 	if *exp == "parallel" {
-		// Run the scaling study directly so -parallel-out controls where
-		// the machine-readable report lands.
-		if err := exper.Parallel(os.Stdout, cfg, *parOut); err != nil {
+		// Run the scaling study directly so -parallel-out, -baseline and
+		// -force control the report path, the regression gate and the
+		// stale-overwrite guard.
+		if err := exper.Parallel(os.Stdout, cfg, *parOut, *baseline, *force); err != nil {
 			fatal(err)
 		}
 		return

@@ -252,6 +252,16 @@ func run() int {
 			log.Error("resume validation failed", "err", err)
 			return 2
 		}
+		// The stealing and sequential schedulers write incompatible frontier
+		// snapshots; the resolved worker count decides which one runs.
+		effWorkers := 1
+		if _, ok := strat.(core.ParallelICB); ok {
+			effWorkers = *workers
+		}
+		if err := core.ValidateResumeWorkers(&resumeCk.State, effWorkers); err != nil {
+			log.Error("resume validation failed", "err", err)
+			return 2
+		}
 	}
 	var prf *prof.Profiler
 	if *profile || *profOut != "" {
@@ -769,10 +779,11 @@ func printProfile(w io.Writer, d obs.ProfileData) {
 			b.Bound, b.Executions, b.NewClasses, 100*b.RedundantFrac, float64(b.DurationNS)/1e6)
 	}
 	for _, wk := range d.Workers {
-		fmt.Fprintf(w, "profile: worker %d: state-set waits %d (%.2f ms), table waits %d (%.2f ms), barrier %.2f ms, fetch stalls %d\n",
+		fmt.Fprintf(w, "profile: worker %d: state-set waits %d (%.2f ms), table waits %d (%.2f ms), barrier %.2f ms, steals %d (%d failed), idle %.2f ms, fetch stalls %d\n",
 			wk.Worker, wk.StateLockWaits, float64(wk.StateLockWaitNS)/1e6,
 			wk.TableLockWaits, float64(wk.TableLockWaitNS)/1e6,
-			float64(wk.BarrierWaitNS)/1e6, wk.FetchStalls)
+			float64(wk.BarrierWaitNS)/1e6, wk.Steals, wk.StealFails,
+			float64(wk.IdleNS)/1e6, wk.FetchStalls)
 	}
 	for _, fb := range d.FirstBugs {
 		fmt.Fprintf(w, "profile: first sighting of %s %q: execution %d, bound %d, %.2f ms\n",

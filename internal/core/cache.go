@@ -242,9 +242,9 @@ func (c *Cache) Size() int {
 const cacheShards = 64
 
 type cacheShard struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[cacheKey]struct{}
-	_  [40]byte // keep neighboring stripe locks off one cache line
+	_  [32]byte // keep neighboring stripe locks off one cache line
 }
 
 // sharedTable is the concurrent work-item table of a parallel search: one
@@ -265,12 +265,31 @@ func newSharedTable() *sharedTable {
 	return t
 }
 
-// tryInsert registers k and reports whether it was new. With a non-nil
-// contention observer, an uncontended acquire takes the TryLock fast path
-// (no clock reading); only acquires that found the shard lock held are
-// timed and reported.
+// tryInsert registers k and reports whether it was new. Duplicate lookups
+// — the common case late in a bound, when stealing workers keep reaching
+// states their siblings already registered — resolve under a shared read
+// lock, so concurrent duplicate checks on one stripe never exclude each
+// other; only a genuinely new key pays the exclusive write acquire (with a
+// re-check, since a racing worker may have registered it in the window
+// between the two locks). With a non-nil contention observer, uncontended
+// acquires take the TryLock fast paths (no clock reading); only acquires
+// that found the stripe lock held are timed and reported.
 func (t *sharedTable) tryInsert(k cacheKey, c hb.Contention) bool {
 	sh := &t.shards[k.state&(cacheShards-1)]
+	if !sh.mu.TryRLock() {
+		if c != nil {
+			t0 := time.Now()
+			sh.mu.RLock()
+			c.NoteWait(time.Since(t0).Nanoseconds())
+		} else {
+			sh.mu.RLock()
+		}
+	}
+	_, dup := sh.m[k]
+	sh.mu.RUnlock()
+	if dup {
+		return false
+	}
 	if !sh.mu.TryLock() {
 		if c != nil {
 			t0 := time.Now()
@@ -294,9 +313,9 @@ func (t *sharedTable) size() int {
 	n := 0
 	for i := range t.shards {
 		sh := &t.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		n += len(sh.m)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return n
 }

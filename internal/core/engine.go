@@ -90,6 +90,27 @@ type Engine struct {
 	// ckptSeq numbers the checkpoints captured this process life (for the
 	// event stream; the on-disk ordinal is the journal writer's).
 	ckptSeq int
+
+	// Work-stealing parallel search plumbing (see ParallelICB). early marks
+	// that the current execution runs ahead of the softened bound barrier
+	// (its bound has not started retiring), so bug sightings are diverted
+	// into held instead of being filed: filing them now could misreport a
+	// non-minimal preemption count or halt a StopOnFirstBug search before
+	// all lower-bound executions ran. heldSeen dedups within held. probes is
+	// this worker's batched state-set front-end, flushed at execution ends
+	// and safepoints so set counts are exact whenever the search reads them.
+	// scheduler tags exported snapshots with the scheduler version; the
+	// ckpt* fields carry the stealing search's extra frontier state into the
+	// next exportState call (zero on a sequential engine).
+	early          bool
+	held           []HeldBug
+	heldSeen       map[bugKey]int
+	probes         *hb.ProbeBuffer
+	scheduler      string
+	ckptNext2      []sched.Schedule
+	ckptHeld       []HeldBug
+	ckptDoneExecs  int
+	ckptEarlyExecs int
 }
 
 // bugKey identifies a defect for deduplication across executions.
@@ -272,6 +293,15 @@ func (e *Engine) halt() {
 
 // MarkExhausted records that the strategy fully explored its search space.
 func (e *Engine) MarkExhausted() { e.res.Exhausted = true }
+
+// flushProbes drains this engine's batched state-set probes, if any. Called
+// at execution ends and before parking so that set counts are exact at
+// every point the search reads them.
+func (e *Engine) flushProbes() {
+	if e.probes != nil {
+		e.probes.Flush()
+	}
+}
 
 // SetBoundCompleted records the highest fully-explored preemption bound and
 // appends a per-bound coverage sample. It also closes out the bound's
@@ -616,6 +646,42 @@ func (e *Engine) recordBugs(out sched.Outcome, execNo int) {
 			e.bugSeen = make(map[bugKey]int)
 		}
 		k := bugKey{kind: kind, msg: msg}
+		if e.early {
+			// Softened-barrier holdback: this execution ran ahead of the
+			// bound barrier, so its sighting may not be minimal yet. A bug
+			// already filed at a lower (retired) bound just counts one more
+			// exposing execution; anything else is held back, to be merged
+			// (or discarded into the checkpoint) when this bound retires.
+			// Never halt here, even under StopOnFirstBug: lower-bound
+			// executions are still outstanding and one of them may expose a
+			// bug with fewer preemptions.
+			if i, seen := e.bugSeen[k]; seen {
+				e.res.Bugs[i].Count++
+				return
+			}
+			if i, seen := e.heldSeen[k]; seen {
+				e.held[i].Bug.Count++
+				return
+			}
+			if e.heldSeen == nil {
+				e.heldSeen = make(map[bugKey]int)
+			}
+			e.heldSeen[k] = len(e.held)
+			e.held = append(e.held, HeldBug{
+				Bound: e.curBound,
+				Bug: Bug{
+					Kind:            kind,
+					Message:         msg,
+					Preemptions:     out.Preemptions,
+					ContextSwitches: out.ContextSwitches,
+					Steps:           out.Steps,
+					Execution:       execNo,
+					Schedule:        out.Decisions.Clone(),
+					Count:           1,
+				},
+			})
+			return
+		}
 		if i, seen := e.bugSeen[k]; seen {
 			e.res.Bugs[i].Count++
 			if e.opt.StopOnFirstBug {

@@ -139,20 +139,9 @@ func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.S
 		}
 		path := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		ctrl := &icbController{
-			path: path,
-			// The extension phase appends one decision per scheduling point
-			// past the replayed prefix; starting at the prefix length plus a
-			// small headroom avoids the append-regrowth copies that
-			// otherwise dominate the controller's allocations.
-			cur:       make(sched.Schedule, 0, len(path)+16),
-			cache:     e.Cache(),
-			onPreempt: func(alt sched.Schedule) { *next = append(*next, alt) },
-			onLocal:   func(alt sched.Schedule) { stack = append(stack, alt) },
-		}
-		if b := e.BPOR(); b != nil {
-			ctrl.bpor = newBPORExec(b, bound)
-		}
+		ctrl := newICBController(e, path, bound,
+			func(alt sched.Schedule) { stack = append(stack, alt) },
+			func(alt sched.Schedule) { *next = append(*next, alt) })
 		before := e.Executions()
 		out, done := e.RunExecution(ctrl)
 		if done {
@@ -170,37 +159,67 @@ func searchNoPreempt(e *Engine, start sched.Schedule, bound int, next *[]sched.S
 			}
 			return stack, true
 		}
-		if out.Status == sched.StatusStopped {
-			// Cut by the work-item cache: the subtree was already explored,
-			// but the replayed prefix's scans may have queued backtracking
-			// items that are not covered by it.
-			if ctrl.bpor != nil {
-				ctrl.bporFlush()
-			}
-			continue
-		}
-		if ctrl.bpor != nil {
-			switch out.Status {
-			case sched.StatusAssertFailed, sched.StatusPanic, sched.StatusStepLimit:
-				// The execution was truncated before the surviving threads'
-				// remaining steps could run their backtracking scans; fall
-				// back to blind branching along it (see bporExpandTruncated).
-				ctrl.bporExpandTruncated()
-			}
-			ctrl.bporFlush()
-		}
-		if out.Preemptions != bound {
-			// Under BPOR a backtracking work item can cost fewer preemptions
-			// than the bound being drained (reversing a race may remove the
-			// preemption the original path spent); plain ICB generates each
-			// bound's work at exactly that bound.
-			if ctrl.bpor == nil || out.Preemptions > bound {
-				panic(fmt.Sprintf("icb: execution at bound %d had %d preemptions (schedule %v)",
-					bound, out.Preemptions, out.Decisions))
-			}
-		}
+		finishItem(ctrl, out, bound)
 	}
 	return nil, false
+}
+
+// newICBController builds the controller that replays one work item at the
+// given bound and routes the alternatives it generates: onLocal receives
+// same-bound items, onPreempt items costing one more preemption. Shared by
+// the sequential stack drain and the parallel workers.
+func newICBController(e *Engine, path sched.Schedule, bound int, onLocal, onPreempt func(sched.Schedule)) *icbController {
+	ctrl := &icbController{
+		path: path,
+		// The extension phase appends one decision per scheduling point
+		// past the replayed prefix; starting at the prefix length plus a
+		// small headroom avoids the append-regrowth copies that
+		// otherwise dominate the controller's allocations.
+		cur:       make(sched.Schedule, 0, len(path)+16),
+		cache:     e.Cache(),
+		onPreempt: onPreempt,
+		onLocal:   onLocal,
+	}
+	if b := e.BPOR(); b != nil {
+		ctrl.bpor = newBPORExec(b, bound)
+	}
+	return ctrl
+}
+
+// finishItem applies the post-run bookkeeping one completed (not stopped-
+// before-running) work item needs, shared by the sequential stack drain
+// and the parallel workers: the BPOR truncation fallback and flush, and
+// the preemption-count invariant.
+func finishItem(ctrl *icbController, out sched.Outcome, bound int) {
+	if out.Status == sched.StatusStopped {
+		// Cut by the work-item cache: the subtree was already explored,
+		// but the replayed prefix's scans may have queued backtracking
+		// items that are not covered by it.
+		if ctrl.bpor != nil {
+			ctrl.bporFlush()
+		}
+		return
+	}
+	if ctrl.bpor != nil {
+		switch out.Status {
+		case sched.StatusAssertFailed, sched.StatusPanic, sched.StatusStepLimit:
+			// The execution was truncated before the surviving threads'
+			// remaining steps could run their backtracking scans; fall
+			// back to blind branching along it (see bporExpandTruncated).
+			ctrl.bporExpandTruncated()
+		}
+		ctrl.bporFlush()
+	}
+	if out.Preemptions != bound {
+		// Under BPOR a backtracking work item can cost fewer preemptions
+		// than the bound being drained (reversing a race may remove the
+		// preemption the original path spent); plain ICB generates each
+		// bound's work at exactly that bound.
+		if ctrl.bpor == nil || out.Preemptions > bound {
+			panic(fmt.Sprintf("icb: execution at bound %d had %d preemptions (schedule %v)",
+				bound, out.Preemptions, out.Decisions))
+		}
+	}
 }
 
 // icbController replays a schedule prefix and then follows the

@@ -64,6 +64,39 @@ type SearchState struct {
 	// suppressed/emitted, sleep-blocked runs) across a resume, so pruned
 	// totals keep accumulating instead of restarting at zero.
 	BPORCounters *BPORCounters `json:"bpor_counters,omitempty"`
+	// Scheduler tags the scheduler version that captured the snapshot:
+	// empty for the sequential drain, SchedulerWS for the work-stealing
+	// parallel search. The two carry different frontier invariants (the
+	// stealing search's softened barrier keeps up to three bounds live and
+	// holds back early bug sightings), so ValidateResumeWorkers rejects
+	// mixing them. All fields below are zero on sequential snapshots, which
+	// therefore serialize byte-identically to the pre-stealing schema.
+	Scheduler string `json:"scheduler,omitempty"`
+	// NextWork2 holds work items already deferred to bound Bound+2 by
+	// workers that ran ahead of the softened barrier into bound Bound+1.
+	NextWork2 []sched.Schedule `json:"next_work2,omitempty"`
+	// Held carries early bug sightings whose bound had not retired when the
+	// snapshot was taken; a resumed search files them when their bound
+	// retires (they are deliberately absent from Result.Bugs until then).
+	Held []HeldBug `json:"held_bugs,omitempty"`
+	// DoneExecs is the number of executions attributed to bound Bound so
+	// far (across every process life); EarlyExecs the same for Bound+1
+	// (consumed early through the softened barrier). They restore the
+	// stealing search's exhaustion and per-bound attribution counters.
+	DoneExecs  int `json:"done_execs,omitempty"`
+	EarlyExecs int `json:"early_execs,omitempty"`
+}
+
+// SchedulerWS is the SearchState.Scheduler tag of the work-stealing
+// parallel scheduler (bumped if its frontier invariants ever change).
+const SchedulerWS = "ws/1"
+
+// HeldBug is one early bug sighting held back by the softened bound
+// barrier: Bug is the full report, Bound the preemption bound whose
+// retirement releases it.
+type HeldBug struct {
+	Bound int `json:"bound"`
+	Bug   Bug `json:"bug"`
 }
 
 // BPORCounters is the serialized pruning accounting of a BPOR search.
@@ -136,6 +169,9 @@ func (e *Engine) CaptureCheckpoint(bound int, seeds, next []sched.Schedule, fina
 			Bugs:       len(st.Result.Bugs),
 			SeedQueue:  len(seeds),
 			NextWork:   len(next),
+			Scheduler:  st.Scheduler,
+			NextWork2:  len(st.NextWork2),
+			HeldBugs:   len(st.Held),
 			Final:      final,
 		})
 	}
@@ -164,6 +200,11 @@ func (e *Engine) exportState(bound int, seeds, next []sched.Schedule) *SearchSta
 		st.BPORSeen = e.bpor.export()
 		st.BPORCounters = e.bpor.exportCounters()
 	}
+	st.Scheduler = e.scheduler
+	st.NextWork2 = e.ckptNext2
+	st.Held = e.ckptHeld
+	st.DoneExecs = e.ckptDoneExecs
+	st.EarlyExecs = e.ckptEarlyExecs
 	return st
 }
 
@@ -234,6 +275,27 @@ func ValidateResume(st *SearchState, opt Options) error {
 			return fmt.Errorf("core: resume state was captured with partial-order reduction (-bpor) but the search runs without it")
 		}
 		return fmt.Errorf("core: resume state was captured without partial-order reduction but the search runs with -bpor")
+	}
+	if st.Scheduler != "" && st.Scheduler != SchedulerWS {
+		return fmt.Errorf("core: resume state was captured by unknown scheduler version %q", st.Scheduler)
+	}
+	return nil
+}
+
+// ValidateResumeWorkers rejects snapshots from a mixed scheduler version:
+// a work-stealing frontier (up to three live bounds, held-back sightings)
+// cannot resume into the sequential drain, and a sequential frontier
+// cannot resume into the stealing search — each would silently violate the
+// other's invariants. workers is the resolved worker count about to run.
+func ValidateResumeWorkers(st *SearchState, workers int) error {
+	if st == nil {
+		return nil
+	}
+	if workers > 1 && st.Scheduler != SchedulerWS {
+		return fmt.Errorf("core: resume state was captured by the sequential scheduler but the search runs with %d workers (mixed scheduler versions; resume with -workers 1)", workers)
+	}
+	if workers <= 1 && st.Scheduler == SchedulerWS {
+		return fmt.Errorf("core: resume state was captured by the work-stealing scheduler but the search runs sequentially (mixed scheduler versions; resume with -workers > 1)")
 	}
 	return nil
 }

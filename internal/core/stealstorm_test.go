@@ -1,0 +1,157 @@
+package core
+
+// Steal-storm hammer: internal test (package core) so it can reach the
+// unexported distribute hook of ParallelICB and force pathological seed
+// placement. Every seed lands on worker 0, so workers 1..N-1 can obtain
+// work ONLY by stealing — the steal path, the idle/wake protocol and the
+// softened-barrier early fetch run constantly instead of occasionally.
+// Run under -race: the point is to storm the Chase-Lev deques and the
+// shared tables with real cross-worker traffic on many tiny programs.
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"icb/internal/obs/prof"
+	"icb/internal/progs/wsq"
+)
+
+// stormPrograms returns a spread of tiny two-thread programs: every buggy
+// work-stealing-queue variant at a couple of driver sizes. Each drains in
+// tens to a few hundred executions, so one hammer iteration is cheap and
+// the test can afford many iterations x several worker counts.
+func stormPrograms() []struct {
+	name string
+	prog func() (v wsq.Variant, p wsq.Params)
+} {
+	return []struct {
+		name string
+		prog func() (v wsq.Variant, p wsq.Params)
+	}{
+		{"pop-unreserved/tiny", func() (wsq.Variant, wsq.Params) {
+			return wsq.PopUnreservedRead, wsq.Params{Items: 2, Size: 2}
+		}},
+		{"pop-unreserved/default", func() (wsq.Variant, wsq.Params) {
+			return wsq.PopUnreservedRead, wsq.Params{}
+		}},
+		{"steal-unlocked/tiny", func() (wsq.Variant, wsq.Params) {
+			return wsq.StealUnlocked, wsq.Params{Items: 2, Size: 2}
+		}},
+		{"steal-late-commit/tiny", func() (wsq.Variant, wsq.Params) {
+			return wsq.StealLateCommit, wsq.Params{Items: 2, Size: 2}
+		}},
+	}
+}
+
+// stormFacts projects a result onto its deterministic outputs.
+func stormFacts(res Result) string {
+	var bugs []string
+	for i := range res.Bugs {
+		b := &res.Bugs[i]
+		bugs = append(bugs, fmt.Sprintf("%s|%s|p=%d|n=%d", b.Kind, b.Message, b.Preemptions, b.Count))
+	}
+	sort.Strings(bugs)
+	return fmt.Sprintf("execs=%d states=%d classes=%d bound=%d exhausted=%v bugs=%v",
+		res.Executions, res.States, res.ExecutionClasses, res.BoundCompleted, res.Exhausted, bugs)
+}
+
+// TestStealStorm pins that a search whose seeds are all planted on worker
+// 0 still reproduces the sequential drain exactly, over many iterations
+// and worker counts. The skewed distribute hook guarantees steals happen
+// (checked via the profiler), so a pass under -race means the deque
+// owner/thief protocol and the cross-worker holdback machinery survived a
+// genuine storm, not an idle run that never contended.
+func TestStealStorm(t *testing.T) {
+	if n := runtime.GOMAXPROCS(0); n < 2 {
+		t.Skipf("GOMAXPROCS=%d: a steal storm needs >= 2 procs for real cross-worker contention (set GOMAXPROCS=2 on a 1-CPU host)", n)
+	}
+	iters := 8
+	if testing.Short() {
+		iters = 2
+	}
+	for _, sp := range stormPrograms() {
+		t.Run(sp.name, func(t *testing.T) {
+			v, p := sp.prog()
+			opt := Options{MaxPreemptions: 2, CheckRaces: true}
+			ref := Explore(wsq.Program(v, p), ICB{}, opt)
+			want := stormFacts(ref)
+			for _, workers := range []int{2, 4, 8} {
+				var totalSteals int64
+				for it := 0; it < iters; it++ {
+					pr := prof.New(1)
+					o := opt
+					o.Profiler = pr
+					res := Explore(wsq.Program(v, p), ParallelICB{
+						Workers: workers,
+						// Plant every seed on worker 0: the rest of the pool
+						// starts empty-handed and must steal.
+						distribute: func(i, w int) int { return 0 },
+					}, o)
+					if got := stormFacts(res); got != want {
+						t.Fatalf("workers=%d iter=%d:\n got %s\nwant %s", workers, it, got, want)
+					}
+					for _, w := range pr.Profile().Workers {
+						totalSteals += w.Steals
+					}
+				}
+				// With every seed on worker 0 the other workers can only have
+				// executed stolen items; zero steals over all iterations
+				// would mean the storm never happened.
+				if totalSteals == 0 {
+					t.Errorf("workers=%d: no successful steals across %d iterations — forced imbalance did not force stealing", workers, iters)
+				}
+			}
+		})
+	}
+}
+
+// TestStealStormBPOR re-runs a smaller storm with bounded partial-order
+// reduction on, pinning only the sound outputs (bug identity and bound
+// guarantee): the sleep-set table is shared across workers and its
+// registration order is interleaving-dependent, so execution counts vary.
+func TestStealStormBPOR(t *testing.T) {
+	if n := runtime.GOMAXPROCS(0); n < 2 {
+		t.Skipf("GOMAXPROCS=%d: a steal storm needs >= 2 procs for real cross-worker contention (set GOMAXPROCS=2 on a 1-CPU host)", n)
+	}
+	iters := 4
+	if testing.Short() {
+		iters = 1
+	}
+	for _, sp := range stormPrograms() {
+		t.Run(sp.name, func(t *testing.T) {
+			v, p := sp.prog()
+			opt := Options{MaxPreemptions: 2, CheckRaces: true, BPOR: true}
+			ref := Explore(wsq.Program(v, p), ICB{}, opt)
+			var want []string
+			for i := range ref.Bugs {
+				b := &ref.Bugs[i]
+				want = append(want, fmt.Sprintf("%s|%s|p=%d", b.Kind, b.Message, b.Preemptions))
+			}
+			sort.Strings(want)
+			for _, workers := range []int{2, 4} {
+				for it := 0; it < iters; it++ {
+					res := Explore(wsq.Program(v, p), ParallelICB{
+						Workers:    workers,
+						distribute: func(i, w int) int { return 0 },
+					}, opt)
+					var got []string
+					for i := range res.Bugs {
+						b := &res.Bugs[i]
+						got = append(got, fmt.Sprintf("%s|%s|p=%d", b.Kind, b.Message, b.Preemptions))
+					}
+					sort.Strings(got)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("workers=%d iter=%d: bugs %v, sequential %v", workers, it, got, want)
+					}
+					if res.BoundCompleted != ref.BoundCompleted {
+						t.Fatalf("workers=%d iter=%d: boundCompleted=%d, sequential %d",
+							workers, it, res.BoundCompleted, ref.BoundCompleted)
+					}
+				}
+			}
+		})
+	}
+}

@@ -124,7 +124,7 @@ func Run(name string, w io.Writer, cfg Config) error {
 	case "parallel":
 		// Excluded from "all": a timing study, not a paper artifact.
 		// icb-bench calls Parallel directly to control the JSON path.
-		return Parallel(w, cfg, "")
+		return Parallel(w, cfg, "", "", false)
 	case "profile":
 		// Excluded from "all" for the same reason; icb-bench calls Profile
 		// directly to control the JSON and baseline paths.

@@ -269,7 +269,7 @@ func TestParallelScaling(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "parallel.json")
 	var sb strings.Builder
-	if err := Parallel(&sb, Config{}, path); err != nil {
+	if err := Parallel(&sb, Config{}, path, "", false); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := ParallelData(Config{})

@@ -8,8 +8,10 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"strings"
 
 	"icb/internal/core"
+	"icb/internal/obs/prof"
 	"icb/internal/progs/wsq"
 )
 
@@ -30,6 +32,15 @@ type ParallelRow struct {
 	States         int  `json:"states"`
 	Bugs           int  `json:"bugs"`
 	BoundCompleted int  `json:"bound_completed"`
+	// Steals / StealFails total the work-stealing traffic over all workers:
+	// successful thefts of another worker's queued item, and sweeps of every
+	// peer deque that came back empty-handed. On the 1-worker row both are 0
+	// (the row delegates to the sequential search).
+	Steals     int64 `json:"steals"`
+	StealFails int64 `json:"steal_fails"`
+	// IdleNS totals the time workers spent parked waiting for work to
+	// appear anywhere — the scheduler's load-imbalance signal.
+	IdleNS int64 `json:"idle_ns"`
 }
 
 // ParallelReport is the scaling study icb-bench writes to
@@ -74,8 +85,12 @@ func ParallelData(cfg Config) (ParallelReport, error) {
 	var refBugs []string
 	for _, w := range parallelWorkerCounts {
 		prog := wsq.Program(wsq.StealUnlocked, wsq.Params{})
+		// A per-row profiler collects the steal/idle tallies; its sampled
+		// phase timings are unused here, so the sampling stride is left at
+		// the cheap default.
+		pr := prof.New(0)
 		res := explore(prog, core.ParallelICB{Workers: w},
-			core.Options{MaxPreemptions: rep.Bound}, cfg)
+			core.Options{MaxPreemptions: rep.Bound, Profiler: pr}, cfg)
 		row := ParallelRow{
 			Workers:        w,
 			Executions:     res.Executions,
@@ -84,6 +99,11 @@ func ParallelData(cfg Config) (ParallelReport, error) {
 			States:         res.States,
 			Bugs:           len(res.Bugs),
 			BoundCompleted: res.BoundCompleted,
+		}
+		for _, pw := range pr.Profile().Workers {
+			row.Steals += pw.Steals
+			row.StealFails += pw.StealFails
+			row.IdleNS += pw.IdleNS
 		}
 		if res.Duration > 0 {
 			row.ExecsPerSec = float64(res.Executions) / res.Duration.Seconds()
@@ -125,30 +145,125 @@ func bugKeys(res core.Result) []string {
 	return keys
 }
 
+// parallelThroughputSlack is the fraction of baseline throughput a row may
+// lose before CompareParallel calls it a regression. Wall-clock throughput
+// on shared CI runners is noisy, so the gate only fires on large drops.
+const parallelThroughputSlack = 0.5
+
+// CompareParallel holds a fresh scaling report against a baseline and
+// returns a sorted list of regressions (empty when clean). Throughput is
+// gated only when BOTH reports measured real parallelism (SpeedupValid):
+// a 1-CPU run's execs/sec is a coordination-overhead number, and comparing
+// it against multicore data in either direction is meaningless. The
+// deterministic outputs (executions, states, bound, bug count) are gated
+// unconditionally whenever both reports measured the same drain.
+func CompareParallel(cur, base ParallelReport) []string {
+	var regs []string
+	if cur.Benchmark != base.Benchmark || cur.Bug != base.Bug || cur.Bound != base.Bound {
+		return []string{fmt.Sprintf("baseline measures %s/%s bound %d, current %s/%s bound %d; regenerate the baseline",
+			base.Benchmark, base.Bug, base.Bound, cur.Benchmark, cur.Bug, cur.Bound)}
+	}
+	baseBy := make(map[int]*ParallelRow, len(base.Rows))
+	for i := range base.Rows {
+		baseBy[base.Rows[i].Workers] = &base.Rows[i]
+	}
+	gateSpeed := cur.SpeedupValid && base.SpeedupValid
+	for i := range cur.Rows {
+		cr := &cur.Rows[i]
+		br, ok := baseBy[cr.Workers]
+		if !ok {
+			continue // new worker count: new coverage, not a regression
+		}
+		if cr.Executions != br.Executions || cr.States != br.States ||
+			cr.BoundCompleted != br.BoundCompleted || cr.Bugs != br.Bugs {
+			regs = append(regs, fmt.Sprintf(
+				"workers=%d: deterministic outputs moved (execs %d -> %d, states %d -> %d, bound %d -> %d, bugs %d -> %d); benchmark changed, regenerate the baseline",
+				cr.Workers, br.Executions, cr.Executions, br.States, cr.States,
+				br.BoundCompleted, cr.BoundCompleted, br.Bugs, cr.Bugs))
+			continue
+		}
+		if gateSpeed && br.ExecsPerSec > 0 && cr.ExecsPerSec < br.ExecsPerSec*parallelThroughputSlack {
+			regs = append(regs, fmt.Sprintf("workers=%d: throughput fell %.0f -> %.0f execs/sec (below %.0f%% of baseline)",
+				cr.Workers, br.ExecsPerSec, cr.ExecsPerSec, parallelThroughputSlack*100))
+		}
+	}
+	sort.Strings(regs)
+	return regs
+}
+
+// readParallelBaseline loads a previously written report; a missing file
+// is not an error (first run writes the first baseline).
+func readParallelBaseline(path string) (ParallelReport, bool, error) {
+	var rep ParallelReport
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return rep, false, nil
+	}
+	if err != nil {
+		return rep, false, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, false, fmt.Errorf("parallel baseline %s: %w", path, err)
+	}
+	return rep, true, nil
+}
+
 // Parallel renders the scaling study and, when jsonPath is non-empty,
-// writes the report there as indented JSON.
-func Parallel(w io.Writer, cfg Config, jsonPath string) error {
+// writes the report there as indented JSON. Overwriting a baseline whose
+// speedups were measured on real parallelism (speedup_valid true) with a
+// 1-CPU run that cannot measure them is refused unless force is set —
+// otherwise one `icb-bench -exp parallel` on a laptop would silently
+// destroy CI's multicore scaling data. When baselinePath is non-empty the
+// fresh report is additionally compared against that baseline and an error
+// listing every regression is returned (see CompareParallel).
+func Parallel(w io.Writer, cfg Config, jsonPath, baselinePath string, force bool) error {
+	// Read the comparison baseline before anything is written: jsonPath and
+	// baselinePath are the same file in the common "compare against the
+	// checked-in report, then refresh it" invocation.
+	var base ParallelReport
+	var haveBase bool
+	if baselinePath != "" {
+		var err error
+		if base, haveBase, err = readParallelBaseline(baselinePath); err != nil {
+			return err
+		}
+		if !haveBase {
+			return fmt.Errorf("parallel baseline: %s does not exist", baselinePath)
+		}
+	}
 	rep, err := ParallelData(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "Parallel scaling: %s/%s exhaustive bound-%d drain (%d CPUs, GOMAXPROCS=%d).\n",
 		rep.Benchmark, rep.Bug, rep.Bound, rep.HostCPUs, rep.GoMaxProcs)
-	fmt.Fprintf(w, "%-8s %12s %12s %14s %9s %8s %6s\n",
-		"workers", "executions", "wall (ms)", "execs/sec", "speedup", "states", "bugs")
+	fmt.Fprintf(w, "%-8s %12s %12s %14s %9s %8s %6s %8s %8s %10s\n",
+		"workers", "executions", "wall (ms)", "execs/sec", "speedup", "states", "bugs", "steals", "failed", "idle (ms)")
 	for _, r := range rep.Rows {
 		speedup := "-"
 		if rep.SpeedupValid {
 			speedup = fmt.Sprintf("%.2fx", r.Speedup)
 		}
-		fmt.Fprintf(w, "%-8d %12d %12.1f %14.0f %9s %8d %6d\n",
-			r.Workers, r.Executions, float64(r.DurationNS)/1e6, r.ExecsPerSec, speedup, r.States, r.Bugs)
+		fmt.Fprintf(w, "%-8d %12d %12.1f %14.0f %9s %8d %6d %8d %8d %10.1f\n",
+			r.Workers, r.Executions, float64(r.DurationNS)/1e6, r.ExecsPerSec, speedup,
+			r.States, r.Bugs, r.Steals, r.StealFails, float64(r.IdleNS)/1e6)
 	}
 	if !rep.SpeedupValid {
 		fmt.Fprintln(w, "WARNING: GOMAXPROCS=1 — workers time-share one core, so speedup is not measurable;")
 		fmt.Fprintln(w, "no speedup is claimed (column shows '-'). Rerun on a multicore host for scaling data.")
 	}
 	if jsonPath != "" {
+		// Staleness gate: never let a host that cannot measure speedups
+		// clobber a baseline that did.
+		old, haveOld, err := readParallelBaseline(jsonPath)
+		if err != nil {
+			return err
+		}
+		if haveOld && old.SpeedupValid && !rep.SpeedupValid && !force {
+			return fmt.Errorf(
+				"parallel: refusing to overwrite %s (speedup_valid=true, GOMAXPROCS=%d) with a GOMAXPROCS=%d run that cannot measure speedups; rerun on a multicore host or pass -force",
+				jsonPath, old.GoMaxProcs, rep.GoMaxProcs)
+		}
 		f, err := os.Create(jsonPath)
 		if err != nil {
 			return err
@@ -163,6 +278,18 @@ func Parallel(w io.Writer, cfg Config, jsonPath string) error {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	if haveBase {
+		regs := CompareParallel(rep, base)
+		if len(regs) > 0 {
+			fmt.Fprintf(w, "%d regression(s) vs %s:\n", len(regs), baselinePath)
+			for _, r := range regs {
+				fmt.Fprintf(w, "  %s\n", r)
+			}
+			return fmt.Errorf("parallel: %d regression(s) vs baseline %s:\n  %s",
+				len(regs), baselinePath, strings.Join(regs, "\n  "))
+		}
+		fmt.Fprintf(w, "no regressions vs %s\n", baselinePath)
 	}
 	return nil
 }

@@ -1,0 +1,173 @@
+package exper
+
+// Tests of the scaling study's baseline machinery: the CompareParallel
+// regression gate and the stale-overwrite guard that keeps a 1-CPU run
+// from clobbering multicore scaling data.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fixtureParallel builds a plausible 2-row multicore report.
+func fixtureParallel() ParallelReport {
+	return ParallelReport{
+		Benchmark: "wsq", Bug: "steal-unlocked", Bound: 2,
+		HostCPUs: 4, GoMaxProcs: 4, SpeedupValid: true,
+		Rows: []ParallelRow{
+			{Workers: 1, Executions: 1698, DurationNS: 100e6, ExecsPerSec: 16980, Speedup: 1,
+				SpeedupValid: true, States: 400, Bugs: 1, BoundCompleted: 2},
+			{Workers: 2, Executions: 1698, DurationNS: 60e6, ExecsPerSec: 28300, Speedup: 1.67,
+				SpeedupValid: true, States: 400, Bugs: 1, BoundCompleted: 2,
+				Steals: 37, StealFails: 120, IdleNS: 4e6},
+		},
+	}
+}
+
+func parallelRegsContaining(t *testing.T, regs []string, want string) {
+	t.Helper()
+	for _, r := range regs {
+		if strings.Contains(r, want) {
+			return
+		}
+	}
+	t.Errorf("regressions %q do not mention %q", regs, want)
+}
+
+func TestCompareParallelClean(t *testing.T) {
+	base := fixtureParallel()
+	cur := fixtureParallel()
+	// Mild throughput wobble inside the slack band is not a regression.
+	cur.Rows[1].ExecsPerSec = base.Rows[1].ExecsPerSec * 0.8
+	if regs := CompareParallel(cur, base); len(regs) != 0 {
+		t.Errorf("clean comparison reported regressions: %q", regs)
+	}
+}
+
+func TestCompareParallelThroughputRegression(t *testing.T) {
+	base := fixtureParallel()
+	cur := fixtureParallel()
+	cur.Rows[1].ExecsPerSec = base.Rows[1].ExecsPerSec * 0.3
+	parallelRegsContaining(t, CompareParallel(cur, base), "throughput fell")
+}
+
+// TestCompareParallelInvalidSkipsThroughput pins the validity rule: when
+// either side measured on one core, throughput is a coordination-overhead
+// number and must not be gated in either direction.
+func TestCompareParallelInvalidSkipsThroughput(t *testing.T) {
+	base := fixtureParallel()
+	for _, invalidate := range []string{"cur", "base"} {
+		cur := fixtureParallel()
+		b := base
+		cur.Rows[1].ExecsPerSec = base.Rows[1].ExecsPerSec * 0.1
+		switch invalidate {
+		case "cur":
+			cur.SpeedupValid = false
+		case "base":
+			b = fixtureParallel()
+			b.SpeedupValid = false
+		}
+		if regs := CompareParallel(cur, b); len(regs) != 0 {
+			t.Errorf("invalid %s report still gated throughput: %q", invalidate, regs)
+		}
+	}
+}
+
+// TestCompareParallelDeterministicOutputs pins that the deterministic
+// drain outputs are gated even without valid speedups: if executions or
+// states move, the benchmark changed and the baseline is stale.
+func TestCompareParallelDeterministicOutputs(t *testing.T) {
+	base := fixtureParallel()
+	cur := fixtureParallel()
+	cur.SpeedupValid = false // gated regardless of validity
+	cur.Rows[1].Executions += 5
+	parallelRegsContaining(t, CompareParallel(cur, base), "deterministic outputs moved")
+}
+
+func TestCompareParallelMismatchedStudy(t *testing.T) {
+	base := fixtureParallel()
+	cur := fixtureParallel()
+	cur.Bound = 3
+	regs := CompareParallel(cur, base)
+	if len(regs) != 1 {
+		t.Fatalf("mismatched study: regs = %q, want exactly one", regs)
+	}
+	parallelRegsContaining(t, regs, "regenerate the baseline")
+}
+
+// TestParallelForceGate pins the stale-overwrite guard end to end: with a
+// speedup_valid baseline on disk and a runtime that cannot measure
+// speedups, Parallel must refuse to overwrite without force and leave the
+// baseline untouched; with force it must overwrite.
+func TestParallelForceGate(t *testing.T) {
+	if runtime.GOMAXPROCS(0) > 1 {
+		// On a real multicore runtime the fresh report is itself valid, so
+		// the guard never triggers; the refusal path is only reachable on
+		// GOMAXPROCS=1.
+		t.Skip("GOMAXPROCS > 1: fresh reports are speedup_valid, the stale-overwrite guard cannot trigger")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "parallel.json")
+	valid := fixtureParallel()
+	raw, err := json.Marshal(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	err = Parallel(&sb, Config{}, path, "", false)
+	if err == nil || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("overwriting a valid baseline from a 1-proc run: err = %v, want a refusal mentioning -force", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(raw) {
+		t.Fatalf("refused overwrite still modified the baseline")
+	}
+
+	if err := Parallel(&sb, Config{}, path, "", true); err != nil {
+		t.Fatalf("forced overwrite: %v", err)
+	}
+	var rep ParallelReport
+	if raw, err := os.ReadFile(path); err != nil {
+		t.Fatal(err)
+	} else if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpeedupValid {
+		t.Fatalf("forced 1-proc rewrite claims speedup_valid")
+	}
+}
+
+// TestParallelBaselineGate pins the -baseline path: a fresh measurement
+// compared against a baseline of a different study errors out.
+func TestParallelBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	stale := fixtureParallel()
+	stale.Bug = "some-other-bug"
+	raw, err := json.Marshal(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err = Parallel(&sb, Config{}, "", basePath, false)
+	if err == nil || !strings.Contains(err.Error(), "regenerate the baseline") {
+		t.Fatalf("mismatched baseline: err = %v, want a regenerate error", err)
+	}
+	if err := Parallel(&sb, Config{}, "", filepath.Join(dir, "missing.json"), false); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}

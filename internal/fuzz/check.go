@@ -366,10 +366,12 @@ func (c *checker) checkCSB(dfsRes *core.Result) {
 	}
 }
 
-// checkParallel cross-checks ParallelICB at 2 and 4 workers against
-// 1-worker (which delegates to the sequential ICB): identical execution
-// counts, coverage, exhaustion and fine-grained bug sets regardless of
-// worker count.
+// checkParallel cross-checks the work-stealing ParallelICB at 2 and 4
+// workers against both the brute-force oracle and 1-worker (which
+// delegates to the sequential ICB): identical execution counts, coverage,
+// exhaustion and fine-grained bug sets regardless of worker count, and —
+// against the oracle — the exact bug set with each defect first sighted at
+// its true minimal preemption count.
 func (c *checker) checkParallel() {
 	const prop = "parallel-vs-sequential"
 	prog := c.spec.Program(nil) // workers run the program concurrently: no shared sink cell
@@ -384,6 +386,19 @@ func (c *checker) checkParallel() {
 			continue
 		}
 		name := fmt.Sprintf("%d-worker ICB", w)
+		// Against the oracle: the stealing drain must expose exactly the
+		// true bug set, each defect first sighted minimally (the softened
+		// barrier holds ahead-of-bound sightings back, so Theorem 1's
+		// guarantee survives the overlap).
+		if got := fineBugs(res); c.diffBugIDs("parallel-vs-oracle", name, got) {
+			for id, bt := range c.truth.Bugs {
+				if g := got[id]; g.Preemptions != bt.MinPreemptions {
+					c.fail("parallel-vs-oracle", fmt.Sprintf(
+						"bug [%v] first sighted by %s with %d preemptions, oracle minimum is %d",
+						id, name, g.Preemptions, bt.MinPreemptions), g.Schedule)
+				}
+			}
+		}
 		if res.Executions != seq.Executions || res.States != seq.States ||
 			res.ExecutionClasses != seq.ExecutionClasses ||
 			res.BoundCompleted != seq.BoundCompleted || res.Exhausted != seq.Exhausted {
@@ -546,14 +561,21 @@ func (c *checker) checkBPOR(icbRes *core.Result) {
 		c.compareReduced(prop, "cached BPOR ICB", cres, icbRes, plain, false)
 	}
 
-	// Composition with the parallel driver: the shared registration table
-	// makes execution counts interleaving-dependent, but the deterministic
-	// outcomes — bug set, sightings, classes, exhaustion — must hold at any
-	// worker count.
-	popt := c.baseOpts()
-	popt.BPOR = true
-	if pres := c.explore(prog, core.ParallelICB{Workers: 2}, popt, prop); pres != nil {
-		c.compareReduced(prop, "2-worker BPOR ICB", pres, icbRes, plain, true)
+	// Composition with the stealing parallel driver at 2 and 4 workers:
+	// the shared registration table makes execution counts
+	// interleaving-dependent, but the deterministic outcomes — bug set,
+	// sightings, classes, exhaustion — must hold at any worker count, and
+	// the bug set must still be exactly the oracle's.
+	for _, w := range []int{2, 4} {
+		popt := c.baseOpts()
+		popt.BPOR = true
+		pres := c.explore(prog, core.ParallelICB{Workers: w}, popt, prop)
+		if pres == nil {
+			continue
+		}
+		name := fmt.Sprintf("%d-worker BPOR ICB", w)
+		c.compareReduced(prop, name, pres, icbRes, plain, true)
+		c.diffBugIDs("parallel-bpor-vs-oracle", name, fineBugs(pres))
 	}
 }
 

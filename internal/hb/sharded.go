@@ -122,6 +122,91 @@ func (s *ShardedStateSet) Has(v uint64) bool {
 // Len returns the number of distinct states inserted so far.
 func (s *ShardedStateSet) Len() int { return int(s.n.Load()) }
 
+// DefaultProbeQuantum is the flush threshold used by parallel search
+// workers: small enough that Len stays near-fresh for coverage sampling,
+// large enough to amortize a shard lock over many inserts.
+const DefaultProbeQuantum = 64
+
+// ProbeBuffer batches one worker's Add traffic against a ShardedStateSet.
+// Instead of taking a shard lock per fingerprint, the worker appends to a
+// private per-shard slice and flushes whole batches once `quantum` probes
+// have accumulated (or explicitly at execution boundaries and safepoints,
+// where the search needs Len to be exact). The buffer is strictly
+// single-owner: only the worker that created it may call Probe or Flush.
+//
+// Buffered probes are fire-and-forget — callers that need Add's
+// was-it-new result (the sequential engine does not; fingerprint observers
+// discard it) must use Add/AddObserved directly.
+type ProbeBuffer struct {
+	set     *ShardedStateSet
+	c       Contention
+	quantum int
+	pending int
+	byShard [stateShards][]uint64
+}
+
+// NewProbeBuffer returns an empty buffer draining into set. A quantum of
+// <= 1 disables batching (every Probe flushes immediately); c may be nil.
+func NewProbeBuffer(set *ShardedStateSet, c Contention, quantum int) *ProbeBuffer {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &ProbeBuffer{set: set, c: c, quantum: quantum}
+}
+
+// Probe enqueues v for insertion, flushing if the quantum is reached.
+func (b *ProbeBuffer) Probe(v uint64) {
+	i := v & (stateShards - 1)
+	b.byShard[i] = append(b.byShard[i], v)
+	b.pending++
+	if b.pending >= b.quantum {
+		b.Flush()
+	}
+}
+
+// Pending returns the number of buffered, not-yet-flushed probes.
+func (b *ProbeBuffer) Pending() int { return b.pending }
+
+// Flush drains every buffered probe into the set, taking each touched
+// shard lock exactly once, and returns how many fingerprints were new.
+// Duplicates within a batch count once (the first insert wins; the rest
+// are hits against the just-inserted entry).
+func (b *ProbeBuffer) Flush() int {
+	if b.pending == 0 {
+		return 0
+	}
+	added := 0
+	for i := range b.byShard {
+		vs := b.byShard[i]
+		if len(vs) == 0 {
+			continue
+		}
+		sh := &b.set.shards[i]
+		if !sh.mu.TryLock() {
+			if b.c != nil {
+				t0 := time.Now()
+				sh.mu.Lock()
+				b.c.NoteWait(time.Since(t0).Nanoseconds())
+			} else {
+				sh.mu.Lock()
+			}
+		}
+		for _, v := range vs {
+			if _, ok := sh.m[v]; !ok {
+				sh.m[v] = struct{}{}
+				added++
+			}
+		}
+		sh.mu.Unlock()
+		b.byShard[i] = vs[:0]
+	}
+	if added > 0 {
+		b.set.n.Add(int64(added))
+	}
+	b.pending = 0
+	return added
+}
+
 // Elems returns the stored fingerprints in unspecified order. It takes the
 // shard locks one at a time, so it is consistent only when no Add is in
 // flight (bound barriers, stop points).

@@ -56,3 +56,147 @@ func TestShardedStateSetMatchesStateSet(t *testing.T) {
 		t.Errorf("phantom membership")
 	}
 }
+
+type countWaits struct{ n int }
+
+func (c *countWaits) NoteWait(int64) { c.n++ }
+
+// TestProbeBufferBatches drives batches containing fresh fingerprints,
+// repeats of already-flushed fingerprints, and duplicates within a single
+// batch, and checks the set membership and the Flush return values match
+// what direct Adds would have produced.
+func TestProbeBufferBatches(t *testing.T) {
+	cases := []struct {
+		name      string
+		preload   []uint64 // inserted directly before buffering starts
+		probes    []uint64 // driven through the buffer, then flushed once
+		wantAdded int      // newly inserted according to Flush
+	}{
+		{
+			name:      "all fresh",
+			probes:    []uint64{1, 2, 3, 4, 5},
+			wantAdded: 5,
+		},
+		{
+			name:      "all hits",
+			preload:   []uint64{10, 11, 12},
+			probes:    []uint64{10, 11, 12},
+			wantAdded: 0,
+		},
+		{
+			name:      "mixed hit and miss",
+			preload:   []uint64{100, 101},
+			probes:    []uint64{100, 200, 101, 201},
+			wantAdded: 2,
+		},
+		{
+			name:      "duplicates within one batch count once",
+			probes:    []uint64{7, 7, 7, 8, 8},
+			wantAdded: 2,
+		},
+		{
+			// Same low bits => same shard: in-batch dups and hits must
+			// resolve against the shard map, not the append order.
+			name:      "same-shard collisions",
+			preload:   []uint64{64},
+			probes:    []uint64{64, 128, 128, 192},
+			wantAdded: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := NewShardedStateSet()
+			for _, v := range tc.preload {
+				set.Add(v)
+			}
+			buf := NewProbeBuffer(set, nil, 1024)
+			for _, v := range tc.probes {
+				buf.Probe(v)
+			}
+			if buf.Pending() != len(tc.probes) {
+				t.Fatalf("Pending = %d before flush, want %d", buf.Pending(), len(tc.probes))
+			}
+			if got := buf.Flush(); got != tc.wantAdded {
+				t.Errorf("Flush = %d, want %d", got, tc.wantAdded)
+			}
+			if buf.Pending() != 0 {
+				t.Errorf("Pending = %d after flush, want 0", buf.Pending())
+			}
+			want := NewStateSet()
+			for _, v := range tc.preload {
+				want.Add(v)
+			}
+			for _, v := range tc.probes {
+				want.Add(v)
+			}
+			if set.Len() != want.Len() {
+				t.Errorf("set len = %d, want %d", set.Len(), want.Len())
+			}
+			for _, v := range tc.probes {
+				if !set.Has(v) {
+					t.Errorf("missing %d after flush", v)
+				}
+			}
+			// Idempotent re-flush of an empty buffer.
+			if got := buf.Flush(); got != 0 {
+				t.Errorf("empty Flush = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestProbeBufferQuantumAutoFlush: the buffer must self-flush when the
+// quantum fills, keeping Len fresh without explicit flushes.
+func TestProbeBufferQuantumAutoFlush(t *testing.T) {
+	set := NewShardedStateSet()
+	buf := NewProbeBuffer(set, nil, 4)
+	for i := 0; i < 10; i++ {
+		buf.Probe(Hash64(uint64(i)))
+	}
+	// Two auto-flushes (at 4 and 8 probes) leave 2 pending.
+	if buf.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", buf.Pending())
+	}
+	if set.Len() != 8 {
+		t.Fatalf("Len = %d before final flush, want 8", set.Len())
+	}
+	if got := buf.Flush(); got != 2 {
+		t.Fatalf("final Flush = %d, want 2", got)
+	}
+	if set.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", set.Len())
+	}
+}
+
+// TestProbeBufferConcurrentOwners: one buffer per goroutine, overlapping
+// streams; the union must match the sequential reference. Run with -race.
+func TestProbeBufferConcurrentOwners(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	ref := NewStateSet()
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			ref.Add(Hash64(uint64(g/2)<<32 | uint64(i)))
+		}
+	}
+	set := NewShardedStateSet()
+	var wg sync.WaitGroup
+	waits := make([]countWaits, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := NewProbeBuffer(set, &waits[g], DefaultProbeQuantum)
+			for i := 0; i < perG; i++ {
+				buf.Probe(Hash64(uint64(g/2)<<32 | uint64(i)))
+			}
+			buf.Flush()
+		}(g)
+	}
+	wg.Wait()
+	if set.Len() != ref.Len() {
+		t.Errorf("len = %d, want %d", set.Len(), ref.Len())
+	}
+}

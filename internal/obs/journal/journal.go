@@ -353,6 +353,9 @@ func (w *Writer) Capture(st *core.SearchState, final bool) {
 		Bugs:       len(st.Result.Bugs),
 		SeedQueue:  len(st.SeedQueue),
 		NextWork:   len(st.NextWork),
+		Scheduler:  st.Scheduler,
+		NextWork2:  len(st.NextWork2),
+		HeldBugs:   len(st.Held),
 		Final:      final,
 	})
 }

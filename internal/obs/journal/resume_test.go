@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"testing"
 
@@ -207,6 +208,102 @@ func TestParallelResumeBugSetIdentical(t *testing.T) {
 	}
 }
 
+// TestParallelResumeEveryBoundary interrupts a work-stealing 2-worker
+// search after every possible execution count n and resumes each stop
+// snapshot (still stealing): the union over the two lives must equal the
+// uninterrupted parallel run in every deterministic output — executions,
+// coverage counts, completed bound, per-bound attribution, and the bug set
+// with per-bug minimal preemption counts and sighting counts. This is the
+// stealing scheduler's analogue of TestResumeEveryBoundaryIdentical: the
+// snapshot must capture the full three-bound live window (including work
+// deferred two bounds ahead by early execution and held-back early bug
+// sightings) or some resumed run below would lose a subtree or misreport a
+// minimum.
+func TestParallelResumeEveryBoundary(t *testing.T) {
+	prog := wsqStealUnlocked(t)
+	par := core.ParallelICB{Workers: 2}
+
+	ref := core.Explore(prog, par, wsqOptions())
+	if ref.Executions == 0 || len(ref.Bugs) == 0 || !ref.Exhausted && ref.BoundCompleted < 2 {
+		t.Fatalf("reference run found nothing: %+v", ref)
+	}
+
+	facts := func(res core.Result) []string {
+		var out []string
+		for i := range res.Bugs {
+			b := &res.Bugs[i]
+			out = append(out, b.Kind.String()+"|"+b.Message+
+				"|p="+itoa(b.Preemptions)+"|n="+itoa(b.Count))
+		}
+		sort.Strings(out)
+		return out
+	}
+	boundExecs := func(res core.Result) []int {
+		var out []int
+		for _, bc := range res.BoundCurve {
+			out = append(out, bc.Executions)
+		}
+		return out
+	}
+	wantFacts := facts(ref)
+	wantBounds := boundExecs(ref)
+
+	for n := 1; n < ref.Executions; n++ {
+		cs := &capSink{}
+		stop := &atomic.Bool{}
+		opt := wsqOptions()
+		opt.Checkpoint = cs
+		opt.Stop = stop
+		opt.Sink = &stopAfter{n: n, stop: stop}
+		interrupted := core.Explore(prog, par, opt)
+		if interrupted.Executions >= ref.Executions {
+			// In-flight workers may finish the whole remainder before the
+			// stop lands near the end; nothing is interrupted then.
+			continue
+		}
+		if len(cs.snaps) == 0 || !cs.finals[len(cs.snaps)-1] {
+			t.Fatalf("n=%d: no final snapshot captured", n)
+		}
+		var st core.SearchState
+		if err := json.Unmarshal(cs.snaps[len(cs.snaps)-1], &st); err != nil {
+			t.Fatalf("n=%d: final snapshot does not round-trip: %v", n, err)
+		}
+		if st.Scheduler != core.SchedulerWS {
+			t.Fatalf("n=%d: snapshot scheduler = %q, want %q", n, st.Scheduler, core.SchedulerWS)
+		}
+		ropt := wsqOptions()
+		ropt.Resume = &st
+		if err := core.ValidateResumeWorkers(&st, par.NumWorkers()); err != nil {
+			t.Fatalf("n=%d: snapshot rejected: %v", n, err)
+		}
+		got := core.Explore(prog, par, ropt)
+
+		if got.Executions != ref.Executions {
+			t.Errorf("n=%d: executions = %d, want %d", n, got.Executions, ref.Executions)
+		}
+		if got.States != ref.States || got.ExecutionClasses != ref.ExecutionClasses {
+			t.Errorf("n=%d: coverage states=%d classes=%d, want %d and %d",
+				n, got.States, got.ExecutionClasses, ref.States, ref.ExecutionClasses)
+		}
+		if got.BoundCompleted != ref.BoundCompleted || got.Exhausted != ref.Exhausted {
+			t.Errorf("n=%d: boundCompleted=%d exhausted=%v, want %d and %v",
+				n, got.BoundCompleted, got.Exhausted, ref.BoundCompleted, ref.Exhausted)
+		}
+		if gf := facts(got); !reflect.DeepEqual(gf, wantFacts) {
+			t.Errorf("n=%d: bug facts %q, want %q", n, gf, wantFacts)
+		}
+		if gb := boundExecs(got); !reflect.DeepEqual(gb, wantBounds) {
+			t.Errorf("n=%d: per-bound executions %v, want %v", n, gb, wantBounds)
+		}
+		if t.Failed() {
+			t.Fatalf("n=%d: first divergence, stopping (interrupted at %d execs, snapshot bound %d)",
+				n, interrupted.Executions, st.Bound)
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
 // TestValidateResumeRejections spot-checks the structural guards.
 func TestValidateResumeRejections(t *testing.T) {
 	opt := wsqOptions()
@@ -224,5 +321,21 @@ func TestValidateResumeRejections(t *testing.T) {
 	st = &core.SearchState{Bound: 1, Result: core.Result{Executions: 10}}
 	if err := core.ValidateResume(st, opt); err == nil {
 		t.Error("cached resume accepted without a work-item table")
+	}
+	opt = wsqOptions()
+	if err := core.ValidateResume(&core.SearchState{Bound: 1, Scheduler: "ws/99"}, opt); err == nil {
+		t.Error("unknown scheduler version accepted")
+	}
+	if err := core.ValidateResumeWorkers(&core.SearchState{Bound: 1, Scheduler: core.SchedulerWS}, 1); err == nil {
+		t.Error("work-stealing snapshot accepted by a sequential resume")
+	}
+	if err := core.ValidateResumeWorkers(&core.SearchState{Bound: 1}, 4); err == nil {
+		t.Error("sequential snapshot accepted by a parallel resume")
+	}
+	if err := core.ValidateResumeWorkers(&core.SearchState{Bound: 1, Scheduler: core.SchedulerWS}, 4); err != nil {
+		t.Errorf("matching work-stealing resume rejected: %v", err)
+	}
+	if err := core.ValidateResumeWorkers(&core.SearchState{Bound: 1}, 1); err != nil {
+		t.Errorf("matching sequential resume rejected: %v", err)
 	}
 }

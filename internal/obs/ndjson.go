@@ -14,10 +14,13 @@ import (
 // understand. v3 added the campaign-durability events (checkpoint, resume,
 // run_record); v4 the fleet-telemetry events (fleet_snapshot, peer_status)
 // the campaign aggregator emits; v5 the bpor_stats event of searches run
-// with bounded partial-order reduction. The envelope and every earlier
+// with bounded partial-order reduction; v6 the work-stealing scheduler
+// fields — steals/steal_fails/idle_ns on profile worker rows, steals on
+// snapshot worker rows, and the scheduler/next_work2/held_bugs/done_execs/
+// early_execs checkpoint-state fields. The envelope and every earlier
 // event payload are unchanged, so consumers that skip unknown event names
-// read newer streams correctly.
-const NDJSONSchemaVersion = 5
+// and fields read newer streams correctly.
+const NDJSONSchemaVersion = 6
 
 // NDJSON writes the event stream as newline-delimited JSON, one object per
 // line, for offline analysis (jq, pandas, ...). The first line is a header

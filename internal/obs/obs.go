@@ -304,7 +304,9 @@ type Metrics struct {
 	// workerExecs counts executions per parallel-search worker; a
 	// sequential search records nothing here. Workers beyond the cap fold
 	// into the last slot, flagged by truncated like deep bounds.
-	workerExecs [MaxTrackedWorkers]atomic.Int64
+	// workerSteals counts successful work steals per worker, same slotting.
+	workerExecs  [MaxTrackedWorkers]atomic.Int64
+	workerSteals [MaxTrackedWorkers]atomic.Int64
 	// truncated records that some observation was folded into the last
 	// slot because its bound was >= MaxTrackedBounds (or its worker index
 	// >= MaxTrackedWorkers).
@@ -358,6 +360,20 @@ func (m *Metrics) ObserveWorkerExecution(worker int) {
 		worker = MaxTrackedWorkers - 1
 	}
 	m.workerExecs[worker].Add(1)
+}
+
+// ObserveWorkerSteal records one successful work steal by the given
+// parallel worker (0-based): its own deque ran dry and it took an item
+// from a sibling's. Feeds the dashboard's worker view next to executions.
+func (m *Metrics) ObserveWorkerSteal(worker int) {
+	if worker < 0 {
+		worker = 0
+	}
+	if worker >= MaxTrackedWorkers {
+		m.truncated.Store(true)
+		worker = MaxTrackedWorkers - 1
+	}
+	m.workerSteals[worker].Add(1)
 }
 
 // WorkerExecutions returns the execution count recorded for a worker.
@@ -425,6 +441,9 @@ type WorkerSnapshot struct {
 	Worker     int     `json:"worker"`
 	Executions int64   `json:"executions"`
 	Share      float64 `json:"share"`
+	// Steals counts work items this worker stole from siblings' deques
+	// (zero under the pre-stealing shared-index scheduler).
+	Steals int64 `json:"steals,omitempty"`
 }
 
 // Snapshot is a plain-value copy of the counters, suitable for JSON
@@ -497,6 +516,7 @@ func (m *Metrics) Snapshot() Snapshot {
 					Worker:     w,
 					Executions: n,
 					Share:      float64(n) / float64(workerTotal),
+					Steals:     m.workerSteals[w].Load(),
 				})
 			}
 		}

@@ -90,12 +90,17 @@ type workerCounters struct {
 	tableWaitNS atomic.Int64
 	barrierNS   atomic.Int64
 	fetchStalls atomic.Int64
-	_           [16]byte
+	steals      atomic.Int64
+	stealFails  atomic.Int64
+	idleNS      atomic.Int64
+	_           [56]byte
 }
 
 func (w *workerCounters) seen() bool {
 	return w.stateWaits.Load() != 0 || w.tableWaits.Load() != 0 ||
-		w.barrierNS.Load() != 0 || w.fetchStalls.Load() != 0
+		w.barrierNS.Load() != 0 || w.fetchStalls.Load() != 0 ||
+		w.steals.Load() != 0 || w.stealFails.Load() != 0 ||
+		w.idleNS.Load() != 0
 }
 
 // Profiler accumulates search-profile observations. The zero value is not
@@ -271,10 +276,34 @@ func (p *Profiler) NoteBarrierWait(worker int, ns int64) {
 	p.workers[workerSlot(worker, &p.truncated)].barrierNS.Add(ns)
 }
 
-// NoteFetchStall counts one work-fetch attempt that found the bound's
-// shared work index already drained.
+// NoteFetchStall counts one work-fetch attempt that found nothing runnable
+// anywhere — the worker's own deques and every steal victim were empty.
 func (p *Profiler) NoteFetchStall(worker int) {
 	p.workers[workerSlot(worker, &p.truncated)].fetchStalls.Add(1)
+}
+
+// NoteSteal counts one steal sweep by a worker whose own deque ran dry:
+// ok means the sweep took an item from a sibling's deque, !ok that every
+// victim was empty at that bound. The steal/fail ratio is the scheduler's
+// load-balance health metric — mostly-failing sweeps mean the search is
+// starved, not imbalanced.
+func (p *Profiler) NoteSteal(worker int, ok bool) {
+	w := &p.workers[workerSlot(worker, &p.truncated)]
+	if ok {
+		w.steals.Add(1)
+	} else {
+		w.stealFails.Add(1)
+	}
+}
+
+// NoteIdle adds nanoseconds one worker spent parked with no runnable or
+// stealable work anywhere (distinct from barrier waits, where the worker
+// is deliberately held at a bound retirement).
+func (p *Profiler) NoteIdle(worker int, ns int64) {
+	if ns < 0 {
+		return
+	}
+	p.workers[workerSlot(worker, &p.truncated)].idleNS.Add(ns)
 }
 
 // LockSite selects which striped structure a LockObserver attributes its
@@ -383,6 +412,9 @@ func (p *Profiler) Profile() obs.ProfileData {
 			TableLockWaitNS: wc.tableWaitNS.Load(),
 			BarrierWaitNS:   wc.barrierNS.Load(),
 			FetchStalls:     wc.fetchStalls.Load(),
+			Steals:          wc.steals.Load(),
+			StealFails:      wc.stealFails.Load(),
+			IdleNS:          wc.idleNS.Load(),
 		})
 	}
 	p.mu.Lock()

@@ -103,9 +103,19 @@ type ProfileWorker struct {
 	// BarrierWaitNS is time spent idle at bound barriers, waiting for the
 	// slowest worker of the round.
 	BarrierWaitNS int64 `json:"barrier_wait_ns"`
-	// FetchStalls counts work-fetch attempts that found the bound's shared
-	// work index already drained.
+	// FetchStalls counts work-fetch attempts that found nothing runnable
+	// anywhere — the worker's own deques and every steal victim empty.
 	FetchStalls int64 `json:"fetch_stalls"`
+	// Steals / StealFails count work-stealing sweeps by this worker after
+	// its own deque ran dry: successful sweeps took an item from a
+	// sibling's deque, failed ones found every victim empty at the swept
+	// bound. A high fail share means starvation, not imbalance.
+	Steals     int64 `json:"steals"`
+	StealFails int64 `json:"steal_fails"`
+	// IdleNS is time spent parked with no runnable or stealable work
+	// anywhere (distinct from BarrierWaitNS, where the worker is held at a
+	// bound retirement).
+	IdleNS int64 `json:"idle_ns"`
 }
 
 // ProfileFirstBug records the first sighting of one distinct defect: the
